@@ -1,0 +1,38 @@
+//! Criterion benches for the end-to-end DBGC pipeline on simulated frames.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgc::{decompress, Dbgc};
+use dbgc_lidar_sim::{frame, ScenePreset};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cloud = frame(ScenePreset::KittiCity, 1, 0);
+    let mut g = c.benchmark_group("dbgc_pipeline");
+    g.throughput(Throughput::Elements(cloud.len() as u64));
+    g.sample_size(10);
+    for q in [0.02f64, 0.005] {
+        g.bench_with_input(BenchmarkId::new("compress", format!("q{q}")), &q, |b, &q| {
+            let dbgc = Dbgc::with_error_bound(q);
+            b.iter(|| dbgc.compress(&cloud).unwrap());
+        });
+        let bytes = Dbgc::with_error_bound(q).compress(&cloud).unwrap().bytes;
+        g.bench_with_input(
+            BenchmarkId::new("decompress", format!("q{q}")),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| decompress(bytes).unwrap());
+            },
+        );
+    }
+    g.finish();
+
+    // Simulator cost, for context (frame generation is not part of DBGC).
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("city_frame", |b| {
+        b.iter(|| frame(ScenePreset::KittiCity, 1, 0));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion benches for the tree geometry coders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgc_geom::{Point3, PointCloud};
+use rand::{Rng, SeedableRng};
+
+fn test_cloud(n: usize) -> PointCloud {
+    // LiDAR-ish: ground rings + a couple of walls.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut pts = Vec::with_capacity(n);
+    while pts.len() < n {
+        let ring = rng.gen_range(0..48);
+        let r = 3.0 + ring as f64 * 1.5;
+        let th = rng.gen_range(0.0..std::f64::consts::TAU);
+        pts.push(Point3::new(
+            r * th.cos() + rng.gen_range(-0.01..0.01),
+            r * th.sin() + rng.gen_range(-0.01..0.01),
+            -1.73 + rng.gen_range(-0.01..0.01),
+        ));
+    }
+    PointCloud::from_points(pts)
+}
+
+fn bench_tree_coders(c: &mut Criterion) {
+    let cloud = test_cloud(20_000);
+    let q = 0.02;
+    let mut g = c.benchmark_group("tree_encode");
+    g.throughput(Throughput::Elements(cloud.len() as u64));
+    g.bench_function("octree", |b| {
+        b.iter(|| dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), q));
+    });
+    g.bench_function("octree_i", |b| {
+        b.iter(|| dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), q));
+    });
+    g.bench_function("kdtree", |b| {
+        b.iter(|| dbgc_kdtree::KdTreeCodec.encode(cloud.points(), q));
+    });
+    g.bench_function("gpcc", |b| {
+        b.iter(|| dbgc_gpcc::GpccCodec.encode(cloud.points(), q));
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("tree_decode");
+    g.throughput(Throughput::Elements(cloud.len() as u64));
+    let oct = dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), q);
+    g.bench_with_input(BenchmarkId::new("octree", oct.bytes.len()), &oct.bytes, |b, bytes| {
+        b.iter(|| dbgc_octree::OctreeCodec::baseline().decode(bytes).unwrap());
+    });
+    let kd = dbgc_kdtree::KdTreeCodec.encode(cloud.points(), q);
+    g.bench_with_input(BenchmarkId::new("kdtree", kd.bytes.len()), &kd.bytes, |b, bytes| {
+        b.iter(|| dbgc_kdtree::KdTreeCodec.decode(bytes).unwrap());
+    });
+    let gp = dbgc_gpcc::GpccCodec.encode(cloud.points(), q);
+    g.bench_with_input(BenchmarkId::new("gpcc", gp.bytes.len()), &gp.bytes, |b, bytes| {
+        b.iter(|| dbgc_gpcc::GpccCodec.decode(bytes).unwrap());
+    });
+    g.finish();
+
+    // Quadtree on the projected cloud (the outlier substrate).
+    let xy: Vec<(f64, f64)> = cloud.iter().map(|p| (p.x, p.y)).collect();
+    c.bench_function("quadtree/encode_20k", |b| {
+        b.iter(|| dbgc_octree::QuadtreeCodec.encode(&xy, q));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tree_coders
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig. 11: ablations of the three sparse-path optimizations on the campus
+//! scene — −Radial (plain per-line delta on r), −Group (one radial group),
+//! −Conversion (Cartesian channels instead of spherical).
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin fig11_ablation
+//! ```
+
+use dbgc::{Dbgc, DbgcConfig};
+use dbgc_bench::{f2, print_table, scene_frame, ERROR_BOUNDS};
+use dbgc_lidar_sim::ScenePreset;
+
+fn main() {
+    let cloud = scene_frame(ScenePreset::KittiCampus);
+    println!(
+        "Fig. 11 — {} ({} points): ablations vs full DBGC\n",
+        ScenePreset::KittiCampus.name(),
+        cloud.len()
+    );
+    let variants: [(&str, fn(DbgcConfig) -> DbgcConfig); 4] = [
+        ("DBGC", |c| c),
+        ("-Radial", DbgcConfig::without_radial),
+        ("-Group", DbgcConfig::without_grouping),
+        ("-Conversion", DbgcConfig::without_conversion),
+    ];
+    let mut header = vec!["q (cm)".to_string()];
+    for (name, _) in &variants {
+        header.push(name.to_string());
+        if *name != "DBGC" {
+            header.push(format!("{name} %ofDBGC"));
+        }
+    }
+    let mut rows = Vec::new();
+    let mut pct_sums = [0.0f64; 3];
+    for &q in ERROR_BOUNDS.iter().rev() {
+        let mut row = vec![format!("{}", q * 100.0)];
+        let mut full_ratio = 0.0;
+        for (i, (name, make)) in variants.iter().enumerate() {
+            let cfg = make(DbgcConfig::with_error_bound(q));
+            let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
+            let r = frame.compression_ratio();
+            row.push(f2(r));
+            if *name == "DBGC" {
+                full_ratio = r;
+            } else {
+                let pct = 100.0 * r / full_ratio;
+                pct_sums[i - 1] += pct;
+                row.push(format!("{pct:.0}%"));
+            }
+        }
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+    let n = ERROR_BOUNDS.len() as f64;
+    println!(
+        "\naverage share of full DBGC: -Radial {:.0}%, -Group {:.0}%, -Conversion {:.0}% \
+         (paper: 88%, 85%, 29%)",
+        pct_sums[0] / n,
+        pct_sums[1] / n,
+        pct_sums[2] / n
+    );
+}

@@ -1,0 +1,75 @@
+//! Fig. 13: DBGC time breakdown at q = 2 cm — compression (DEN/OCT/COR/ORG/
+//! SPA/OUT) and decompression (OCT/SPA/COR/OUT) — plus the §4.4 peak-memory
+//! figures.
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin fig13_breakdown
+//! ```
+
+use dbgc::{decompress, Dbgc};
+use dbgc_bench::{peak_rss_bytes, print_table, scene_frame, Q_TYPICAL};
+use dbgc_lidar_sim::ScenePreset;
+
+fn main() {
+    let cloud = scene_frame(ScenePreset::KittiCity);
+    println!(
+        "Fig. 13 — {} ({} points), q = {} m\n",
+        ScenePreset::KittiCity.name(),
+        cloud.len(),
+        Q_TYPICAL
+    );
+
+    // Average over a few repetitions for stable fractions.
+    const REPS: usize = 3;
+    let mut frame = None;
+    let mut comp_fracs = [0.0f64; 6];
+    let mut comp_total = 0.0;
+    for _ in 0..REPS {
+        let f = Dbgc::with_error_bound(Q_TYPICAL).compress(&cloud).expect("compress");
+        for (i, (_, frac)) in f.stats.timing.fractions().iter().enumerate() {
+            comp_fracs[i] += frac / REPS as f64;
+        }
+        comp_total += f.stats.timing.total().as_secs_f64() / REPS as f64;
+        frame = Some(f);
+    }
+    let frame = frame.expect("at least one repetition");
+
+    println!("compression breakdown (total {:.3} s):", comp_total);
+    let labels = ["DEN", "OCT", "COR", "ORG", "SPA", "OUT"];
+    let header: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
+    let row: Vec<String> = comp_fracs.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+    print_table(&header, &[row]);
+    println!(
+        "(paper: DEN 31%, ORG 22%, SPA 44% dominate; OCT/COR/OUT negligible)\n"
+    );
+
+    let mut dec_stats = None;
+    let mut dec_total = 0.0;
+    for _ in 0..REPS {
+        let (restored, st) = decompress(&frame.bytes).expect("own stream");
+        assert_eq!(restored.len(), cloud.len());
+        dec_total += st.total().as_secs_f64() / REPS as f64;
+        dec_stats = Some(st);
+    }
+    let st = dec_stats.expect("at least one repetition");
+    println!("decompression breakdown (total {:.3} s):", dec_total);
+    let header: Vec<String> =
+        ["OCT", "SPA", "COR", "OUT"].iter().map(|s| s.to_string()).collect();
+    let t = st.total().as_secs_f64().max(1e-12);
+    let row = vec![
+        format!("{:.0}%", st.oct.as_secs_f64() / t * 100.0),
+        format!("{:.0}%", st.spa.as_secs_f64() / t * 100.0),
+        format!("{:.0}%", st.cor.as_secs_f64() / t * 100.0),
+        format!("{:.0}%", st.out.as_secs_f64() / t * 100.0),
+    ];
+    print_table(&header, &[row]);
+    println!("(paper: SPA dominates decompression)\n");
+
+    if let Some(rss) = peak_rss_bytes() {
+        println!(
+            "peak RSS after compress+decompress: {:.0} MiB \
+             (paper: ~45 MB compression, ~12 MB decompression)",
+            rss as f64 / (1 << 20) as f64
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Parameter sweeps for the design choices DESIGN.md calls out: the
+//! clustering scale `k`, the radial threshold `TH_r`, the number of radial
+//! groups, and the minimum polyline length.
+//!
+//! The paper fixes k = 10, TH_r = 2 m, groups = 3 with brief justifications
+//! (§3.2, §3.5); this harness regenerates the trade-off curves behind them.
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin param_sweeps
+//! ```
+
+use dbgc::{Dbgc, DbgcConfig};
+use dbgc_bench::{f2, print_table, scene_frame, timed, Q_TYPICAL};
+use dbgc_lidar_sim::ScenePreset;
+
+fn run(cfg: DbgcConfig, cloud: &dbgc_geom::PointCloud) -> (f64, f64, f64) {
+    let (frame, t) = timed(|| Dbgc::new(cfg).compress(cloud).expect("compress"));
+    (frame.compression_ratio(), 100.0 * frame.stats.dense_fraction(), t.as_secs_f64())
+}
+
+fn main() {
+    let cloud = scene_frame(ScenePreset::KittiCity);
+    println!(
+        "Parameter sweeps — {} ({} points), q = {} m\n",
+        ScenePreset::KittiCity.name(),
+        cloud.len(),
+        Q_TYPICAL
+    );
+
+    // --- k: neighbourhood scale (ε = k·q, minPts = ⌈πk²/12⌉) -----------
+    println!("k (clustering scale; paper default 10):");
+    let header: Vec<String> = ["k", "ratio", "dense %", "time (s)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for k in [4u32, 6, 8, 10, 14, 20] {
+        let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
+        cfg.k = k;
+        let (ratio, dense, secs) = run(cfg, &cloud);
+        rows.push(vec![k.to_string(), f2(ratio), f2(dense), format!("{secs:.3}")]);
+    }
+    print_table(&header, &rows);
+
+    // --- TH_r: radial threshold (paper default 2 m) ---------------------
+    println!("\nTH_r (radial threshold, metres; paper default 2.0):");
+    let header: Vec<String> =
+        ["TH_r", "ratio"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for th_r in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
+        cfg.th_r = th_r;
+        let (ratio, _, _) = run(cfg, &cloud);
+        rows.push(vec![format!("{th_r}"), f2(ratio)]);
+    }
+    print_table(&header, &rows);
+
+    // --- groups (paper default 3) ---------------------------------------
+    println!("\nradial groups (paper default 3):");
+    let header: Vec<String> =
+        ["groups", "ratio"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for groups in [1usize, 2, 3, 4, 6, 10] {
+        let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
+        cfg.groups = groups;
+        let (ratio, _, _) = run(cfg, &cloud);
+        rows.push(vec![groups.to_string(), f2(ratio)]);
+    }
+    print_table(&header, &rows);
+
+    // --- minimum polyline length ----------------------------------------
+    println!("\nminimum polyline length (points below become outliers):");
+    let header: Vec<String> =
+        ["min len", "ratio", "outliers %"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    for min_len in [1usize, 2, 3, 5, 10, 20] {
+        let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
+        cfg.min_polyline_len = min_len;
+        let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
+        rows.push(vec![
+            min_len.to_string(),
+            f2(frame.compression_ratio()),
+            f2(100.0 * frame.stats.outlier_fraction()),
+        ]);
+    }
+    print_table(&header, &rows);
+}

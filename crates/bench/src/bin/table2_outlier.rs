@@ -1,0 +1,40 @@
+//! Table 2: outlier-compression alternatives (quadtree+Δz vs octree vs
+//! uncompressed) across the four KITTI scenes at q = 2 cm.
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin table2_outlier
+//! ```
+
+use dbgc::{Dbgc, DbgcConfig, OutlierMode};
+use dbgc_bench::{f2, print_table, scene_frame, Q_TYPICAL};
+use dbgc_lidar_sim::ScenePreset;
+
+fn main() {
+    println!("Table 2 — outlier compression schemes, q = {Q_TYPICAL} m\n");
+    let modes = [
+        ("Outlier (quadtree)", OutlierMode::Quadtree),
+        ("Octree", OutlierMode::Octree),
+        ("None", OutlierMode::None),
+    ];
+    let mut header = vec!["scheme".to_string()];
+    header.extend(ScenePreset::kitti().iter().map(|p| p.name().to_string()));
+    let mut rows = Vec::new();
+    let clouds: Vec<_> = ScenePreset::kitti().iter().map(|&p| scene_frame(p)).collect();
+    for (name, mode) in modes {
+        let mut row = vec![name.to_string()];
+        for cloud in &clouds {
+            let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
+            cfg.outlier_mode = mode;
+            let frame = Dbgc::new(cfg).compress(cloud).expect("compress");
+            row.push(f2(frame.compression_ratio()));
+        }
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+    println!(
+        "\nExpected shape (paper Table 2): quadtree slightly above octree; \
+         both clearly above None. The gap to None is small here because the \
+         simulated scenes yield ~1-2% outliers (paper: 1.2%), so outlier \
+         handling moves the total by a few percent."
+    );
+}

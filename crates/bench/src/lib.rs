@@ -1,0 +1,197 @@
+//! Shared infrastructure for the DBGC experiment harness.
+//!
+//! Every table and figure of the paper's evaluation (§4) has a dedicated
+//! binary under `src/bin/`; this library provides the pieces they share:
+//! workload generation, a uniform interface over the five competing coders,
+//! simple table printing, and process-memory introspection.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use dbgc::Dbgc;
+use dbgc_geom::PointCloud;
+use dbgc_lidar_sim::{frame, ScenePreset};
+
+/// Error bounds swept in Fig. 9/11/12, in metres (0.06 cm – 2 cm).
+pub const ERROR_BOUNDS: [f64; 6] = [0.0006, 0.001, 0.0025, 0.005, 0.01, 0.02];
+
+/// The paper's typical LiDAR accuracy bound: 2 cm.
+pub const Q_TYPICAL: f64 = 0.02;
+
+/// Default workload seed; experiments average over a few frames of a drive.
+pub const SEED: u64 = 1;
+
+/// Generate the evaluation frames for a scene (a short drive).
+pub fn scene_frames(preset: ScenePreset, n: u32) -> Vec<PointCloud> {
+    (0..n).map(|k| frame(preset, SEED, k)).collect()
+}
+
+/// One frame of a scene (most sweeps use a single representative frame).
+pub fn scene_frame(preset: ScenePreset) -> PointCloud {
+    frame(preset, SEED, 0)
+}
+
+/// The five coders of Fig. 9/12, behind one interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Coder {
+    /// The paper's system (this repo's `dbgc` crate).
+    Dbgc,
+    /// Baseline occupancy-code octree coder \[7\].
+    Octree,
+    /// Parent-occupancy-context octree variant \[21\].
+    OctreeI,
+    /// Draco-style kd-tree coder \[23\].
+    Draco,
+    /// Simplified G-PCC (TMC13-like) coder \[33\].
+    Gpcc,
+}
+
+impl Coder {
+    /// All five coders, in the paper's column order.
+    pub fn all() -> [Coder; 5] {
+        [Coder::Dbgc, Coder::Octree, Coder::OctreeI, Coder::Draco, Coder::Gpcc]
+    }
+
+    /// Display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Coder::Dbgc => "DBGC",
+            Coder::Octree => "Octree",
+            Coder::OctreeI => "Octree_i",
+            Coder::Draco => "Draco",
+            Coder::Gpcc => "G-PCC",
+        }
+    }
+
+    /// Compress `cloud` at error bound `q`; returns the bitstream.
+    pub fn encode(self, cloud: &PointCloud, q: f64) -> Vec<u8> {
+        match self {
+            Coder::Dbgc => Dbgc::with_error_bound(q)
+                .compress(cloud)
+                .expect("finite cloud, valid config")
+                .bytes,
+            Coder::Octree => {
+                dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), q).bytes
+            }
+            Coder::OctreeI => {
+                dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), q).bytes
+            }
+            Coder::Draco => dbgc_kdtree::KdTreeCodec.encode(cloud.points(), q).bytes,
+            Coder::Gpcc => dbgc_gpcc::GpccCodec.encode(cloud.points(), q).bytes,
+        }
+    }
+
+    /// Decompress a stream this coder produced; returns the point count.
+    pub fn decode(self, bytes: &[u8]) -> usize {
+        match self {
+            Coder::Dbgc => dbgc::decompress(bytes).expect("own stream").0.len(),
+            Coder::Octree => {
+                dbgc_octree::OctreeCodec::baseline().decode(bytes).expect("own stream").points.len()
+            }
+            Coder::OctreeI => dbgc_octree::OctreeCodec::parent_context()
+                .decode(bytes)
+                .expect("own stream")
+                .points
+                .len(),
+            Coder::Draco => dbgc_kdtree::KdTreeCodec.decode(bytes).expect("own stream").points.len(),
+            Coder::Gpcc => dbgc_gpcc::GpccCodec.decode(bytes).expect("own stream").points.len(),
+        }
+    }
+}
+
+/// Compression ratio of a stream against a cloud's raw size.
+pub fn ratio(cloud: &PointCloud, compressed_len: usize) -> f64 {
+    cloud.raw_size_bytes() as f64 / compressed_len as f64
+}
+
+/// Time a closure, returning `(result, elapsed)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Average ratio of one coder over several frames.
+pub fn mean_ratio(coder: Coder, frames: &[PointCloud], q: f64) -> f64 {
+    let mut sum = 0.0;
+    for cloud in frames {
+        sum += ratio(cloud, coder.encode(cloud, q).len());
+    }
+    sum / frames.len() as f64
+}
+
+/// Peak resident set size (`VmHWM`) of this process in bytes, from
+/// `/proc/self/status` — the paper's §4.4 memory metric.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Render a table: header row + data rows, columns padded to fit.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (c, h) in header.iter().enumerate() {
+        width[c] = h.len();
+    }
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let print_row = |row: &[String]| {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{:>w$}", cell, w = width[c]))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(header);
+    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Convenience: format a float with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coders_roundtrip_point_counts() {
+        // A small cloud keeps this fast; full-size runs live in the binaries.
+        let cloud: PointCloud = (0..2000)
+            .map(|i| {
+                let th = i as f64 / 2000.0 * std::f64::consts::TAU;
+                dbgc_geom::Point3::new(15.0 * th.cos(), 15.0 * th.sin(), -1.7)
+            })
+            .collect();
+        for coder in Coder::all() {
+            let bytes = coder.encode(&cloud, 0.02);
+            assert_eq!(coder.decode(&bytes), cloud.len(), "{}", coder.name());
+        }
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            assert!(peak_rss_bytes().unwrap() > 1 << 20);
+        }
+    }
+
+    #[test]
+    fn ratio_math() {
+        let cloud: PointCloud =
+            (0..100).map(|i| dbgc_geom::Point3::new(i as f64, 0.0, 0.0)).collect();
+        assert!((ratio(&cloud, 120) - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+//! Hand-rolled argument parsing (the workspace carries no CLI dependency).
+
+use std::fmt;
+use std::path::PathBuf;
+
+use dbgc::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
+use dbgc_lidar_sim::ScenePreset;
+
+/// Usage text shown on parse failures and `--help`.
+pub const USAGE: &str = "\
+dbgc-cli — density-based geometry compression for LiDAR point clouds
+
+USAGE:
+    dbgc-cli compress   <in.{bin,ply,pcd}> <out.dbgc> [compression options]
+    dbgc-cli decompress <in.dbgc> <out.{bin,ply,pcd}>
+    dbgc-cli info       <in.dbgc>
+    dbgc-cli roundtrip  <in.{bin,ply,pcd}> [compression options]
+    dbgc-cli convert    <in.{bin,ply,pcd}> <out.{bin,ply,pcd}>
+    dbgc-cli simulate   <scene> <out.{bin,ply,pcd}> [--seed N] [--frame K]
+
+Point-cloud formats are chosen by file extension: KITTI .bin, PLY .ply
+(binary little-endian), PCD .pcd (binary).
+
+COMPRESSION OPTIONS:
+    --error-bound <metres>   per-axis error bound q_xyz (default 0.02)
+    --groups <n>             radial groups for sparse points (default 3)
+    --clustering <alg>       approx | cell | dbscan (default approx)
+    --outliers <mode>        quadtree | octree | none (default quadtree)
+    --no-radial              disable radial-optimized delta encoding
+    --no-conversion          compress sparse channels in Cartesian space
+
+SCENES:
+    kitti-campus kitti-city kitti-residential kitti-road apollo-urban ford-campus";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `compress <in> <out.dbgc>`: point-cloud file → DBGC stream.
+    Compress {
+        /// Input point-cloud file (.bin/.ply/.pcd).
+        input: PathBuf,
+        /// Output .dbgc stream path.
+        output: PathBuf,
+        /// Compression configuration assembled from the flags.
+        config: DbgcConfig,
+    },
+    /// `decompress <in.dbgc> <out>`: DBGC stream → point-cloud file.
+    Decompress {
+        /// Input .dbgc stream path.
+        input: PathBuf,
+        /// Output point-cloud file (.bin/.ply/.pcd).
+        output: PathBuf,
+    },
+    /// `info <in.dbgc>`: header and section breakdown, no decoding.
+    Info {
+        /// The .dbgc stream to inspect.
+        input: PathBuf,
+    },
+    /// `roundtrip <in>`: compress + decompress + verify in memory.
+    Roundtrip {
+        /// Input point-cloud file (.bin/.ply/.pcd).
+        input: PathBuf,
+        /// Compression configuration assembled from the flags.
+        config: DbgcConfig,
+    },
+    /// `convert <in> <out>`: translate between .bin/.ply/.pcd.
+    Convert {
+        /// Source point-cloud file.
+        input: PathBuf,
+        /// Destination point-cloud file (format from extension).
+        output: PathBuf,
+    },
+    /// `simulate <scene> <out>`: generate a synthetic frame.
+    Simulate {
+        /// Scene preset to ray-cast.
+        scene: ScenePreset,
+        /// Output point-cloud file.
+        output: PathBuf,
+        /// Layout/noise seed.
+        seed: u64,
+        /// Frame index along the simulated drive.
+        frame: u32,
+    },
+    /// `--help`: print usage.
+    Help,
+}
+
+/// Why parsing failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No command word was given.
+    MissingCommand,
+    /// The command word is not one of the known commands.
+    UnknownCommand(String),
+    /// A required positional argument or flag value is absent.
+    MissingArgument(&'static str),
+    /// A flag that no command recognizes.
+    UnknownFlag(String),
+    /// A flag value failed to parse or is out of range.
+    BadValue {
+        /// The flag or positional slot that failed.
+        flag: &'static str,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "no command given"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command '{c}'"),
+            ParseError::MissingArgument(what) => write!(f, "missing argument: {what}"),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag '{flag}'"),
+            ParseError::BadValue { flag, value } => {
+                write!(f, "invalid value '{value}' for {flag}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_scene(name: &str) -> Option<ScenePreset> {
+    ScenePreset::all().into_iter().find(|p| p.name() == name)
+}
+
+/// Parse the compression-option flags shared by `compress` and `roundtrip`.
+fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
+    let mut config = DbgcConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--error-bound" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--error-bound"))?;
+                config.q_xyz = v.parse::<f64>().ok().filter(|q| *q > 0.0).ok_or(
+                    ParseError::BadValue { flag: "--error-bound", value: v.clone() },
+                )?;
+                i += 2;
+            }
+            "--groups" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--groups"))?;
+                config.groups = v.parse::<usize>().ok().filter(|g| *g >= 1).ok_or(
+                    ParseError::BadValue { flag: "--groups", value: v.clone() },
+                )?;
+                i += 2;
+            }
+            "--clustering" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--clustering"))?;
+                let alg = match v.as_str() {
+                    "approx" => ClusteringAlgorithm::Approximate,
+                    "cell" => ClusteringAlgorithm::CellBased,
+                    "dbscan" => ClusteringAlgorithm::Dbscan,
+                    _ => {
+                        return Err(ParseError::BadValue {
+                            flag: "--clustering",
+                            value: v.clone(),
+                        })
+                    }
+                };
+                config.split = SplitStrategy::Density(alg);
+                i += 2;
+            }
+            "--outliers" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--outliers"))?;
+                config.outlier_mode = match v.as_str() {
+                    "quadtree" => OutlierMode::Quadtree,
+                    "octree" => OutlierMode::Octree,
+                    "none" => OutlierMode::None,
+                    _ => {
+                        return Err(ParseError::BadValue {
+                            flag: "--outliers",
+                            value: v.clone(),
+                        })
+                    }
+                };
+                i += 2;
+            }
+            "--no-radial" => {
+                config.radial_optimized = false;
+                i += 1;
+            }
+            "--no-conversion" => {
+                config.spherical_conversion = false;
+                config.radial_optimized = false;
+                i += 1;
+            }
+            other => return Err(ParseError::UnknownFlag(other.to_string())),
+        }
+    }
+    Ok(config)
+}
+
+/// Parse an argument vector (without `argv\[0\]`).
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let Some(command) = args.first() else {
+        return Err(ParseError::MissingCommand);
+    };
+    match command.as_str() {
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        "compress" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in.bin>"))?;
+            let output = args.get(2).ok_or(ParseError::MissingArgument("<out.dbgc>"))?;
+            Ok(Command::Compress {
+                input: input.into(),
+                output: output.into(),
+                config: parse_config(&args[3..])?,
+            })
+        }
+        "decompress" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in.dbgc>"))?;
+            let output = args.get(2).ok_or(ParseError::MissingArgument("<out.bin>"))?;
+            Ok(Command::Decompress { input: input.into(), output: output.into() })
+        }
+        "info" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in.dbgc>"))?;
+            Ok(Command::Info { input: input.into() })
+        }
+        "roundtrip" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in.bin>"))?;
+            Ok(Command::Roundtrip { input: input.into(), config: parse_config(&args[2..])? })
+        }
+        "convert" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in>"))?;
+            let output = args.get(2).ok_or(ParseError::MissingArgument("<out>"))?;
+            Ok(Command::Convert { input: input.into(), output: output.into() })
+        }
+        "simulate" => {
+            let scene_name = args.get(1).ok_or(ParseError::MissingArgument("<scene>"))?;
+            let scene = parse_scene(scene_name).ok_or(ParseError::BadValue {
+                flag: "<scene>",
+                value: scene_name.clone(),
+            })?;
+            let output = args.get(2).ok_or(ParseError::MissingArgument("<out.bin>"))?;
+            let mut seed = 1u64;
+            let mut frame = 0u32;
+            let mut i = 3;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--seed"))?;
+                        seed = v.parse().map_err(|_| ParseError::BadValue {
+                            flag: "--seed",
+                            value: v.clone(),
+                        })?;
+                        i += 2;
+                    }
+                    "--frame" => {
+                        let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--frame"))?;
+                        frame = v.parse().map_err(|_| ParseError::BadValue {
+                            flag: "--frame",
+                            value: v.clone(),
+                        })?;
+                        i += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_string())),
+                }
+            }
+            Ok(Command::Simulate { scene, output: output.into(), seed, frame })
+        }
+        other => Err(ParseError::UnknownCommand(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parse_compress_defaults() {
+        let cmd = parse(&argv("compress in.bin out.dbgc")).unwrap();
+        let Command::Compress { input, output, config } = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(input, PathBuf::from("in.bin"));
+        assert_eq!(output, PathBuf::from("out.dbgc"));
+        assert_eq!(config, DbgcConfig::default());
+    }
+
+    #[test]
+    fn parse_compress_with_options() {
+        let cmd = parse(&argv(
+            "compress a b --error-bound 0.005 --groups 2 --clustering cell \
+             --outliers octree --no-radial",
+        ))
+        .unwrap();
+        let Command::Compress { config, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(config.q_xyz, 0.005);
+        assert_eq!(config.groups, 2);
+        assert_eq!(config.split, SplitStrategy::Density(ClusteringAlgorithm::CellBased));
+        assert_eq!(config.outlier_mode, OutlierMode::Octree);
+        assert!(!config.radial_optimized);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn no_conversion_also_disables_radial() {
+        let cmd = parse(&argv("roundtrip a --no-conversion")).unwrap();
+        let Command::Roundtrip { config, .. } = cmd else { panic!("wrong command") };
+        assert!(!config.spherical_conversion && !config.radial_optimized);
+        config.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_simulate() {
+        let cmd = parse(&argv("simulate kitti-city out.bin --seed 9 --frame 3")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                scene: ScenePreset::KittiCity,
+                output: "out.bin".into(),
+                seed: 9,
+                frame: 3
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(&[]), Err(ParseError::MissingCommand));
+        assert_eq!(
+            parse(&argv("squash a b")),
+            Err(ParseError::UnknownCommand("squash".into()))
+        );
+        assert_eq!(
+            parse(&argv("compress only-one")),
+            Err(ParseError::MissingArgument("<out.dbgc>"))
+        );
+        assert!(matches!(
+            parse(&argv("compress a b --error-bound zero")),
+            Err(ParseError::BadValue { flag: "--error-bound", .. })
+        ));
+        assert!(matches!(
+            parse(&argv("compress a b --error-bound -1")),
+            Err(ParseError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse(&argv("simulate mars out.bin")),
+            Err(ParseError::BadValue { flag: "<scene>", .. })
+        ));
+        assert!(matches!(
+            parse(&argv("compress a b --frobnicate")),
+            Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parse_convert() {
+        let cmd = parse(&argv("convert a.bin b.ply")).unwrap();
+        assert_eq!(cmd, Command::Convert { input: "a.bin".into(), output: "b.ply".into() });
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["--help", "-h", "help"] {
+            assert_eq!(parse(&argv(h)).unwrap(), Command::Help);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Implementation of the `dbgc-cli` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin shell around [`run`]; keeping the
+//! logic in a library makes every command, and the argument parser itself,
+//! unit-testable without spawning processes.
+//!
+//! Commands:
+//!
+//! * `compress <in.bin> <out.dbgc> [options]` — KITTI `.bin` → DBGC stream;
+//! * `decompress <in.dbgc> <out.bin>` — DBGC stream → KITTI `.bin`;
+//! * `info <in.dbgc>` — header and section breakdown, no decoding;
+//! * `roundtrip <in.bin> [options]` — compress + decompress + verify in
+//!   memory, reporting ratio and measured error;
+//! * `simulate <scene> <out.bin> [--seed N] [--frame K]` — generate a
+//!   synthetic frame for experimentation.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+use std::fmt;
+
+pub use args::{parse, Command, ParseError};
+
+/// CLI failure: bad usage or a failing command.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing failed; usage is appended to the message.
+    Usage(ParseError),
+    /// Reading or writing a file or stream failed.
+    Io(std::io::Error),
+    /// Compression or decompression failed.
+    Dbgc(dbgc::DbgcError),
+    /// Invalid configuration or input content.
+    Invalid(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}\n\n{}", args::USAGE),
+            CliError::Io(e) => write!(f, "I/O error: {e}"),
+            CliError::Dbgc(e) => write!(f, "{e}"),
+            CliError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<dbgc::DbgcError> for CliError {
+    fn from(e: dbgc::DbgcError) -> Self {
+        CliError::Dbgc(e)
+    }
+}
+
+/// Parse arguments (excluding `argv\[0\]`) and run the selected command,
+/// writing human-readable output to `out`.
+pub fn run(argv: &[String], out: &mut impl std::io::Write) -> Result<(), CliError> {
+    let command = parse(argv).map_err(CliError::Usage)?;
+    commands::execute(command, out)
+}

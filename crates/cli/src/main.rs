@@ -1,0 +1,14 @@
+//! `dbgc-cli`: the standalone DBGC compression tool (the paper's "standalone
+//! compression tool" deployment, §3.1).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = dbgc_cli::run(&args, &mut stdout) {
+        eprintln!("error: {e}");
+        std::process::exit(match e {
+            dbgc_cli::CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,75 @@
+//! Smoke tests for the actual `dbgc-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dbgc-cli")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("dbgc_cli_bin_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = Command::new(bin()).arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = Command::new(bin()).arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = Command::new(bin())
+        .args(["info", "/nonexistent/never.dbgc"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn full_flow_through_the_binary() {
+    let bin_path = tmp("bflow.bin");
+    let dbgc_path = tmp("bflow.dbgc");
+    let restored = tmp("bflow.out.ply");
+
+    // Write a small .bin via the library (the simulate command would produce
+    // a full-size frame, which is slow under the default test profile).
+    let cloud: dbgc_geom::PointCloud = (0..2000)
+        .map(|i| {
+            let th = i as f64 / 2000.0 * std::f64::consts::TAU;
+            dbgc_geom::Point3::new(30.0 * th.cos(), 30.0 * th.sin(), -1.7)
+        })
+        .collect();
+    dbgc_lidar_sim::kitti::write_bin(&bin_path, &cloud).unwrap();
+
+    let out = Command::new(bin())
+        .args(["compress", bin_path.to_str().unwrap(), dbgc_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("2000 points"));
+
+    let out = Command::new(bin())
+        .args(["info", dbgc_path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = Command::new(bin())
+        .args(["decompress", dbgc_path.to_str().unwrap(), restored.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let back = dbgc_lidar_sim::ply::read_ply(&restored).unwrap();
+    assert_eq!(back.len(), 2000);
+}

@@ -1,0 +1,196 @@
+//! Uniform grid index over a point cloud, with cell side = ε.
+//!
+//! With cell side ε, all neighbours within ε of a point lie in the 3×3×3
+//! block of cells around the point's own cell, so range queries touch at most
+//! 27 cells.
+
+use std::collections::HashMap;
+
+use dbgc_geom::Point3;
+
+/// Integer cell coordinates.
+pub type Cell = (i64, i64, i64);
+
+/// A hash-grid over points with fixed cell side.
+#[derive(Debug, Clone)]
+pub struct UniformGrid<'a> {
+    points: &'a [Point3],
+    cell_side: f64,
+    cells: HashMap<Cell, Vec<u32>>,
+}
+
+impl<'a> UniformGrid<'a> {
+    /// Index `points` with the given cell side (`> 0`).
+    pub fn build(points: &'a [Point3], cell_side: f64) -> Self {
+        assert!(cell_side > 0.0, "cell side must be positive");
+        let mut cells: HashMap<Cell, Vec<u32>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            cells.entry(Self::cell_for(p, cell_side)).or_default().push(i as u32);
+        }
+        UniformGrid { points, cell_side, cells }
+    }
+
+    #[inline]
+    fn cell_for(p: Point3, side: f64) -> Cell {
+        (
+            (p.x / side).floor() as i64,
+            (p.y / side).floor() as i64,
+            (p.z / side).floor() as i64,
+        )
+    }
+
+    /// Cell of point index `i`.
+    #[inline]
+    pub fn cell_of(&self, i: usize) -> Cell {
+        Self::cell_for(self.points[i], self.cell_side)
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterate over `(cell, point indices)` pairs.
+    pub fn iter_cells(&self) -> impl Iterator<Item = (&Cell, &Vec<u32>)> {
+        self.cells.iter()
+    }
+
+    /// Points in a specific cell (empty slice if none).
+    pub fn points_in_cell(&self, cell: Cell) -> &[u32] {
+        self.cells.get(&cell).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of points in `cell`.
+    pub fn count_in_cell(&self, cell: Cell) -> usize {
+        self.cells.get(&cell).map_or(0, Vec::len)
+    }
+
+    /// Indices of all points within `radius` of point `i` (excluding `i`
+    /// itself). `radius` must be `<= cell_side` for the 27-cell scan to be
+    /// exhaustive.
+    pub fn neighbors_within(&self, i: usize, radius: f64, out: &mut Vec<u32>) {
+        debug_assert!(radius <= self.cell_side * (1.0 + 1e-9));
+        out.clear();
+        let p = self.points[i];
+        let (cx, cy, cz) = self.cell_of(i);
+        let r2 = radius * radius;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(idxs) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        for &j in idxs {
+                            if j as usize != i && p.dist2(self.points[j as usize]) <= r2 {
+                                out.push(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Count of points within `radius` of point `i`, including `i` itself
+    /// (the DBSCAN `|N_ε(p)|` convention).
+    pub fn count_within(&self, i: usize, radius: f64) -> usize {
+        let p = self.points[i];
+        let (cx, cy, cz) = self.cell_of(i);
+        let r2 = radius * radius;
+        let mut count = 0usize;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    if let Some(idxs) = self.cells.get(&(cx + dx, cy + dy, cz + dz)) {
+                        count += idxs
+                            .iter()
+                            .filter(|&&j| p.dist2(self.points[j as usize]) <= r2)
+                            .count();
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Point3> {
+        vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(0.05, 0.0, 0.0),
+            Point3::new(0.0, 0.09, 0.0),
+            Point3::new(1.0, 1.0, 1.0),
+            Point3::new(-0.09, 0.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn neighbors_within_radius() {
+        let pts = grid_points();
+        let grid = UniformGrid::build(&pts, 0.1);
+        let mut out = Vec::new();
+        grid.neighbors_within(0, 0.1, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn count_includes_self() {
+        let pts = grid_points();
+        let grid = UniformGrid::build(&pts, 0.1);
+        assert_eq!(grid.count_within(0, 0.1), 4);
+        assert_eq!(grid.count_within(3, 0.1), 1); // isolated point
+    }
+
+    #[test]
+    fn neighbors_across_cell_borders() {
+        // Points in adjacent cells but within radius.
+        let pts = vec![Point3::new(0.099, 0.0, 0.0), Point3::new(0.101, 0.0, 0.0)];
+        let grid = UniformGrid::build(&pts, 0.1);
+        let mut out = Vec::new();
+        grid.neighbors_within(0, 0.1, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let pts = vec![Point3::new(-0.05, -0.05, -0.05), Point3::new(0.01, 0.01, 0.01)];
+        let grid = UniformGrid::build(&pts, 0.1);
+        let mut out = Vec::new();
+        grid.neighbors_within(0, 0.2_f64.min(0.1), &mut out);
+        // dist ≈ 0.104 > 0.1: not a neighbour at radius 0.1.
+        assert!(out.is_empty());
+        assert_eq!(grid.cell_of(0), (-1, -1, -1));
+    }
+
+    #[test]
+    fn exhaustive_against_brute_force() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let pts: Vec<Point3> = (0..500)
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                )
+            })
+            .collect();
+        let radius = 0.15;
+        let grid = UniformGrid::build(&pts, radius);
+        let mut out = Vec::new();
+        for i in 0..pts.len() {
+            grid.neighbors_within(i, radius, &mut out);
+            let mut got: Vec<u32> = out.clone();
+            got.sort_unstable();
+            let mut expected: Vec<u32> = (0..pts.len() as u32)
+                .filter(|&j| j as usize != i && pts[i].dist(pts[j as usize]) <= radius)
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(got, expected, "mismatch at point {i}");
+            assert_eq!(grid.count_within(i, radius), expected.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Clustering parameters derived from the compression error bound (§3.2).
+
+use std::f64::consts::PI;
+
+/// DBSCAN-style parameters tied to the octree error bound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterParams {
+    /// Neighbourhood radius ε.
+    pub eps: f64,
+    /// Minimum neighbourhood size (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl ClusterParams {
+    /// The paper's derivation: `ε = k·q`, `minPts = ⌈π k³ / 6⌉` — the number
+    /// of octree leaf cells of side `2q` that fit in the ε-sphere.
+    pub fn from_error_bound(q_xyz: f64, k: u32) -> ClusterParams {
+        assert!(q_xyz > 0.0, "error bound must be positive");
+        assert!(k >= 2, "k must be at least 2 so ε covers adjacent leaf cells");
+        let k = k as f64;
+        let eps = k * q_xyz;
+        let min_pts = (PI * k * k * k / 6.0).ceil() as usize;
+        ClusterParams { eps, min_pts }
+    }
+
+    /// The paper's default `k = 10`.
+    pub fn paper_default(q_xyz: f64) -> ClusterParams {
+        ClusterParams::from_error_bound(q_xyz, 10)
+    }
+
+    /// Surface-calibrated `minPts`: `⌈π k² / 12⌉`.
+    ///
+    /// The paper's volume derivation (`⌈πk³/6⌉ = 524` at `k = 10`) assumes
+    /// the ε-ball around a core point is *filled* with occupied leaf cells,
+    /// but LiDAR returns lie on 2D surfaces: a planar patch through the
+    /// ε-ball covers only `~πε²/(2q)² = πk²/4` leaf cells, the scan grid is
+    /// 2-4× denser azimuthally than vertically, and dropout/occlusion thin
+    /// the patch further — so only a third or so of those cells hold a
+    /// point. `minPts = ⌈πk²/12⌉` (= 27 at `k = 10`) maximizes the end-to-end
+    /// compression ratio on the simulated scenes and yields the dense/sparse
+    /// regime the paper reports; with the literal 524 *nothing* qualifies at
+    /// KITTI resolutions (see DESIGN.md).
+    pub fn surface_default(q_xyz: f64, k: u32) -> ClusterParams {
+        let mut p = ClusterParams::from_error_bound(q_xyz, k);
+        let kf = k as f64;
+        p.min_pts = (PI * kf * kf / 12.0).ceil() as usize;
+        p
+    }
+
+    /// Explicit parameters (for experiments that sweep them).
+    pub fn new(eps: f64, min_pts: usize) -> ClusterParams {
+        assert!(eps > 0.0 && min_pts >= 1);
+        ClusterParams { eps, min_pts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = ClusterParams::paper_default(0.02);
+        assert!((p.eps - 0.2).abs() < 1e-12);
+        // π·1000/6 ≈ 523.6 → 524.
+        assert_eq!(p.min_pts, 524);
+    }
+
+    #[test]
+    fn surface_default_values() {
+        let p = ClusterParams::surface_default(0.02, 10);
+        assert!((p.eps - 0.2).abs() < 1e-12);
+        assert_eq!(p.min_pts, 27); // ⌈π·100/12⌉ = ⌈26.18⌉
+    }
+
+    #[test]
+    fn min_pts_scales_cubically() {
+        let p2 = ClusterParams::from_error_bound(0.02, 2);
+        let p4 = ClusterParams::from_error_bound(0.02, 4);
+        assert_eq!(p2.min_pts, 5); // ⌈π·8/6⌉ = ⌈4.19⌉
+        assert_eq!(p4.min_pts, 34); // ⌈π·64/6⌉ = ⌈33.5⌉
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_below_two_rejected() {
+        let _ = ClusterParams::from_error_bound(0.02, 1);
+    }
+}

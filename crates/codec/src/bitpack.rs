@@ -1,0 +1,198 @@
+//! Fixed-width bit-packing and frame-of-reference (FOR) encoding.
+//!
+//! The paper's related work (§2.2) surveys lightweight column-store codecs —
+//! delta, run-length, scaling, bit-packing \[18, 12, 6\]. These two are
+//! provided both as comparison points for the entropy-coding path DBGC
+//! actually uses (see the `codec_ablation` experiment) and as generally
+//! useful building blocks:
+//!
+//! * [`bitpack_encode`] — block-wise fixed-width packing: each block of 128
+//!   values is stored with the bit width of its largest zigzagged value;
+//! * [`for_encode`] — frame of reference: per block, the minimum is stored
+//!   once and offsets are bit-packed (ideal for sorted or clustered data).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::CodecError;
+use crate::varint::{write_uvarint, zigzag_decode, zigzag_encode, ByteReader};
+
+/// Values per block; small enough to adapt to local ranges, large enough to
+/// amortize the per-block width byte.
+pub const BLOCK: usize = 128;
+
+#[inline]
+fn width_of(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Bit-pack signed integers (zigzag + per-block fixed width).
+///
+/// Layout: `varint count | per block: width byte + packed values`.
+pub fn bitpack_encode(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, vals.len() as u64);
+    let mut bits = BitWriter::new();
+    for block in vals.chunks(BLOCK) {
+        let zz: Vec<u64> = block.iter().map(|&v| zigzag_encode(v)).collect();
+        let width = zz.iter().copied().map(width_of).max().unwrap_or(0);
+        bits.write_bits(width as u64, 7);
+        for v in zz {
+            bits.write_bits(v, width);
+        }
+    }
+    out.extend_from_slice(&bits.finish());
+    out
+}
+
+/// Invert [`bitpack_encode`].
+pub fn bitpack_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.read_uvarint()? as usize;
+    if n > 1 << 32 {
+        return Err(CodecError::CorruptStream("bitpack count unreasonably large"));
+    }
+    let payload = r.read_slice(r.remaining())?;
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let width = bits.read_bits(7)? as u32;
+        if width > 64 {
+            return Err(CodecError::CorruptStream("bitpack width out of range"));
+        }
+        let in_block = BLOCK.min(n - out.len());
+        for _ in 0..in_block {
+            out.push(zigzag_decode(bits.read_bits(width)?));
+        }
+    }
+    Ok(out)
+}
+
+/// Frame-of-reference encode: per block, `varint zigzag(min)` then the
+/// offsets from the minimum bit-packed at the block's required width.
+pub fn for_encode(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_uvarint(&mut out, vals.len() as u64);
+    // Per-block minima first (varint), then one packed bitstream.
+    let mut bits = BitWriter::new();
+    let mut header = Vec::new();
+    for block in vals.chunks(BLOCK) {
+        let min = block.iter().copied().min().expect("chunks are non-empty");
+        crate::varint::write_ivarint(&mut header, min);
+        // Wrapping subtraction is exact here: the true offset is < 2^64 and
+        // two's-complement wrap-around reproduces it bit-for-bit.
+        let offsets: Vec<u64> = block.iter().map(|&v| v.wrapping_sub(min) as u64).collect();
+        let width = offsets.iter().copied().map(width_of).max().unwrap_or(0);
+        bits.write_bits(width as u64, 7);
+        for v in offsets {
+            bits.write_bits(v, width);
+        }
+    }
+    write_uvarint(&mut out, header.len() as u64);
+    out.extend_from_slice(&header);
+    out.extend_from_slice(&bits.finish());
+    out
+}
+
+/// Invert [`for_encode`].
+pub fn for_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.read_uvarint()? as usize;
+    if n > 1 << 32 {
+        return Err(CodecError::CorruptStream("FOR count unreasonably large"));
+    }
+    let header_len = r.read_uvarint()? as usize;
+    let header = r.read_slice(header_len)?;
+    let mut hr = ByteReader::new(header);
+    let payload = r.read_slice(r.remaining())?;
+    let mut bits = BitReader::new(payload);
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let min = hr.read_ivarint()?;
+        let width = bits.read_bits(7)? as u32;
+        if width > 64 {
+            return Err(CodecError::CorruptStream("FOR width out of range"));
+        }
+        let in_block = BLOCK.min(n - out.len());
+        for _ in 0..in_block {
+            let off = bits.read_bits(width)?;
+            out.push(min.wrapping_add(off as i64));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bitpack_roundtrip_small_values() {
+        let vals: Vec<i64> = (0..1000).map(|i| (i % 13) - 6).collect();
+        let enc = bitpack_encode(&vals);
+        assert_eq!(bitpack_decode(&enc).unwrap(), vals);
+        // 13 values → zigzag ≤ 12 → 4 bits each plus headers.
+        assert!(enc.len() < 1000, "got {} bytes", enc.len());
+    }
+
+    #[test]
+    fn for_exploits_clustered_ranges() {
+        // Values clustered around a huge base: FOR strips the base per block.
+        let vals: Vec<i64> = (0..1024).map(|i| 5_000_000_000 + (i % 7)).collect();
+        let f = for_encode(&vals);
+        let bp = bitpack_encode(&vals);
+        assert_eq!(for_decode(&f).unwrap(), vals);
+        assert!(
+            f.len() * 4 < bp.len(),
+            "FOR {} should be far below plain bitpack {}",
+            f.len(),
+            bp.len()
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        for vals in [vec![], vec![42i64], vec![i64::MIN], vec![i64::MAX]] {
+            assert_eq!(bitpack_decode(&bitpack_encode(&vals)).unwrap(), vals);
+            assert_eq!(for_decode(&for_encode(&vals)).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn block_boundary_sizes() {
+        for n in [BLOCK - 1, BLOCK, BLOCK + 1, 3 * BLOCK] {
+            let vals: Vec<i64> = (0..n as i64).collect();
+            assert_eq!(bitpack_decode(&bitpack_encode(&vals)).unwrap(), vals);
+            assert_eq!(for_decode(&for_encode(&vals)).unwrap(), vals);
+        }
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let vals: Vec<i64> = (0..500).collect();
+        let enc = bitpack_encode(&vals);
+        assert!(bitpack_decode(&enc[..enc.len() / 2]).is_err());
+        let enc = for_encode(&vals);
+        assert!(for_decode(&enc[..enc.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn width_zero_blocks() {
+        // All-zero input packs to width 0: headers only.
+        let vals = vec![0i64; 10_000];
+        let enc = bitpack_encode(&vals);
+        assert!(enc.len() < 100, "got {} bytes", enc.len());
+        assert_eq!(bitpack_decode(&enc).unwrap(), vals);
+    }
+
+    proptest! {
+        #[test]
+        fn bitpack_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..700)) {
+            prop_assert_eq!(bitpack_decode(&bitpack_encode(&vals)).unwrap(), vals);
+        }
+
+        #[test]
+        fn for_roundtrip(vals in proptest::collection::vec(any::<i64>(), 0..700)) {
+            prop_assert_eq!(for_decode(&for_encode(&vals)).unwrap(), vals);
+        }
+    }
+}

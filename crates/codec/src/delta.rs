@@ -1,0 +1,76 @@
+//! Delta encoding (paper Definition 2.3).
+//!
+//! Given `L = (v₁, …, vₙ)`, delta coding produces `ΔL = (v₁, Δv₂, …, Δvₙ)`
+//! with `Δvₘ = vₘ − vₘ₋₁`. The first element is carried unchanged so the
+//! transform is invertible without side information.
+
+/// Delta-encode `values` into a new vector (first element unchanged).
+pub fn delta_encode(values: &[i64]) -> Vec<i64> {
+    let mut out = values.to_vec();
+    delta_encode_in_place(&mut out);
+    out
+}
+
+/// Delta-encode in place. Uses wrapping arithmetic so any `i64` input is
+/// representable; the decoder wraps symmetrically.
+pub fn delta_encode_in_place(values: &mut [i64]) {
+    for i in (1..values.len()).rev() {
+        values[i] = values[i].wrapping_sub(values[i - 1]);
+    }
+}
+
+/// Invert [`delta_encode`].
+pub fn delta_decode(deltas: &[i64]) -> Vec<i64> {
+    let mut out = deltas.to_vec();
+    delta_decode_in_place(&mut out);
+    out
+}
+
+/// Invert [`delta_encode_in_place`].
+pub fn delta_decode_in_place(deltas: &mut [i64]) {
+    for i in 1..deltas.len() {
+        deltas[i] = deltas[i].wrapping_add(deltas[i - 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn simple_sequence() {
+        let v = [10i64, 12, 12, 9, 20];
+        assert_eq!(delta_encode(&v), vec![10, 2, 0, -3, 11]);
+        assert_eq!(delta_decode(&delta_encode(&v)), v);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(delta_encode(&[]), Vec::<i64>::new());
+        assert_eq!(delta_encode(&[42]), vec![42]);
+        assert_eq!(delta_decode(&[42]), vec![42]);
+    }
+
+    #[test]
+    fn extremes_wrap_correctly() {
+        let v = [i64::MIN, i64::MAX, 0, i64::MIN];
+        assert_eq!(delta_decode(&delta_encode(&v)), v);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(v in proptest::collection::vec(any::<i64>(), 0..200)) {
+            prop_assert_eq!(delta_decode(&delta_encode(&v)), v);
+        }
+
+        #[test]
+        fn monotone_input_gives_nonnegative_deltas(
+            mut v in proptest::collection::vec(0i64..1_000_000, 1..100)
+        ) {
+            v.sort_unstable();
+            let d = delta_encode(&v);
+            prop_assert!(d[1..].iter().all(|&x| x >= 0));
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Shannon entropy of a symbol sequence (paper §2.1).
+//!
+//! `H(L) = −Σ P(vᵢ)·log₂ P(vᵢ)` over the distinct values of `L`. Measured in
+//! bits per symbol; the theoretical lower bound for any order-0 entropy coder
+//! and the quantity DBGC's delta transforms aim to shrink.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy in bits per symbol; 0.0 for an empty sequence.
+pub fn shannon_entropy<T: Eq + Hash>(values: impl IntoIterator<Item = T>) -> f64 {
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    let mut n = 0u64;
+    for v in values {
+        *counts.entry(v).or_insert(0) += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy of a byte slice (convenience wrapper).
+pub fn byte_entropy(data: &[u8]) -> f64 {
+    shannon_entropy(data.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sequence_has_zero_entropy() {
+        assert_eq!(shannon_entropy([5i64; 100]), 0.0);
+    }
+
+    #[test]
+    fn uniform_binary_is_one_bit() {
+        let seq: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((shannon_entropy(seq) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_256_is_eight_bits() {
+        let seq: Vec<u8> = (0..=255).collect();
+        assert!((byte_entropy(&seq) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(shannon_entropy(Vec::<u8>::new()), 0.0);
+    }
+
+    #[test]
+    fn delta_lowers_entropy_of_ramp() {
+        // A linear ramp has n distinct values (max entropy); its deltas are
+        // constant (zero entropy). This is the core premise of DBGC's step 2.
+        let ramp: Vec<i64> = (0..1024).collect();
+        let h_raw = shannon_entropy(ramp.iter().copied());
+        let deltas = crate::delta::delta_encode(&ramp);
+        let h_delta = shannon_entropy(deltas[1..].iter().copied());
+        assert!(h_raw > 9.9);
+        assert_eq!(h_delta, 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type shared by all decoders in this crate.
+
+use std::fmt;
+
+/// A decoding failure. Encoders are infallible; decoders validate the input
+/// stream and report structured errors instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the decoder finished.
+    UnexpectedEof,
+    /// A varint ran past its maximum width.
+    VarintOverflow,
+    /// A Huffman table in the stream is malformed (Kraft inequality violated,
+    /// zero symbols, or over-long codes).
+    InvalidHuffmanTable,
+    /// An LZ77 back-reference points before the start of the output.
+    /// An LZ77 back-reference points before the start of the output.
+    InvalidBackReference {
+        /// The back-reference distance.
+        distance: usize,
+        /// Output bytes produced so far.
+        produced: usize,
+    },
+    /// A symbol outside the declared alphabet was decoded.
+    /// A decoded symbol lies outside the declared alphabet.
+    SymbolOutOfRange {
+        /// The decoded symbol.
+        symbol: usize,
+        /// The declared alphabet size.
+        alphabet: usize,
+    },
+    /// A declared length field is inconsistent with the payload.
+    CorruptStream(&'static str),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof => write!(f, "unexpected end of input"),
+            CodecError::VarintOverflow => write!(f, "varint exceeds 64 bits"),
+            CodecError::InvalidHuffmanTable => write!(f, "malformed Huffman table"),
+            CodecError::InvalidBackReference { distance, produced } => write!(
+                f,
+                "LZ77 back-reference distance {distance} exceeds produced output {produced}"
+            ),
+            CodecError::SymbolOutOfRange { symbol, alphabet } => {
+                write!(f, "symbol {symbol} out of range for alphabet of {alphabet}")
+            }
+            CodecError::CorruptStream(what) => write!(f, "corrupt stream: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}

@@ -1,0 +1,254 @@
+//! Self-delimiting integer-sequence codecs: the building blocks the DBGC
+//! coordinate compressor composes (paper §3.5 steps 5–8).
+//!
+//! Every codec here frames its own output (`varint count | varint raw_len |
+//! varint coded_len | payload`), so streams can be concatenated and split
+//! without external bookkeeping.
+
+use crate::delta::{delta_decode_in_place, delta_encode};
+use crate::deflate::{deflate_compress, deflate_decompress};
+use crate::error::CodecError;
+use crate::model::AdaptiveModel;
+use crate::range::{RangeDecoder, RangeEncoder};
+use crate::varint::{write_uvarint, ByteReader};
+
+/// Serialize signed integers as zigzag LEB128 bytes.
+pub fn ints_to_bytes(vals: &[i64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 2);
+    for &v in vals {
+        crate::varint::write_ivarint(&mut out, v);
+    }
+    out
+}
+
+/// Parse exactly `n` zigzag LEB128 integers from `r`.
+pub fn bytes_to_ints(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<i64>, CodecError> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.read_ivarint()?);
+    }
+    Ok(out)
+}
+
+fn write_frame(out: &mut Vec<u8>, count: usize, raw_len: usize, payload: &[u8]) {
+    write_uvarint(out, count as u64);
+    write_uvarint(out, raw_len as u64);
+    write_uvarint(out, payload.len() as u64);
+    out.extend_from_slice(payload);
+}
+
+fn read_frame<'a>(
+    r: &mut ByteReader<'a>,
+) -> Result<(usize, usize, &'a [u8]), CodecError> {
+    let count = r.read_uvarint()? as usize;
+    let raw_len = r.read_uvarint()? as usize;
+    let coded_len = r.read_uvarint()? as usize;
+    let payload = r.read_slice(coded_len)?;
+    Ok((count, raw_len, payload))
+}
+
+/// Compress integers with an adaptive range coder over their varint bytes —
+/// the "arithmetic coding" path of the paper (steps 5, 7, 8).
+///
+/// Varint bytes are modelled positionally: the lead byte of each value and
+/// its continuation bytes have very different distributions (small deltas
+/// dominate the lead-byte model; continuation bytes only appear on the heavy
+/// tail), so two adaptive models beat a single order-0 model.
+pub fn compress_ints_rc(out: &mut Vec<u8>, vals: &[i64]) {
+    let bytes = ints_to_bytes(vals);
+    let mut lead = AdaptiveModel::new(256);
+    let mut cont = AdaptiveModel::new(256);
+    let mut enc = RangeEncoder::new();
+    let mut at_lead = true;
+    for &b in &bytes {
+        if at_lead {
+            lead.encode(&mut enc, b as usize);
+        } else {
+            cont.encode(&mut enc, b as usize);
+        }
+        // High bit set = the varint continues.
+        at_lead = b & 0x80 == 0;
+    }
+    let payload = enc.finish();
+    write_frame(out, vals.len(), bytes.len(), &payload);
+}
+
+/// Invert [`compress_ints_rc`].
+pub fn decompress_ints_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let (count, raw_len, payload) = read_frame(r)?;
+    let mut lead = AdaptiveModel::new(256);
+    let mut cont = AdaptiveModel::new(256);
+    let mut dec = RangeDecoder::new(payload);
+    let mut bytes = Vec::with_capacity(raw_len);
+    let mut at_lead = true;
+    for _ in 0..raw_len {
+        let b = if at_lead { lead.decode(&mut dec)? } else { cont.decode(&mut dec)? } as u8;
+        at_lead = b & 0x80 == 0;
+        bytes.push(b);
+    }
+    let mut br = ByteReader::new(&bytes);
+    let vals = bytes_to_ints(&mut br, count)?;
+    if !br.is_empty() {
+        return Err(CodecError::CorruptStream("trailing bytes in rc int frame"));
+    }
+    Ok(vals)
+}
+
+/// Compress integers with the deflate-like codec over their varint bytes —
+/// the repeated-pattern path of the paper (step 6).
+pub fn compress_ints_deflate(out: &mut Vec<u8>, vals: &[i64]) {
+    let bytes = ints_to_bytes(vals);
+    let payload = deflate_compress(&bytes);
+    write_frame(out, vals.len(), bytes.len(), &payload);
+}
+
+/// Invert [`compress_ints_deflate`].
+pub fn decompress_ints_deflate(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let (count, raw_len, payload) = read_frame(r)?;
+    let bytes = deflate_decompress(payload)?;
+    if bytes.len() != raw_len {
+        return Err(CodecError::CorruptStream("deflate int frame length mismatch"));
+    }
+    let mut br = ByteReader::new(&bytes);
+    let vals = bytes_to_ints(&mut br, count)?;
+    if !br.is_empty() {
+        return Err(CodecError::CorruptStream("trailing bytes in deflate int frame"));
+    }
+    Ok(vals)
+}
+
+/// Delta-encode then range-code: the classic "delta + entropy coding" combo.
+pub fn compress_ints_delta_rc(out: &mut Vec<u8>, vals: &[i64]) {
+    compress_ints_rc(out, &delta_encode(vals));
+}
+
+/// Invert [`compress_ints_delta_rc`].
+pub fn decompress_ints_delta_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let mut vals = decompress_ints_rc(r)?;
+    delta_decode_in_place(&mut vals);
+    Ok(vals)
+}
+
+/// Compress a small-alphabet symbol stream (e.g. the reference-point choices
+/// `L_ref`, alphabet 4) with a dedicated adaptive model.
+pub fn compress_symbols_rc(out: &mut Vec<u8>, symbols: &[u8], alphabet: usize) {
+    debug_assert!(symbols.iter().all(|&s| (s as usize) < alphabet));
+    let mut model = AdaptiveModel::new(alphabet.max(1));
+    let mut enc = RangeEncoder::new();
+    for &s in symbols {
+        model.encode(&mut enc, s as usize);
+    }
+    let payload = enc.finish();
+    write_frame(out, symbols.len(), alphabet, &payload);
+}
+
+/// Invert [`compress_symbols_rc`].
+pub fn decompress_symbols_rc(r: &mut ByteReader<'_>) -> Result<Vec<u8>, CodecError> {
+    let (count, alphabet, payload) = read_frame(r)?;
+    if alphabet == 0 || alphabet > 256 {
+        return Err(CodecError::CorruptStream("bad symbol alphabet"));
+    }
+    let mut model = AdaptiveModel::new(alphabet);
+    let mut dec = RangeDecoder::new(payload);
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(model.decode(&mut dec)? as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rc_roundtrip() {
+        let vals: Vec<i64> = (0..5000).map(|i| (i % 17) - 8).collect();
+        let mut buf = Vec::new();
+        compress_ints_rc(&mut buf, &vals);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decompress_ints_rc(&mut r).unwrap(), vals);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn deflate_roundtrip() {
+        let vals: Vec<i64> = (0..5000).map(|i| [5i64, 5, 6, 5, 4, 5][i % 6]).collect();
+        let mut buf = Vec::new();
+        compress_ints_deflate(&mut buf, &vals);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decompress_ints_deflate(&mut r).unwrap(), vals);
+    }
+
+    #[test]
+    fn delta_rc_compresses_ramp() {
+        let vals: Vec<i64> = (0..10_000).map(|i| 1_000_000 + 3 * i).collect();
+        let mut plain = Vec::new();
+        compress_ints_rc(&mut plain, &vals);
+        let mut delta = Vec::new();
+        compress_ints_delta_rc(&mut delta, &vals);
+        assert!(
+            delta.len() < plain.len() / 2,
+            "delta {} vs plain {}",
+            delta.len(),
+            plain.len()
+        );
+        let mut r = ByteReader::new(&delta);
+        assert_eq!(decompress_ints_delta_rc(&mut r).unwrap(), vals);
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let a = vec![1i64, 2, 3];
+        let b = vec![-5i64; 100];
+        let mut buf = Vec::new();
+        compress_ints_rc(&mut buf, &a);
+        compress_ints_deflate(&mut buf, &b);
+        compress_ints_delta_rc(&mut buf, &a);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decompress_ints_rc(&mut r).unwrap(), a);
+        assert_eq!(decompress_ints_deflate(&mut r).unwrap(), b);
+        assert_eq!(decompress_ints_delta_rc(&mut r).unwrap(), a);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        let syms: Vec<u8> = (0..3000).map(|i| (i % 4) as u8).collect();
+        let mut buf = Vec::new();
+        compress_symbols_rc(&mut buf, &syms, 4);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decompress_symbols_rc(&mut r).unwrap(), syms);
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let mut buf = Vec::new();
+        compress_ints_rc(&mut buf, &[]);
+        compress_ints_deflate(&mut buf, &[]);
+        compress_symbols_rc(&mut buf, &[], 4);
+        let mut r = ByteReader::new(&buf);
+        assert!(decompress_ints_rc(&mut r).unwrap().is_empty());
+        assert!(decompress_ints_deflate(&mut r).unwrap().is_empty());
+        assert!(decompress_symbols_rc(&mut r).unwrap().is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn rc_roundtrip_random(vals in proptest::collection::vec(any::<i64>(), 0..500)) {
+            let mut buf = Vec::new();
+            compress_ints_rc(&mut buf, &vals);
+            let mut r = ByteReader::new(&buf);
+            prop_assert_eq!(decompress_ints_rc(&mut r).unwrap(), vals);
+        }
+
+        #[test]
+        fn deflate_roundtrip_random(vals in proptest::collection::vec(-1000i64..1000, 0..500)) {
+            let mut buf = Vec::new();
+            compress_ints_deflate(&mut buf, &vals);
+            let mut r = ByteReader::new(&buf);
+            prop_assert_eq!(decompress_ints_deflate(&mut r).unwrap(), vals);
+        }
+    }
+}

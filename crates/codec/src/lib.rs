@@ -1,0 +1,53 @@
+//! Entropy-coding substrates for the DBGC LiDAR point-cloud compressor.
+//!
+//! The paper composes its pipeline out of classic lightweight database
+//! compression techniques (§2.2): delta coding, data scaling, run-length
+//! encoding, arithmetic coding, and Deflate. This crate implements all of
+//! them from scratch:
+//!
+//! * [`bitio`] — MSB-first bit reader/writer;
+//! * [`varint`] — LEB128 varints and zigzag mapping for signed integers;
+//! * [`delta`] — delta encoding (paper Definition 2.3);
+//! * [`rle`] — run-length encoding;
+//! * [`entropy`] — Shannon entropy of a symbol sequence (paper §2.1);
+//! * [`range`] — a carryless range coder (drop-in replacement for the
+//!   arithmetic coder \[58\] the paper uses);
+//! * [`model`] — adaptive frequency models (order-0 and contextual) backed by
+//!   Fenwick trees;
+//! * [`huffman`] — canonical Huffman coding;
+//! * [`lz77`] — LZ77 with hash-chain match search;
+//! * [`deflate`] — LZ77 + two canonical Huffman tables, a deflate-like
+//!   composite (both ends of the wire are ours, so RFC 1951 framing is not
+//!   reproduced);
+//! * [`bitpack`] — fixed-width bit-packing and frame-of-reference encoding,
+//!   the column-store codecs of the paper's §2.2 survey, used as comparison
+//!   points in the codec-ablation experiment;
+//! * [`intseq`] — integer-sequence codecs combining the above, the building
+//!   blocks consumed by the DBGC coordinate compressor.
+
+#![warn(missing_docs)]
+
+pub mod bitio;
+pub mod bitpack;
+pub mod delta;
+pub mod deflate;
+pub mod entropy;
+pub mod error;
+pub mod huffman;
+pub mod intseq;
+pub mod lz77;
+pub mod model;
+pub mod range;
+pub mod rle;
+pub mod varint;
+
+pub use bitio::{BitReader, BitWriter};
+pub use bitpack::{bitpack_decode, bitpack_encode, for_decode, for_encode};
+pub use delta::{delta_decode, delta_decode_in_place, delta_encode, delta_encode_in_place};
+pub use deflate::{deflate_compress, deflate_decompress};
+pub use entropy::shannon_entropy;
+pub use error::CodecError;
+pub use huffman::{HuffmanDecoder, HuffmanEncoder};
+pub use model::{AdaptiveModel, ContextModel};
+pub use range::{RangeDecoder, RangeEncoder};
+pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode, ByteReader};

@@ -1,0 +1,206 @@
+//! LZ77 \[61\] with hash-chain match search (zlib-style).
+//!
+//! Produces a token stream of literals and `(length, distance)`
+//! back-references over a 32 KiB window; [`crate::deflate`] entropy-codes the
+//! tokens.
+
+/// Back-reference window (32 KiB, as in Deflate).
+pub const WINDOW_SIZE: usize = 32 * 1024;
+/// Shortest match worth a back-reference.
+pub const MIN_MATCH: usize = 3;
+/// Longest representable match (Deflate's limit).
+pub const MAX_MATCH: usize = 258;
+/// Bound on hash-chain traversal; trades a little ratio for a lot of speed.
+const MAX_CHAIN: usize = 64;
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A byte copied verbatim.
+    Literal(u8),
+    /// A copy of `len` bytes starting `dist` bytes back.
+    /// A copy of `len` bytes starting `dist` bytes back.
+    Match {
+        /// Copy length in bytes (3-258).
+        len: u16,
+        /// Distance back into the output (1-32768).
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let v = u32::from(data[i]) | u32::from(data[i + 1]) << 8 | u32::from(data[i + 2]) << 16;
+    (v.wrapping_mul(0x9E3779B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Greedy LZ77 tokenization of `data`.
+pub fn lz77_tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::new();
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW_SIZE];
+    let mut i = 0usize;
+
+    let insert = |head: &mut [usize], prev: &mut [usize], data: &[u8], pos: usize| {
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash3(data, pos);
+            prev[pos % WINDOW_SIZE] = head[h];
+            head[h] = pos;
+        }
+    };
+
+    while i < n {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= n {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            let max_len = (n - i).min(MAX_MATCH);
+            while cand != usize::MAX && chain < MAX_CHAIN {
+                let dist = i - cand;
+                if dist > WINDOW_SIZE {
+                    break;
+                }
+                // Quick reject on the byte past the current best.
+                if best_len == 0 || data[cand + best_len] == data[i + best_len] {
+                    let mut l = 0usize;
+                    while l < max_len && data[cand + l] == data[i + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = dist;
+                        if l == max_len {
+                            break;
+                        }
+                    }
+                }
+                let next = prev[cand % WINDOW_SIZE];
+                // Chains can alias across windows; ensure monotone decrease.
+                if next >= cand {
+                    break;
+                }
+                cand = next;
+                chain += 1;
+            }
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // Insert all covered positions to keep chains dense.
+            for p in i..i + best_len {
+                insert(&mut head, &mut prev, data, p);
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            insert(&mut head, &mut prev, data, i);
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes.
+pub fn lz77_reconstruct(tokens: &[Token]) -> Result<Vec<u8>, crate::CodecError> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = dist as usize;
+                let len = len as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(crate::CodecError::InvalidBackReference {
+                        distance: dist,
+                        produced: out.len(),
+                    });
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are defined byte-by-byte (run extension).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<Token> {
+        let tokens = lz77_tokenize(data);
+        assert_eq!(lz77_reconstruct(&tokens).unwrap(), data);
+        tokens
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+        roundtrip(b"abc");
+    }
+
+    #[test]
+    fn repeated_text_matches() {
+        let data = b"abcabcabcabcabcabc";
+        let tokens = roundtrip(data);
+        assert!(tokens.len() < data.len(), "expected back-references: {tokens:?}");
+    }
+
+    #[test]
+    fn run_extension_overlap() {
+        // 'aaaa...' forces dist=1, len>1 overlapping copies.
+        let data = vec![b'a'; 1000];
+        let tokens = roundtrip(&data);
+        assert!(tokens.len() <= 6, "run should collapse: {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn long_incompressible_input() {
+        let data: Vec<u8> =
+            (0..100_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_compressible_input() {
+        let pattern = b"LiDAR point cloud geometry compression ";
+        let data: Vec<u8> = pattern.iter().cycle().take(200_000).copied().collect();
+        let tokens = roundtrip(&data);
+        assert!(tokens.len() < data.len() / 20);
+    }
+
+    #[test]
+    fn bad_backreference_rejected() {
+        let tokens = [Token::Match { len: 5, dist: 10 }];
+        assert!(lz77_reconstruct(&tokens).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..4000)) {
+            roundtrip(&data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(data in proptest::collection::vec(0u8..4, 0..4000)) {
+            roundtrip(&data);
+        }
+    }
+}

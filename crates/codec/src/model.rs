@@ -1,0 +1,271 @@
+//! Adaptive frequency models driving the range coder.
+//!
+//! [`AdaptiveModel`] is an order-0 model over a fixed alphabet, backed by a
+//! Fenwick (binary indexed) tree so both cumulative-frequency queries and
+//! updates are `O(log n)`. [`ContextModel`] keys a family of independent
+//! models by an integer context — this is how the Octree_i variant groups
+//! nodes "by the occupancy code of their parent" and how the G-PCC-like coder
+//! conditions on neighbour occupancy.
+
+use crate::error::CodecError;
+use crate::range::{RangeDecoder, RangeEncoder};
+
+/// Frequency increment per observed symbol.
+const INCREMENT: u64 = 32;
+/// Rescale threshold; keeps totals far below `range::MAX_TOTAL` while letting
+/// the model adapt to local statistics.
+const MAX_TOTAL: u64 = 1 << 16;
+
+/// An adaptive order-0 symbol model.
+#[derive(Debug, Clone)]
+pub struct AdaptiveModel {
+    /// Fenwick tree over symbol frequencies, 1-indexed.
+    tree: Vec<u64>,
+    n: usize,
+    total: u64,
+}
+
+impl AdaptiveModel {
+    /// Model over `alphabet` symbols, all starting with frequency 1.
+    pub fn new(alphabet: usize) -> Self {
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        let mut m = AdaptiveModel { tree: vec![0; alphabet + 1], n: alphabet, total: 0 };
+        for s in 0..alphabet {
+            m.add(s, 1);
+        }
+        m
+    }
+
+    /// Alphabet size this model was built for.
+    pub fn alphabet(&self) -> usize {
+        self.n
+    }
+
+    fn add(&mut self, sym: usize, delta: u64) {
+        let mut i = sym + 1;
+        while i <= self.n {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+        self.total += delta;
+    }
+
+    /// Cumulative frequency of symbols `< sym`.
+    fn cum(&self, sym: usize) -> u64 {
+        let mut i = sym;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn freq(&self, sym: usize) -> u64 {
+        self.cum(sym + 1) - self.cum(sym)
+    }
+
+    /// Find the symbol whose `[cum, cum + freq)` interval contains `slot`.
+    fn find(&self, slot: u64) -> usize {
+        let mut idx = 0usize;
+        let mut rem = slot;
+        let mut mask = self.n.next_power_of_two();
+        while mask > 0 {
+            let next = idx + mask;
+            if next <= self.n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                idx = next;
+            }
+            mask >>= 1;
+        }
+        idx.min(self.n - 1)
+    }
+
+    fn update(&mut self, sym: usize) {
+        self.add(sym, INCREMENT);
+        if self.total >= MAX_TOTAL {
+            self.rescale();
+        }
+    }
+
+    /// Halve all frequencies (keeping them >= 1) and rebuild the tree.
+    fn rescale(&mut self) {
+        let freqs: Vec<u64> = (0..self.n).map(|s| (self.freq(s) + 1) / 2).collect();
+        self.tree.iter_mut().for_each(|v| *v = 0);
+        self.total = 0;
+        for (s, f) in freqs.into_iter().enumerate() {
+            self.add(s, f.max(1));
+        }
+    }
+
+    /// Encode `sym` and adapt.
+    pub fn encode(&mut self, enc: &mut RangeEncoder, sym: usize) {
+        assert!(sym < self.n, "symbol {sym} outside alphabet of {}", self.n);
+        enc.encode(self.cum(sym), self.freq(sym), self.total);
+        self.update(sym);
+    }
+
+    /// Decode one symbol and adapt (mirror of [`AdaptiveModel::encode`]).
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<usize, CodecError> {
+        let slot = dec.decode_freq(self.total);
+        let sym = self.find(slot);
+        if sym >= self.n {
+            return Err(CodecError::SymbolOutOfRange { symbol: sym, alphabet: self.n });
+        }
+        dec.decode(self.cum(sym), self.freq(sym), self.total);
+        self.update(sym);
+        Ok(sym)
+    }
+}
+
+/// A family of independent adaptive models selected by an integer context.
+///
+/// Models are created lazily, so sparse context spaces (e.g. 256 parent
+/// occupancy codes of which a scene uses a few dozen) cost only what they use.
+#[derive(Debug, Clone)]
+pub struct ContextModel {
+    models: Vec<Option<AdaptiveModel>>,
+    alphabet: usize,
+}
+
+impl ContextModel {
+    /// A family of `contexts` lazily-created models over `alphabet` symbols.
+    pub fn new(contexts: usize, alphabet: usize) -> Self {
+        ContextModel { models: vec![None; contexts], alphabet }
+    }
+
+    /// Number of context slots.
+    pub fn contexts(&self) -> usize {
+        self.models.len()
+    }
+
+    fn model(&mut self, ctx: usize) -> &mut AdaptiveModel {
+        self.models[ctx].get_or_insert_with(|| AdaptiveModel::new(self.alphabet))
+    }
+
+    /// Encode `sym` under context `ctx` and adapt that context's model.
+    pub fn encode(&mut self, enc: &mut RangeEncoder, ctx: usize, sym: usize) {
+        self.model(ctx).encode(enc, sym);
+    }
+
+    /// Decode one symbol under context `ctx` (mirror of `encode`).
+    pub fn decode(
+        &mut self,
+        dec: &mut RangeDecoder<'_>,
+        ctx: usize,
+    ) -> Result<usize, CodecError> {
+        self.model(ctx).decode(dec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::{RangeDecoder, RangeEncoder};
+
+    #[test]
+    fn fenwick_cum_and_find_agree() {
+        let mut m = AdaptiveModel::new(10);
+        // Push asymmetric counts.
+        for _ in 0..100 {
+            m.add(3, 5);
+            m.add(7, 2);
+        }
+        for s in 0..10 {
+            let c = m.cum(s);
+            let f = m.freq(s);
+            assert_eq!(m.find(c), s);
+            assert_eq!(m.find(c + f - 1), s);
+        }
+    }
+
+    #[test]
+    fn model_roundtrip_small_alphabet() {
+        let syms: Vec<usize> = (0..5000).map(|i| [0, 0, 1, 0, 2, 0, 0, 3][i % 8]).collect();
+        let mut enc_model = AdaptiveModel::new(4);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            enc_model.encode(&mut enc, s);
+        }
+        let buf = enc.finish();
+        let mut dec_model = AdaptiveModel::new(4);
+        let mut dec = RangeDecoder::new(&buf);
+        for &s in &syms {
+            assert_eq!(dec_model.decode(&mut dec).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn model_roundtrip_full_byte_alphabet_with_rescales() {
+        let syms: Vec<usize> = (0..60_000u32)
+            .map(|i| ((i.wrapping_mul(0x9E3779B9)) >> 25) as usize % 256)
+            .collect();
+        let mut em = AdaptiveModel::new(256);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            em.encode(&mut enc, s);
+        }
+        let buf = enc.finish();
+        let mut dm = AdaptiveModel::new(256);
+        let mut dec = RangeDecoder::new(&buf);
+        for &s in &syms {
+            assert_eq!(dm.decode(&mut dec).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        let syms: Vec<usize> = (0..20_000).map(|i| usize::from(i % 64 == 0)).collect();
+        let mut m = AdaptiveModel::new(2);
+        let mut enc = RangeEncoder::new();
+        for &s in &syms {
+            m.encode(&mut enc, s);
+        }
+        let buf = enc.finish();
+        // H ≈ 0.116 bits/symbol → ~290 bytes; allow generous slack.
+        assert!(buf.len() < 800, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    fn alphabet_of_one() {
+        let mut m = AdaptiveModel::new(1);
+        let mut enc = RangeEncoder::new();
+        for _ in 0..100 {
+            m.encode(&mut enc, 0);
+        }
+        let buf = enc.finish();
+        let mut dm = AdaptiveModel::new(1);
+        let mut dec = RangeDecoder::new(&buf);
+        for _ in 0..100 {
+            assert_eq!(dm.decode(&mut dec).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn context_model_keeps_streams_separate() {
+        // Context 0 always sees symbol 1; context 1 always sees symbol 2.
+        let mut cm = ContextModel::new(2, 3);
+        let mut enc = RangeEncoder::new();
+        let stream: Vec<(usize, usize)> =
+            (0..2000).map(|i| if i % 2 == 0 { (0, 1) } else { (1, 2) }).collect();
+        for &(ctx, sym) in &stream {
+            cm.encode(&mut enc, ctx, sym);
+        }
+        let buf = enc.finish();
+        let mut dm = ContextModel::new(2, 3);
+        let mut dec = RangeDecoder::new(&buf);
+        for &(ctx, sym) in &stream {
+            assert_eq!(dm.decode(&mut dec, ctx).unwrap(), sym);
+        }
+        // Perfectly predictable per context → tiny output.
+        assert!(buf.len() < 120, "got {} bytes", buf.len());
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_out_of_alphabet_panics() {
+        let mut m = AdaptiveModel::new(4);
+        let mut enc = RangeEncoder::new();
+        m.encode(&mut enc, 4);
+    }
+}

@@ -1,0 +1,323 @@
+//! A carryless range coder (Subbotin style, widened to 64 bits).
+//!
+//! This is the "arithmetic coder \[58\]" building block of the paper. A range
+//! coder is byte-oriented arithmetic coding: it maintains an interval
+//! `[low, low + range)` and narrows it proportionally to each symbol's
+//! probability, emitting the interval's settled top bytes as it goes.
+//!
+//! The encoder and decoder take explicit `(cum_freq, freq, total)` triples so
+//! arbitrary (adaptive or static) models from [`crate::model`] can drive them.
+//!
+//! Invariants: `total <= MAX_TOTAL` (2³², far above any model here), and the
+//! sum `low + range` never overflows because each step shrinks the interval.
+
+use crate::error::CodecError;
+
+/// Top-byte mask: once the top byte of `low` and `low + range` agree, it can
+/// be emitted.
+const TOP: u64 = 1 << 56;
+/// Renormalization threshold: below this the interval is forcibly truncated
+/// to a byte-aligned boundary to avoid carries (the "carryless" trick).
+const BOT: u64 = 1 << 48;
+/// Maximum allowed model total.
+pub const MAX_TOTAL: u64 = 1 << 32;
+
+/// Range encoder writing to an internal buffer.
+#[derive(Debug)]
+pub struct RangeEncoder {
+    low: u64,
+    range: u64,
+    out: Vec<u8>,
+}
+
+impl Default for RangeEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeEncoder {
+    /// A fresh encoder over the full interval.
+    pub fn new() -> Self {
+        RangeEncoder { low: 0, range: u64::MAX, out: Vec::new() }
+    }
+
+    /// Encode a symbol occupying `[cum, cum + freq)` out of `total`.
+    pub fn encode(&mut self, cum: u64, freq: u64, total: u64) {
+        debug_assert!(freq > 0, "cannot encode zero-frequency symbol");
+        debug_assert!(cum + freq <= total && total <= MAX_TOTAL);
+        let r = self.range / total;
+        self.low += r * cum;
+        self.range = if cum + freq == total {
+            // Give the last symbol the division remainder to avoid wasting
+            // code space.
+            self.range - r * cum
+        } else {
+            r * freq
+        };
+        self.normalize();
+    }
+
+    /// Encode `n` raw bits (uniform distribution); handy for headers inside a
+    /// range-coded stream.
+    pub fn encode_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        // Encode 16 bits at a time to stay well below MAX_TOTAL.
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(16);
+            let shift = remaining - chunk;
+            let v = (value >> shift) & ((1u64 << chunk) - 1);
+            self.encode(v, 1, 1u64 << chunk);
+            remaining -= chunk;
+        }
+    }
+
+    fn normalize(&mut self) {
+        loop {
+            if (self.low ^ (self.low.wrapping_add(self.range))) < TOP {
+                // Top byte settled.
+            } else if self.range < BOT {
+                // Interval straddles a top-byte boundary but is small: clamp
+                // it to the boundary so the top byte settles.
+                self.range = self.low.wrapping_neg() & (BOT - 1);
+            } else {
+                break;
+            }
+            self.out.push((self.low >> 56) as u8);
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+
+    /// Flush the interval and return the coded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..8 {
+            self.out.push((self.low >> 56) as u8);
+            self.low <<= 8;
+        }
+        self.out
+    }
+
+    /// Bytes emitted so far (excluding the final flush).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+}
+
+/// Range decoder reading from a byte slice.
+#[derive(Debug)]
+pub struct RangeDecoder<'a> {
+    low: u64,
+    range: u64,
+    code: u64,
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RangeDecoder<'a> {
+    /// Start decoding from `buf` (reads the initial 8-byte window).
+    pub fn new(buf: &'a [u8]) -> Self {
+        let mut d = RangeDecoder { low: 0, range: u64::MAX, code: 0, buf, pos: 0 };
+        for _ in 0..8 {
+            d.code = (d.code << 8) | d.next_byte();
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u64 {
+        // Reading past the end yields zeros: the encoder's flush wrote the
+        // full state, so trailing reads never affect decoded symbols.
+        let b = self.buf.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b as u64
+    }
+
+    /// Return the cumulative-frequency slot of the next symbol under a model
+    /// with the given `total`. The caller maps it to a symbol and then calls
+    /// [`RangeDecoder::decode`] with that symbol's `(cum, freq)`.
+    pub fn decode_freq(&mut self, total: u64) -> u64 {
+        debug_assert!(total <= MAX_TOTAL);
+        let r = self.range / total;
+        ((self.code.wrapping_sub(self.low)) / r).min(total - 1)
+    }
+
+    /// Consume the symbol occupying `[cum, cum + freq)` out of `total`.
+    pub fn decode(&mut self, cum: u64, freq: u64, total: u64) {
+        let r = self.range / total;
+        self.low += r * cum;
+        self.range = if cum + freq == total { self.range - r * cum } else { r * freq };
+        self.normalize();
+    }
+
+    /// Decode `n` raw bits written by [`RangeEncoder::encode_bits`].
+    pub fn decode_bits(&mut self, n: u32) -> u64 {
+        let mut v = 0u64;
+        let mut remaining = n;
+        while remaining > 0 {
+            let chunk = remaining.min(16);
+            let total = 1u64 << chunk;
+            let f = self.decode_freq(total);
+            self.decode(f, 1, total);
+            v = (v << chunk) | f;
+            remaining -= chunk;
+        }
+        v
+    }
+
+    fn normalize(&mut self) {
+        loop {
+            if (self.low ^ (self.low.wrapping_add(self.range))) < TOP {
+            } else if self.range < BOT {
+                self.range = self.low.wrapping_neg() & (BOT - 1);
+            } else {
+                break;
+            }
+            self.code = (self.code << 8) | self.next_byte();
+            self.low <<= 8;
+            self.range <<= 8;
+        }
+    }
+
+    /// Bytes consumed from the input so far (may exceed input length by the
+    /// flush padding).
+    pub fn bytes_read(&self) -> usize {
+        self.pos.min(self.buf.len())
+    }
+}
+
+/// Convenience: range-code a byte slice with an adaptive order-0 model.
+pub fn rc_compress_bytes(data: &[u8]) -> Vec<u8> {
+    let mut model = crate::model::AdaptiveModel::new(256);
+    let mut enc = RangeEncoder::new();
+    for &b in data {
+        model.encode(&mut enc, b as usize);
+    }
+    enc.finish()
+}
+
+/// Invert [`rc_compress_bytes`]; `len` is the original byte count.
+pub fn rc_decompress_bytes(data: &[u8], len: usize) -> Result<Vec<u8>, CodecError> {
+    let mut model = crate::model::AdaptiveModel::new(256);
+    let mut dec = RangeDecoder::new(data);
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(model.decode(&mut dec)? as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Encode/decode a symbol stream against a fixed (static) distribution.
+    fn roundtrip_static(symbols: &[usize], freqs: &[u64]) {
+        let total: u64 = freqs.iter().sum();
+        let cums: Vec<u64> = freqs
+            .iter()
+            .scan(0u64, |acc, &f| {
+                let c = *acc;
+                *acc += f;
+                Some(c)
+            })
+            .collect();
+        let mut enc = RangeEncoder::new();
+        for &s in symbols {
+            enc.encode(cums[s], freqs[s], total);
+        }
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf);
+        for &s in symbols {
+            let slot = dec.decode_freq(total);
+            let sym = match cums.binary_search(&slot) {
+                Ok(i) => {
+                    // Slot may land exactly on a cum of a zero-freq symbol;
+                    // walk forward to the first nonzero frequency.
+                    let mut i = i;
+                    while freqs[i] == 0 {
+                        i += 1;
+                    }
+                    i
+                }
+                Err(i) => i - 1,
+            };
+            assert_eq!(sym, s);
+            dec.decode(cums[sym], freqs[sym], total);
+        }
+    }
+
+    #[test]
+    fn static_roundtrip_skewed() {
+        let freqs = [900u64, 50, 30, 20];
+        let symbols: Vec<usize> =
+            (0..5000).map(|i| if i % 50 == 0 { i % 4 } else { 0 }).collect();
+        roundtrip_static(&symbols, &freqs);
+    }
+
+    #[test]
+    fn static_roundtrip_uniform() {
+        let freqs = [1u64; 16];
+        let symbols: Vec<usize> = (0..4096).map(|i| i % 16).collect();
+        roundtrip_static(&symbols, &freqs);
+    }
+
+    #[test]
+    fn raw_bits_roundtrip() {
+        let mut enc = RangeEncoder::new();
+        enc.encode_bits(0xABCD, 16);
+        enc.encode_bits(0x1_2345_6789, 40);
+        enc.encode_bits(1, 1);
+        enc.encode_bits(u64::MAX, 64);
+        let buf = enc.finish();
+        let mut dec = RangeDecoder::new(&buf);
+        assert_eq!(dec.decode_bits(16), 0xABCD);
+        assert_eq!(dec.decode_bits(40), 0x1_2345_6789);
+        assert_eq!(dec.decode_bits(1), 1);
+        assert_eq!(dec.decode_bits(64), u64::MAX);
+    }
+
+    #[test]
+    fn adaptive_bytes_roundtrip() {
+        let data: Vec<u8> = (0..10_000).map(|i| ((i * 7) % 11) as u8).collect();
+        let comp = rc_compress_bytes(&data);
+        assert_eq!(rc_decompress_bytes(&comp, data.len()).unwrap(), data);
+        // 11 distinct near-uniform symbols need < 4 bits each after adaptation.
+        assert!(comp.len() < data.len() / 2 + 64, "compressed {} bytes", comp.len());
+    }
+
+    #[test]
+    fn adaptive_bytes_empty() {
+        let comp = rc_compress_bytes(&[]);
+        assert_eq!(rc_decompress_bytes(&comp, 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn skewed_bytes_beat_raw_size() {
+        // 99% zeros.
+        let data: Vec<u8> = (0..50_000).map(|i| u8::from(i % 100 == 0)).collect();
+        let comp = rc_compress_bytes(&data);
+        assert!(
+            comp.len() < data.len() / 8,
+            "expected < {} bytes, got {}",
+            data.len() / 8,
+            comp.len()
+        );
+    }
+
+    #[test]
+    fn long_stream_stability() {
+        // Exercise many renormalizations, including forced truncations.
+        let data: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
+            .collect();
+        let comp = rc_compress_bytes(&data);
+        assert_eq!(rc_decompress_bytes(&comp, data.len()).unwrap(), data);
+    }
+}

@@ -1,0 +1,81 @@
+//! Byte-oriented run-length encoding.
+//!
+//! Format: a sequence of `(varint run_length, byte)` pairs. Effective on the
+//! long zero runs produced by delta-coded polar angles and on sparse symbol
+//! streams; used as an optional pre-pass in [`crate::intseq`].
+
+use crate::error::CodecError;
+use crate::varint::{write_uvarint, ByteReader};
+
+/// Run-length encode `data`.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < data.len() {
+        let byte = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == byte {
+            run += 1;
+        }
+        write_uvarint(&mut out, run as u64);
+        out.push(byte);
+        i += run;
+    }
+    out
+}
+
+/// Invert [`rle_encode`].
+pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = ByteReader::new(data);
+    let mut out = Vec::new();
+    while !r.is_empty() {
+        let run = r.read_uvarint()?;
+        if run > (1 << 40) {
+            return Err(CodecError::CorruptStream("RLE run length unreasonably large"));
+        }
+        let byte = r.read_u8()?;
+        out.resize(out.len() + run as usize, byte);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encodes_runs() {
+        let data = [0u8, 0, 0, 0, 7, 7, 3];
+        let enc = rle_encode(&data);
+        assert_eq!(enc, vec![4, 0, 2, 7, 1, 3]);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(rle_encode(&[]).is_empty());
+        assert_eq!(rle_decode(&[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn long_run_compresses_well() {
+        let data = vec![9u8; 100_000];
+        let enc = rle_encode(&data);
+        assert!(enc.len() <= 4);
+        assert_eq!(rle_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn truncated_stream_is_eof() {
+        let enc = rle_encode(&[1, 1, 2]);
+        assert!(rle_decode(&enc[..enc.len() - 1]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            prop_assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+        }
+    }
+}

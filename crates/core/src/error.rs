@@ -1,0 +1,56 @@
+//! Error type for the DBGC pipeline.
+
+use std::fmt;
+
+use dbgc_codec::CodecError;
+
+/// Compression or decompression failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbgcError {
+    /// The configuration violates an invariant.
+    InvalidConfig(String),
+    /// The bitstream is malformed.
+    Codec(CodecError),
+    /// The stream does not start with the DBGC magic/version.
+    BadHeader(&'static str),
+    /// A non-finite (NaN/inf) coordinate was found in the input cloud.
+    NonFinitePoint {
+        /// Index of the offending point in the input cloud.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DbgcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbgcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DbgcError::Codec(e) => write!(f, "codec error: {e}"),
+            DbgcError::BadHeader(what) => write!(f, "bad stream header: {what}"),
+            DbgcError::NonFinitePoint { index } => {
+                write!(f, "point {index} has a non-finite coordinate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbgcError {}
+
+impl From<CodecError> for DbgcError {
+    fn from(e: CodecError) -> Self {
+        DbgcError::Codec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DbgcError::InvalidConfig("groups must be >= 1".into());
+        assert!(e.to_string().contains("groups"));
+        let e: DbgcError = CodecError::UnexpectedEof.into();
+        assert!(e.to_string().contains("unexpected end"));
+        assert!(DbgcError::NonFinitePoint { index: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,290 @@
+//! The DBGC compressor: clustering → octree → conversion → grouping →
+//! organization → coordinate compression → outlier compression → layout
+//! (paper §3, Fig. 2 client side).
+
+use std::time::Instant;
+
+use dbgc_clustering::{approx_cluster, cell_based_cluster, dbscan, DensitySplit};
+use dbgc_codec::varint::{write_f64, write_uvarint};
+use dbgc_geom::quant::{quantize, QuantParams, SphericalQuant};
+use dbgc_geom::{Point3, PointCloud, Spherical};
+use dbgc_octree::OctreeCodec;
+
+use crate::config::{ClusteringAlgorithm, DbgcConfig, SplitStrategy};
+use crate::outlier::encode_outliers;
+use crate::sparse::codec::{encode_group, GroupCodecConfig};
+use crate::sparse::organize::organize_sparse_points;
+use crate::stats::{CompressionStats, SectionSizes, TimingBreakdown};
+use crate::DbgcError;
+
+/// Stream magic and version.
+pub(crate) const MAGIC: [u8; 4] = *b"DBGC";
+pub(crate) const VERSION: u8 = 1;
+
+pub(crate) const FLAG_SPHERICAL: u8 = 0b01;
+pub(crate) const FLAG_RADIAL: u8 = 0b10;
+
+/// A compressed frame: the bitstream plus encoder-side metadata.
+#[derive(Debug, Clone)]
+pub struct CompressedFrame {
+    /// The bit sequence `B`.
+    pub bytes: Vec<u8>,
+    /// One-to-one mapping: `mapping[i]` is the index of input point `i` in
+    /// the decompressed cloud (paper problem statement condition 2).
+    pub mapping: Vec<usize>,
+    /// Sizes, counts and timing breakdown.
+    pub stats: CompressionStats,
+}
+
+impl CompressedFrame {
+    /// Compression ratio against 12-byte raw points.
+    pub fn compression_ratio(&self) -> f64 {
+        self.stats.compression_ratio()
+    }
+}
+
+/// The DBGC compressor.
+#[derive(Debug, Clone, Default)]
+pub struct Dbgc {
+    /// The configuration every `compress` call uses.
+    pub config: DbgcConfig,
+}
+
+impl Dbgc {
+    /// A compressor with an explicit configuration.
+    pub fn new(config: DbgcConfig) -> Dbgc {
+        Dbgc { config }
+    }
+
+    /// Paper defaults at the given error bound.
+    pub fn with_error_bound(q_xyz: f64) -> Dbgc {
+        Dbgc::new(DbgcConfig::with_error_bound(q_xyz))
+    }
+
+    /// Compress a point cloud into a DBGC bitstream.
+    pub fn compress(&self, cloud: &PointCloud) -> Result<CompressedFrame, DbgcError> {
+        let cfg = &self.config;
+        cfg.validate().map_err(DbgcError::InvalidConfig)?;
+        if let Some(i) = cloud.iter().position(|p| !p.is_finite()) {
+            return Err(DbgcError::NonFinitePoint { index: i });
+        }
+        let points = cloud.points();
+        let mut timing = TimingBreakdown::default();
+        let mut sections = SectionSizes::default();
+
+        // ---- DEN: dense/sparse split -----------------------------------
+        let t = Instant::now();
+        let split = self.split(points);
+        timing.den = t.elapsed();
+        let (dense_idx, sparse_idx) = split.partition_indices();
+        let dense_pts: Vec<Point3> = dense_idx.iter().map(|&i| points[i]).collect();
+
+        // ---- OCT: octree over dense points ------------------------------
+        let t = Instant::now();
+        let dense_enc = OctreeCodec::baseline().encode(&dense_pts, cfg.q_xyz);
+        timing.oct = t.elapsed();
+
+        // ---- COR: spherical conversion ----------------------------------
+        // Organization always runs in (θ, φ) space; the flag only controls
+        // which coordinates are *compressed*.
+        let t = Instant::now();
+        let sparse_pts: Vec<Point3> = sparse_idx.iter().map(|&i| points[i]).collect();
+        let sparse_sph: Vec<Spherical> =
+            sparse_pts.iter().map(|p| p.to_spherical()).collect();
+        timing.cor = t.elapsed();
+
+        // ---- grouping by radial distance --------------------------------
+        // `order[g]` lists indices into sparse_pts for group g, ascending r.
+        let mut by_r: Vec<u32> = (0..sparse_pts.len() as u32).collect();
+        by_r.sort_by(|&a, &b| {
+            sparse_sph[a as usize]
+                .r
+                .partial_cmp(&sparse_sph[b as usize].r)
+                .expect("radial distances are finite")
+        });
+        let n_groups = cfg.groups.min(by_r.len().max(1));
+        let group_size = by_r.len().div_ceil(n_groups.max(1));
+        let groups: Vec<&[u32]> = if by_r.is_empty() {
+            vec![&[][..]; n_groups]
+        } else {
+            by_r.chunks(group_size.max(1)).collect()
+        };
+
+        // ---- header ------------------------------------------------------
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        write_f64(&mut out, cfg.q_xyz);
+        write_f64(&mut out, cfg.sensor.u_theta());
+        write_f64(&mut out, cfg.sensor.u_phi());
+        write_f64(&mut out, cfg.th_r);
+        let mut flags = 0u8;
+        if cfg.spherical_conversion {
+            flags |= FLAG_SPHERICAL;
+        }
+        if cfg.radial_optimized {
+            flags |= FLAG_RADIAL;
+        }
+        out.push(flags);
+        write_uvarint(&mut out, groups.len() as u64);
+        write_uvarint(&mut out, points.len() as u64);
+        sections.header = out.len();
+
+        // ---- B_dense ------------------------------------------------------
+        let dense_mark = out.len();
+        write_uvarint(&mut out, dense_enc.bytes.len() as u64);
+        out.extend_from_slice(&dense_enc.bytes);
+        sections.dense = out.len() - dense_mark;
+
+        // ---- sparse groups -------------------------------------------------
+        let mut mapping = vec![usize::MAX; points.len()];
+        for (i, &orig) in dense_idx.iter().enumerate() {
+            mapping[orig] = dense_enc.mapping[i];
+        }
+        let mut cursor = dense_pts.len();
+        let mut outliers_global: Vec<u32> = Vec::new(); // indices into sparse_pts
+        let mut polyline_count = 0usize;
+        let sparse_mark = out.len();
+        let mut org_time = std::time::Duration::ZERO;
+        let mut spa_time = std::time::Duration::ZERO;
+
+        for group in &groups {
+            let g_sph: Vec<Spherical> =
+                group.iter().map(|&i| sparse_sph[i as usize]).collect();
+            let g_cart: Vec<Point3> = group.iter().map(|&i| sparse_pts[i as usize]).collect();
+            let r_max = g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
+
+            // ORG: Algorithm 1.
+            let t = Instant::now();
+            let organized = organize_sparse_points(
+                &g_sph,
+                &g_cart,
+                cfg.sensor.u_theta(),
+                cfg.sensor.u_phi(),
+                cfg.min_polyline_len,
+            );
+            org_time += t.elapsed();
+
+            // SPA: steps 1-9.
+            let t = Instant::now();
+            let (lines_q, codec_cfg) = self.quantize_lines(&organized.polylines, &g_sph, &g_cart, r_max);
+            write_f64(&mut out, r_max);
+            encode_group(&mut out, &lines_q, &codec_cfg);
+            spa_time += t.elapsed();
+
+            // Mapping for polyline points (flattened, in line order).
+            for line in &organized.polylines {
+                for &local in line {
+                    mapping[sparse_idx[group[local as usize] as usize]] = cursor;
+                    cursor += 1;
+                }
+            }
+            polyline_count += organized.polylines.len();
+            outliers_global.extend(organized.outliers.iter().map(|&l| group[l as usize]));
+        }
+        timing.org = org_time;
+        timing.spa = spa_time;
+        sections.sparse = out.len() - sparse_mark;
+
+        // ---- B_outlier ------------------------------------------------------
+        let outlier_mark = out.len();
+        let t = Instant::now();
+        let outlier_pts: Vec<Point3> =
+            outliers_global.iter().map(|&i| sparse_pts[i as usize]).collect();
+        let outlier_mapping =
+            encode_outliers(&mut out, &outlier_pts, cfg.q_xyz, cfg.outlier_mode);
+        for (k, &i) in outliers_global.iter().enumerate() {
+            mapping[sparse_idx[i as usize]] = cursor + outlier_mapping[k];
+        }
+        timing.out = t.elapsed();
+        sections.outlier = out.len() - outlier_mark;
+
+        debug_assert!(
+            mapping.iter().all(|&m| m != usize::MAX),
+            "every input point must be mapped"
+        );
+
+        let stats = CompressionStats {
+            total_points: points.len(),
+            dense_points: dense_pts.len(),
+            sparse_points: sparse_pts.len() - outlier_pts.len(),
+            outlier_points: outlier_pts.len(),
+            polylines: polyline_count,
+            sections,
+            timing,
+        };
+        Ok(CompressedFrame { bytes: out, mapping, stats })
+    }
+
+    /// Dense/sparse classification.
+    fn split(&self, points: &[Point3]) -> DensitySplit {
+        match self.config.split {
+            SplitStrategy::Density(alg) => {
+                let params = self.config.cluster_params();
+                match alg {
+                    ClusteringAlgorithm::Approximate => approx_cluster(points, params),
+                    ClusteringAlgorithm::CellBased => cell_based_cluster(points, params),
+                    ClusteringAlgorithm::Dbscan => dbscan(points, params).split(),
+                }
+            }
+            SplitStrategy::NearestFraction(f) => {
+                let mut order: Vec<u32> = (0..points.len() as u32).collect();
+                order.sort_by(|&a, &b| {
+                    points[a as usize]
+                        .norm()
+                        .partial_cmp(&points[b as usize].norm())
+                        .expect("coordinates are finite")
+                });
+                let n_dense = (points.len() as f64 * f).round() as usize;
+                let mut dense = vec![false; points.len()];
+                for &i in order.iter().take(n_dense) {
+                    dense[i as usize] = true;
+                }
+                DensitySplit { dense }
+            }
+        }
+    }
+
+    /// Step 1 (coordinate scaling) for one group: quantize the polyline
+    /// points and derive the group codec configuration.
+    fn quantize_lines(
+        &self,
+        lines: &[Vec<u32>],
+        sph: &[Spherical],
+        cart: &[Point3],
+        r_max: f64,
+    ) -> (Vec<Vec<[i64; 3]>>, GroupCodecConfig) {
+        let cfg = &self.config;
+        if cfg.spherical_conversion {
+            let sq = SphericalQuant::from_error_bound(cfg.q_xyz, r_max);
+            let q_lines = lines
+                .iter()
+                .map(|line| line.iter().map(|&i| sq.quantize(sph[i as usize])).collect())
+                .collect();
+            let codec_cfg = GroupCodecConfig {
+                radial: cfg.radial_optimized,
+                th_phi: (2.0 * cfg.sensor.u_phi() / sq.angle_step()).round() as i64,
+                th_r: (cfg.th_r / sq.r_step()).round() as i64,
+            };
+            (q_lines, codec_cfg)
+        } else {
+            let qp = QuantParams::cartesian(cfg.q_xyz);
+            let q_lines = lines
+                .iter()
+                .map(|line| {
+                    line.iter()
+                        .map(|&i| {
+                            let p = cart[i as usize];
+                            [
+                                quantize(p.x, qp.step[0]),
+                                quantize(p.y, qp.step[1]),
+                                quantize(p.z, qp.step[2]),
+                            ]
+                        })
+                        .collect()
+                })
+                .collect();
+            (q_lines, GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 })
+        }
+    }
+}

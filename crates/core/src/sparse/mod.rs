@@ -1,0 +1,5 @@
+//! Sparse-point compression: organization, coordinate codec, radial scheme.
+
+pub mod codec;
+pub mod organize;
+pub mod radial;

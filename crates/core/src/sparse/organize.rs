@@ -1,0 +1,318 @@
+//! Point organization: Algorithm 1 of the paper (§3.4).
+//!
+//! Sparse points are organized into near-horizontal polylines in `(θ, φ)`
+//! space. A polyline starts at a seed point; its polar band is fixed to the
+//! seed's `φ ± u_φ`; it is extended to the right (and then to the left) by
+//! repeatedly picking, among the points with `0 < Δθ <= 2·u_θ` inside the
+//! band, the one closest in 3D Euclidean distance. Points on polylines
+//! shorter than the configured minimum become *outliers*.
+//!
+//! Organization runs on the encoder only; any deterministic result is valid,
+//! so this module is free to use floating-point angles directly.
+
+use std::collections::HashMap;
+
+use dbgc_geom::{Point3, Spherical};
+
+/// The organized output: polyline point indices (into the group's point
+/// array) and leftover outlier indices.
+#[derive(Debug, Clone, Default)]
+pub struct Organized {
+    /// Polylines, sorted by (polar angle of head, azimuthal angle of head).
+    /// Each polyline lists point indices left-to-right (ascending θ).
+    pub polylines: Vec<Vec<u32>>,
+    /// Points not on any (sufficiently long) polyline.
+    pub outliers: Vec<u32>,
+}
+
+impl Organized {
+    /// Total number of points on polylines.
+    pub fn polyline_points(&self) -> usize {
+        self.polylines.iter().map(Vec::len).sum()
+    }
+}
+
+/// Angle-space grid for candidate queries.
+struct AngleGrid {
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    u_theta: f64,
+    u_phi: f64,
+}
+
+impl AngleGrid {
+    fn build(points: &[Spherical], u_theta: f64, u_phi: f64) -> AngleGrid {
+        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        for (i, s) in points.iter().enumerate() {
+            cells
+                .entry(Self::cell(s.theta, s.phi, u_theta, u_phi))
+                .or_default()
+                .push(i as u32);
+        }
+        AngleGrid { cells, u_theta, u_phi }
+    }
+
+    #[inline]
+    fn cell(theta: f64, phi: f64, u_theta: f64, u_phi: f64) -> (i64, i64) {
+        ((theta / u_theta).floor() as i64, (phi / u_phi).floor() as i64)
+    }
+
+    /// Visit unused candidate indices with θ in `(theta_lo, theta_hi)`
+    /// exclusive/inclusive handled by the caller's filter.
+    fn for_candidates(
+        &self,
+        theta_lo: f64,
+        theta_hi: f64,
+        phi_lo: f64,
+        phi_hi: f64,
+        mut f: impl FnMut(u32),
+    ) {
+        let tc_lo = (theta_lo / self.u_theta).floor() as i64;
+        let tc_hi = (theta_hi / self.u_theta).floor() as i64;
+        let pc_lo = (phi_lo / self.u_phi).floor() as i64;
+        let pc_hi = (phi_hi / self.u_phi).floor() as i64;
+        for tc in tc_lo..=tc_hi {
+            for pc in pc_lo..=pc_hi {
+                if let Some(v) = self.cells.get(&(tc, pc)) {
+                    for &i in v {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run Algorithm 1 over a group of sparse points.
+///
+/// * `spherical` — the group's points in spherical coordinates;
+/// * `cartesian` — the same points in Cartesian coordinates (for the
+///   Euclidean tie-break in the Extend routine);
+/// * `u_theta`, `u_phi` — sensor sample spacings;
+/// * `min_len` — minimum polyline length; shorter ones become outliers.
+pub fn organize_sparse_points(
+    spherical: &[Spherical],
+    cartesian: &[Point3],
+    u_theta: f64,
+    u_phi: f64,
+    min_len: usize,
+) -> Organized {
+    assert_eq!(spherical.len(), cartesian.len());
+    assert!(u_theta > 0.0 && u_phi > 0.0, "sample spacings must be positive");
+    let n = spherical.len();
+    let grid = AngleGrid::build(spherical, u_theta, u_phi);
+    let mut used = vec![false; n];
+    let mut result = Organized::default();
+
+    // Extend from `from` in direction `dir` (+1 right, -1 left); returns the
+    // chosen next point, if any.
+    let extend = |used: &[bool], from: u32, dir: f64, phi_lo: f64, phi_hi: f64| -> Option<u32> {
+        let sp = spherical[from as usize];
+        let (t_lo, t_hi) = if dir > 0.0 {
+            (sp.theta, sp.theta + 2.0 * u_theta)
+        } else {
+            (sp.theta - 2.0 * u_theta, sp.theta)
+        };
+        let p = cartesian[from as usize];
+        let mut best: Option<(f64, u32)> = None;
+        grid.for_candidates(t_lo, t_hi, phi_lo, phi_hi, |cand| {
+            if used[cand as usize] || cand == from {
+                return;
+            }
+            let cs = spherical[cand as usize];
+            // Strict on the near side, inclusive on the far side.
+            let dt = (cs.theta - sp.theta) * dir;
+            if dt <= 0.0 || dt > 2.0 * u_theta {
+                return;
+            }
+            if cs.phi < phi_lo || cs.phi > phi_hi {
+                return;
+            }
+            let d = p.dist2(cartesian[cand as usize]);
+            // Deterministic tie-break on index.
+            if best.map_or(true, |(bd, bi)| d < bd || (d == bd && cand < bi)) {
+                best = Some((d, cand));
+            }
+        });
+        best.map(|(_, i)| i)
+    };
+
+    for seed in 0..n as u32 {
+        if used[seed as usize] {
+            continue;
+        }
+        used[seed as usize] = true;
+        let sp = spherical[seed as usize];
+        let (phi_lo, phi_hi) = (sp.phi - u_phi, sp.phi + u_phi);
+        let mut line = vec![seed];
+        // Extend right.
+        let mut tail = seed;
+        while let Some(nx) = extend(&used, tail, 1.0, phi_lo, phi_hi) {
+            used[nx as usize] = true;
+            line.push(nx);
+            tail = nx;
+        }
+        // Extend left (prepend).
+        let mut head = seed;
+        let mut left = Vec::new();
+        while let Some(nx) = extend(&used, head, -1.0, phi_lo, phi_hi) {
+            used[nx as usize] = true;
+            left.push(nx);
+            head = nx;
+        }
+        if !left.is_empty() {
+            left.reverse();
+            left.extend_from_slice(&line);
+            line = left;
+        }
+        if line.len() >= min_len {
+            result.polylines.push(line);
+        } else {
+            result.outliers.extend(line);
+        }
+    }
+
+    // Sort polylines by (polar angle of head, azimuthal angle of head).
+    result.polylines.sort_by(|a, b| {
+        let (sa, sb) = (spherical[a[0] as usize], spherical[b[0] as usize]);
+        sa.phi
+            .partial_cmp(&sb.phi)
+            .expect("angles are finite")
+            .then(sa.theta.partial_cmp(&sb.theta).expect("angles are finite"))
+    });
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build spherical + cartesian arrays from (θ, φ, r) triples.
+    fn points(triples: &[(f64, f64, f64)]) -> (Vec<Spherical>, Vec<Point3>) {
+        let sph: Vec<Spherical> =
+            triples.iter().map(|&(t, p, r)| Spherical::new(t, p, r)).collect();
+        let cart = sph.iter().map(|s| s.to_cartesian()).collect();
+        (sph, cart)
+    }
+
+    const U_T: f64 = 0.003;
+    const U_P: f64 = 0.007;
+
+    #[test]
+    fn single_ring_becomes_one_polyline() {
+        let triples: Vec<(f64, f64, f64)> =
+            (0..50).map(|i| (i as f64 * U_T, 1.6, 10.0)).collect();
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert_eq!(org.polylines.len(), 1);
+        assert_eq!(org.polylines[0].len(), 50);
+        assert!(org.outliers.is_empty());
+        // Left-to-right order.
+        let line = &org.polylines[0];
+        for w in line.windows(2) {
+            assert!(sph[w[0] as usize].theta < sph[w[1] as usize].theta);
+        }
+    }
+
+    #[test]
+    fn gap_splits_polyline() {
+        // 20 points, a gap > 2·u_θ in the middle.
+        let mut triples: Vec<(f64, f64, f64)> =
+            (0..10).map(|i| (i as f64 * U_T, 1.6, 10.0)).collect();
+        triples.extend((0..10).map(|i| (0.2 + i as f64 * U_T, 1.6, 10.0)));
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert_eq!(org.polylines.len(), 2);
+    }
+
+    #[test]
+    fn phi_band_rejects_other_rings() {
+        // Two rings separated by 3·u_φ: never merged.
+        let mut triples: Vec<(f64, f64, f64)> =
+            (0..20).map(|i| (i as f64 * U_T, 1.6, 10.0)).collect();
+        triples.extend((0..20).map(|i| (i as f64 * U_T, 1.6 + 3.0 * U_P, 12.0)));
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert_eq!(org.polylines.len(), 2);
+        assert_eq!(org.polylines[0].len(), 20);
+        // Sorted by polar angle of head.
+        assert!(
+            sph[org.polylines[0][0] as usize].phi < sph[org.polylines[1][0] as usize].phi
+        );
+    }
+
+    #[test]
+    fn isolated_points_are_outliers() {
+        let triples = [
+            (0.0, 1.6, 10.0),
+            (0.5, 1.2, 20.0),
+            (-0.7, 1.9, 30.0),
+        ];
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert!(org.polylines.is_empty());
+        assert_eq!(org.outliers.len(), 3);
+    }
+
+    #[test]
+    fn left_extension_from_middle_seed() {
+        // Seed iteration order is input order; put the middle point first so
+        // the polyline must grow in both directions.
+        let mut triples = vec![(25.0 * U_T, 1.6, 10.0)];
+        triples.extend((0..50).filter(|&i| i != 25).map(|i| (i as f64 * U_T, 1.6, 10.0)));
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert_eq!(org.polylines.len(), 1);
+        assert_eq!(org.polylines[0].len(), 50);
+    }
+
+    #[test]
+    fn nearest_candidate_wins() {
+        // Two candidates in the Δθ window; the nearer (in 3D) is chosen.
+        let triples = [
+            (0.0, 1.6, 10.0),
+            (1.2 * U_T, 1.6, 10.05),  // near in r
+            (1.0 * U_T, 1.6, 14.0),   // same band, farther in r
+            (2.4 * U_T, 1.6, 10.1),   // continues the line
+        ];
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 2);
+        // First polyline should contain points 0, 1, 3 in order.
+        let main: &Vec<u32> = org
+            .polylines
+            .iter()
+            .find(|l| l.contains(&0))
+            .expect("line through point 0");
+        assert_eq!(main, &vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let org = organize_sparse_points(&[], &[], U_T, U_P, 3);
+        assert!(org.polylines.is_empty() && org.outliers.is_empty());
+    }
+
+    #[test]
+    fn all_points_accounted_for() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        let triples: Vec<(f64, f64, f64)> = (0..2000)
+            .map(|_| {
+                (
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(1.5..2.0),
+                    rng.gen_range(5.0..60.0),
+                )
+            })
+            .collect();
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        let total = org.polyline_points() + org.outliers.len();
+        assert_eq!(total, 2000);
+        // No index appears twice.
+        let mut seen = vec![false; 2000];
+        for &i in org.polylines.iter().flatten().chain(&org.outliers) {
+            assert!(!seen[i as usize], "duplicate index {i}");
+            seen[i as usize] = true;
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Radial-distance-optimized delta encoding (§3.5 step 8).
+//!
+//! Plain delta coding on `r` suffers at object boundaries, where consecutive
+//! polyline points jump between surfaces. Definition 3.3 generalizes the
+//! reference point: it may come from the *consensus reference polyline* `l*`
+//! (Algorithm 2) — a vertically adjacent, already-coded polyline — or from
+//! the preceding point on the same line.
+//!
+//! The decoder reproduces every reference choice from information it already
+//! has (decoded `θ`, `φ`, and previously decoded `r` values); only the
+//! ambiguous case (2b), where the reference is whichever candidate's `r` is
+//! nearest to the value being coded, records an explicit 2-bit symbol in
+//! `L_ref`: `p_bl = 0`, `p_ur = 1`, `p_um = 2`, `p_ul = 3`.
+//!
+//! Points are stored as `[c1, c2, c3] = [θ, φ, r]` in quantized units.
+
+use dbgc_codec::CodecError;
+
+/// A point of the consensus polyline: azimuthal angle and radial distance in
+/// quantized units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct StarPoint {
+    theta: i64,
+    r: i64,
+}
+
+/// Build the consensus reference polyline `l*` for line `li` (Algorithm 2).
+///
+/// Reference polylines are the lines preceding `li` whose head polar angle is
+/// within `th_phi` of `li`'s (Definition 3.4). They are merged left-to-right:
+/// a later line replaces the span of `l*` its θ-range covers.
+///
+/// Reads `r` from channel 2 of earlier lines, which the decoder has already
+/// filled, so encoder and decoder build identical consensus lines.
+fn build_consensus(lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> Vec<StarPoint> {
+    let phi_head = lines[li][0][1];
+    let mut star: Vec<StarPoint> = Vec::new();
+    for line in lines.iter().take(li) {
+        if line.is_empty() || (line[0][1] - phi_head).abs() > th_phi {
+            continue;
+        }
+        let front_t = line[0][0];
+        let back_t = line[line.len() - 1][0];
+        let as_star = line.iter().map(|p| StarPoint { theta: p[0], r: p[2] });
+        match star.last() {
+            None => star.extend(as_star),
+            Some(last) if last.theta < front_t => star.extend(as_star),
+            _ => {
+                let lo = star.partition_point(|p| p.theta <= front_t);
+                let hi = star.partition_point(|p| p.theta < back_t).max(lo);
+                star.splice(lo..hi, as_star);
+            }
+        }
+    }
+    debug_assert!(star.windows(2).all(|w| w[0].theta <= w[1].theta), "l* stays sorted");
+    star
+}
+
+/// The reference decision for one point.
+enum RefChoice {
+    /// Situations (1) and (2a): the reference is implied; no symbol recorded.
+    Implied(i64),
+    /// Situation (2b): candidates `(symbol, r)`; the encoder picks the `r`
+    /// nearest to the coded value and records the symbol.
+    Recorded(Vec<(u8, i64)>),
+}
+
+/// Decide the reference for point `k` of line `li`, given the consensus line.
+fn reference(
+    lines: &[Vec<[i64; 3]>],
+    li: usize,
+    k: usize,
+    star: &[StarPoint],
+    th_r: i64,
+) -> RefChoice {
+    let theta_p = lines[li][k][0];
+    // The "previous point" reference: the preceding point on the same line
+    // for tails; for a head (situation 1) the head of the preceding polyline
+    // plays that role — polylines are sorted by (φ, θ), so the previous head
+    // usually continues the same interrupted scan ring.
+    let bl = if k == 0 {
+        if li == 0 {
+            // Very first value of the group: only l* (if any) can help.
+            let idx = star.partition_point(|s| s.theta < theta_p);
+            if idx > 0 {
+                return RefChoice::Implied(star[idx - 1].r);
+            }
+            return RefChoice::Implied(0);
+        }
+        lines[li - 1][0][2]
+    } else {
+        lines[li][k - 1][2]
+    };
+    let idx_l = star.partition_point(|s| s.theta < theta_p);
+    let idx_r = star.partition_point(|s| s.theta <= theta_p);
+    let ul = (idx_l > 0).then(|| star[idx_l - 1].r);
+    let ur = (idx_r < star.len()).then(|| star[idx_r].r);
+    let um = (idx_r > idx_l).then(|| star[idx_r - 1].r);
+    let (Some(ul), Some(ur)) = (ul, ur) else {
+        return RefChoice::Implied(bl);
+    };
+    // Situation (2a): locally flat — every pair within TH_r, so plain delta
+    // to `p_bl` is good and no choice needs recording.
+    if (ul - ur).abs() <= th_r && (ul - bl).abs() <= th_r && (ur - bl).abs() <= th_r {
+        return RefChoice::Implied(bl);
+    }
+    // Situation (2b).
+    let mut cands = vec![(0u8, bl), (1u8, ur)];
+    if let Some(um) = um {
+        cands.push((2, um));
+    }
+    cands.push((3, ul));
+    RefChoice::Recorded(cands)
+}
+
+/// Encoded radial channel: head and tail residuals are kept in separate
+/// sequences — heads carry line-to-line references (situation 1) with a
+/// wider distribution than the within-line tail residuals, and mixing them
+/// into one entropy model measurably hurts (the same observation behind the
+/// paper's step-3 head/tail reorganization of θ and φ).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RadialStreams {
+    /// `∇r` of each line's head, in line order.
+    pub head_nabla: Vec<i64>,
+    /// `∇r` of all non-head points, in traversal order.
+    pub tail_nabla: Vec<i64>,
+    /// `L_ref` symbols for the recorded (2b) choices.
+    pub refs: Vec<u8>,
+}
+
+/// Encode the radial channel of all lines.
+pub fn encode_radial(lines: &[Vec<[i64; 3]>], th_phi: i64, th_r: i64) -> RadialStreams {
+    let mut out = RadialStreams::default();
+    for li in 0..lines.len() {
+        let star = build_consensus(lines, li, th_phi);
+        for k in 0..lines[li].len() {
+            let r = lines[li][k][2];
+            let nabla = match reference(lines, li, k, &star, th_r) {
+                RefChoice::Implied(ref_r) => r - ref_r,
+                RefChoice::Recorded(cands) => {
+                    let &(sym, ref_r) = cands
+                        .iter()
+                        .min_by_key(|&&(sym, cr)| ((r - cr).abs(), sym))
+                        .expect("candidates are non-empty");
+                    out.refs.push(sym);
+                    r - ref_r
+                }
+            };
+            if k == 0 {
+                out.head_nabla.push(nabla);
+            } else {
+                out.tail_nabla.push(nabla);
+            }
+        }
+    }
+    out
+}
+
+/// Decode the radial channel in place; `lines[..][..]\[2\]` must be zeroed (or
+/// arbitrary) on entry and is overwritten.
+pub fn decode_radial(
+    lines: &mut [Vec<[i64; 3]>],
+    streams: &RadialStreams,
+    th_phi: i64,
+    th_r: i64,
+) -> Result<(), CodecError> {
+    let mut hi = 0usize;
+    let mut ti = 0usize;
+    let mut ri = 0usize;
+    for li in 0..lines.len() {
+        let star = build_consensus(lines, li, th_phi);
+        for k in 0..lines[li].len() {
+            let d = if k == 0 {
+                let d = *streams
+                    .head_nabla
+                    .get(hi)
+                    .ok_or(CodecError::CorruptStream("∇L_r head underrun"))?;
+                hi += 1;
+                d
+            } else {
+                let d = *streams
+                    .tail_nabla
+                    .get(ti)
+                    .ok_or(CodecError::CorruptStream("∇L_r tail underrun"))?;
+                ti += 1;
+                d
+            };
+            let ref_r = match reference(lines, li, k, &star, th_r) {
+                RefChoice::Implied(r) => r,
+                RefChoice::Recorded(cands) => {
+                    let sym = *streams
+                        .refs
+                        .get(ri)
+                        .ok_or(CodecError::CorruptStream("L_ref underrun"))?;
+                    ri += 1;
+                    cands
+                        .iter()
+                        .find(|&&(s, _)| s == sym)
+                        .ok_or(CodecError::CorruptStream("invalid L_ref symbol"))?
+                        .1
+                }
+            };
+            lines[li][k][2] = ref_r + d;
+        }
+    }
+    if hi != streams.head_nabla.len()
+        || ti != streams.tail_nabla.len()
+        || ri != streams.refs.len()
+    {
+        return Err(CodecError::CorruptStream("radial stream length mismatch"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Round-trip helper: encode, wipe r, decode, compare. Returns the
+    /// concatenated residuals in traversal order plus the L_ref symbols.
+    fn roundtrip(lines: &[Vec<[i64; 3]>], th_phi: i64, th_r: i64) -> (Vec<i64>, Vec<u8>) {
+        let streams = encode_radial(lines, th_phi, th_r);
+        let mut wiped: Vec<Vec<[i64; 3]>> = lines
+            .iter()
+            .map(|l| l.iter().map(|p| [p[0], p[1], 0]).collect())
+            .collect();
+        decode_radial(&mut wiped, &streams, th_phi, th_r).unwrap();
+        assert_eq!(wiped, lines, "lossless radial round-trip");
+        // Re-interleave for assertions that index by traversal order.
+        let mut nabla = Vec::new();
+        let (mut hi, mut ti) = (0usize, 0usize);
+        for l in lines {
+            nabla.push(streams.head_nabla[hi]);
+            hi += 1;
+            for _ in 1..l.len() {
+                nabla.push(streams.tail_nabla[ti]);
+                ti += 1;
+            }
+        }
+        (nabla, streams.refs)
+    }
+
+    /// Two stacked rings over a flat scene: small deltas, no symbols.
+    #[test]
+    fn flat_scene_uses_no_symbols() {
+        let line = |phi: i64, r0: i64| -> Vec<[i64; 3]> {
+            (0..30).map(|i| [i * 10, phi, r0 + (i % 3)]).collect()
+        };
+        let lines = vec![line(100, 500), line(102, 505)];
+        let (nabla, refs) = roundtrip(&lines, 4, 50);
+        assert!(refs.is_empty(), "flat scene must stay in situation 2a: {refs:?}");
+        // Deltas stay small.
+        assert!(nabla[1..].iter().all(|&d| d.abs() <= 10), "{nabla:?}");
+    }
+
+    /// An object edge: the same θ span jumps in r on both lines; the upper
+    /// line should be the better reference across the edge.
+    #[test]
+    fn object_edge_uses_upper_reference() {
+        let edge_line = |phi: i64| -> Vec<[i64; 3]> {
+            (0..30)
+                .map(|i| {
+                    let r = if (10..20).contains(&i) { 200 } else { 900 };
+                    [i * 10, phi, r]
+                })
+                .collect()
+        };
+        let lines = vec![edge_line(100), edge_line(102)];
+        let (nabla, refs) = roundtrip(&lines, 4, 50);
+        assert!(!refs.is_empty(), "edges must trigger situation 2b");
+        // With the upper line available, the second line's edge deltas are
+        // near zero instead of ±700.
+        let second_line_deltas = &nabla[30..];
+        let big = second_line_deltas.iter().filter(|d| d.abs() > 100).count();
+        assert!(big <= 2, "most deltas should use the upper reference: {second_line_deltas:?}");
+    }
+
+    #[test]
+    fn plain_delta_matches_when_no_reference_lines() {
+        // A single line: head gets the zero reference, the rest delta to the
+        // preceding point.
+        let line: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 50, 300 + i * 2]).collect();
+        let (nabla, refs) = roundtrip(&[line.clone()], 4, 50);
+        assert!(refs.is_empty());
+        assert_eq!(nabla[0], 300);
+        assert!(nabla[1..].iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn reference_set_respects_th_phi() {
+        // Second line's φ is far outside TH_φ: it must not reference line 0.
+        let l0: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 0, 100]).collect();
+        let l1: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 1000, 500]).collect();
+        let (nabla, _) = roundtrip(&[l0, l1], 4, 50);
+        // Line 1's head references line 0's head (fallback), giving 400, and
+        // the rest plain-delta (0) — never l*-based values.
+        assert_eq!(nabla[10], 400);
+        assert!(nabla[11..].iter().all(|&d| d == 0));
+    }
+
+    #[test]
+    fn consensus_splice_prefers_later_lines() {
+        // Line 0 covers θ 0..300 at r=100; line 1 covers θ 100..200 at r=900.
+        // For line 2, l* should contain r=900 in the middle span.
+        let l0: Vec<[i64; 3]> = (0..30).map(|i| [i * 10, 0, 100]).collect();
+        let l1: Vec<[i64; 3]> = (10..20).map(|i| [i * 10, 1, 900]).collect();
+        let lines = vec![l0, l1];
+        let star = build_consensus(&lines, 1, 4);
+        // Building for line 1 only includes line 0.
+        assert_eq!(star.len(), 30);
+        let l2: Vec<[i64; 3]> = vec![[150, 2, 0]];
+        let mut all = lines;
+        all.push(l2);
+        let star = build_consensus(&all, 2, 4);
+        // The interior of the overlap was replaced by line 1's points (the
+        // boundary θ values keep one point from each line).
+        let mid: Vec<i64> =
+            star.iter().filter(|s| (105..=185).contains(&s.theta)).map(|s| s.r).collect();
+        assert!(!mid.is_empty() && mid.iter().all(|&r| r == 900), "{mid:?}");
+        assert!(star.windows(2).all(|w| w[0].theta <= w[1].theta));
+    }
+
+    #[test]
+    fn corrupt_streams_rejected() {
+        let line: Vec<[i64; 3]> = (0..5).map(|i| [i * 10, 0, 100]).collect();
+        let lines = vec![line];
+        let streams = encode_radial(&lines, 4, 50);
+        let mut short = streams.clone();
+        short.tail_nabla.pop();
+        let mut wiped = lines.clone();
+        assert!(decode_radial(&mut wiped, &short, 4, 50).is_err());
+        let mut long = streams.clone();
+        long.tail_nabla.push(0);
+        let mut wiped = lines.clone();
+        assert!(decode_radial(&mut wiped, &long, 4, 50).is_err());
+        let mut extra_refs = streams;
+        extra_refs.refs.push(0);
+        let mut wiped = lines.clone();
+        assert!(decode_radial(&mut wiped, &extra_refs, 4, 50).is_err());
+    }
+
+    #[test]
+    fn random_lines_roundtrip() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(91);
+        let mut lines = Vec::new();
+        for li in 0..40 {
+            let len = rng.gen_range(1..40);
+            let start = rng.gen_range(0..500);
+            let mut theta = start;
+            let line: Vec<[i64; 3]> = (0..len)
+                .map(|_| {
+                    theta += rng.gen_range(1..15);
+                    [theta, li * 2 + rng.gen_range(0..2), rng.gen_range(0..3000)]
+                })
+                .collect();
+            lines.push(line);
+        }
+        roundtrip(&lines, 4, 50);
+    }
+}

@@ -1,0 +1,159 @@
+//! Compression statistics and timing breakdown (paper Fig. 13).
+
+use std::time::Duration;
+
+/// Sizes of the sections of the final bitstream `B` (Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SectionSizes {
+    /// Stream magic, error bound, sensor spacings, flags, counts.
+    pub header: usize,
+    /// `B_dense`: the octree section.
+    pub dense: usize,
+    /// All sparse group sections (`r_max` + coordinate frames).
+    pub sparse: usize,
+    /// `B_outlier`: the outlier section.
+    pub outlier: usize,
+}
+
+impl SectionSizes {
+    /// `|B|`: total stream size in bytes.
+    pub fn total(&self) -> usize {
+        self.header + self.dense + self.sparse + self.outlier
+    }
+}
+
+/// Timing of the compression building blocks, labelled as in Fig. 13:
+/// DEN (clustering), OCT (octree), COR (coordinate conversion),
+/// ORG (point organization), SPA (sparse coordinate compression),
+/// OUT (outlier compression).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TimingBreakdown {
+    /// Density-based clustering.
+    pub den: Duration,
+    /// Octree compression of dense points.
+    pub oct: Duration,
+    /// Cartesian → spherical conversion.
+    pub cor: Duration,
+    /// Polyline organization (Algorithm 1).
+    pub org: Duration,
+    /// Sparse coordinate compression (steps 1-9).
+    pub spa: Duration,
+    /// Outlier compression.
+    pub out: Duration,
+}
+
+impl TimingBreakdown {
+    /// Sum of all compression phases.
+    pub fn total(&self) -> Duration {
+        self.den + self.oct + self.cor + self.org + self.spa + self.out
+    }
+
+    /// `(label, fraction_of_total)` pairs, for the Fig. 13 report.
+    pub fn fractions(&self) -> [(&'static str, f64); 6] {
+        let t = self.total().as_secs_f64().max(1e-12);
+        [
+            ("DEN", self.den.as_secs_f64() / t),
+            ("OCT", self.oct.as_secs_f64() / t),
+            ("COR", self.cor.as_secs_f64() / t),
+            ("ORG", self.org.as_secs_f64() / t),
+            ("SPA", self.spa.as_secs_f64() / t),
+            ("OUT", self.out.as_secs_f64() / t),
+        ]
+    }
+}
+
+/// Everything the compressor reports besides the bitstream.
+#[derive(Debug, Clone, Default)]
+pub struct CompressionStats {
+    /// `|PC|`: input point count.
+    pub total_points: usize,
+    /// Points routed to the octree.
+    pub dense_points: usize,
+    /// Points on polylines.
+    pub sparse_points: usize,
+    /// Points on no polyline.
+    pub outlier_points: usize,
+    /// Number of polylines across all groups.
+    pub polylines: usize,
+    /// Byte sizes of the stream sections.
+    pub sections: SectionSizes,
+    /// Per-phase compression timing.
+    pub timing: TimingBreakdown,
+}
+
+impl CompressionStats {
+    /// Compression ratio against 12-byte (3 × f32) raw points.
+    pub fn compression_ratio(&self) -> f64 {
+        let raw = self.total_points * 12;
+        if self.sections.total() == 0 {
+            0.0
+        } else {
+            raw as f64 / self.sections.total() as f64
+        }
+    }
+
+    /// Bits per input point in the compressed stream.
+    pub fn bits_per_point(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.sections.total() as f64 * 8.0 / self.total_points as f64
+        }
+    }
+
+    /// Fraction of points classified dense.
+    pub fn dense_fraction(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.dense_points as f64 / self.total_points as f64
+        }
+    }
+
+    /// Fraction of points that ended up as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        if self.total_points == 0 {
+            0.0
+        } else {
+            self.outlier_points as f64 / self.total_points as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_math() {
+        let stats = CompressionStats {
+            total_points: 1000,
+            sections: SectionSizes { header: 20, dense: 400, sparse: 500, outlier: 80 },
+            ..Default::default()
+        };
+        assert!((stats.compression_ratio() - 12.0).abs() < 1e-12);
+        assert!((stats.bits_per_point() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = CompressionStats::default();
+        assert_eq!(stats.compression_ratio(), 0.0);
+        assert_eq!(stats.bits_per_point(), 0.0);
+        assert_eq!(stats.dense_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let timing = TimingBreakdown {
+            den: Duration::from_millis(30),
+            oct: Duration::from_millis(10),
+            cor: Duration::from_millis(5),
+            org: Duration::from_millis(25),
+            spa: Duration::from_millis(50),
+            out: Duration::from_millis(5),
+        };
+        let sum: f64 = timing.fractions().iter().map(|&(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+}

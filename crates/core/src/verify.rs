@@ -1,0 +1,93 @@
+//! Round-trip verification against the paper's error-bound semantics.
+//!
+//! DBGC's three paths have different guarantees (see DESIGN.md §5):
+//!
+//! * octree (dense) and quadtree/octree outliers: per-axis error `<= q`;
+//! * spherical polyline points: Euclidean error `<= √(2 + sin²φ)·q <= √3·q`
+//!   (Lemma 3.2), the same worst case as per-axis-`q` Cartesian quantization;
+//! * Cartesian polyline points (−Conversion): per-axis error `<= q`.
+//!
+//! [`verify_roundtrip`] therefore checks the Euclidean bound `√3·q` for every
+//! pair — valid for all paths — and reports the measured maxima so callers
+//! can assert the tighter per-path bounds when they know the configuration.
+
+use dbgc_geom::{CloudError, ErrorReport, PointCloud};
+
+use crate::pipeline::CompressedFrame;
+
+/// Tolerance multiplier absorbing floating-point slop in the conversions.
+const FLOAT_SLACK: f64 = 1.0 + 1e-9;
+
+/// Verify a compress/decompress round trip: one-to-one mapping and the
+/// Lemma 3.2 error bound. Returns the measured error report.
+pub fn verify_roundtrip(
+    original: &PointCloud,
+    decompressed: &PointCloud,
+    frame: &CompressedFrame,
+    q_xyz: f64,
+) -> Result<ErrorReport, CloudError> {
+    let report = ErrorReport::paired(original, decompressed, &frame.mapping)?;
+    let bound = (3.0f64).sqrt() * q_xyz * FLOAT_SLACK;
+    if report.max_euclidean_error > bound {
+        return Err(CloudError::BoundExceeded {
+            index: usize::MAX,
+            error: report.max_euclidean_error,
+            bound,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::{Dbgc, DbgcConfig};
+    use dbgc_geom::Point3;
+    use rand::{Rng, SeedableRng};
+
+    /// A small LiDAR-ish cloud: dense near-field disc + sparse rings.
+    pub(crate) fn mini_lidar_cloud(seed: u64, n_dense: usize, n_rings: usize) -> PointCloud {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut cloud = PointCloud::new();
+        for _ in 0..n_dense {
+            let r = rng.gen_range(2.0..6.0);
+            let th = rng.gen_range(0.0..std::f64::consts::TAU);
+            cloud.push(Point3::new(r * th.cos(), r * th.sin(), rng.gen_range(-1.73..-1.65)));
+        }
+        for ring in 0..n_rings {
+            let r0 = 15.0 + ring as f64 * 4.0;
+            for k in 0..600 {
+                if rng.gen_bool(0.1) {
+                    continue;
+                }
+                let th = k as f64 / 600.0 * std::f64::consts::TAU
+                    + rng.gen_range(-0.001..0.001);
+                let r = r0 + rng.gen_range(-0.02..0.02);
+                cloud.push(Point3::new(r * th.cos(), r * th.sin(), -1.73));
+            }
+        }
+        cloud
+    }
+
+    #[test]
+    fn verify_accepts_valid_roundtrip() {
+        let cloud = mini_lidar_cloud(1, 2000, 5);
+        let dbgc = Dbgc::new(DbgcConfig::with_error_bound(0.02));
+        let frame = dbgc.compress(&cloud).unwrap();
+        let (dec, _) = crate::decompress(&frame.bytes).unwrap();
+        let report = verify_roundtrip(&cloud, &dec, &frame, 0.02).unwrap();
+        assert!(report.max_euclidean_error <= 3.0f64.sqrt() * 0.02 * 1.01);
+        assert_eq!(report.pairs, cloud.len());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_bound() {
+        let cloud = mini_lidar_cloud(2, 500, 2);
+        let dbgc = Dbgc::new(DbgcConfig::with_error_bound(0.05));
+        let frame = dbgc.compress(&cloud).unwrap();
+        let (dec, _) = crate::decompress(&frame.bytes).unwrap();
+        // Checking against a much tighter bound than used must fail (the
+        // stream was quantized at 5 cm).
+        assert!(verify_roundtrip(&cloud, &dec, &frame, 0.001).is_err());
+    }
+}

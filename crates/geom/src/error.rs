@@ -1,0 +1,196 @@
+//! Error metrics between an original cloud and its decompressed counterpart.
+//!
+//! The DBGC decompressor emits points in a deterministic order with a known
+//! one-to-one mapping back to input indices, so errors are measured pairwise
+//! (paper Definition 2.2), not by nearest-neighbour matching.
+
+use std::fmt;
+
+use crate::point::{Point3, PointCloud};
+
+/// Why a decompressed cloud failed verification against the original.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CloudError {
+    /// The two clouds have different cardinalities, so no one-to-one mapping
+    /// exists.
+    /// The two clouds have different cardinalities.
+    LengthMismatch {
+        /// Point count of the original cloud.
+        original: usize,
+        /// Point count of the decompressed cloud.
+        decompressed: usize,
+    },
+    /// A point pair exceeded the allowed error.
+    /// A point pair exceeded the allowed error.
+    BoundExceeded {
+        /// Offending pair index (`usize::MAX` when aggregated).
+        index: usize,
+        /// The measured error.
+        error: f64,
+        /// The allowed bound.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::LengthMismatch { original, decompressed } => write!(
+                f,
+                "point count mismatch: original has {original} points, decompressed has {decompressed}"
+            ),
+            CloudError::BoundExceeded { index, error, bound } => write!(
+                f,
+                "point {index} exceeds error bound: error {error:.6} > bound {bound:.6}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+/// Pairwise error statistics between two clouds under a one-to-one mapping
+/// given by `mapping[i] = j`, pairing `original[i]` with `decompressed[j]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ErrorReport {
+    /// Maximum per-axis (L∞) error over all pairs.
+    pub max_axis_error: f64,
+    /// Maximum Euclidean (L2) error over all pairs.
+    pub max_euclidean_error: f64,
+    /// Mean Euclidean error over all pairs.
+    pub mean_euclidean_error: f64,
+    /// Number of point pairs compared.
+    pub pairs: usize,
+}
+
+impl ErrorReport {
+    /// Compare `original[i]` against `decompressed[mapping[i]]` for all `i`.
+    pub fn paired(
+        original: &PointCloud,
+        decompressed: &PointCloud,
+        mapping: &[usize],
+    ) -> Result<ErrorReport, CloudError> {
+        if original.len() != decompressed.len() || mapping.len() != original.len() {
+            return Err(CloudError::LengthMismatch {
+                original: original.len(),
+                decompressed: decompressed.len(),
+            });
+        }
+        let mut rep = ErrorReport { pairs: original.len(), ..Default::default() };
+        let mut sum = 0.0;
+        for (i, &j) in mapping.iter().enumerate() {
+            let a = original[i];
+            let b = decompressed[j];
+            rep.max_axis_error = rep.max_axis_error.max(a.linf_dist(b));
+            let e = a.dist(b);
+            rep.max_euclidean_error = rep.max_euclidean_error.max(e);
+            sum += e;
+        }
+        if rep.pairs > 0 {
+            rep.mean_euclidean_error = sum / rep.pairs as f64;
+        }
+        Ok(rep)
+    }
+
+    /// Compare clouds pairwise in index order (identity mapping).
+    pub fn identity(
+        original: &PointCloud,
+        decompressed: &PointCloud,
+    ) -> Result<ErrorReport, CloudError> {
+        let mapping: Vec<usize> = (0..original.len()).collect();
+        ErrorReport::paired(original, decompressed, &mapping)
+    }
+
+    /// Check the Euclidean bound, returning the first offending pair.
+    pub fn check_euclidean(&self, bound: f64) -> Result<(), CloudError> {
+        if self.max_euclidean_error > bound {
+            return Err(CloudError::BoundExceeded {
+                index: usize::MAX,
+                error: self.max_euclidean_error,
+                bound,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Locate the first pair whose Euclidean error exceeds `bound`; useful in
+/// debugging failed round trips.
+pub fn first_violation(
+    original: &[Point3],
+    decompressed: &[Point3],
+    bound: f64,
+) -> Option<(usize, f64)> {
+    original
+        .iter()
+        .zip(decompressed)
+        .enumerate()
+        .find_map(|(i, (a, b))| {
+            let e = a.dist(*b);
+            (e > bound).then_some((i, e))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(pts: &[(f64, f64, f64)]) -> PointCloud {
+        pts.iter().map(|&(x, y, z)| Point3::new(x, y, z)).collect()
+    }
+
+    #[test]
+    fn identity_report() {
+        let a = cloud(&[(0.0, 0.0, 0.0), (1.0, 1.0, 1.0)]);
+        let b = cloud(&[(0.01, 0.0, 0.0), (1.0, 1.02, 1.0)]);
+        let rep = ErrorReport::identity(&a, &b).unwrap();
+        assert!((rep.max_axis_error - 0.02).abs() < 1e-12);
+        assert!((rep.max_euclidean_error - 0.02).abs() < 1e-12);
+        assert!((rep.mean_euclidean_error - 0.015).abs() < 1e-12);
+        assert_eq!(rep.pairs, 2);
+    }
+
+    #[test]
+    fn paired_with_permutation() {
+        let a = cloud(&[(0.0, 0.0, 0.0), (5.0, 5.0, 5.0)]);
+        let b = cloud(&[(5.0, 5.0, 5.0), (0.0, 0.0, 0.0)]);
+        let rep = ErrorReport::paired(&a, &b, &[1, 0]).unwrap();
+        assert_eq!(rep.max_euclidean_error, 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = cloud(&[(0.0, 0.0, 0.0)]);
+        let b = cloud(&[]);
+        assert!(matches!(
+            ErrorReport::identity(&a, &b),
+            Err(CloudError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bound_check() {
+        let a = cloud(&[(0.0, 0.0, 0.0)]);
+        let b = cloud(&[(0.05, 0.0, 0.0)]);
+        let rep = ErrorReport::identity(&a, &b).unwrap();
+        assert!(rep.check_euclidean(0.02).is_err());
+        assert!(rep.check_euclidean(0.06).is_ok());
+    }
+
+    #[test]
+    fn first_violation_locates_index() {
+        let a = [Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        let b = [Point3::ZERO, Point3::new(1.5, 0.0, 0.0)];
+        let (idx, err) = first_violation(&a, &b, 0.1).unwrap();
+        assert_eq!(idx, 1);
+        assert!((err - 0.5).abs() < 1e-12);
+        assert!(first_violation(&a, &b, 1.0).is_none());
+    }
+
+    #[test]
+    fn empty_clouds_are_trivially_equal() {
+        let rep = ErrorReport::identity(&PointCloud::new(), &PointCloud::new()).unwrap();
+        assert_eq!(rep.pairs, 0);
+        assert!(rep.check_euclidean(0.0).is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! LiDAR sensor metadata (paper §3.3).
+//!
+//! The sensor's angular ranges and sample counts define the average angular
+//! spacing between adjacent samples, `u_θ` and `u_φ`, which parameterize the
+//! polyline organization (Algorithm 1) and the reference-polyline threshold.
+
+use std::f64::consts::PI;
+
+/// Static metadata of a spinning multi-beam LiDAR sensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorMeta {
+    /// Minimum azimuthal angle (radians).
+    pub theta_min: f64,
+    /// Maximum azimuthal angle (radians).
+    pub theta_max: f64,
+    /// Minimum polar angle (radians, measured from +z).
+    pub phi_min: f64,
+    /// Maximum polar angle (radians).
+    pub phi_max: f64,
+    /// Minimum measurable radial distance (metres).
+    pub r_min: f64,
+    /// Maximum measurable radial distance (metres).
+    pub r_max: f64,
+    /// Number of azimuthal samples per revolution (`H` in the paper).
+    pub h_samples: u32,
+    /// Number of vertical beams (`W` in the paper).
+    pub w_samples: u32,
+}
+
+impl SensorMeta {
+    /// Average azimuthal spacing between two adjacent samples, `u_θ`.
+    #[inline]
+    pub fn u_theta(&self) -> f64 {
+        (self.theta_max - self.theta_min) / self.h_samples as f64
+    }
+
+    /// Average polar spacing between two adjacent beams, `u_φ`.
+    #[inline]
+    pub fn u_phi(&self) -> f64 {
+        (self.phi_max - self.phi_min) / self.w_samples as f64
+    }
+
+    /// Metadata of the Velodyne HDL-64E used by the KITTI and Ford datasets:
+    /// 64 beams spanning +2°…−24.8° elevation, ~0.1728° azimuthal resolution
+    /// (2083 columns at 10 Hz), 120 m range.
+    pub fn velodyne_hdl64e() -> SensorMeta {
+        // Elevation +2° → polar angle 88°; elevation −24.8° → polar 114.8°.
+        let deg = PI / 180.0;
+        SensorMeta {
+            theta_min: -PI,
+            theta_max: PI,
+            phi_min: 88.0 * deg,
+            phi_max: 114.8 * deg,
+            r_min: 0.9,
+            r_max: 120.0,
+            h_samples: 2083,
+            w_samples: 64,
+        }
+    }
+
+    /// A generic 32-beam sensor (Apollo-like urban captures).
+    pub fn generic_32_beam() -> SensorMeta {
+        let deg = PI / 180.0;
+        SensorMeta {
+            theta_min: -PI,
+            theta_max: PI,
+            phi_min: 75.0 * deg,
+            phi_max: 115.0 * deg,
+            r_min: 0.5,
+            r_max: 100.0,
+            h_samples: 1800,
+            w_samples: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdl64e_resolutions() {
+        let m = SensorMeta::velodyne_hdl64e();
+        // 360° over 2083 columns ≈ 0.1728°.
+        let deg = m.u_theta() * 180.0 / PI;
+        assert!((deg - 0.1728).abs() < 0.001, "u_theta = {deg}°");
+        // 26.8° over 64 beams ≈ 0.419°.
+        let deg = m.u_phi() * 180.0 / PI;
+        assert!((deg - 0.4188).abs() < 0.001, "u_phi = {deg}°");
+    }
+
+    #[test]
+    fn polar_range_is_valid() {
+        for m in [SensorMeta::velodyne_hdl64e(), SensorMeta::generic_32_beam()] {
+            assert!(m.phi_min < m.phi_max);
+            assert!(m.phi_min >= 0.0 && m.phi_max <= PI);
+            assert!(m.r_min < m.r_max);
+        }
+    }
+}

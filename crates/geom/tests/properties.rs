@@ -1,0 +1,99 @@
+//! Property-based tests for the geometry invariants everything else rests on.
+
+use dbgc_geom::quant::{dequantize, quantize, SphericalQuant};
+use dbgc_geom::{Aabb, BoundingCube, Point3, Rect2, Spherical};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-200.0..200.0f64, -200.0..200.0f64, -50.0..50.0f64)
+        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn spherical_roundtrip_is_tight(p in arb_point()) {
+        let back = Spherical::from_cartesian(p).to_cartesian();
+        prop_assert!(p.dist(back) < 1e-8 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn spherical_ranges(p in arb_point()) {
+        let s = Spherical::from_cartesian(p);
+        prop_assert!((-std::f64::consts::PI..=std::f64::consts::PI).contains(&s.theta));
+        prop_assert!((0.0..=std::f64::consts::PI).contains(&s.phi));
+        prop_assert!(s.r >= 0.0);
+        prop_assert!((s.r - p.norm()).abs() < 1e-9 * (1.0 + p.norm()));
+    }
+
+    #[test]
+    fn scalar_quantization_bound(v in -1e6..1e6f64, q in 1e-4..1.0f64) {
+        let step = 2.0 * q;
+        let rec = dequantize(quantize(v, step), step);
+        prop_assert!((rec - v).abs() <= q * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn spherical_quant_respects_lemma(p in arb_point(), q in 0.001..0.1f64) {
+        prop_assume!(p.norm() > 0.5);
+        let sq = SphericalQuant::from_error_bound(q, 300.0);
+        let s = Spherical::from_cartesian(p);
+        let rec = sq.dequantize(sq.quantize(s)).to_cartesian();
+        // Lemma 3.2: Euclidean error <= sqrt(3)·q for r <= r_max.
+        prop_assert!(p.dist(rec) <= 3f64.sqrt() * q * (1.0 + 1e-6),
+            "err {} vs bound {}", p.dist(rec), 3f64.sqrt() * q);
+    }
+
+    #[test]
+    fn cube_cells_contain_their_points(
+        pts in proptest::collection::vec(arb_point(), 1..100),
+        depth in 0u32..12
+    ) {
+        let bb = Aabb::from_points(&pts).unwrap();
+        let cube = BoundingCube::enclosing(bb);
+        let half = cube.cell_side(depth) / 2.0;
+        for &p in &pts {
+            let cell = cube.cell_at_depth(p, depth).expect("inside enclosing cube");
+            let c = cube.cell_center(cell, depth);
+            prop_assert!(p.linf_dist(c) <= half * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn rect_cells_contain_their_points(
+        pts in proptest::collection::vec(arb_point(), 1..100),
+        depth in 0u32..12
+    ) {
+        let rect = Rect2::enclosing_xy(&pts).unwrap();
+        let half = rect.side / (1u64 << depth) as f64 / 2.0;
+        for &p in &pts {
+            let cell = rect.cell_at_depth(p.x, p.y, depth).expect("inside rect");
+            let (cx, cy) = rect.cell_center(cell, depth);
+            prop_assert!((p.x - cx).abs() <= half * (1.0 + 1e-9));
+            prop_assert!((p.y - cy).abs() <= half * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn aabb_contains_all_inputs(pts in proptest::collection::vec(arb_point(), 1..200)) {
+        let bb = Aabb::from_points(&pts).unwrap();
+        for &p in &pts {
+            prop_assert!(bb.contains(p));
+        }
+        // Union with itself is idempotent.
+        prop_assert_eq!(bb.union(bb), bb);
+    }
+
+    #[test]
+    fn depth_for_leaf_side_is_sufficient_and_minimal(
+        side in 0.1..1000.0f64,
+        leaf in 0.001..10.0f64
+    ) {
+        let cube = BoundingCube::new(Point3::ZERO, side);
+        let d = cube.depth_for_leaf_side(leaf);
+        prop_assert!(cube.cell_side(d) <= leaf * (1.0 + 1e-9));
+        if d > 0 {
+            prop_assert!(cube.cell_side(d - 1) > leaf * (1.0 - 1e-9),
+                "depth {d} over-subdivides: {} <= {leaf}", cube.cell_side(d - 1));
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! A simplified G-PCC (MPEG TMC13-like) octree geometry coder.
+//!
+//! The paper compares DBGC against G-PCC \[33\] and attributes G-PCC's edge
+//! over plain octrees to two optimizations (§4.2): *neighbour-dependent
+//! entropy coding* and *direct point coding* (IDCM). This crate implements an
+//! octree coder with exactly those two mechanisms:
+//!
+//! * **Neighbour contexts** — a node's occupancy byte is coded under a model
+//!   selected by how many of its six face-neighbour cells (same tree level)
+//!   are occupied. Surfaces make neighbour occupancy highly predictive.
+//! * **Direct point coding** — a node whose subtree contains a single leaf
+//!   can skip subdivision: a flag is coded (context: neighbour count), then
+//!   the leaf's remaining Morton path is written raw. This is what rescues
+//!   octrees on sparse LiDAR regions, where deep chains of single-child
+//!   nodes otherwise cost a full occupancy byte per level.
+//!
+//! Duplicate points are preserved (`mergeDuplicatedPoints` disabled), as the
+//! paper requires for its one-to-one-mapping problem statement.
+
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+
+use dbgc_codec::intseq;
+use dbgc_codec::varint::{write_f64, write_uvarint, ByteReader};
+use dbgc_codec::{CodecError, ContextModel, RangeDecoder, RangeEncoder};
+use dbgc_geom::{BoundingCube, Point3};
+use dbgc_octree::builder::{demorton3, morton3, Octree, MAX_DEPTH};
+
+/// Minimum remaining depth for a node to be IDCM-eligible; below this the
+/// raw path is no cheaper than subdividing.
+const IDCM_MIN_REMAINING: u32 = 2;
+
+/// Result of encoding.
+#[derive(Debug, Clone)]
+pub struct GpccEncodeResult {
+    /// The compressed bitstream.
+    pub bytes: Vec<u8>,
+    /// `mapping[i]` is the index of input point `i` in the decoded output.
+    pub mapping: Vec<usize>,
+    /// Number of nodes coded via the direct (IDCM) path, for stats.
+    pub direct_coded: usize,
+}
+
+/// Result of decoding.
+#[derive(Debug, Clone)]
+pub struct GpccDecodeResult {
+    /// Decoded points (leaf centres, duplicates preserved).
+    pub points: Vec<Point3>,
+}
+
+/// The simplified G-PCC codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpccCodec;
+
+/// Occupancy contexts: parent occupancy code (256) × whether any face
+/// neighbour is occupied (2).
+const OCC_CONTEXTS: usize = 256 * 2;
+
+/// Count occupied face neighbours of `prefix` among `level_cells` (cells at
+/// the same level), clamped to the level's grid bounds.
+fn neighbor_context(prefix: u64, level: u32, level_cells: &HashSet<u64>) -> usize {
+    if level == 0 {
+        return 0;
+    }
+    let (x, y, z) = demorton3(prefix);
+    let max = (1u64 << level) - 1;
+    let mut count = 0usize;
+    let mut check = |cx: u64, cy: u64, cz: u64| {
+        if level_cells.contains(&morton3((cx, cy, cz))) {
+            count += 1;
+        }
+    };
+    if x > 0 {
+        check(x - 1, y, z);
+    }
+    if x < max {
+        check(x + 1, y, z);
+    }
+    if y > 0 {
+        check(x, y - 1, z);
+    }
+    if y < max {
+        check(x, y + 1, z);
+    }
+    if z > 0 {
+        check(x, y, z - 1);
+    }
+    if z < max {
+        check(x, y, z + 1);
+    }
+    count
+}
+
+impl GpccCodec {
+    /// Compress `points` with leaf side `2·q_xyz` (per-axis error `<= q_xyz`).
+    pub fn encode(&self, points: &[Point3], q_xyz: f64) -> GpccEncodeResult {
+        let Some(tree) = Octree::build(points, q_xyz) else {
+            let mut out = Vec::new();
+            write_f64(&mut out, 0.0);
+            write_f64(&mut out, 0.0);
+            write_f64(&mut out, 0.0);
+            write_f64(&mut out, 0.0);
+            write_uvarint(&mut out, 0);
+            write_uvarint(&mut out, 0);
+            return GpccEncodeResult { bytes: out, mapping: Vec::new(), direct_coded: 0 };
+        };
+        let mut out = Vec::new();
+        write_f64(&mut out, tree.cube.origin.x);
+        write_f64(&mut out, tree.cube.origin.y);
+        write_f64(&mut out, tree.cube.origin.z);
+        write_f64(&mut out, tree.cube.side);
+        write_uvarint(&mut out, tree.depth as u64);
+        write_uvarint(&mut out, tree.leaf_count() as u64);
+
+        let mut enc = RangeEncoder::new();
+        // Byte-wise occupancy under (parent code, neighbour-presence)
+        // contexts: the "neighbour-dependent entropy coding" of TMC13,
+        // grafted onto the parent-code grouping of Octree_i.
+        let mut occ_model = ContextModel::new(OCC_CONTEXTS, 255);
+        // IDCM flag model: only isolated nodes are eligible, one context per
+        // parent pop-count bucket.
+        let mut idcm_model = ContextModel::new(9, 2);
+        // Order-1 adaptive model for IDCM suffix child indices (context =
+        // previous child index): straight-line chains repeat child indices.
+        let mut idcm_path = ContextModel::new(8, 8);
+        let mut direct_coded = 0usize;
+
+        if tree.depth > 0 {
+            // BFS level by level; each entry covers leaf_keys[start..end]
+            // and carries the node's Morton prefix at the current level.
+            let mut current: Vec<(usize, usize, u64, u8)> =
+                vec![(0, tree.leaf_keys.len(), 0, 0)];
+            for level in 0..tree.depth {
+                let remaining = tree.depth - level;
+                let shift = 3 * (remaining - 1);
+                let level_cells: HashSet<u64> =
+                    current.iter().map(|&(_, _, p, _)| p).collect();
+                let mut next = Vec::new();
+                for &(start, end, prefix, parent_code) in &current {
+                    let neighbors = neighbor_context(prefix, level, &level_cells);
+                    let ctx = parent_code as usize * 2 + usize::from(neighbors > 0);
+                    let pbucket = (parent_code.count_ones() as usize).min(8);
+                    let eligible = remaining >= IDCM_MIN_REMAINING
+                        && neighbors == 0
+                        && parent_code.count_ones() == 1;
+                    if eligible {
+                        let use_idcm = end - start == 1;
+                        idcm_model.encode(&mut enc, pbucket, use_idcm as usize);
+                        if use_idcm {
+                            // Remaining Morton path of the single leaf, one
+                            // adaptively-coded child index per level.
+                            let mut prev = 0usize;
+                            for lvl in (0..remaining).rev() {
+                                let child =
+                                    ((tree.leaf_keys[start] >> (3 * lvl)) & 0b111) as usize;
+                                idcm_path.encode(&mut enc, prev, child);
+                                prev = child;
+                            }
+                            direct_coded += 1;
+                            continue;
+                        }
+                    }
+                    // Normal subdivision: occupancy byte + child expansion.
+                    let mut code = 0u8;
+                    let mut children = [(0usize, 0usize); 8];
+                    let mut i = start;
+                    while i < end {
+                        let child = ((tree.leaf_keys[i] >> shift) & 0b111) as u8;
+                        let mut j = i + 1;
+                        while j < end
+                            && ((tree.leaf_keys[j] >> shift) & 0b111) as u8 == child
+                        {
+                            j += 1;
+                        }
+                        code |= 1 << child;
+                        children[child as usize] = (i, j);
+                        i = j;
+                    }
+                    occ_model.encode(&mut enc, ctx, code as usize - 1);
+                    if remaining > 1 {
+                        for child in 0..8u64 {
+                            if code & (1 << child as u8) != 0 {
+                                let (s, e) = children[child as usize];
+                                next.push((s, e, (prefix << 3) | child, code));
+                            }
+                        }
+                    }
+                }
+                current = next;
+            }
+        }
+        let occ = enc.finish();
+        write_uvarint(&mut out, occ.len() as u64);
+        out.extend_from_slice(&occ);
+
+        let extras: Vec<i64> = tree.leaf_counts.iter().map(|&c| c as i64 - 1).collect();
+        intseq::compress_ints_rc(&mut out, &extras);
+
+        GpccEncodeResult { bytes: out, mapping: tree.decode_mapping(), direct_coded }
+    }
+
+    /// Decompress a stream produced by [`GpccCodec::encode`].
+    pub fn decode(&self, bytes: &[u8]) -> Result<GpccDecodeResult, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        let ox = r.read_f64()?;
+        let oy = r.read_f64()?;
+        let oz = r.read_f64()?;
+        let side = r.read_f64()?;
+        let depth = r.read_uvarint()? as u32;
+        if depth > MAX_DEPTH {
+            return Err(CodecError::CorruptStream("gpcc depth out of range"));
+        }
+        let leaf_count = r.read_uvarint()? as usize;
+        let cube = BoundingCube::new(Point3::new(ox, oy, oz), side);
+        if leaf_count == 0 {
+            return Ok(GpccDecodeResult { points: Vec::new() });
+        }
+        let occ_len = r.read_uvarint()? as usize;
+        let occ = r.read_slice(occ_len)?;
+        let mut dec = RangeDecoder::new(occ);
+        let mut occ_model = ContextModel::new(OCC_CONTEXTS, 255);
+        let mut idcm_model = ContextModel::new(9, 2);
+        let mut idcm_path = ContextModel::new(8, 8);
+
+        let mut leaves: Vec<u64> = Vec::with_capacity(leaf_count);
+        if depth == 0 {
+            leaves.push(0);
+        } else {
+            let mut current: Vec<(u64, u8)> = vec![(0, 0)];
+            for level in 0..depth {
+                let remaining = depth - level;
+                let level_cells: HashSet<u64> = current.iter().map(|&(p, _)| p).collect();
+                let mut next = Vec::new();
+                for &(prefix, parent_code) in &current {
+                    let neighbors = neighbor_context(prefix, level, &level_cells);
+                    let ctx = parent_code as usize * 2 + usize::from(neighbors > 0);
+                    let pbucket = (parent_code.count_ones() as usize).min(8);
+                    let eligible = remaining >= IDCM_MIN_REMAINING
+                        && neighbors == 0
+                        && parent_code.count_ones() == 1;
+                    if eligible {
+                        let use_idcm = idcm_model.decode(&mut dec, pbucket)? == 1;
+                        if use_idcm {
+                            let mut key = prefix;
+                            let mut prev = 0usize;
+                            for _ in 0..remaining {
+                                let child = idcm_path.decode(&mut dec, prev)?;
+                                key = (key << 3) | child as u64;
+                                prev = child;
+                            }
+                            leaves.push(key);
+                            continue;
+                        }
+                    }
+                    let code = occ_model.decode(&mut dec, ctx)? as u8 + 1;
+                    if remaining > 1 {
+                        for child in 0..8u64 {
+                            if code & (1 << child as u8) != 0 {
+                                next.push(((prefix << 3) | child, code));
+                            }
+                        }
+                    } else {
+                        for child in 0..8u64 {
+                            if code & (1 << child as u8) != 0 {
+                                leaves.push((prefix << 3) | child);
+                            }
+                        }
+                    }
+                }
+                current = next;
+            }
+        }
+        leaves.sort_unstable();
+        if leaves.len() != leaf_count {
+            return Err(CodecError::CorruptStream("gpcc leaf count mismatch"));
+        }
+
+        let extras = intseq::decompress_ints_rc(&mut r)?;
+        if extras.len() != leaf_count {
+            return Err(CodecError::CorruptStream("gpcc multiplicity mismatch"));
+        }
+        let mut points = Vec::new();
+        for (&key, &extra) in leaves.iter().zip(&extras) {
+            if extra < 0 || extra > u32::MAX as i64 {
+                return Err(CodecError::CorruptStream("invalid multiplicity"));
+            }
+            let center = cube.cell_center(demorton3(key), depth);
+            points.extend(std::iter::repeat(center).take(extra as usize + 1));
+        }
+        Ok(GpccDecodeResult { points })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_cloud(n: usize, seed: u64, span: f64) -> Vec<Point3> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-span..span),
+                    rng.gen_range(-2.0..6.0),
+                )
+            })
+            .collect()
+    }
+
+    fn check_roundtrip(points: &[Point3], q: f64) -> GpccEncodeResult {
+        let codec = GpccCodec;
+        let enc = codec.encode(points, q);
+        let dec = codec.decode(&enc.bytes).unwrap();
+        assert_eq!(dec.points.len(), points.len());
+        for (i, &p) in points.iter().enumerate() {
+            let d = dec.points[enc.mapping[i]];
+            assert!(p.linf_dist(d) <= q + 1e-9, "point {i} err {}", p.linf_dist(d));
+        }
+        enc
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        let pts = random_cloud(4000, 40, 40.0);
+        let enc = check_roundtrip(&pts, 0.02);
+        assert!(enc.direct_coded > 0, "sparse cloud should trigger IDCM");
+    }
+
+    #[test]
+    fn roundtrip_dense_surface() {
+        // Points on a plane: neighbour contexts should help.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let pts: Vec<Point3> = (0..8000)
+            .map(|_| {
+                Point3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), 0.0)
+            })
+            .collect();
+        check_roundtrip(&pts, 0.02);
+    }
+
+    #[test]
+    fn empty_single_duplicates() {
+        check_roundtrip(&[], 0.02);
+        check_roundtrip(&[Point3::new(1.0, 1.0, 1.0)], 0.02);
+        check_roundtrip(&vec![Point3::new(2.0, 2.0, 2.0); 10], 0.02);
+    }
+
+    #[test]
+    fn beats_plain_octree_on_lidar_like_rings() {
+        // The premise of the paper's §4.2 baseline ranking (G-PCC > Octree on
+        // LiDAR data): IDCM + neighbour contexts pay off on the ring/chain
+        // structure of scans, not on uniform noise.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut pts = Vec::new();
+        for beam in 0..64 {
+            let elev = -(2.0 + beam as f64 * 0.4) * std::f64::consts::PI / 180.0;
+            let r: f64 = (1.73 / (-elev).tan()).min(80.0);
+            if r < 2.0 {
+                continue;
+            }
+            for k in 0..400 {
+                if rng.gen_bool(0.3) {
+                    continue;
+                }
+                let th = k as f64 / 400.0 * std::f64::consts::TAU;
+                pts.push(Point3::new(r * th.cos(), r * th.sin(), -1.73));
+            }
+        }
+        let q = 0.02;
+        let gpcc = GpccCodec.encode(&pts, q).bytes.len();
+        let octree = dbgc_octree::OctreeCodec::baseline().encode(&pts, q).bytes.len();
+        assert!(
+            gpcc < octree,
+            "gpcc {gpcc} should beat plain octree {octree} on LiDAR-like data"
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_error() {
+        let pts = random_cloud(100, 43, 10.0);
+        let enc = GpccCodec.encode(&pts, 0.02);
+        assert!(GpccCodec.decode(&enc.bytes[..16]).is_err());
+    }
+}

@@ -1,0 +1,96 @@
+//! KITTI Velodyne `.bin` I/O.
+//!
+//! The KITTI format stores one `f32` quadruple per point: `x, y, z,
+//! intensity`, little-endian, no header. DBGC compresses geometry only, so
+//! intensity is written as zero and ignored on read.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use dbgc_geom::{Point3, PointCloud};
+
+/// Serialize a cloud to KITTI `.bin` bytes.
+pub fn to_bin_bytes(cloud: &PointCloud) -> Vec<u8> {
+    let mut out = Vec::with_capacity(cloud.len() * 16);
+    for p in cloud {
+        out.extend_from_slice(&(p.x as f32).to_le_bytes());
+        out.extend_from_slice(&(p.y as f32).to_le_bytes());
+        out.extend_from_slice(&(p.z as f32).to_le_bytes());
+        out.extend_from_slice(&0f32.to_le_bytes());
+    }
+    out
+}
+
+/// Parse KITTI `.bin` bytes into a cloud.
+pub fn from_bin_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
+    if bytes.len() % 16 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("KITTI .bin length {} is not a multiple of 16", bytes.len()),
+        ));
+    }
+    let mut cloud = PointCloud::with_capacity(bytes.len() / 16);
+    for chunk in bytes.chunks_exact(16) {
+        let f = |i: usize| {
+            f32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+        };
+        cloud.push(Point3::new(f(0) as f64, f(1) as f64, f(2) as f64));
+    }
+    Ok(cloud)
+}
+
+/// Write a cloud to a `.bin` file.
+pub fn write_bin(path: impl AsRef<Path>, cloud: &PointCloud) -> io::Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(&to_bin_bytes(cloud))
+}
+
+/// Read a cloud from a `.bin` file.
+pub fn read_bin(path: impl AsRef<Path>) -> io::Result<PointCloud> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    from_bin_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cloud() -> PointCloud {
+        (0..100)
+            .map(|i| Point3::new(i as f64 * 0.5, -(i as f64) * 0.25, (i % 7) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let cloud = sample_cloud();
+        let bytes = to_bin_bytes(&cloud);
+        assert_eq!(bytes.len(), cloud.len() * 16);
+        let back = from_bin_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        for (a, b) in cloud.iter().zip(&back) {
+            // f32 precision round-trip.
+            assert!(a.dist(*b) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dbgc_kitti_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("frame0.bin");
+        let cloud = sample_cloud();
+        write_bin(&path, &cloud).unwrap();
+        let back = read_bin(&path).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_length_rejected() {
+        assert!(from_bin_bytes(&[0u8; 15]).is_err());
+        assert!(from_bin_bytes(&[]).unwrap().is_empty());
+    }
+}

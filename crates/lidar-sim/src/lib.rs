@@ -1,0 +1,32 @@
+//! Synthetic Velodyne HDL-64E LiDAR simulator.
+//!
+//! Stands in for the paper's KITTI / Apollo / Ford captures (see DESIGN.md,
+//! "Substitutions"). The compression behaviour DBGC exploits is structural —
+//! dense near-field / sparse far-field radial decay, near-horizontal scan
+//! rings in `(θ, φ)` space, range discontinuities at object boundaries — and
+//! all of it emerges from ray casting a spinning multi-beam sensor against
+//! ground + buildings + trees + vehicles:
+//!
+//! * [`scene`] — ray-castable primitives (ground plane, boxes, vertical
+//!   cylinders, spheres) and the [`scene::Scene`] container;
+//! * [`sensor`] — the beam table and scan loop, with Gaussian range noise,
+//!   per-point angular jitter (so clouds are *calibrated-like*, not a raw
+//!   grid) and dropout;
+//! * [`presets`] — deterministic scene generators for the six evaluation
+//!   scenes (KITTI campus/city/residential/road, Apollo urban, Ford campus);
+//! * [`kitti`] — KITTI `.bin` reader/writer (x, y, z, intensity as `f32`);
+//! * [`ply`], [`pcd`] — interchange formats used by survey and PCL-based
+//!   pipelines, so restored clouds flow into downstream tools directly.
+
+#![warn(missing_docs)]
+
+pub mod kitti;
+pub mod pcd;
+pub mod ply;
+pub mod presets;
+pub mod scene;
+pub mod sensor;
+
+pub use presets::{frame, ScenePreset};
+pub use scene::{Primitive, Scene};
+pub use sensor::{LidarSimulator, NoiseModel};

@@ -1,0 +1,284 @@
+//! PCD (Point Cloud Data, the PCL format) I/O.
+//!
+//! Supports the common geometry subset: `FIELDS` containing `x y z` as
+//! 4-byte floats (extra fields skipped on read), `DATA ascii` or
+//! `DATA binary`.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use dbgc_geom::{Point3, PointCloud};
+
+/// PCD encoding to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PcdFormat {
+    /// One whitespace-separated line per point.
+    Ascii,
+    /// Packed little-endian floats.
+    Binary,
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Serialize a cloud to PCD bytes.
+pub fn to_pcd_bytes(cloud: &PointCloud, format: PcdFormat) -> Vec<u8> {
+    let data = match format {
+        PcdFormat::Ascii => "ascii",
+        PcdFormat::Binary => "binary",
+    };
+    let n = cloud.len();
+    let header = format!(
+        "# .PCD v0.7 - Point Cloud Data file format\nVERSION 0.7\n\
+         FIELDS x y z\nSIZE 4 4 4\nTYPE F F F\nCOUNT 1 1 1\n\
+         WIDTH {n}\nHEIGHT 1\nVIEWPOINT 0 0 0 1 0 0 0\nPOINTS {n}\nDATA {data}\n"
+    );
+    let mut out = header.into_bytes();
+    match format {
+        PcdFormat::Ascii => {
+            for p in cloud {
+                out.extend_from_slice(
+                    format!("{} {} {}\n", p.x as f32, p.y as f32, p.z as f32).as_bytes(),
+                );
+            }
+        }
+        PcdFormat::Binary => {
+            for p in cloud {
+                out.extend_from_slice(&(p.x as f32).to_le_bytes());
+                out.extend_from_slice(&(p.y as f32).to_le_bytes());
+                out.extend_from_slice(&(p.z as f32).to_le_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Parse PCD bytes into a cloud.
+pub fn from_pcd_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
+    // The header is newline-separated ascii up to and including the DATA line.
+    let mut offset = 0usize;
+    let mut fields: Vec<String> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut counts: Vec<usize> = Vec::new();
+    let mut types: Vec<String> = Vec::new();
+    let mut points: Option<usize> = None;
+    let mut data: Option<PcdFormat> = None;
+
+    while offset < bytes.len() {
+        let end = bytes[offset..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| offset + p)
+            .ok_or_else(|| bad("PCD: unterminated header line"))?;
+        let line = std::str::from_utf8(&bytes[offset..end])
+            .map_err(|_| bad("PCD: non-UTF8 header"))?
+            .trim()
+            .to_string();
+        offset = end + 1;
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("FIELDS") => fields = it.map(str::to_string).collect(),
+            Some("SIZE") => {
+                sizes = it.map(|v| v.parse().unwrap_or(0)).collect();
+            }
+            Some("TYPE") => types = it.map(str::to_string).collect(),
+            Some("COUNT") => {
+                counts = it.map(|v| v.parse().unwrap_or(1)).collect();
+            }
+            Some("POINTS") => {
+                points =
+                    Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        bad("PCD: bad POINTS")
+                    })?);
+            }
+            Some("DATA") => {
+                data = match it.next() {
+                    Some("ascii") => Some(PcdFormat::Ascii),
+                    Some("binary") => Some(PcdFormat::Binary),
+                    other => return Err(bad(format!("PCD: unsupported DATA {other:?}"))),
+                };
+                break; // body follows
+            }
+            _ => {}
+        }
+    }
+    let n = points.ok_or_else(|| bad("PCD: missing POINTS"))?;
+    let format = data.ok_or_else(|| bad("PCD: missing DATA"))?;
+    if fields.is_empty() {
+        return Err(bad("PCD: missing FIELDS"));
+    }
+    if sizes.len() != fields.len() {
+        return Err(bad("PCD: SIZE/FIELDS mismatch"));
+    }
+    if counts.is_empty() {
+        counts = vec![1; fields.len()];
+    }
+    if types.len() != fields.len() {
+        return Err(bad("PCD: TYPE/FIELDS mismatch"));
+    }
+
+    // Locate x, y, z.
+    let mut xyz_field: [Option<usize>; 3] = [None; 3];
+    for (i, f) in fields.iter().enumerate() {
+        let axis = match f.as_str() {
+            "x" => 0,
+            "y" => 1,
+            "z" => 2,
+            _ => continue,
+        };
+        if types[i] != "F" || sizes[i] != 4 || counts[i] != 1 {
+            return Err(bad("PCD: x/y/z must be scalar 4-byte floats"));
+        }
+        xyz_field[axis] = Some(i);
+    }
+    for a in 0..3 {
+        if xyz_field[a].is_none() {
+            return Err(bad("PCD: FIELDS lacks x/y/z"));
+        }
+    }
+
+    let body = &bytes[offset..];
+    let mut cloud = PointCloud::with_capacity(n);
+    match format {
+        PcdFormat::Ascii => {
+            let text = std::str::from_utf8(body).map_err(|_| bad("PCD: non-UTF8 body"))?;
+            // Each line has one token per field (COUNT=1 enforced for xyz;
+            // other fields contribute `count` tokens).
+            let token_index = |field: usize| -> usize {
+                (0..field).map(|i| counts[i]).sum()
+            };
+            for line in text.lines().take(n) {
+                let cols: Vec<&str> = line.split_whitespace().collect();
+                let get = |a: usize| -> io::Result<f64> {
+                    let f = xyz_field[a].expect("validated above");
+                    cols.get(token_index(f))
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .ok_or_else(|| bad("PCD: bad ascii point"))
+                };
+                cloud.push(Point3::new(get(0)?, get(1)?, get(2)?));
+            }
+        }
+        PcdFormat::Binary => {
+            let stride: usize = sizes.iter().zip(&counts).map(|(s, c)| s * c).sum();
+            if body.len() < n * stride {
+                return Err(bad("PCD: binary body shorter than declared"));
+            }
+            let field_offset = |field: usize| -> usize {
+                (0..field).map(|i| sizes[i] * counts[i]).sum()
+            };
+            for v in 0..n {
+                let at = v * stride;
+                let get = |a: usize| -> f64 {
+                    let off = at + field_offset(xyz_field[a].expect("validated above"));
+                    f32::from_le_bytes(body[off..off + 4].try_into().expect("4 bytes"))
+                        as f64
+                };
+                cloud.push(Point3::new(get(0), get(1), get(2)));
+            }
+        }
+    }
+    if cloud.len() != n {
+        return Err(bad("PCD: fewer points than declared"));
+    }
+    Ok(cloud)
+}
+
+/// Write a cloud to a `.pcd` file.
+pub fn write_pcd(path: impl AsRef<Path>, cloud: &PointCloud, format: PcdFormat) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(&to_pcd_bytes(cloud, format))
+}
+
+/// Read a cloud from a `.pcd` file.
+pub fn read_pcd(path: impl AsRef<Path>) -> io::Result<PointCloud> {
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    from_pcd_bytes(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PointCloud {
+        (0..123)
+            .map(|i| Point3::new(-(i as f64) * 0.11, i as f64 * 0.5, (i % 9) as f64 * 0.25))
+            .collect()
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        let cloud = sample();
+        let back = from_pcd_bytes(&to_pcd_bytes(&cloud, PcdFormat::Ascii)).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        for (a, b) in cloud.iter().zip(&back) {
+            assert!(a.dist(*b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let cloud = sample();
+        let back = from_pcd_bytes(&to_pcd_bytes(&cloud, PcdFormat::Binary)).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        for (a, b) in cloud.iter().zip(&back) {
+            assert!(a.dist(*b) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn extra_intensity_field_is_skipped() {
+        let header = "VERSION 0.7\nFIELDS x y z intensity\nSIZE 4 4 4 4\n\
+                      TYPE F F F F\nCOUNT 1 1 1 1\nWIDTH 2\nHEIGHT 1\n\
+                      POINTS 2\nDATA binary\n";
+        let mut bytes = header.as_bytes().to_vec();
+        for v in [[1.0f32, 2.0, 3.0, 0.7], [-1.0, -2.0, -3.0, 0.1]] {
+            for f in v {
+                bytes.extend_from_slice(&f.to_le_bytes());
+            }
+        }
+        let cloud = from_pcd_bytes(&bytes).unwrap();
+        assert_eq!(cloud.len(), 2);
+        assert_eq!(cloud[1], Point3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn shuffled_field_order() {
+        let header = "FIELDS z x y\nSIZE 4 4 4\nTYPE F F F\nCOUNT 1 1 1\n\
+                      WIDTH 1\nHEIGHT 1\nPOINTS 1\nDATA ascii\n3.0 1.0 2.0\n";
+        let cloud = from_pcd_bytes(header.as_bytes()).unwrap();
+        assert_eq!(cloud[0], Point3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(from_pcd_bytes(b"").is_err());
+        assert!(from_pcd_bytes(b"FIELDS x y\nPOINTS 1\nDATA ascii\n1 2\n").is_err());
+        // Truncated binary.
+        let bytes = to_pcd_bytes(&sample(), PcdFormat::Binary);
+        assert!(from_pcd_bytes(&bytes[..bytes.len() - 4]).is_err());
+        // Unsupported compressed data.
+        assert!(from_pcd_bytes(
+            b"FIELDS x y z\nSIZE 4 4 4\nTYPE F F F\nCOUNT 1 1 1\nPOINTS 0\n\
+              DATA binary_compressed\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("dbgc_pcd_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cloud.pcd");
+        let cloud = sample();
+        write_pcd(&path, &cloud, PcdFormat::Binary).unwrap();
+        let back = read_pcd(&path).unwrap();
+        assert_eq!(back.len(), cloud.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

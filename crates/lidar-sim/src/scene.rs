@@ -1,0 +1,254 @@
+//! Ray-castable scene primitives.
+//!
+//! A scene is a flat list of primitives; a scan casts one ray per (beam,
+//! azimuth) sample and keeps the nearest hit. Primitives are deliberately
+//! simple — large-scale LiDAR structure comes from layout, not from surface
+//! detail.
+
+use dbgc_geom::Point3;
+
+/// A ray from `origin` along unit `dir`.
+#[derive(Debug, Clone, Copy)]
+pub struct Ray {
+    /// Ray origin (the sensor position).
+    pub origin: Point3,
+    /// Unit direction.
+    pub dir: Point3,
+}
+
+/// A scene primitive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Primitive {
+    /// Horizontal ground plane `z = height` (hit only from above).
+    Ground {
+        /// Plane height (z coordinate).
+        height: f64,
+    },
+    /// Axis-aligned box (buildings, cars, barriers).
+    Box {
+        /// Minimum corner.
+        min: Point3,
+        /// Maximum corner.
+        max: Point3,
+    },
+    /// Vertical cylinder (tree trunks, poles).
+    Cylinder {
+        /// Axis x.
+        cx: f64,
+        /// Axis y.
+        cy: f64,
+        /// Cylinder radius.
+        radius: f64,
+        /// Bottom cap height.
+        z_min: f64,
+        /// Top cap height.
+        z_max: f64,
+    },
+    /// Sphere (tree canopies).
+    Sphere {
+        /// Sphere centre.
+        center: Point3,
+        /// Sphere radius.
+        radius: f64,
+    },
+}
+
+impl Primitive {
+    /// Nearest positive hit parameter `t` along `ray`, if any.
+    pub fn intersect(&self, ray: &Ray) -> Option<f64> {
+        const EPS: f64 = 1e-9;
+        match *self {
+            Primitive::Ground { height } => {
+                if ray.dir.z.abs() < EPS {
+                    return None;
+                }
+                let t = (height - ray.origin.z) / ray.dir.z;
+                (t > EPS).then_some(t)
+            }
+            Primitive::Box { min, max } => {
+                let mut t_near = f64::NEG_INFINITY;
+                let mut t_far = f64::INFINITY;
+                for axis in 0..3 {
+                    let o = ray.origin[axis];
+                    let d = ray.dir[axis];
+                    let (lo, hi) = (min[axis], max[axis]);
+                    if d.abs() < EPS {
+                        if o < lo || o > hi {
+                            return None;
+                        }
+                    } else {
+                        let (t0, t1) = ((lo - o) / d, (hi - o) / d);
+                        let (t0, t1) = if t0 <= t1 { (t0, t1) } else { (t1, t0) };
+                        t_near = t_near.max(t0);
+                        t_far = t_far.min(t1);
+                        if t_near > t_far {
+                            return None;
+                        }
+                    }
+                }
+                if t_near > EPS {
+                    Some(t_near)
+                } else if t_far > EPS {
+                    // Ray starts inside the box.
+                    Some(t_far)
+                } else {
+                    None
+                }
+            }
+            Primitive::Cylinder { cx, cy, radius, z_min, z_max } => {
+                // Solve |xy(t) - c|² = r² in the horizontal plane.
+                let ox = ray.origin.x - cx;
+                let oy = ray.origin.y - cy;
+                let (dx, dy) = (ray.dir.x, ray.dir.y);
+                let a = dx * dx + dy * dy;
+                if a < EPS {
+                    return None;
+                }
+                let b = 2.0 * (ox * dx + oy * dy);
+                let c = ox * ox + oy * oy - radius * radius;
+                let disc = b * b - 4.0 * a * c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
+                    if t > EPS {
+                        let z = ray.origin.z + t * ray.dir.z;
+                        if z >= z_min && z <= z_max {
+                            return Some(t);
+                        }
+                    }
+                }
+                None
+            }
+            Primitive::Sphere { center, radius } => {
+                let oc = ray.origin - center;
+                let b = 2.0 * oc.dot(ray.dir);
+                let c = oc.norm2() - radius * radius;
+                let disc = b * b - 4.0 * c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                for t in [(-b - sq) / 2.0, (-b + sq) / 2.0] {
+                    if t > EPS {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+/// A flat collection of primitives.
+#[derive(Debug, Clone, Default)]
+pub struct Scene {
+    /// Flat list of ray-castable primitives.
+    pub primitives: Vec<Primitive>,
+}
+
+impl Scene {
+    /// An empty scene.
+    pub fn new() -> Scene {
+        Scene::default()
+    }
+
+    /// Add a primitive.
+    pub fn push(&mut self, p: Primitive) {
+        self.primitives.push(p);
+    }
+
+    /// Nearest hit distance along `ray`, capped at `max_range`.
+    pub fn cast(&self, ray: &Ray, max_range: f64) -> Option<f64> {
+        let mut best = max_range;
+        let mut hit = false;
+        for p in &self.primitives {
+            if let Some(t) = p.intersect(ray) {
+                if t < best {
+                    best = t;
+                    hit = true;
+                }
+            }
+        }
+        hit.then_some(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray(o: (f64, f64, f64), d: (f64, f64, f64)) -> Ray {
+        let dir = Point3::new(d.0, d.1, d.2);
+        Ray { origin: Point3::new(o.0, o.1, o.2), dir: dir / dir.norm() }
+    }
+
+    #[test]
+    fn ground_hit_from_above() {
+        let g = Primitive::Ground { height: -1.73 };
+        let t = g.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, -1.0))).unwrap();
+        assert!((t - 1.73 * 2f64.sqrt()).abs() < 1e-9);
+        // Looking up: no hit.
+        assert!(g.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 1.0))).is_none());
+    }
+
+    #[test]
+    fn box_slab_hit() {
+        let b = Primitive::Box {
+            min: Point3::new(5.0, -1.0, -2.0),
+            max: Point3::new(7.0, 1.0, 3.0),
+        };
+        let t = b.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))).unwrap();
+        assert!((t - 5.0).abs() < 1e-9);
+        assert!(b.intersect(&ray((0.0, 5.0, 0.0), (1.0, 0.0, 0.0))).is_none());
+    }
+
+    #[test]
+    fn box_ray_starting_inside() {
+        let b = Primitive::Box {
+            min: Point3::new(-1.0, -1.0, -1.0),
+            max: Point3::new(1.0, 1.0, 1.0),
+        };
+        let t = b.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))).unwrap();
+        assert!((t - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cylinder_hit_within_height() {
+        let c = Primitive::Cylinder { cx: 10.0, cy: 0.0, radius: 0.5, z_min: -2.0, z_max: 5.0 };
+        let t = c.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))).unwrap();
+        assert!((t - 9.5).abs() < 1e-9);
+        // Above the cylinder cap: miss.
+        assert!(c.intersect(&ray((0.0, 0.0, 10.0), (1.0, 0.0, 0.0))).is_none());
+    }
+
+    #[test]
+    fn sphere_hit() {
+        let s = Primitive::Sphere { center: Point3::new(0.0, 20.0, 0.0), radius: 2.0 };
+        let t = s.intersect(&ray((0.0, 0.0, 0.0), (0.0, 1.0, 0.0))).unwrap();
+        assert!((t - 18.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scene_nearest_hit_wins() {
+        let mut scene = Scene::new();
+        scene.push(Primitive::Ground { height: -1.73 });
+        scene.push(Primitive::Box {
+            min: Point3::new(3.0, -1.0, -2.0),
+            max: Point3::new(4.0, 1.0, 2.0),
+        });
+        let r = ray((0.0, 0.0, 0.0), (1.0, 0.0, -0.05));
+        let t = scene.cast(&r, 120.0).unwrap();
+        assert!((t - 3.0 * (1.0 + 0.05 * 0.05f64).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_range_caps_hits() {
+        let mut scene = Scene::new();
+        scene.push(Primitive::Ground { height: -1.73 });
+        // Nearly horizontal ray hits ground far beyond 120 m.
+        let r = ray((0.0, 0.0, 0.0), (1.0, 0.0, -0.001));
+        assert!(scene.cast(&r, 120.0).is_none());
+    }
+}

@@ -1,0 +1,48 @@
+//! The DBGC client: compress frames from the sensor and ship them upstream.
+
+use std::io::Write;
+
+use dbgc::{CompressedFrame, Dbgc};
+use dbgc_geom::PointCloud;
+
+use crate::protocol::{write_frame, NetError, WireFrame};
+
+/// Compresses point clouds and sends the bitstreams over a transport.
+#[derive(Debug)]
+pub struct Client<W: Write> {
+    compressor: Dbgc,
+    transport: W,
+    next_sequence: u32,
+}
+
+impl<W: Write> Client<W> {
+    /// A client compressing with `compressor` and writing to `transport`.
+    pub fn new(compressor: Dbgc, transport: W) -> Client<W> {
+        Client { compressor, transport, next_sequence: 0 }
+    }
+
+    /// Compress `cloud` and send it; returns the compression result for
+    /// stats/verification.
+    pub fn send_cloud(&mut self, cloud: &PointCloud) -> Result<CompressedFrame, NetError> {
+        let frame = self
+            .compressor
+            .compress(cloud)
+            .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
+        write_frame(
+            &mut self.transport,
+            &WireFrame { sequence: self.next_sequence, payload: frame.bytes.clone() },
+        )?;
+        self.next_sequence += 1;
+        Ok(frame)
+    }
+
+    /// Number of frames sent so far.
+    pub fn frames_sent(&self) -> u32 {
+        self.next_sequence
+    }
+
+    /// Consume the client, returning the transport (e.g. to close it).
+    pub fn into_transport(self) -> W {
+        self.transport
+    }
+}

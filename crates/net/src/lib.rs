@@ -1,0 +1,29 @@
+//! Client/server transport for online LiDAR compression (paper §3.1, §4.4).
+//!
+//! The DBGC system acquires point clouds at the *client* (sensor host),
+//! compresses them, and ships the bitstreams over a constrained mobile uplink
+//! to a *server* that decompresses and stores them. This crate provides:
+//!
+//! * [`protocol`] — length-prefixed frame protocol over any `Read`/`Write`;
+//! * [`link`] — a bandwidth model ([`link::LinkModel`]) for computing
+//!   transfer times (4G uplink ≈ 8.2 Mbps, paper §4.4) and a throttled
+//!   in-memory pipe for live simulation;
+//! * [`client`] — compresses frames and sends them;
+//! * [`server`] — receives frames, optionally decompresses, and stores them
+//!   (in memory or on disk, standing in for the paper's ODBC sink);
+//! * [`pipeline`] — a frame-ordered worker pool so compression keeps up with
+//!   a 10 fps sensor (§4.4's online-processing claim).
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod link;
+pub mod pipeline;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use link::LinkModel;
+pub use pipeline::PipelinedCompressor;
+pub use protocol::{read_frame, write_frame, NetError, WireFrame};
+pub use server::{Server, StoredFrame};

@@ -1,0 +1,161 @@
+//! Length-prefixed wire protocol for compressed point-cloud frames.
+//!
+//! ```text
+//! "DBGF" | u32 sequence | u64 payload_len | payload bytes
+//! ```
+//!
+//! All integers little-endian. Works over any `Read`/`Write`, so the same
+//! code drives TCP sockets, in-memory pipes, and files.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+const WIRE_MAGIC: [u8; 4] = *b"DBGF";
+/// Upper bound on a frame payload (a compressed LiDAR frame is < 1 MiB; this
+/// guards against corrupt length fields).
+const MAX_PAYLOAD: u64 = 1 << 30;
+
+/// A framed message: a compressed point cloud plus its sequence number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFrame {
+    /// Monotone frame sequence number.
+    pub sequence: u32,
+    /// The DBGC bitstream.
+    pub payload: Vec<u8>,
+}
+
+/// Transport-level failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// The stream does not start with the wire magic.
+    BadMagic,
+    /// A declared payload length exceeds the sanity limit.
+    OversizedFrame(u64),
+    /// Clean end of stream between frames.
+    Closed,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "I/O error: {e}"),
+            NetError::BadMagic => write!(f, "bad wire magic"),
+            NetError::OversizedFrame(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            NetError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<(), NetError> {
+    w.write_all(&WIRE_MAGIC)?;
+    w.write_all(&frame.sequence.to_le_bytes())?;
+    w.write_all(&(frame.payload.len() as u64).to_le_bytes())?;
+    w.write_all(&frame.payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame; returns [`NetError::Closed`] on a clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
+    let mut magic = [0u8; 4];
+    match r.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(NetError::Closed),
+        Err(e) => return Err(e.into()),
+    }
+    if magic != WIRE_MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let sequence = u32::from_le_bytes(buf4);
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let len = u64::from_le_bytes(buf8);
+    if len > MAX_PAYLOAD {
+        return Err(NetError::OversizedFrame(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(WireFrame { sequence, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        let frames: Vec<WireFrame> = (0..5)
+            .map(|i| WireFrame { sequence: i, payload: vec![i as u8; (i * 100) as usize] })
+            .collect();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = &buf[..];
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00";
+        assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::BadMagic)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DBGF");
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::OversizedFrame(_))));
+    }
+
+    /// A reader that returns at most one byte per call, exercising every
+    /// partial-read path in `read_frame`.
+    struct Dribble<'a>(&'a [u8]);
+    impl std::io::Read for Dribble<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn fragmented_transport_reassembles() {
+        let mut buf = Vec::new();
+        let frame = WireFrame { sequence: 9, payload: (0..=255).collect() };
+        write_frame(&mut buf, &frame).unwrap();
+        let mut r = Dribble(&buf);
+        assert_eq!(read_frame(&mut r).unwrap(), frame);
+        assert!(matches!(read_frame(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn truncated_mid_frame_is_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireFrame { sequence: 1, payload: vec![7; 100] }).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::Io(_))));
+    }
+}

@@ -1,0 +1,189 @@
+//! The DBGC server: receive bitstreams, decompress or store them directly.
+//!
+//! The paper's server either decompresses `B` into `PC'` for processing or
+//! "bypasses the decompression procedure and directly stores B" (§3.1). Both
+//! modes are supported; the in-memory store stands in for the ODBC sink.
+
+use std::io::Read;
+use std::path::PathBuf;
+
+use dbgc_geom::PointCloud;
+
+use crate::protocol::{read_frame, NetError};
+
+/// A received frame: the raw bitstream plus, when decompression is enabled,
+/// the restored point cloud.
+#[derive(Debug, Clone)]
+pub struct StoredFrame {
+    /// Sequence number from the wire.
+    pub sequence: u32,
+    /// The received DBGC bitstream.
+    pub bytes: Vec<u8>,
+    /// The decompressed cloud, when decompression is enabled.
+    pub cloud: Option<PointCloud>,
+}
+
+/// Receives and stores compressed point-cloud frames.
+#[derive(Debug)]
+pub struct Server<R: Read> {
+    transport: R,
+    decompress: bool,
+    store: Vec<StoredFrame>,
+    /// Optional on-disk sink: every received bitstream is also written as
+    /// `frame-<seq>.dbgc` here (stands in for the paper's ODBC storage).
+    disk_store: Option<PathBuf>,
+}
+
+impl<R: Read> Server<R> {
+    /// `decompress = false` reproduces the "store B directly" mode.
+    pub fn new(transport: R, decompress: bool) -> Server<R> {
+        Server { transport, decompress, store: Vec::new(), disk_store: None }
+    }
+
+    /// Additionally persist every received bitstream into `dir` as
+    /// `frame-<seq>.dbgc`. The directory is created if missing.
+    pub fn with_disk_store(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Server<R>> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        self.disk_store = Some(dir);
+        Ok(self)
+    }
+
+    /// Receive one frame; `Ok(false)` on clean end of stream.
+    pub fn receive_one(&mut self) -> Result<bool, NetError> {
+        let wire = match read_frame(&mut self.transport) {
+            Ok(w) => w,
+            Err(NetError::Closed) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        let cloud = if self.decompress {
+            let (cloud, _) = dbgc::decompress(&wire.payload)
+                .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
+            Some(cloud)
+        } else {
+            None
+        };
+        if let Some(dir) = &self.disk_store {
+            std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
+        }
+        self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
+        Ok(true)
+    }
+
+    /// Receive until the stream closes; returns the number of frames.
+    pub fn receive_all(&mut self) -> Result<usize, NetError> {
+        let mut n = 0;
+        while self.receive_one()? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// All frames received so far.
+    pub fn frames(&self) -> &[StoredFrame] {
+        &self.store
+    }
+
+    /// Consume the server, returning its stored frames.
+    pub fn into_frames(self) -> Vec<StoredFrame> {
+        self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::link::throttled_pipe;
+    use dbgc::Dbgc;
+    use dbgc_geom::Point3;
+
+    fn toy_cloud(n: usize) -> PointCloud {
+        (0..n)
+            .map(|i| {
+                let th = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point3::new(12.0 * th.cos(), 12.0 * th.sin(), -1.7)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn client_server_over_pipe_with_decompression() {
+        let (writer, reader) = throttled_pipe(None);
+        let clouds: Vec<PointCloud> = (1..4).map(|k| toy_cloud(k * 500)).collect();
+        let sent = {
+            let clouds = clouds.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::new(Dbgc::with_error_bound(0.02), writer);
+                let frames: Vec<_> =
+                    clouds.iter().map(|c| client.send_cloud(c).unwrap()).collect();
+                frames
+            })
+        };
+        let mut server = Server::new(reader, true);
+        let n = server.receive_all().unwrap();
+        let frames = sent.join().unwrap();
+        assert_eq!(n, 3);
+        for (i, stored) in server.frames().iter().enumerate() {
+            assert_eq!(stored.sequence, i as u32);
+            let cloud = stored.cloud.as_ref().unwrap();
+            assert_eq!(cloud.len(), clouds[i].len());
+            dbgc::verify_roundtrip(&clouds[i], cloud, &frames[i], 0.02).unwrap();
+        }
+    }
+
+    #[test]
+    fn store_without_decompression() {
+        let (writer, reader) = throttled_pipe(None);
+        let cloud = toy_cloud(800);
+        let handle = std::thread::spawn(move || {
+            let mut client = Client::new(Dbgc::with_error_bound(0.02), writer);
+            client.send_cloud(&cloud).unwrap().bytes
+        });
+        let mut server = Server::new(reader, false);
+        assert_eq!(server.receive_all().unwrap(), 1);
+        let bytes = handle.join().unwrap();
+        assert_eq!(server.frames()[0].bytes, bytes);
+        assert!(server.frames()[0].cloud.is_none());
+    }
+
+    #[test]
+    fn disk_store_persists_streams() {
+        let dir = std::env::temp_dir().join("dbgc_server_store_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (writer, reader) = throttled_pipe(None);
+        let cloud = toy_cloud(600);
+        let handle = std::thread::spawn(move || {
+            let mut client = Client::new(Dbgc::with_error_bound(0.02), writer);
+            client.send_cloud(&cloud).unwrap().bytes
+        });
+        let mut server = Server::new(reader, false).with_disk_store(&dir).unwrap();
+        server.receive_all().unwrap();
+        let bytes = handle.join().unwrap();
+        let persisted = std::fs::read(dir.join("frame-0.dbgc")).unwrap();
+        assert_eq!(persisted, bytes);
+        // Stored file decompresses on its own.
+        let (restored, _) = dbgc::decompress(&persisted).unwrap();
+        assert_eq!(restored.len(), 600);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tcp_transport_roundtrip() {
+        use std::net::{TcpListener, TcpStream};
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let cloud = toy_cloud(1000);
+        let client_cloud = cloud.clone();
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut client = Client::new(Dbgc::with_error_bound(0.02), stream);
+            client.send_cloud(&client_cloud).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let mut server = Server::new(stream, true);
+        assert_eq!(server.receive_all().unwrap(), 1);
+        client.join().unwrap();
+        assert_eq!(server.frames()[0].cloud.as_ref().unwrap().len(), cloud.len());
+    }
+}

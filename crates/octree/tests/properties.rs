@@ -1,0 +1,85 @@
+//! Property-based tests for the tree coders' core invariants.
+
+use dbgc_geom::Point3;
+use dbgc_octree::builder::{demorton3, morton3, Octree};
+use dbgc_octree::{OctreeCodec, QuadtreeCodec};
+use proptest::prelude::*;
+
+fn arb_cloud() -> impl Strategy<Value = Vec<Point3>> {
+    proptest::collection::vec(
+        (-100.0..100.0f64, -100.0..100.0f64, -20.0..20.0f64)
+            .prop_map(|(x, y, z)| Point3::new(x, y, z)),
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn morton_roundtrip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+        prop_assert_eq!(demorton3(morton3((x, y, z))), (x, y, z));
+    }
+
+    #[test]
+    fn morton_preserves_prefix_order(
+        a in 0u64..(1 << 20), b in 0u64..(1 << 20), shift in 0u32..20
+    ) {
+        // Cells sharing a parent at `shift` levels up share a Morton prefix.
+        let pa = morton3((a, a ^ 1, a / 2)) >> (3 * shift);
+        let pb = morton3((a, a ^ 1, a / 2)) >> (3 * shift);
+        prop_assert_eq!(pa, pb);
+        let _ = b;
+    }
+
+    #[test]
+    fn octree_counts_are_conserved(pts in arb_cloud(), q in 0.005..0.5f64) {
+        let tree = Octree::build(&pts, q).unwrap();
+        prop_assert_eq!(tree.point_count(), pts.len());
+        prop_assert_eq!(tree.decode_points().len(), pts.len());
+        // Leaf keys strictly increasing.
+        prop_assert!(tree.leaf_keys.windows(2).all(|w| w[0] < w[1]));
+        // Multiplicities sum and are positive.
+        prop_assert!(tree.leaf_counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn octree_codec_roundtrip_bound(pts in arb_cloud(), q in 0.005..0.5f64) {
+        let codec = OctreeCodec::baseline();
+        let enc = codec.encode(&pts, q);
+        let dec = codec.decode(&enc.bytes).unwrap();
+        prop_assert_eq!(dec.points.len(), pts.len());
+        for (i, p) in pts.iter().enumerate() {
+            prop_assert!(p.linf_dist(dec.points[enc.mapping[i]]) <= q * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn quadtree_codec_roundtrip_bound(pts in arb_cloud(), q in 0.005..0.5f64) {
+        let xy: Vec<(f64, f64)> = pts.iter().map(|p| (p.x, p.y)).collect();
+        let enc = QuadtreeCodec.encode(&xy, q);
+        let dec = QuadtreeCodec.decode(&enc.bytes).unwrap();
+        prop_assert_eq!(dec.points.len(), xy.len());
+        for (i, &(x, y)) in xy.iter().enumerate() {
+            let (dx, dy) = dec.points[enc.mapping[i]];
+            prop_assert!((x - dx).abs() <= q * (1.0 + 1e-9));
+            prop_assert!((y - dy).abs() <= q * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn octree_streams_reject_random_corruption(
+        pts in arb_cloud(),
+        flips in proptest::collection::vec((any::<u16>(), 0u8..8), 1..6)
+    ) {
+        let codec = OctreeCodec::baseline();
+        let enc = codec.encode(&pts, 0.05);
+        let mut bytes = enc.bytes.clone();
+        for (pos, bit) in flips {
+            let at = pos as usize % bytes.len();
+            bytes[at] ^= 1 << bit;
+        }
+        // Error or garbage, never a panic.
+        let _ = codec.decode(&bytes);
+    }
+}

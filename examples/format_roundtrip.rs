@@ -1,0 +1,65 @@
+//! File-based workflow: KITTI `.bin` in, `.dbgc` archive out, verified
+//! restore — how a survey pipeline would archive scans.
+//!
+//! ```text
+//! cargo run --release -p dbgc-examples --bin format_roundtrip [-- <frame.bin>]
+//! ```
+//!
+//! Without an argument, a simulated frame is written to a temp `.bin` first.
+
+use std::path::PathBuf;
+
+use dbgc::{decompress, Dbgc};
+use dbgc_geom::ErrorReport;
+use dbgc_lidar_sim::kitti;
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let dir = std::env::temp_dir().join("dbgc_format_roundtrip");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let bin_path: PathBuf = match arg {
+        Some(p) => PathBuf::from(p),
+        None => {
+            let path = dir.join("frame0.bin");
+            let cloud =
+                dbgc_lidar_sim::frame(dbgc_lidar_sim::ScenePreset::KittiResidential, 3, 0);
+            kitti::write_bin(&path, &cloud).expect("write .bin");
+            println!("no input given; wrote simulated frame to {}", path.display());
+            path
+        }
+    };
+
+    let cloud = kitti::read_bin(&bin_path).expect("readable KITTI .bin");
+    let raw_bytes = std::fs::metadata(&bin_path).expect("stat").len();
+    println!("read {} points from {} ({raw_bytes} bytes)", cloud.len(), bin_path.display());
+
+    let q = 0.02;
+    let compressed = Dbgc::with_error_bound(q).compress(&cloud).expect("compress");
+    let dbgc_path = bin_path.with_extension("dbgc");
+    std::fs::write(&dbgc_path, &compressed.bytes).expect("write .dbgc");
+    println!(
+        "wrote {} ({} bytes, {:.1}x smaller than the .bin file)",
+        dbgc_path.display(),
+        compressed.bytes.len(),
+        raw_bytes as f64 / compressed.bytes.len() as f64
+    );
+
+    // Restore from disk and verify against the original.
+    let archived = std::fs::read(&dbgc_path).expect("read .dbgc");
+    let (restored, _) = decompress(&archived).expect("decompress archive");
+    let report =
+        ErrorReport::paired(&cloud, &restored, &compressed.mapping).expect("one-to-one");
+    println!(
+        "restored {} points; max Euclidean error {:.4} m (bound sqrt(3)*{q} = {:.4} m)",
+        restored.len(),
+        report.max_euclidean_error,
+        3f64.sqrt() * q
+    );
+    assert!(report.max_euclidean_error <= 3f64.sqrt() * q * 1.000001);
+
+    // Round-trip back to .bin for downstream tools.
+    let out_bin = bin_path.with_extension("restored.bin");
+    kitti::write_bin(&out_bin, &restored).expect("write restored .bin");
+    println!("wrote decompressed cloud to {}", out_bin.display());
+}

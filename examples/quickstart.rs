@@ -1,0 +1,49 @@
+//! Quickstart: compress one LiDAR frame, decompress it, verify the bound.
+//!
+//! ```text
+//! cargo run --release -p dbgc-examples --bin quickstart
+//! ```
+
+use dbgc::{decompress, verify_roundtrip, Dbgc};
+use dbgc_lidar_sim::{frame, ScenePreset};
+
+fn main() {
+    // A simulated Velodyne HDL-64E frame of a city scene (~100 K points).
+    let cloud = frame(ScenePreset::KittiCity, 1, 0);
+    println!("input: {} points ({} bytes raw)", cloud.len(), cloud.raw_size_bytes());
+
+    // Compress with the paper's typical 2 cm error bound.
+    let q = 0.02;
+    let dbgc = Dbgc::with_error_bound(q);
+    let compressed = dbgc.compress(&cloud).expect("valid config and finite cloud");
+    let s = &compressed.stats;
+    println!(
+        "compressed: {} bytes  (ratio {:.1}x, {:.2} bits/point)",
+        compressed.bytes.len(),
+        compressed.compression_ratio(),
+        s.bits_per_point()
+    );
+    println!(
+        "split: {:.1}% dense (octree), {:.1}% sparse (polylines, {} lines), {:.2}% outliers",
+        100.0 * s.dense_fraction(),
+        100.0 * s.sparse_points as f64 / s.total_points as f64,
+        s.polylines,
+        100.0 * s.outlier_fraction()
+    );
+    println!(
+        "sections: header {} B | dense {} B | sparse {} B | outliers {} B",
+        s.sections.header, s.sections.dense, s.sections.sparse, s.sections.outlier
+    );
+
+    // Decompress and verify: one-to-one mapping, error within the bound.
+    let (restored, _) = decompress(&compressed.bytes).expect("stream we just produced");
+    let report = verify_roundtrip(&cloud, &restored, &compressed, q).expect("bound holds");
+    println!(
+        "verified: {} point pairs, max per-axis error {:.4} m, max Euclidean {:.4} m \
+         (bound sqrt(3)*q = {:.4} m)",
+        report.pairs,
+        report.max_axis_error,
+        report.max_euclidean_error,
+        3f64.sqrt() * q
+    );
+}

@@ -1,0 +1,31 @@
+//! Compression across all six evaluation scenes and several error bounds —
+//! a miniature of the paper's Fig. 9 for interactive exploration.
+//!
+//! ```text
+//! cargo run --release -p dbgc-examples --bin scene_comparison
+//! ```
+
+use dbgc::{decompress, verify_roundtrip, Dbgc};
+use dbgc_lidar_sim::{frame, ScenePreset};
+
+fn main() {
+    let bounds_cm = [2.0, 1.0, 0.5];
+    print!("{:<18}", "scene");
+    for q in bounds_cm {
+        print!("  ratio@{q}cm");
+    }
+    println!();
+    for preset in ScenePreset::all() {
+        let cloud = frame(preset, 1, 0);
+        print!("{:<18}", preset.name());
+        for q_cm in bounds_cm {
+            let q = q_cm / 100.0;
+            let compressed = Dbgc::with_error_bound(q).compress(&cloud).expect("compress");
+            // Always verify what we report.
+            let (restored, _) = decompress(&compressed.bytes).expect("decompress");
+            verify_roundtrip(&cloud, &restored, &compressed, q).expect("bound holds");
+            print!("  {:>9.2}", compressed.compression_ratio());
+        }
+        println!("  ({} pts)", cloud.len());
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration-test-only crate; see `tests/` for the suites.

@@ -1,0 +1,100 @@
+//! Fig. 11 consistency: every ablation still round-trips within the bound,
+//! and full DBGC compresses at least as well as each ablated variant.
+
+mod common;
+
+use common::{small_config, small_frame};
+use dbgc::{decompress, verify_roundtrip, Dbgc, DbgcConfig};
+use dbgc_lidar_sim::ScenePreset;
+
+const Q: f64 = 0.02;
+
+fn run(make: impl FnOnce(DbgcConfig) -> DbgcConfig) -> (usize, f64) {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 11);
+    let cfg = make(small_config(Q, meta));
+    let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
+    let (restored, _) = decompress(&frame.bytes).expect("decompress");
+    let report = verify_roundtrip(&cloud, &restored, &frame, Q).expect("bound holds");
+    (frame.bytes.len(), report.max_euclidean_error)
+}
+
+#[test]
+fn full_dbgc_at_least_matches_minus_radial() {
+    // On the simulated scenes the radial optimization is roughly
+    // cost-neutral (see EXPERIMENTS.md): it must not *lose* noticeably.
+    let (full, _) = run(|c| c);
+    let (ablated, _) = run(DbgcConfig::without_radial);
+    assert!(
+        (full as f64) <= ablated as f64 * 1.02,
+        "full {full} vs -Radial {ablated}"
+    );
+}
+
+#[test]
+fn full_dbgc_roughly_matches_minus_group_at_2cm() {
+    // Grouping pays at fine bounds (Fig. 11); at 2 cm it is near-neutral.
+    let (full, _) = run(|c| c);
+    let (ablated, _) = run(DbgcConfig::without_grouping);
+    assert!(
+        (full as f64) <= ablated as f64 * 1.06,
+        "full {full} vs -Group {ablated}"
+    );
+}
+
+#[test]
+fn grouping_pays_at_fine_bounds() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 11);
+    let q = 0.0025;
+    let full = Dbgc::new(small_config(q, meta.clone())).compress(&cloud).unwrap();
+    let ablated = Dbgc::new(small_config(q, meta).without_grouping())
+        .compress(&cloud)
+        .unwrap();
+    assert!(
+        full.bytes.len() < ablated.bytes.len(),
+        "full {} vs -Group {} at q={q}",
+        full.bytes.len(),
+        ablated.bytes.len()
+    );
+}
+
+#[test]
+fn full_dbgc_beats_minus_conversion_substantially() {
+    // The paper's strongest ablation: Cartesian polyline coding reaches only
+    // ~29% of DBGC's ratio. Shape check: −Conversion costs much more.
+    let (full, _) = run(|c| c);
+    let (ablated, _) = run(DbgcConfig::without_conversion);
+    assert!(
+        ablated as f64 > full as f64 * 1.05,
+        "-Conversion ({ablated}) should cost clearly above full DBGC ({full})"
+    );
+}
+
+#[test]
+fn ablations_respect_error_bound() {
+    for make in [
+        DbgcConfig::without_radial,
+        DbgcConfig::without_grouping,
+        DbgcConfig::without_conversion,
+    ] {
+        let (_, err) = run(make);
+        assert!(err <= 3f64.sqrt() * Q * (1.0 + 1e-9));
+    }
+}
+
+#[test]
+fn outlier_modes_consistent_with_table2() {
+    use dbgc::OutlierMode;
+    let (cloud, meta) = small_frame(ScenePreset::KittiCity, 12);
+    let mut sizes = Vec::new();
+    for mode in [OutlierMode::Quadtree, OutlierMode::Octree, OutlierMode::None] {
+        let mut cfg = small_config(Q, meta);
+        cfg.outlier_mode = mode;
+        let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
+        let (restored, _) = decompress(&frame.bytes).expect("decompress");
+        assert_eq!(restored.len(), cloud.len());
+        sizes.push(frame.bytes.len());
+    }
+    // Quadtree and octree must both beat storing outliers raw.
+    assert!(sizes[0] < sizes[2], "quadtree {} vs none {}", sizes[0], sizes[2]);
+    assert!(sizes[1] < sizes[2], "octree {} vs none {}", sizes[1], sizes[2]);
+}

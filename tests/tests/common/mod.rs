@@ -1,0 +1,35 @@
+//! Shared helpers for the integration suites.
+
+use dbgc::DbgcConfig;
+use dbgc_geom::{PointCloud, SensorMeta};
+use dbgc_lidar_sim::{LidarSimulator, NoiseModel, ScenePreset};
+
+/// A reduced-resolution frame (~500 azimuth columns instead of 2083) so
+/// integration tests stay fast in debug builds while keeping the full scene
+/// structure. Deterministic in `(preset, seed)`. Returns the matching sensor
+/// metadata — the compressor's polyline organization needs the *actual*
+/// sample spacings `u_θ`/`u_φ`.
+pub fn small_frame(preset: ScenePreset, seed: u64) -> (PointCloud, SensorMeta) {
+    let meta = SensorMeta { h_samples: 500, ..preset.sensor_meta() };
+    let sim = LidarSimulator::new(meta, NoiseModel::realistic());
+    let scene = preset.build_scene(seed);
+    (sim.scan(&scene, dbgc_geom::Point3::ZERO, seed), meta)
+}
+
+/// DBGC configuration matched to a reduced-resolution frame.
+pub fn small_config(q: f64, meta: SensorMeta) -> DbgcConfig {
+    let mut cfg = DbgcConfig::with_error_bound(q);
+    cfg.sensor = meta;
+    cfg
+}
+
+/// Assert `mapping` is a permutation of `0..n`.
+#[allow(dead_code)] // used by some suites only
+pub fn assert_permutation(mapping: &[usize]) {
+    let mut seen = vec![false; mapping.len()];
+    for &m in mapping {
+        assert!(m < mapping.len(), "mapping target {m} out of range");
+        assert!(!seen[m], "duplicate mapping target {m}");
+        seen[m] = true;
+    }
+}

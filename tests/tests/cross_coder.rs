@@ -1,0 +1,78 @@
+//! All five coders on the same frame: losslessness in count, error bounds
+//! via each coder's mapping, and the paper's headline ordering.
+
+mod common;
+
+use common::{assert_permutation, small_config, small_frame};
+use dbgc_lidar_sim::ScenePreset;
+
+const Q: f64 = 0.02;
+
+#[test]
+fn octree_baseline_meets_bound() {
+    let (cloud, _) = small_frame(ScenePreset::KittiCity, 3);
+    let enc = dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), Q);
+    assert_permutation(&enc.mapping);
+    let dec = dbgc_octree::OctreeCodec::baseline().decode(&enc.bytes).unwrap();
+    assert_eq!(dec.points.len(), cloud.len());
+    for (i, p) in cloud.iter().enumerate() {
+        assert!(p.linf_dist(dec.points[enc.mapping[i]]) <= Q + 1e-9);
+    }
+}
+
+#[test]
+fn octree_i_meets_bound() {
+    let (cloud, _) = small_frame(ScenePreset::KittiCity, 3);
+    let codec = dbgc_octree::OctreeCodec::parent_context();
+    let enc = codec.encode(cloud.points(), Q);
+    let dec = codec.decode(&enc.bytes).unwrap();
+    assert_eq!(dec.points.len(), cloud.len());
+    for (i, p) in cloud.iter().enumerate() {
+        assert!(p.linf_dist(dec.points[enc.mapping[i]]) <= Q + 1e-9);
+    }
+}
+
+#[test]
+fn kdtree_meets_bound() {
+    let (cloud, _) = small_frame(ScenePreset::KittiCampus, 4);
+    let enc = dbgc_kdtree::KdTreeCodec.encode(cloud.points(), Q);
+    assert_permutation(&enc.mapping);
+    let dec = dbgc_kdtree::KdTreeCodec.decode(&enc.bytes).unwrap();
+    assert_eq!(dec.points.len(), cloud.len());
+    for (i, p) in cloud.iter().enumerate() {
+        assert!(p.linf_dist(dec.points[enc.mapping[i]]) <= Q + 1e-9);
+    }
+}
+
+#[test]
+fn gpcc_meets_bound() {
+    let (cloud, _) = small_frame(ScenePreset::KittiRoad, 5);
+    let enc = dbgc_gpcc::GpccCodec.encode(cloud.points(), Q);
+    assert_permutation(&enc.mapping);
+    let dec = dbgc_gpcc::GpccCodec.decode(&enc.bytes).unwrap();
+    assert_eq!(dec.points.len(), cloud.len());
+    for (i, p) in cloud.iter().enumerate() {
+        assert!(p.linf_dist(dec.points[enc.mapping[i]]) <= Q + 1e-9);
+    }
+}
+
+#[test]
+fn dbgc_beats_all_baselines_on_lidar_frames() {
+    // The paper's headline (Fig. 9): DBGC compresses LiDAR frames harder
+    // than every baseline at the same error bound.
+    let (cloud, meta) = small_frame(ScenePreset::KittiCity, 6);
+    let dbgc = dbgc::Dbgc::new(small_config(Q, meta)).compress(&cloud).unwrap().bytes.len();
+    let octree =
+        dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), Q).bytes.len();
+    let octree_i =
+        dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), Q).bytes.len();
+    let draco = dbgc_kdtree::KdTreeCodec.encode(cloud.points(), Q).bytes.len();
+    let gpcc = dbgc_gpcc::GpccCodec.encode(cloud.points(), Q).bytes.len();
+    for (name, size) in
+        [("octree", octree), ("octree_i", octree_i), ("draco", draco), ("gpcc", gpcc)]
+    {
+        assert!(dbgc < size, "DBGC ({dbgc}) must beat {name} ({size})");
+    }
+    // And Draco is the weakest of the tree coders on LiDAR data.
+    assert!(draco > octree, "draco {draco} vs octree {octree}");
+}

@@ -1,0 +1,60 @@
+//! Determinism and robustness of the bitstream.
+
+mod common;
+
+use common::{small_config, small_frame};
+use dbgc::{decompress, Dbgc};
+use dbgc_lidar_sim::ScenePreset;
+
+#[test]
+fn compression_is_deterministic() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCity, 60);
+    let dbgc = Dbgc::new(small_config(0.02, meta));
+    let a = dbgc.compress(&cloud).unwrap();
+    let b = dbgc.compress(&cloud).unwrap();
+    assert_eq!(a.bytes, b.bytes, "byte-identical streams");
+    assert_eq!(a.mapping, b.mapping);
+}
+
+#[test]
+fn decompression_is_deterministic() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiRoad, 61);
+    let frame = Dbgc::new(small_config(0.02, meta)).compress(&cloud).unwrap();
+    let (a, _) = decompress(&frame.bytes).unwrap();
+    let (b, _) = decompress(&frame.bytes).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn corruption_never_panics() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 62);
+    let frame = Dbgc::new(small_config(0.02, meta)).compress(&cloud).unwrap();
+    // Every truncation point of the first 200 bytes plus a spread beyond.
+    for cut in (0..frame.bytes.len().min(200)).chain((200..frame.bytes.len()).step_by(997)) {
+        let _ = decompress(&frame.bytes[..cut]);
+    }
+    // Single-bit flips across the stream.
+    let mut x = 0x243F6A8885A308D3u64;
+    for _ in 0..200 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let mut bytes = frame.bytes.clone();
+        let at = (x as usize) % bytes.len();
+        bytes[at] ^= 1 << ((x >> 17) % 8);
+        let _ = decompress(&bytes); // error or garbage, never a panic
+    }
+}
+
+#[test]
+fn foreign_streams_rejected_cleanly() {
+    for stream in [
+        &b""[..],
+        &b"DBGC"[..],
+        &b"DBGC\x07rest-of-garbage"[..],
+        &[0u8; 64][..],
+        &b"DBGF\x01\x00\x00\x00\x00\x00\x00\x00\x00"[..],
+    ] {
+        assert!(decompress(stream).is_err());
+    }
+}

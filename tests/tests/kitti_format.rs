@@ -1,0 +1,54 @@
+//! KITTI `.bin` ingestion → DBGC → restore, through real files.
+
+mod common;
+
+use common::{small_config, small_frame};
+use dbgc::{decompress, Dbgc};
+use dbgc_geom::ErrorReport;
+use dbgc_lidar_sim::kitti;
+use dbgc_lidar_sim::ScenePreset;
+
+#[test]
+fn bin_file_to_dbgc_archive_and_back() {
+    let dir = std::env::temp_dir().join("dbgc_it_kitti");
+    std::fs::create_dir_all(&dir).unwrap();
+    let bin = dir.join("it_frame.bin");
+
+    let (cloud, meta) = small_frame(ScenePreset::KittiResidential, 50);
+    kitti::write_bin(&bin, &cloud).unwrap();
+
+    // Reading back goes through f32, which perturbs coordinates by < 1e-4 m;
+    // compress the *read* cloud, as a real pipeline would.
+    let loaded = kitti::read_bin(&bin).unwrap();
+    assert_eq!(loaded.len(), cloud.len());
+
+    let q = 0.02;
+    let frame = Dbgc::new(small_config(q, meta)).compress(&loaded).unwrap();
+    let archive = dir.join("it_frame.dbgc");
+    std::fs::write(&archive, &frame.bytes).unwrap();
+
+    let bytes = std::fs::read(&archive).unwrap();
+    let (restored, _) = decompress(&bytes).unwrap();
+    let report = ErrorReport::paired(&loaded, &restored, &frame.mapping).unwrap();
+    assert!(report.max_euclidean_error <= 3f64.sqrt() * q * (1.0 + 1e-9));
+
+    // Against the pre-f32 original the extra error is the f32 rounding only.
+    let report = ErrorReport::paired(&cloud, &restored, &frame.mapping).unwrap();
+    assert!(report.max_euclidean_error <= 3f64.sqrt() * q + 1e-3);
+
+    std::fs::remove_file(&bin).unwrap();
+    std::fs::remove_file(&archive).unwrap();
+}
+
+#[test]
+fn archive_is_much_smaller_than_bin() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCity, 51);
+    let bin_size = kitti::to_bin_bytes(&cloud).len();
+    let frame = Dbgc::new(small_config(0.02, meta)).compress(&cloud).unwrap();
+    // .bin carries 16 bytes/point (with intensity); expect > 10x here.
+    assert!(
+        frame.bytes.len() * 10 < bin_size,
+        "archive {} vs bin {bin_size}",
+        frame.bytes.len()
+    );
+}

@@ -1,0 +1,88 @@
+//! End-to-end network tests: sensor → client → link → server → verification.
+
+mod common;
+
+use common::{small_config, small_frame};
+use dbgc::Dbgc;
+use dbgc_lidar_sim::ScenePreset;
+use dbgc_net::link::{throttled_pipe, LinkModel};
+use dbgc_net::{Client, Server};
+
+#[test]
+fn stream_three_frames_over_memory_pipe() {
+    let frames_meta: Vec<_> =
+        (0..3).map(|k| small_frame(ScenePreset::KittiCity, 20 + k)).collect();
+    let meta = frames_meta[0].1;
+    let clouds: Vec<_> = frames_meta.into_iter().map(|(c, _)| c).collect();
+    let (writer, reader) = throttled_pipe(None);
+    let producer = {
+        let clouds = clouds.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::new(Dbgc::new(small_config(0.02, meta)), writer);
+            clouds.iter().map(|c| client.send_cloud(c).unwrap()).collect::<Vec<_>>()
+        })
+    };
+    let mut server = Server::new(reader, true);
+    assert_eq!(server.receive_all().unwrap(), 3);
+    let frames = producer.join().unwrap();
+    for ((cloud, stored), frame) in clouds.iter().zip(server.frames()).zip(&frames) {
+        let restored = stored.cloud.as_ref().expect("decompressed");
+        dbgc::verify_roundtrip(cloud, restored, frame, 0.02).expect("bound holds");
+    }
+}
+
+#[test]
+fn stream_over_tcp_localhost() {
+    use std::net::{TcpListener, TcpStream};
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let (cloud, meta) = small_frame(ScenePreset::KittiRoad, 30);
+    let client_cloud = cloud.clone();
+    let producer = std::thread::spawn(move || {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut client = Client::new(Dbgc::new(small_config(0.02, meta)), stream);
+        client.send_cloud(&client_cloud).unwrap()
+    });
+    let (stream, _) = listener.accept().unwrap();
+    let mut server = Server::new(stream, true);
+    assert_eq!(server.receive_all().unwrap(), 1);
+    let frame = producer.join().unwrap();
+    let restored = server.frames()[0].cloud.as_ref().unwrap();
+    dbgc::verify_roundtrip(&cloud, restored, &frame, 0.02).expect("bound holds");
+}
+
+#[test]
+fn compressed_stream_fits_4g_where_raw_does_not() {
+    // The system-level claim of §4.4 at 10 fps.
+    let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 31);
+    let frame = Dbgc::new(small_config(0.02, meta)).compress(&cloud).unwrap();
+    // Scale to a full-resolution frame: small_frame has 500/2083 columns.
+    // Reduced azimuth resolution hurts DBGC disproportionately (polylines
+    // fragment at 4x ring spacing), so the linear extrapolation is an upper
+    // bound on the full-resolution stream; the fig9_ratio harness measures
+    // ~5-6 Mbps on full frames. Assert the scaled bound stays near the
+    // uplink and the raw stream clearly exceeds it.
+    let scale = 2083.0 / 500.0;
+    let compressed_mbps =
+        LinkModel::required_mbps((frame.bytes.len() as f64 * scale) as usize, 10.0);
+    let raw_mbps = LinkModel::required_mbps((cloud.raw_size_bytes() as f64 * scale) as usize, 10.0);
+    assert!(compressed_mbps < 10.0, "compressed stream needs {compressed_mbps:.1} Mbps");
+    assert!(raw_mbps > 8.2 * 10.0, "raw stream must dwarf 4G ({raw_mbps:.1} Mbps)");
+}
+
+#[test]
+fn store_mode_keeps_exact_bytes() {
+    let (cloud, meta) = small_frame(ScenePreset::ApolloUrban, 32);
+    let (writer, reader) = throttled_pipe(None);
+    let producer = std::thread::spawn(move || {
+        let mut client = Client::new(Dbgc::new(small_config(0.02, meta)), writer);
+        client.send_cloud(&cloud).unwrap().bytes
+    });
+    let mut server = Server::new(reader, false);
+    server.receive_all().unwrap();
+    let bytes = producer.join().unwrap();
+    assert_eq!(server.frames()[0].bytes, bytes);
+    // Stored bytes remain decompressible later.
+    let (restored, _) = dbgc::decompress(&server.frames()[0].bytes).unwrap();
+    assert!(!restored.is_empty());
+}

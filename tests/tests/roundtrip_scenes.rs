@@ -1,0 +1,89 @@
+//! End-to-end DBGC round trips across every scene preset and several error
+//! bounds: one-to-one mapping, error bound, duplicate preservation.
+
+mod common;
+
+use common::{assert_permutation, small_config, small_frame};
+use dbgc::{decompress, verify_roundtrip, Dbgc};
+use dbgc_lidar_sim::ScenePreset;
+
+fn check_scene(preset: ScenePreset, q: f64) {
+    let (cloud, meta) = small_frame(preset, 42);
+    assert!(cloud.len() > 5_000, "{}: frame too small", preset.name());
+    let frame = Dbgc::new(small_config(q, meta)).compress(&cloud).expect("compress");
+    assert_permutation(&frame.mapping);
+    let (restored, _) = decompress(&frame.bytes).expect("decompress");
+    assert_eq!(restored.len(), cloud.len());
+    let report = verify_roundtrip(&cloud, &restored, &frame, q).expect("bound holds");
+    assert!(report.max_euclidean_error <= 3f64.sqrt() * q * (1.0 + 1e-9));
+    // A real frame must compress substantially.
+    assert!(
+        frame.compression_ratio() > 3.0,
+        "{} at q={q}: ratio only {:.2}",
+        preset.name(),
+        frame.compression_ratio()
+    );
+}
+
+#[test]
+fn kitti_campus_2cm() {
+    check_scene(ScenePreset::KittiCampus, 0.02);
+}
+
+#[test]
+fn kitti_city_2cm() {
+    check_scene(ScenePreset::KittiCity, 0.02);
+}
+
+#[test]
+fn kitti_residential_2cm() {
+    check_scene(ScenePreset::KittiResidential, 0.02);
+}
+
+#[test]
+fn kitti_road_2cm() {
+    check_scene(ScenePreset::KittiRoad, 0.02);
+}
+
+#[test]
+fn apollo_urban_2cm() {
+    check_scene(ScenePreset::ApolloUrban, 0.02);
+}
+
+#[test]
+fn ford_campus_2cm() {
+    check_scene(ScenePreset::FordCampus, 0.02);
+}
+
+#[test]
+fn city_fine_bound() {
+    check_scene(ScenePreset::KittiCity, 0.0006);
+}
+
+#[test]
+fn city_medium_bound() {
+    check_scene(ScenePreset::KittiCity, 0.005);
+}
+
+#[test]
+fn coarser_bounds_give_smaller_streams() {
+    let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 7);
+    let mut last = usize::MAX;
+    for q in [0.0006, 0.0025, 0.01, 0.02] {
+        let frame = Dbgc::new(small_config(q, meta)).compress(&cloud).expect("compress");
+        assert!(frame.bytes.len() < last, "q={q} grew the stream");
+        last = frame.bytes.len();
+    }
+}
+
+#[test]
+fn duplicated_frame_compresses_and_preserves_counts() {
+    // Concatenate a frame with itself: every point occurs twice.
+    let (base, meta) = small_frame(ScenePreset::KittiRoad, 9);
+    let doubled: dbgc_geom::PointCloud =
+        base.iter().chain(base.iter()).copied().collect();
+    let frame = Dbgc::new(small_config(0.02, meta)).compress(&doubled).expect("compress");
+    let (restored, _) = decompress(&frame.bytes).expect("decompress");
+    assert_eq!(restored.len(), doubled.len());
+    verify_roundtrip(&doubled, &restored, &frame, 0.02).expect("bound holds");
+}
