@@ -7,12 +7,7 @@ fn skewed_bytes(n: usize) -> Vec<u8> {
 }
 
 fn textish_bytes(n: usize) -> Vec<u8> {
-    b"polyline organization in spherical coordinates "
-        .iter()
-        .cycle()
-        .take(n)
-        .copied()
-        .collect()
+    b"polyline organization in spherical coordinates ".iter().cycle().take(n).copied().collect()
 }
 
 fn random_bytes(n: usize) -> Vec<u8> {

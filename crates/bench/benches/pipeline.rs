@@ -1,7 +1,7 @@
 //! Criterion benches for the end-to-end DBGC pipeline on simulated frames.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dbgc::{decompress, Dbgc};
+use dbgc::{decompress, Dbgc, DbgcConfig};
 use dbgc_lidar_sim::{frame, ScenePreset};
 
 fn bench_pipeline(c: &mut Criterion) {
@@ -15,13 +15,32 @@ fn bench_pipeline(c: &mut Criterion) {
             b.iter(|| dbgc.compress(&cloud).unwrap());
         });
         let bytes = Dbgc::with_error_bound(q).compress(&cloud).unwrap().bytes;
-        g.bench_with_input(
-            BenchmarkId::new("decompress", format!("q{q}")),
-            &bytes,
-            |b, bytes| {
-                b.iter(|| decompress(bytes).unwrap());
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("decompress", format!("q{q}")), &bytes, |b, bytes| {
+            b.iter(|| decompress(bytes).unwrap());
+        });
+    }
+    g.finish();
+
+    // Serial vs intra-frame-parallel compression. `threads = 1` runs every
+    // stage inline; `threads = n` grows the shared pool to n workers. On a
+    // host with fewer cores than n the pool still has n OS threads, so the
+    // numbers show scheduling overhead rather than speedup — read them
+    // together with `available_parallelism`.
+    let mut g = c.benchmark_group("dbgc_parallel_scaling");
+    g.sample_size(10);
+    for preset in [ScenePreset::KittiCity, ScenePreset::KittiRoad] {
+        let cloud = frame(preset, 1, 0);
+        g.throughput(Throughput::Elements(cloud.len() as u64));
+        for threads in [1usize, 2, 4, 8] {
+            let dbgc = Dbgc::new(DbgcConfig::with_error_bound(0.02).with_threads(threads));
+            g.bench_with_input(
+                BenchmarkId::new(preset.name(), format!("{threads}t")),
+                &dbgc,
+                |b, dbgc| {
+                    b.iter(|| dbgc.compress(&cloud).unwrap());
+                },
+            );
+        }
     }
     g.finish();
 

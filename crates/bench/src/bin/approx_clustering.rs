@@ -37,12 +37,7 @@ fn main() {
     }
     let (exact, approx) = (exact.expect("reps > 0"), approx.expect("reps > 0"));
 
-    let agree = exact
-        .dense
-        .iter()
-        .zip(&approx.dense)
-        .filter(|(a, b)| a == b)
-        .count();
+    let agree = exact.dense.iter().zip(&approx.dense).filter(|(a, b)| a == b).count();
     println!(
         "dense sets: exact {:.1}% dense, approx {:.1}% dense, agreement {:.1}%",
         100.0 * exact.dense_fraction(),

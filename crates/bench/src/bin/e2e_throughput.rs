@@ -3,39 +3,117 @@
 //! decompress → store (HDD) — on the KITTI city stream (10 fps, ~100 K
 //! points/frame).
 //!
+//! Measures single-frame compression twice — fully serial (`threads = 1`)
+//! and intra-frame parallel (`threads = 0`, process-wide pool at hardware
+//! size) — and verifies the two bitstreams are byte-identical. Besides the
+//! console report it writes:
+//!
+//! - `BENCH_e2e.json` (repo root): machine-readable frames/s serial vs
+//!   parallel plus per-stage timing, for CI trend tracking;
+//! - `results/e2e_throughput.txt`: the human-readable report.
+//!
 //! ```text
 //! cargo run --release -p dbgc-bench --bin e2e_throughput
 //! ```
 
-use dbgc::{decompress, Dbgc};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use dbgc::{decompress, Dbgc, DbgcConfig, TimingBreakdown};
 use dbgc_bench::{scene_frames, timed, Q_TYPICAL};
 use dbgc_lidar_sim::ScenePreset;
 use dbgc_net::LinkModel;
 
 const FPS: f64 = 10.0;
 
+/// Stage sums accumulated over the measured frames, reported as mean ms.
+#[derive(Default)]
+struct StageSums {
+    den: Duration,
+    oct: Duration,
+    cor: Duration,
+    org: Duration,
+    spa: Duration,
+    out: Duration,
+}
+
+impl StageSums {
+    fn add(&mut self, t: &TimingBreakdown) {
+        self.den += t.den;
+        self.oct += t.oct;
+        self.cor += t.cor;
+        self.org += t.org;
+        self.spa += t.spa;
+        self.out += t.out;
+    }
+
+    /// `(label, mean ms per frame)` in pipeline order.
+    fn mean_ms(&self, frames: usize) -> [(&'static str, f64); 6] {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3 / frames as f64;
+        [
+            ("den", ms(self.den)),
+            ("oct", ms(self.oct)),
+            ("cor", ms(self.cor)),
+            ("org", ms(self.org)),
+            ("spa", ms(self.spa)),
+            ("out", ms(self.out)),
+        ]
+    }
+}
+
+fn stage_json(stages: &StageSums, frames: usize) -> String {
+    let fields: Vec<String> =
+        stages.mean_ms(frames).iter().map(|(label, ms)| format!("\"{label}\": {ms:.3}")).collect();
+    format!("{{ {} }}", fields.join(", "))
+}
+
+fn stage_line(stages: &StageSums, frames: usize) -> String {
+    stages
+        .mean_ms(frames)
+        .iter()
+        .map(|(label, ms)| format!("{} {ms:.1}", label.to_uppercase()))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
 fn main() {
     let frames = scene_frames(ScenePreset::KittiCity, 3);
-    let dbgc = Dbgc::with_error_bound(Q_TYPICAL);
+    let serial = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(1));
+    let parallel = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(0));
     let ethernet = LinkModel::ethernet_100base_tx();
     let uplink = LinkModel::mobile_4g();
     let hdd = LinkModel::hdd_write();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
 
-    println!(
+    // The report goes to stdout AND results/e2e_throughput.txt.
+    let mut report = String::new();
+    macro_rules! say {
+        ($($arg:tt)*) => {{ let _ = writeln!(report, $($arg)*); }};
+    }
+
+    say!(
         "§4.4 — {} stream at {FPS} fps, q = {Q_TYPICAL} m, {} frames measured\n",
         ScenePreset::KittiCity.name(),
         frames.len()
     );
 
     let mut sum_comp = 0.0;
+    let mut sum_par = 0.0;
     let mut sum_dec = 0.0;
     let mut sum_bytes = 0usize;
     let mut sum_raw = 0usize;
+    let mut sum_points = 0usize;
+    let mut serial_stages = StageSums::default();
+    let mut parallel_stages = StageSums::default();
     for cloud in &frames {
         let raw = cloud.raw_size_bytes();
-        let (frame, t_comp) = timed(|| dbgc.compress(cloud).expect("compress"));
+        let (frame, t_comp) = timed(|| serial.compress(cloud).expect("compress"));
+        let (par_frame, t_par) = timed(|| parallel.compress(cloud).expect("compress"));
+        assert_eq!(frame.bytes, par_frame.bytes, "parallel path must be byte-identical");
         let (out, t_dec) = timed(|| decompress(&frame.bytes).expect("own stream"));
         assert_eq!(out.0.len(), cloud.len());
+        serial_stages.add(&frame.stats.timing);
+        parallel_stages.add(&par_frame.stats.timing);
 
         let t_sensor = ethernet.transfer_time(raw);
         let t_uplink = uplink.transfer_time(frame.bytes.len());
@@ -45,7 +123,7 @@ fn main() {
             + t_uplink.as_secs_f64()
             + t_dec.as_secs_f64()
             + t_store.as_secs_f64();
-        println!(
+        say!(
             "frame: {} pts | sensor->client {:.0} ms | compress {:.0} ms | \
              4G transfer {:.0} ms | decompress {:.0} ms | store {:.0} ms | \
              total {:.2} s",
@@ -58,25 +136,39 @@ fn main() {
             total
         );
         sum_comp += t_comp.as_secs_f64();
+        sum_par += t_par.as_secs_f64();
         sum_dec += t_dec.as_secs_f64();
         sum_bytes += frame.bytes.len();
         sum_raw += raw;
+        sum_points += cloud.len();
     }
     let n = frames.len() as f64;
     let avg_bytes = sum_bytes / frames.len();
-    println!("\nthroughput:");
-    println!(
-        "  compression (1 thread): {:.1} frames/s (sensor produces {FPS}) -> {}",
-        n / sum_comp,
-        if n / sum_comp >= FPS { "keeps up ONLINE" } else { "needs pipelining" }
+    let serial_fps = n / sum_comp;
+    let parallel_fps = n / sum_par;
+    say!("\nthroughput ({cores} CPU core(s) exposed to this process):");
+    say!(
+        "  compression, serial (threads=1):   {serial_fps:.1} frames/s \
+         (sensor produces {FPS}) -> {}",
+        if serial_fps >= FPS { "keeps up ONLINE" } else { "needs parallelism" }
+    );
+    say!(
+        "  compression, parallel (threads=0): {parallel_fps:.1} frames/s, \
+         {:.2}x serial{} (bitstreams byte-identical)",
+        parallel_fps / serial_fps,
+        if cores == 1 { " -> single core, no speedup possible" } else { "" }
+    );
+    say!("    serial stage ms/frame:   {}", stage_line(&serial_stages, frames.len()));
+    say!(
+        "    parallel stage ms/frame: {}  (ORG/SPA = summed worker CPU time)",
+        stage_line(&parallel_stages, frames.len())
     );
     // Pipelined compression (frame-ordered worker pool). Scaling requires
     // actual cores; report the parallelism available so single-CPU runs are
     // interpretable.
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    println!("  (host exposes {cores} CPU core(s) to this process)");
+    let mut pipelined = Vec::new();
     for workers in [2usize, 4] {
-        let mut pipe = dbgc_net::PipelinedCompressor::new(dbgc.clone(), workers);
+        let mut pipe = dbgc_net::PipelinedCompressor::new(serial.clone(), workers);
         let reps = 4;
         let (_, t) = timed(|| {
             for _ in 0..reps {
@@ -87,8 +179,9 @@ fn main() {
             while pipe.next_ordered().is_some() {}
         });
         let fps = (reps * frames.len()) as f64 / t.as_secs_f64();
-        println!(
-            "  compression ({workers} workers): {fps:.1} frames/s -> {}",
+        pipelined.push((workers, fps));
+        say!(
+            "  compression ({workers} frame workers): {fps:.1} frames/s -> {}",
             if fps >= FPS {
                 "keeps up ONLINE"
             } else if cores <= workers {
@@ -98,15 +191,63 @@ fn main() {
             }
         );
     }
-    println!("  decompression: {:.1} frames/s", n / sum_dec);
-    println!(
+    say!("  decompression: {:.1} frames/s", n / sum_dec);
+    say!(
         "  uplink need: {:.1} Mbps compressed vs {:.0} Mbps raw (4G gives 8.2) \
          (paper: ~6.0 Mbps at 2 cm)",
         LinkModel::required_mbps(avg_bytes, FPS),
         LinkModel::required_mbps(sum_raw / frames.len(), FPS)
     );
-    println!(
+    say!(
         "\n(paper: ~0.4 s compression + ~0.1 s decompression + ~0.2 s transfers \
          ≈ 0.7 s sensor-to-storage latency)"
     );
+
+    print!("{report}");
+
+    // Machine-readable summary for CI trend tracking; hand-rolled JSON since
+    // the workspace carries no serde.
+    let pipelined_json: Vec<String> = pipelined
+        .iter()
+        .map(|(workers, fps)| format!("{{ \"workers\": {workers}, \"frames_per_s\": {fps:.3} }}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"e2e_throughput\",\n  \"preset\": \"{preset}\",\n  \
+         \"error_bound_m\": {q},\n  \"frames\": {nf},\n  \
+         \"avg_points_per_frame\": {pts},\n  \"cores\": {cores},\n  \
+         \"sensor_fps\": {FPS},\n  \"byte_identical\": true,\n  \
+         \"serial\": {{ \"threads\": 1, \"frames_per_s\": {sfps:.3}, \"stage_ms\": {sstage} }},\n  \
+         \"parallel\": {{ \"threads\": 0, \"frames_per_s\": {pfps:.3}, \"stage_ms\": {pstage}, \
+         \"note\": \"threads=0 uses the shared pool at hardware size; \
+         org/spa are summed worker CPU time\" }},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"pipelined\": [{pipe}],\n  \
+         \"decompress_frames_per_s\": {dfps:.3},\n  \
+         \"avg_compressed_bytes\": {bytes},\n  \
+         \"uplink_mbps\": {mbps:.3}\n}}\n",
+        preset = ScenePreset::KittiCity.name(),
+        q = Q_TYPICAL,
+        nf = frames.len(),
+        pts = sum_points / frames.len(),
+        sfps = serial_fps,
+        sstage = stage_json(&serial_stages, frames.len()),
+        pfps = parallel_fps,
+        pstage = stage_json(&parallel_stages, frames.len()),
+        speedup = parallel_fps / serial_fps,
+        pipe = pipelined_json.join(", "),
+        dfps = n / sum_dec,
+        bytes = avg_bytes,
+        mbps = LinkModel::required_mbps(avg_bytes, FPS),
+    );
+
+    // The binary lives at crates/bench; the artifacts go to the repo root.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if let Err(e) = std::fs::write(root.join("BENCH_e2e.json"), &json) {
+        eprintln!("warning: could not write BENCH_e2e.json: {e}");
+    }
+    let results = root.join("results");
+    let _ = std::fs::create_dir_all(&results);
+    if let Err(e) = std::fs::write(results.join("e2e_throughput.txt"), &report) {
+        eprintln!("warning: could not write results/e2e_throughput.txt: {e}");
+    }
 }

@@ -17,7 +17,8 @@ fn main() {
         ScenePreset::KittiCampus.name(),
         cloud.len()
     );
-    let variants: [(&str, fn(DbgcConfig) -> DbgcConfig); 4] = [
+    type Variant = fn(DbgcConfig) -> DbgcConfig;
+    let variants: [(&str, Variant); 4] = [
         ("DBGC", |c| c),
         ("-Radial", DbgcConfig::without_radial),
         ("-Group", DbgcConfig::without_grouping),

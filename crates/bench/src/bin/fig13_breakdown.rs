@@ -39,9 +39,7 @@ fn main() {
     let header: Vec<String> = labels.iter().map(|s| s.to_string()).collect();
     let row: Vec<String> = comp_fracs.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
     print_table(&header, &[row]);
-    println!(
-        "(paper: DEN 31%, ORG 22%, SPA 44% dominate; OCT/COR/OUT negligible)\n"
-    );
+    println!("(paper: DEN 31%, ORG 22%, SPA 44% dominate; OCT/COR/OUT negligible)\n");
 
     let mut dec_stats = None;
     let mut dec_total = 0.0;
@@ -53,8 +51,7 @@ fn main() {
     }
     let st = dec_stats.expect("at least one repetition");
     println!("decompression breakdown (total {:.3} s):", dec_total);
-    let header: Vec<String> =
-        ["OCT", "SPA", "COR", "OUT"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["OCT", "SPA", "COR", "OUT"].iter().map(|s| s.to_string()).collect();
     let t = st.total().as_secs_f64().max(1e-12);
     let row = vec![
         format!("{:.0}%", st.oct.as_secs_f64() / t * 100.0),

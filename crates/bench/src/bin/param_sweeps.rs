@@ -29,10 +29,8 @@ fn main() {
 
     // --- k: neighbourhood scale (ε = k·q, minPts = ⌈πk²/12⌉) -----------
     println!("k (clustering scale; paper default 10):");
-    let header: Vec<String> = ["k", "ratio", "dense %", "time (s)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> =
+        ["k", "ratio", "dense %", "time (s)"].iter().map(|s| s.to_string()).collect();
     let mut rows = Vec::new();
     for k in [4u32, 6, 8, 10, 14, 20] {
         let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
@@ -44,8 +42,7 @@ fn main() {
 
     // --- TH_r: radial threshold (paper default 2 m) ---------------------
     println!("\nTH_r (radial threshold, metres; paper default 2.0):");
-    let header: Vec<String> =
-        ["TH_r", "ratio"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["TH_r", "ratio"].iter().map(|s| s.to_string()).collect();
     let mut rows = Vec::new();
     for th_r in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);
@@ -57,8 +54,7 @@ fn main() {
 
     // --- groups (paper default 3) ---------------------------------------
     println!("\nradial groups (paper default 3):");
-    let header: Vec<String> =
-        ["groups", "ratio"].iter().map(|s| s.to_string()).collect();
+    let header: Vec<String> = ["groups", "ratio"].iter().map(|s| s.to_string()).collect();
     let mut rows = Vec::new();
     for groups in [1usize, 2, 3, 4, 6, 10] {
         let mut cfg = DbgcConfig::with_error_bound(Q_TYPICAL);

@@ -67,13 +67,10 @@ impl Coder {
     /// Compress `cloud` at error bound `q`; returns the bitstream.
     pub fn encode(self, cloud: &PointCloud, q: f64) -> Vec<u8> {
         match self {
-            Coder::Dbgc => Dbgc::with_error_bound(q)
-                .compress(cloud)
-                .expect("finite cloud, valid config")
-                .bytes,
-            Coder::Octree => {
-                dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), q).bytes
+            Coder::Dbgc => {
+                Dbgc::with_error_bound(q).compress(cloud).expect("finite cloud, valid config").bytes
             }
+            Coder::Octree => dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), q).bytes,
             Coder::OctreeI => {
                 dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), q).bytes
             }
@@ -94,7 +91,9 @@ impl Coder {
                 .expect("own stream")
                 .points
                 .len(),
-            Coder::Draco => dbgc_kdtree::KdTreeCodec.decode(bytes).expect("own stream").points.len(),
+            Coder::Draco => {
+                dbgc_kdtree::KdTreeCodec.decode(bytes).expect("own stream").points.len()
+            }
             Coder::Gpcc => dbgc_gpcc::GpccCodec.decode(bytes).expect("own stream").points.len(),
         }
     }
@@ -143,11 +142,8 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
         }
     }
     let print_row = |row: &[String]| {
-        let line: Vec<String> = row
-            .iter()
-            .enumerate()
-            .map(|(c, cell)| format!("{:>w$}", cell, w = width[c]))
-            .collect();
+        let line: Vec<String> =
+            row.iter().enumerate().map(|(c, cell)| format!("{:>w$}", cell, w = width[c])).collect();
         println!("{}", line.join("  "));
     };
     print_row(header);

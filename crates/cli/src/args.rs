@@ -28,6 +28,9 @@ COMPRESSION OPTIONS:
     --outliers <mode>        quadtree | octree | none (default quadtree)
     --no-radial              disable radial-optimized delta encoding
     --no-conversion          compress sparse channels in Cartesian space
+    --threads <n>            intra-frame worker threads: 0 = all cores
+                             (default), 1 = serial; output is byte-identical
+                             for every setting
 
 SCENES:
     kitti-campus kitti-city kitti-residential kitti-road apollo-urban ford-campus";
@@ -133,16 +136,20 @@ fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
         match args[i].as_str() {
             "--error-bound" => {
                 let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--error-bound"))?;
-                config.q_xyz = v.parse::<f64>().ok().filter(|q| *q > 0.0).ok_or(
-                    ParseError::BadValue { flag: "--error-bound", value: v.clone() },
-                )?;
+                config.q_xyz = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|q| *q > 0.0)
+                    .ok_or(ParseError::BadValue { flag: "--error-bound", value: v.clone() })?;
                 i += 2;
             }
             "--groups" => {
                 let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--groups"))?;
-                config.groups = v.parse::<usize>().ok().filter(|g| *g >= 1).ok_or(
-                    ParseError::BadValue { flag: "--groups", value: v.clone() },
-                )?;
+                config.groups = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|g| *g >= 1)
+                    .ok_or(ParseError::BadValue { flag: "--groups", value: v.clone() })?;
                 i += 2;
             }
             "--clustering" => {
@@ -152,10 +159,7 @@ fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
                     "cell" => ClusteringAlgorithm::CellBased,
                     "dbscan" => ClusteringAlgorithm::Dbscan,
                     _ => {
-                        return Err(ParseError::BadValue {
-                            flag: "--clustering",
-                            value: v.clone(),
-                        })
+                        return Err(ParseError::BadValue { flag: "--clustering", value: v.clone() })
                     }
                 };
                 config.split = SplitStrategy::Density(alg);
@@ -167,18 +171,20 @@ fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
                     "quadtree" => OutlierMode::Quadtree,
                     "octree" => OutlierMode::Octree,
                     "none" => OutlierMode::None,
-                    _ => {
-                        return Err(ParseError::BadValue {
-                            flag: "--outliers",
-                            value: v.clone(),
-                        })
-                    }
+                    _ => return Err(ParseError::BadValue { flag: "--outliers", value: v.clone() }),
                 };
                 i += 2;
             }
             "--no-radial" => {
                 config.radial_optimized = false;
                 i += 1;
+            }
+            "--threads" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--threads"))?;
+                config.threads = v
+                    .parse::<usize>()
+                    .map_err(|_| ParseError::BadValue { flag: "--threads", value: v.clone() })?;
+                i += 2;
             }
             "--no-conversion" => {
                 config.spherical_conversion = false;
@@ -227,10 +233,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "simulate" => {
             let scene_name = args.get(1).ok_or(ParseError::MissingArgument("<scene>"))?;
-            let scene = parse_scene(scene_name).ok_or(ParseError::BadValue {
-                flag: "<scene>",
-                value: scene_name.clone(),
-            })?;
+            let scene = parse_scene(scene_name)
+                .ok_or(ParseError::BadValue { flag: "<scene>", value: scene_name.clone() })?;
             let output = args.get(2).ok_or(ParseError::MissingArgument("<out.bin>"))?;
             let mut seed = 1u64;
             let mut frame = 0u32;
@@ -273,9 +277,7 @@ mod tests {
     #[test]
     fn parse_compress_defaults() {
         let cmd = parse(&argv("compress in.bin out.dbgc")).unwrap();
-        let Command::Compress { input, output, config } = cmd else {
-            panic!("wrong command")
-        };
+        let Command::Compress { input, output, config } = cmd else { panic!("wrong command") };
         assert_eq!(input, PathBuf::from("in.bin"));
         assert_eq!(output, PathBuf::from("out.dbgc"));
         assert_eq!(config, DbgcConfig::default());
@@ -295,6 +297,17 @@ mod tests {
         assert_eq!(config.outlier_mode, OutlierMode::Octree);
         assert!(!config.radial_optimized);
         config.validate().unwrap();
+    }
+
+    #[test]
+    fn parse_threads() {
+        let cmd = parse(&argv("compress a b --threads 4")).unwrap();
+        let Command::Compress { config, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(config.threads, 4);
+        assert!(matches!(
+            parse(&argv("compress a b --threads many")),
+            Err(ParseError::BadValue { flag: "--threads", .. })
+        ));
     }
 
     #[test]
@@ -322,10 +335,7 @@ mod tests {
     #[test]
     fn errors_are_specific() {
         assert_eq!(parse(&[]), Err(ParseError::MissingCommand));
-        assert_eq!(
-            parse(&argv("squash a b")),
-            Err(ParseError::UnknownCommand("squash".into()))
-        );
+        assert_eq!(parse(&argv("squash a b")), Err(ParseError::UnknownCommand("squash".into())));
         assert_eq!(
             parse(&argv("compress only-one")),
             Err(ParseError::MissingArgument("<out.dbgc>"))

@@ -205,8 +205,7 @@ mod tests {
         assert!(report.contains("points        4000"), "{report}");
         assert!(report.contains("spherical + radial-optimized"));
 
-        let report =
-            run_str(&format!("decompress {} {}", dbgc_path.display(), restored.display()));
+        let report = run_str(&format!("decompress {} {}", dbgc_path.display(), restored.display()));
         assert!(report.contains("4000 points restored"));
 
         let back = kitti::read_bin(&restored).unwrap();
@@ -223,10 +222,8 @@ mod tests {
     #[test]
     fn simulate_writes_a_frame() {
         let out_path = tmp("sim.bin");
-        let report = run_str(&format!(
-            "simulate kitti-road {} --seed 2 --frame 1",
-            out_path.display()
-        ));
+        let report =
+            run_str(&format!("simulate kitti-road {} --seed 2 --frame 1", out_path.display()));
         assert!(report.contains("kitti-road"), "{report}");
         let cloud = kitti::read_bin(&out_path).unwrap();
         assert!(cloud.len() > 50_000);
@@ -249,8 +246,7 @@ mod tests {
         let ply_path = tmp("cp.ply");
         run_str(&format!("convert {} {}", bin.display(), ply_path.display()));
         let dbgc_path = tmp("cp.dbgc");
-        let report =
-            run_str(&format!("compress {} {}", ply_path.display(), dbgc_path.display()));
+        let report = run_str(&format!("compress {} {}", ply_path.display(), dbgc_path.display()));
         assert!(report.contains("900 points"), "{report}");
     }
 
@@ -259,10 +255,7 @@ mod tests {
         let argv: Vec<String> =
             ["convert", "a.xyz", "b.bin"].iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        assert!(matches!(
-            execute(parse(&argv).unwrap(), &mut out),
-            Err(CliError::Invalid(_))
-        ));
+        assert!(matches!(execute(parse(&argv).unwrap(), &mut out), Err(CliError::Invalid(_))));
     }
 
     #[test]
@@ -276,9 +269,6 @@ mod tests {
         let argv: Vec<String> =
             ["info", "/nonexistent/never.dbgc"].iter().map(|s| s.to_string()).collect();
         let mut out = Vec::new();
-        assert!(matches!(
-            execute(parse(&argv).unwrap(), &mut out),
-            Err(CliError::Io(_))
-        ));
+        assert!(matches!(execute(parse(&argv).unwrap(), &mut out), Err(CliError::Io(_))));
     }
 }

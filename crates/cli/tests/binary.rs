@@ -29,10 +29,7 @@ fn bad_usage_exits_two() {
 
 #[test]
 fn missing_file_exits_one() {
-    let out = Command::new(bin())
-        .args(["info", "/nonexistent/never.dbgc"])
-        .output()
-        .unwrap();
+    let out = Command::new(bin()).args(["info", "/nonexistent/never.dbgc"]).output().unwrap();
     assert_eq!(out.status.code(), Some(1));
 }
 
@@ -59,10 +56,7 @@ fn full_flow_through_the_binary() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(String::from_utf8_lossy(&out.stdout).contains("2000 points"));
 
-    let out = Command::new(bin())
-        .args(["info", dbgc_path.to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = Command::new(bin()).args(["info", dbgc_path.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success());
 
     let out = Command::new(bin())

@@ -113,8 +113,7 @@ mod tests {
         let split = res.split();
         // All blob points clustered; noise mostly unclustered.
         assert!(split.dense[..blob_points].iter().all(|&d| d));
-        let noise_dense =
-            split.dense[blob_points..].iter().filter(|&&d| d).count();
+        let noise_dense = split.dense[blob_points..].iter().filter(|&&d| d).count();
         assert_eq!(noise_dense, 0);
     }
 
@@ -143,8 +142,7 @@ mod tests {
     #[test]
     fn border_points_join_cluster() {
         // A line of points where ends have fewer neighbours than the middle.
-        let pts: Vec<Point3> =
-            (0..20).map(|i| Point3::new(i as f64 * 0.05, 0.0, 0.0)).collect();
+        let pts: Vec<Point3> = (0..20).map(|i| Point3::new(i as f64 * 0.05, 0.0, 0.0)).collect();
         // minPts 4: middle points are core (2 each side + self within 0.1),
         // end points are border.
         let res = dbscan(&pts, ClusterParams::new(0.1, 4));

@@ -4,39 +4,85 @@
 //! block of cells around the point's own cell, so range queries touch at most
 //! 27 cells.
 
-use std::collections::HashMap;
-
+use dbgc_geom::FxHashMap;
 use dbgc_geom::Point3;
 
 /// Integer cell coordinates.
 pub type Cell = (i64, i64, i64);
+
+/// Below this size the sharded build's merge overhead outweighs the
+/// parallel insert win; build serially.
+#[cfg(feature = "parallel")]
+const PARALLEL_BUILD_MIN_POINTS: usize = 1 << 14;
 
 /// A hash-grid over points with fixed cell side.
 #[derive(Debug, Clone)]
 pub struct UniformGrid<'a> {
     points: &'a [Point3],
     cell_side: f64,
-    cells: HashMap<Cell, Vec<u32>>,
+    cells: FxHashMap<Cell, Vec<u32>>,
 }
 
 impl<'a> UniformGrid<'a> {
     /// Index `points` with the given cell side (`> 0`).
+    ///
+    /// Per-cell index lists are always in ascending point order, whichever
+    /// build strategy runs, so downstream range queries are deterministic.
     pub fn build(points: &'a [Point3], cell_side: f64) -> Self {
         assert!(cell_side > 0.0, "cell side must be positive");
-        let mut cells: HashMap<Cell, Vec<u32>> = HashMap::new();
+        #[cfg(feature = "parallel")]
+        {
+            let pool = dbgc_parallel::ThreadPool::global();
+            if pool.threads() > 1 && points.len() >= PARALLEL_BUILD_MIN_POINTS {
+                return Self::build_sharded(points, cell_side, pool);
+            }
+        }
+        Self::build_serial(points, cell_side)
+    }
+
+    fn build_serial(points: &'a [Point3], cell_side: f64) -> Self {
+        let mut cells: FxHashMap<Cell, Vec<u32>> = FxHashMap::default();
         for (i, &p) in points.iter().enumerate() {
             cells.entry(Self::cell_for(p, cell_side)).or_default().push(i as u32);
         }
         UniformGrid { points, cell_side, cells }
     }
 
+    /// Parallel build: each worker indexes one contiguous chunk of the input
+    /// into a private shard, then shards merge in chunk order. Chunks are
+    /// ascending index ranges, so shard-order concatenation keeps every
+    /// per-cell list in ascending order — identical to the serial build.
+    #[cfg(feature = "parallel")]
+    fn build_sharded(
+        points: &'a [Point3],
+        cell_side: f64,
+        pool: &dbgc_parallel::ThreadPool,
+    ) -> Self {
+        let n = points.len();
+        let chunk_len = n.div_ceil(pool.threads());
+        let ranges: Vec<std::ops::Range<usize>> = (0..n.div_ceil(chunk_len))
+            .map(|c| c * chunk_len..((c + 1) * chunk_len).min(n))
+            .collect();
+        let shards: Vec<FxHashMap<Cell, Vec<u32>>> = pool.map_with_grain(&ranges, 1, |_, range| {
+            let mut shard: FxHashMap<Cell, Vec<u32>> = FxHashMap::default();
+            for i in range.clone() {
+                shard.entry(Self::cell_for(points[i], cell_side)).or_default().push(i as u32);
+            }
+            shard
+        });
+        let mut shards = shards.into_iter();
+        let mut cells = shards.next().unwrap_or_default();
+        for shard in shards {
+            for (cell, idxs) in shard {
+                cells.entry(cell).or_default().extend_from_slice(&idxs);
+            }
+        }
+        UniformGrid { points, cell_side, cells }
+    }
+
     #[inline]
     fn cell_for(p: Point3, side: f64) -> Cell {
-        (
-            (p.x / side).floor() as i64,
-            (p.y / side).floor() as i64,
-            (p.z / side).floor() as i64,
-        )
+        ((p.x / side).floor() as i64, (p.y / side).floor() as i64, (p.z / side).floor() as i64)
     }
 
     /// Cell of point index `i`.
@@ -163,6 +209,30 @@ mod tests {
         // dist ≈ 0.104 > 0.1: not a neighbour at radius 0.1.
         assert!(out.is_empty());
         assert_eq!(grid.cell_of(0), (-1, -1, -1));
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn sharded_build_matches_serial() {
+        use rand::{Rng, SeedableRng};
+        dbgc_parallel::ThreadPool::global().ensure_total(4);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        // Enough points to clear PARALLEL_BUILD_MIN_POINTS.
+        let pts: Vec<Point3> = (0..PARALLEL_BUILD_MIN_POINTS + 1000)
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-20.0..20.0),
+                    rng.gen_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        let sharded = UniformGrid::build(&pts, 0.5);
+        let serial = UniformGrid::build_serial(&pts, 0.5);
+        assert_eq!(sharded.cell_count(), serial.cell_count());
+        for (cell, idxs) in serial.iter_cells() {
+            assert_eq!(sharded.points_in_cell(*cell), idxs.as_slice(), "cell {cell:?}");
+        }
     }
 
     #[test]

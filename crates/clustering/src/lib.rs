@@ -38,6 +38,20 @@ pub use dbscan::{dbscan, DbscanResult};
 pub use grid::UniformGrid;
 pub use params::ClusterParams;
 
+/// Ordered map over `items`, parallel when the `parallel` feature is on and
+/// the workspace pool has more than one thread. `out[i] = f(i, &items[i])`
+/// in both modes, so callers are byte-deterministic either way.
+#[cfg(feature = "parallel")]
+pub(crate) fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
+    dbgc_parallel::ThreadPool::global().map(items, f)
+}
+
+/// Serial fallback of [`par_map`] when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn par_map<T, R>(items: &[T], f: impl Fn(usize, &T) -> R) -> Vec<R> {
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}
+
 /// Outcome of a dense/sparse split: `dense[i]` tells whether input point `i`
 /// was classified dense.
 #[derive(Debug, Clone, PartialEq, Eq)]

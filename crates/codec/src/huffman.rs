@@ -274,7 +274,8 @@ mod tests {
         freqs[0] = 10_000;
         freqs[1] = 10;
         freqs[2] = 5;
-        let stream: Vec<usize> = (0..8000).map(|i| if i % 100 == 0 { 1 + i % 2 } else { 0 }).collect();
+        let stream: Vec<usize> =
+            (0..8000).map(|i| if i % 100 == 0 { 1 + i % 2 } else { 0 }).collect();
         let total = roundtrip(&freqs, &stream);
         // ~1 bit per symbol plus table.
         assert!(total < 1600, "total {total} bytes");

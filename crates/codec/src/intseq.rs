@@ -5,8 +5,8 @@
 //! varint coded_len | payload`), so streams can be concatenated and split
 //! without external bookkeeping.
 
-use crate::delta::{delta_decode_in_place, delta_encode};
 use crate::deflate::{deflate_compress, deflate_decompress};
+use crate::delta::{delta_decode_in_place, delta_encode};
 use crate::error::CodecError;
 use crate::model::AdaptiveModel;
 use crate::range::{RangeDecoder, RangeEncoder};
@@ -37,9 +37,7 @@ fn write_frame(out: &mut Vec<u8>, count: usize, raw_len: usize, payload: &[u8]) 
     out.extend_from_slice(payload);
 }
 
-fn read_frame<'a>(
-    r: &mut ByteReader<'a>,
-) -> Result<(usize, usize, &'a [u8]), CodecError> {
+fn read_frame<'a>(r: &mut ByteReader<'a>) -> Result<(usize, usize, &'a [u8]), CodecError> {
     let count = r.read_uvarint()? as usize;
     let raw_len = r.read_uvarint()? as usize;
     let coded_len = r.read_uvarint()? as usize;
@@ -188,12 +186,7 @@ mod tests {
         compress_ints_rc(&mut plain, &vals);
         let mut delta = Vec::new();
         compress_ints_delta_rc(&mut delta, &vals);
-        assert!(
-            delta.len() < plain.len() / 2,
-            "delta {} vs plain {}",
-            delta.len(),
-            plain.len()
-        );
+        assert!(delta.len() < plain.len() / 2, "delta {} vs plain {}", delta.len(), plain.len());
         let mut r = ByteReader::new(&delta);
         assert_eq!(decompress_ints_delta_rc(&mut r).unwrap(), vals);
     }

@@ -29,8 +29,8 @@
 
 pub mod bitio;
 pub mod bitpack;
-pub mod delta;
 pub mod deflate;
+pub mod delta;
 pub mod entropy;
 pub mod error;
 pub mod huffman;
@@ -43,8 +43,8 @@ pub mod varint;
 
 pub use bitio::{BitReader, BitWriter};
 pub use bitpack::{bitpack_decode, bitpack_encode, for_decode, for_encode};
-pub use delta::{delta_decode, delta_decode_in_place, delta_encode, delta_encode_in_place};
 pub use deflate::{deflate_compress, deflate_decompress};
+pub use delta::{delta_decode, delta_decode_in_place, delta_encode, delta_encode_in_place};
 pub use entropy::shannon_entropy;
 pub use error::CodecError;
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};

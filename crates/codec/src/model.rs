@@ -90,7 +90,7 @@ impl AdaptiveModel {
 
     /// Halve all frequencies (keeping them >= 1) and rebuild the tree.
     fn rescale(&mut self) {
-        let freqs: Vec<u64> = (0..self.n).map(|s| (self.freq(s) + 1) / 2).collect();
+        let freqs: Vec<u64> = (0..self.n).map(|s| self.freq(s).div_ceil(2)).collect();
         self.tree.iter_mut().for_each(|v| *v = 0);
         self.total = 0;
         for (s, f) in freqs.into_iter().enumerate() {
@@ -149,11 +149,7 @@ impl ContextModel {
     }
 
     /// Decode one symbol under context `ctx` (mirror of `encode`).
-    pub fn decode(
-        &mut self,
-        dec: &mut RangeDecoder<'_>,
-        ctx: usize,
-    ) -> Result<usize, CodecError> {
+    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>, ctx: usize) -> Result<usize, CodecError> {
         self.model(ctx).decode(dec)
     }
 }
@@ -197,9 +193,8 @@ mod tests {
 
     #[test]
     fn model_roundtrip_full_byte_alphabet_with_rescales() {
-        let syms: Vec<usize> = (0..60_000u32)
-            .map(|i| ((i.wrapping_mul(0x9E3779B9)) >> 25) as usize % 256)
-            .collect();
+        let syms: Vec<usize> =
+            (0..60_000u32).map(|i| ((i.wrapping_mul(0x9E3779B9)) >> 25) as usize % 256).collect();
         let mut em = AdaptiveModel::new(256);
         let mut enc = RangeEncoder::new();
         for &s in &syms {

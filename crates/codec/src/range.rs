@@ -256,8 +256,7 @@ mod tests {
     #[test]
     fn static_roundtrip_skewed() {
         let freqs = [900u64, 50, 30, 20];
-        let symbols: Vec<usize> =
-            (0..5000).map(|i| if i % 50 == 0 { i % 4 } else { 0 }).collect();
+        let symbols: Vec<usize> = (0..5000).map(|i| if i % 50 == 0 { i % 4 } else { 0 }).collect();
         roundtrip_static(&symbols, &freqs);
     }
 
@@ -314,9 +313,8 @@ mod tests {
     #[test]
     fn long_stream_stability() {
         // Exercise many renormalizations, including forced truncations.
-        let data: Vec<u8> = (0..200_000u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 24) as u8)
-            .collect();
+        let data: Vec<u8> =
+            (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 24) as u8).collect();
         let comp = rc_compress_bytes(&data);
         assert_eq!(rc_decompress_bytes(&comp, data.len()).unwrap(), data);
     }

@@ -74,6 +74,12 @@ pub struct DbgcConfig {
     pub outlier_mode: OutlierMode,
     /// Sensor metadata supplying `u_θ` and `u_φ` for polyline organization.
     pub sensor: SensorMeta,
+    /// Worker threads for the intra-frame parallel stages (requires the
+    /// `parallel` feature): `0` = use the process-wide pool at its current
+    /// size (hardware threads, or `DBGC_THREADS`); `1` = run every stage
+    /// inline on the calling thread; `n > 1` = grow the shared pool to at
+    /// least `n` threads. The bitstream is byte-identical for every setting.
+    pub threads: usize,
 }
 
 impl Default for DbgcConfig {
@@ -97,7 +103,14 @@ impl DbgcConfig {
             radial_optimized: true,
             outlier_mode: OutlierMode::Quadtree,
             sensor: SensorMeta::velodyne_hdl64e(),
+            threads: 0,
         }
+    }
+
+    /// Builder-style override of [`threads`](DbgcConfig::threads).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Clustering parameters implied by this configuration.
@@ -115,7 +128,8 @@ impl DbgcConfig {
 
     /// Validate invariants; called by the compressor.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.q_xyz > 0.0) {
+        // NaN must fail too, hence the partial_cmp form.
+        if self.q_xyz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
             return Err(format!("q_xyz must be positive, got {}", self.q_xyz));
         }
         if self.groups == 0 {
@@ -125,11 +139,9 @@ impl DbgcConfig {
             return Err("min_polyline_len must be >= 1".into());
         }
         if self.radial_optimized && !self.spherical_conversion {
-            return Err(
-                "radial-optimized encoding requires spherical conversion (no radial \
+            return Err("radial-optimized encoding requires spherical conversion (no radial \
                  distance channel in Cartesian mode)"
-                    .into(),
-            );
+                .into());
         }
         if let SplitStrategy::NearestFraction(f) = self.split {
             if !(0.0..=1.0).contains(&f) {
@@ -178,27 +190,23 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = DbgcConfig::default();
-        c.q_xyz = 0.0;
+        let c = DbgcConfig { q_xyz: 0.0, ..DbgcConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DbgcConfig::default();
-        c.groups = 0;
+        let c = DbgcConfig { groups: 0, ..DbgcConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DbgcConfig::default();
-        c.spherical_conversion = false; // radial still on
+        // Radial still on:
+        let c = DbgcConfig { spherical_conversion: false, ..DbgcConfig::default() };
         assert!(c.validate().is_err());
 
-        let mut c = DbgcConfig::default();
-        c.split = SplitStrategy::NearestFraction(1.5);
+        let c = DbgcConfig { split: SplitStrategy::NearestFraction(1.5), ..DbgcConfig::default() };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn min_pts_override() {
-        let mut c = DbgcConfig::default();
-        c.min_pts_override = Some(42);
+        let c = DbgcConfig { min_pts_override: Some(42), ..DbgcConfig::default() };
         assert_eq!(c.cluster_params().min_pts, 42);
     }
 }

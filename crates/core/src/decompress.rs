@@ -48,7 +48,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
         return Err(DbgcError::BadHeader("unsupported version"));
     }
     let q_xyz = r.read_f64().map_err(DbgcError::from)?;
-    if !(q_xyz > 0.0) || !q_xyz.is_finite() {
+    if q_xyz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !q_xyz.is_finite() {
         return Err(DbgcError::BadHeader("invalid error bound"));
     }
     let _u_theta = r.read_f64().map_err(DbgcError::from)?;

@@ -53,6 +53,7 @@ pub mod config;
 pub mod decompress;
 pub mod error;
 pub mod outlier;
+pub(crate) mod par;
 pub mod pipeline;
 pub mod sparse;
 pub mod stats;
@@ -153,10 +154,7 @@ mod tests {
             let frame = Dbgc::with_error_bound(q).compress(&cloud).unwrap();
             let (dec, _) = decompress(&frame.bytes).unwrap();
             verify_roundtrip(&cloud, &dec, &frame, q).unwrap();
-            assert!(
-                frame.bytes.len() < last_size,
-                "coarser bound must not enlarge the stream"
-            );
+            assert!(frame.bytes.len() < last_size, "coarser bound must not enlarge the stream");
             last_size = frame.bytes.len();
         }
     }
@@ -165,8 +163,7 @@ mod tests {
     fn empty_and_tiny_clouds() {
         let dbgc = Dbgc::with_error_bound(0.02);
         for n in [0usize, 1, 2, 5] {
-            let cloud: PointCloud =
-                (0..n).map(|i| Point3::new(i as f64, 1.0, -1.0)).collect();
+            let cloud: PointCloud = (0..n).map(|i| Point3::new(i as f64, 1.0, -1.0)).collect();
             let frame = dbgc.compress(&cloud).unwrap();
             let (dec, _) = decompress(&frame.bytes).unwrap();
             assert_eq!(dec.len(), n);
@@ -224,10 +221,7 @@ mod tests {
         let cloud = lidar_cloud(18);
         let frame = Dbgc::with_error_bound(0.02).compress(&cloud).unwrap();
         let s = &frame.stats;
-        assert_eq!(
-            s.dense_points + s.sparse_points + s.outlier_points,
-            s.total_points
-        );
+        assert_eq!(s.dense_points + s.sparse_points + s.outlier_points, s.total_points);
         assert_eq!(s.sections.total(), frame.bytes.len());
         assert!(s.polylines > 0);
     }

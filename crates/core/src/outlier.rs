@@ -90,8 +90,7 @@ pub fn decode_outliers(r: &mut ByteReader<'_>, q_xyz: f64) -> Result<Vec<Point3>
             for _ in 0..n {
                 let bytes = r.read_slice(12)?;
                 let f = |i: usize| {
-                    f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
-                        as f64
+                    f32::from_le_bytes(bytes[i * 4..i * 4 + 4].try_into().expect("4 bytes")) as f64
                 };
                 pts.push(Point3::new(f(0), f(1), f(2)));
             }

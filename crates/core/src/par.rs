@@ -1,0 +1,47 @@
+//! Feature-gated bridge to the workspace thread pool.
+//!
+//! The compressor's parallel stages all reduce to one primitive: an ordered
+//! map over a slice. With the `parallel` feature the map fans out over
+//! [`dbgc_parallel::ThreadPool::global`]; without it (or with
+//! `threads == 1`) it is a plain serial loop. Either way `out[i] = f(i,
+//! &items[i])`, so callers produce byte-identical output in every mode.
+
+/// Ordered map over `items`, honouring [`DbgcConfig::threads`] semantics:
+/// `0` = current pool size, `1` = inline serial, `n > 1` = grow the pool to
+/// at least `n` first. `grain` bounds the block size handed to one worker
+/// (`None` = let the pool pick).
+///
+/// [`DbgcConfig::threads`]: crate::config::DbgcConfig::threads
+#[cfg(feature = "parallel")]
+pub(crate) fn map<T: Sync, R: Send>(
+    threads: usize,
+    grain: Option<usize>,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    if threads != 1 {
+        let pool = dbgc_parallel::ThreadPool::global();
+        if threads > 1 {
+            pool.ensure_total(threads);
+        }
+        if pool.threads() > 1 {
+            return match grain {
+                Some(g) => pool.map_with_grain(items, g, f),
+                None => pool.map(items, f),
+            };
+        }
+    }
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn map<T, R>(
+    threads: usize,
+    grain: Option<usize>,
+    items: &[T],
+    f: impl Fn(usize, &T) -> R,
+) -> Vec<R> {
+    let _ = (threads, grain);
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}

@@ -12,10 +12,18 @@ use dbgc_octree::OctreeCodec;
 
 use crate::config::{ClusteringAlgorithm, DbgcConfig, SplitStrategy};
 use crate::outlier::encode_outliers;
-use crate::sparse::codec::{encode_group, GroupCodecConfig};
+use crate::par;
+use crate::sparse::codec::{encode_group_to_buf, GroupCodecConfig, ScratchBuffers};
 use crate::sparse::organize::organize_sparse_points;
 use crate::stats::{CompressionStats, SectionSizes, TimingBreakdown};
 use crate::DbgcError;
+
+std::thread_local! {
+    /// Per-thread group-codec scratch: reused across groups and frames, both
+    /// on the calling thread (serial mode) and on pool workers.
+    static SCRATCH: std::cell::RefCell<ScratchBuffers> =
+        std::cell::RefCell::new(ScratchBuffers::default());
+}
 
 /// Stream magic and version.
 pub(crate) const MAGIC: [u8; 4] = *b"DBGC";
@@ -41,6 +49,21 @@ impl CompressedFrame {
     pub fn compression_ratio(&self) -> f64 {
         self.stats.compression_ratio()
     }
+}
+
+/// Outcome of ORG + SPA on one radial group, produced on any thread and
+/// consumed by the deterministic in-order post-pass.
+struct GroupResult {
+    /// The group's stream section: `r_max` (f64) + encoded group.
+    bytes: Vec<u8>,
+    /// Polyline point indices, local to the group's point array.
+    polylines: Vec<Vec<u32>>,
+    /// Outlier indices, local to the group's point array.
+    outliers: Vec<u32>,
+    /// Time spent in organization (per-worker CPU time).
+    org: std::time::Duration,
+    /// Time spent in coordinate compression (per-worker CPU time).
+    spa: std::time::Duration,
 }
 
 /// The DBGC compressor.
@@ -86,21 +109,21 @@ impl Dbgc {
 
         // ---- COR: spherical conversion ----------------------------------
         // Organization always runs in (θ, φ) space; the flag only controls
-        // which coordinates are *compressed*.
+        // which coordinates are *compressed*. Per-point conversions are
+        // independent, so they fan out over the pool.
         let t = Instant::now();
         let sparse_pts: Vec<Point3> = sparse_idx.iter().map(|&i| points[i]).collect();
         let sparse_sph: Vec<Spherical> =
-            sparse_pts.iter().map(|p| p.to_spherical()).collect();
+            par::map(cfg.threads, None, &sparse_pts, |_, p| p.to_spherical());
         timing.cor = t.elapsed();
 
         // ---- grouping by radial distance --------------------------------
         // `order[g]` lists indices into sparse_pts for group g, ascending r.
+        // Keyed on (r, index), the unstable sort is a total order that
+        // reproduces the stable sort's tie behaviour exactly.
         let mut by_r: Vec<u32> = (0..sparse_pts.len() as u32).collect();
-        by_r.sort_by(|&a, &b| {
-            sparse_sph[a as usize]
-                .r
-                .partial_cmp(&sparse_sph[b as usize].r)
-                .expect("radial distances are finite")
+        by_r.sort_unstable_by(|&a, &b| {
+            sparse_sph[a as usize].r.total_cmp(&sparse_sph[b as usize].r).then(a.cmp(&b))
         });
         let n_groups = cfg.groups.min(by_r.len().max(1));
         let group_size = by_r.len().div_ceil(n_groups.max(1));
@@ -145,45 +168,39 @@ impl Dbgc {
         let mut outliers_global: Vec<u32> = Vec::new(); // indices into sparse_pts
         let mut polyline_count = 0usize;
         let sparse_mark = out.len();
-        let mut org_time = std::time::Duration::ZERO;
-        let mut spa_time = std::time::Duration::ZERO;
 
-        for group in &groups {
-            let g_sph: Vec<Spherical> =
-                group.iter().map(|&i| sparse_sph[i as usize]).collect();
-            let g_cart: Vec<Point3> = group.iter().map(|&i| sparse_pts[i as usize]).collect();
-            let r_max = g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
+        // ORG + SPA per group, fanned out over the pool (grain 1: groups are
+        // few and expensive). Each group encodes into its own buffer; buffers
+        // are spliced into the stream in group order below, so the bitstream
+        // is byte-identical to the serial in-place loop.
+        let group_results: Vec<GroupResult> =
+            par::map(cfg.threads, Some(1), &groups, |_, group| {
+                SCRATCH.with(|scratch| {
+                    self.encode_one_group(
+                        group,
+                        &sparse_sph,
+                        &sparse_pts,
+                        &mut scratch.borrow_mut(),
+                    )
+                })
+            });
 
-            // ORG: Algorithm 1.
-            let t = Instant::now();
-            let organized = organize_sparse_points(
-                &g_sph,
-                &g_cart,
-                cfg.sensor.u_theta(),
-                cfg.sensor.u_phi(),
-                cfg.min_polyline_len,
-            );
-            org_time += t.elapsed();
-
-            // SPA: steps 1-9.
-            let t = Instant::now();
-            let (lines_q, codec_cfg) = self.quantize_lines(&organized.polylines, &g_sph, &g_cart, r_max);
-            write_f64(&mut out, r_max);
-            encode_group(&mut out, &lines_q, &codec_cfg);
-            spa_time += t.elapsed();
-
-            // Mapping for polyline points (flattened, in line order).
-            for line in &organized.polylines {
+        // Deterministic post-pass: splice the buffers and replay the
+        // bookkeeping (mapping cursor, outlier list) in group order, exactly
+        // as the serial loop interleaved it.
+        for (group, result) in groups.iter().zip(&group_results) {
+            out.extend_from_slice(&result.bytes);
+            for line in &result.polylines {
                 for &local in line {
                     mapping[sparse_idx[group[local as usize] as usize]] = cursor;
                     cursor += 1;
                 }
             }
-            polyline_count += organized.polylines.len();
-            outliers_global.extend(organized.outliers.iter().map(|&l| group[l as usize]));
+            polyline_count += result.polylines.len();
+            outliers_global.extend(result.outliers.iter().map(|&l| group[l as usize]));
+            timing.org += result.org;
+            timing.spa += result.spa;
         }
-        timing.org = org_time;
-        timing.spa = spa_time;
         sections.sparse = out.len() - sparse_mark;
 
         // ---- B_outlier ------------------------------------------------------
@@ -191,18 +208,14 @@ impl Dbgc {
         let t = Instant::now();
         let outlier_pts: Vec<Point3> =
             outliers_global.iter().map(|&i| sparse_pts[i as usize]).collect();
-        let outlier_mapping =
-            encode_outliers(&mut out, &outlier_pts, cfg.q_xyz, cfg.outlier_mode);
+        let outlier_mapping = encode_outliers(&mut out, &outlier_pts, cfg.q_xyz, cfg.outlier_mode);
         for (k, &i) in outliers_global.iter().enumerate() {
             mapping[sparse_idx[i as usize]] = cursor + outlier_mapping[k];
         }
         timing.out = t.elapsed();
         sections.outlier = out.len() - outlier_mark;
 
-        debug_assert!(
-            mapping.iter().all(|&m| m != usize::MAX),
-            "every input point must be mapped"
-        );
+        debug_assert!(mapping.iter().all(|&m| m != usize::MAX), "every input point must be mapped");
 
         let stats = CompressionStats {
             total_points: points.len(),
@@ -214,6 +227,52 @@ impl Dbgc {
             timing,
         };
         Ok(CompressedFrame { bytes: out, mapping, stats })
+    }
+
+    /// ORG + SPA for one radial group, into a group-local buffer.
+    ///
+    /// `bytes` holds the group's complete stream section (`r_max` followed by
+    /// the encoded group), so buffers computed on any thread can be spliced
+    /// into the frame in group order without re-encoding.
+    fn encode_one_group(
+        &self,
+        group: &[u32],
+        sparse_sph: &[Spherical],
+        sparse_pts: &[Point3],
+        scratch: &mut ScratchBuffers,
+    ) -> GroupResult {
+        let cfg = &self.config;
+        let g_sph: Vec<Spherical> = group.iter().map(|&i| sparse_sph[i as usize]).collect();
+        let g_cart: Vec<Point3> = group.iter().map(|&i| sparse_pts[i as usize]).collect();
+        let r_max = g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
+
+        // ORG: Algorithm 1.
+        let t = Instant::now();
+        let organized = organize_sparse_points(
+            &g_sph,
+            &g_cart,
+            cfg.sensor.u_theta(),
+            cfg.sensor.u_phi(),
+            cfg.min_polyline_len,
+        );
+        let org = t.elapsed();
+
+        // SPA: steps 1-9.
+        let t = Instant::now();
+        let (lines_q, codec_cfg) =
+            self.quantize_lines(&organized.polylines, &g_sph, &g_cart, r_max);
+        let mut bytes = Vec::new();
+        write_f64(&mut bytes, r_max);
+        encode_group_to_buf(&mut bytes, &lines_q, &codec_cfg, scratch);
+        let spa = t.elapsed();
+
+        GroupResult {
+            bytes,
+            polylines: organized.polylines,
+            outliers: organized.outliers,
+            org,
+            spa,
+        }
     }
 
     /// Dense/sparse classification.
@@ -228,12 +287,11 @@ impl Dbgc {
                 }
             }
             SplitStrategy::NearestFraction(f) => {
+                // (norm, index) keys make the unstable sort a total order
+                // matching the stable sort's tie behaviour.
                 let mut order: Vec<u32> = (0..points.len() as u32).collect();
-                order.sort_by(|&a, &b| {
-                    points[a as usize]
-                        .norm()
-                        .partial_cmp(&points[b as usize].norm())
-                        .expect("coordinates are finite")
+                order.sort_unstable_by(|&a, &b| {
+                    points[a as usize].norm().total_cmp(&points[b as usize].norm()).then(a.cmp(&b))
                 });
                 let n_dense = (points.len() as f64 * f).round() as usize;
                 let mut dense = vec![false; points.len()];

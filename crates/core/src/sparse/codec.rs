@@ -21,7 +21,7 @@ use dbgc_codec::intseq;
 use dbgc_codec::varint::ByteReader;
 use dbgc_codec::CodecError;
 
-use super::radial::{decode_radial, encode_radial};
+use super::radial::{decode_radial, encode_radial, encode_radial_into, RadialStreams};
 
 /// Channel-3 behaviour and the radial thresholds, in quantized units.
 #[derive(Debug, Clone, Copy)]
@@ -34,43 +34,87 @@ pub struct GroupCodecConfig {
     pub th_r: i64,
 }
 
+/// Reusable working memory for [`encode_group_to_buf`].
+///
+/// One group encode stages five integer sequences (lengths, two head frames,
+/// two tail frames — plus the three radial streams) before entropy coding.
+/// Keeping the backing allocations in a scratch arena lets a frame loop — or
+/// a per-worker thread-local — pay for them once instead of once per group.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchBuffers {
+    /// Sequence staging area; each frame is filled, compressed, then reused.
+    seq: Vec<i64>,
+    /// Radial-channel streams (`∇L_r` heads/tails and `L_ref`).
+    radial: RadialStreams,
+}
+
+/// Fill `seq` with channel `c` of each line's head.
+fn fill_heads(seq: &mut Vec<i64>, lines: &[Vec<[i64; 3]>], c: usize) {
+    seq.clear();
+    seq.extend(lines.iter().map(|l| l[0][c]));
+}
+
+/// Fill `seq` with channel `c`'s within-line deltas over all tails.
+fn fill_tail_deltas(seq: &mut Vec<i64>, lines: &[Vec<[i64; 3]>], c: usize) {
+    seq.clear();
+    for l in lines {
+        for k in 1..l.len() {
+            seq.push(l[k][c] - l[k - 1][c]);
+        }
+    }
+}
+
 /// Encode one group of quantized polylines into `out`.
+///
+/// Convenience wrapper over [`encode_group_to_buf`] with throwaway scratch;
+/// hot loops should hold a [`ScratchBuffers`] and call the latter.
 pub fn encode_group(out: &mut Vec<u8>, lines: &[Vec<[i64; 3]>], cfg: &GroupCodecConfig) {
+    encode_group_to_buf(out, lines, cfg, &mut ScratchBuffers::default());
+}
+
+/// Encode one group of quantized polylines into `out`, staging intermediate
+/// sequences in `scratch`. The bytes appended to `out` are identical for any
+/// scratch state — `scratch` only recycles capacity.
+pub fn encode_group_to_buf(
+    out: &mut Vec<u8>,
+    lines: &[Vec<[i64; 3]>],
+    cfg: &GroupCodecConfig,
+    scratch: &mut ScratchBuffers,
+) {
     debug_assert!(lines.iter().all(|l| !l.is_empty()), "no empty polylines");
 
     // Step 5: lengths.
-    let lengths: Vec<i64> = lines.iter().map(|l| l.len() as i64).collect();
-    intseq::compress_ints_rc(out, &lengths);
+    scratch.seq.clear();
+    scratch.seq.extend(lines.iter().map(|l| l.len() as i64));
+    intseq::compress_ints_rc(out, &scratch.seq);
 
-    // Steps 2-4: head/tail split per channel.
-    let heads = |c: usize| -> Vec<i64> { lines.iter().map(|l| l[0][c]).collect() };
-    let tail_deltas = |c: usize| -> Vec<i64> {
-        let mut v = Vec::new();
-        for l in lines {
-            for k in 1..l.len() {
-                v.push(l[k][c] - l[k - 1][c]);
-            }
-        }
-        v
-    };
-
-    // Step 6: azimuthal channel via Deflate (repeated cross-line patterns).
-    intseq::compress_ints_deflate(out, &dbgc_codec::delta_encode(&heads(0)));
-    intseq::compress_ints_deflate(out, &tail_deltas(0));
+    // Steps 2-4 (head/tail split) + step 6: azimuthal channel via Deflate
+    // (repeated cross-line patterns).
+    fill_heads(&mut scratch.seq, lines, 0);
+    dbgc_codec::delta_encode_in_place(&mut scratch.seq);
+    intseq::compress_ints_deflate(out, &scratch.seq);
+    fill_tail_deltas(&mut scratch.seq, lines, 0);
+    intseq::compress_ints_deflate(out, &scratch.seq);
 
     // Step 7: polar channel via arithmetic coding.
-    intseq::compress_ints_rc(out, &dbgc_codec::delta_encode(&heads(1)));
-    intseq::compress_ints_rc(out, &tail_deltas(1));
+    fill_heads(&mut scratch.seq, lines, 1);
+    dbgc_codec::delta_encode_in_place(&mut scratch.seq);
+    intseq::compress_ints_rc(out, &scratch.seq);
+    fill_tail_deltas(&mut scratch.seq, lines, 1);
+    intseq::compress_ints_rc(out, &scratch.seq);
 
     // Step 8: radial channel (head/tail residuals in separate frames).
     if cfg.radial {
-        let streams = encode_radial(lines, cfg.th_phi, cfg.th_r);
-        intseq::compress_ints_rc(out, &streams.head_nabla);
-        intseq::compress_ints_rc(out, &streams.tail_nabla);
-        intseq::compress_symbols_rc(out, &streams.refs, 4);
+        encode_radial_into(lines, cfg.th_phi, cfg.th_r, &mut scratch.radial);
+        intseq::compress_ints_rc(out, &scratch.radial.head_nabla);
+        intseq::compress_ints_rc(out, &scratch.radial.tail_nabla);
+        intseq::compress_symbols_rc(out, &scratch.radial.refs, 4);
     } else {
-        intseq::compress_ints_rc(out, &dbgc_codec::delta_encode(&heads(2)));
-        intseq::compress_ints_rc(out, &tail_deltas(2));
+        fill_heads(&mut scratch.seq, lines, 2);
+        dbgc_codec::delta_encode_in_place(&mut scratch.seq);
+        intseq::compress_ints_rc(out, &scratch.seq);
+        fill_tail_deltas(&mut scratch.seq, lines, 2);
+        intseq::compress_ints_rc(out, &scratch.seq);
     }
 }
 
@@ -84,7 +128,7 @@ pub fn decode_group(
     let total_tail: usize = lengths
         .iter()
         .map(|&l| {
-            if l >= 1 && l < (1 << 32) {
+            if (1..1 << 32).contains(&l) {
                 Ok(l as usize - 1)
             } else {
                 Err(CodecError::CorruptStream("bad polyline length"))
@@ -252,8 +296,7 @@ mod tests {
 
     #[test]
     fn single_point_lines() {
-        let lines: Vec<Vec<[i64; 3]>> =
-            (0..10).map(|i| vec![[i * 7, i, 100 + i]]).collect();
+        let lines: Vec<Vec<[i64; 3]>> = (0..10).map(|i| vec![[i * 7, i, 100 + i]]).collect();
         roundtrip(&lines, &cfg(true));
         roundtrip(&lines, &cfg(false));
     }
@@ -261,9 +304,8 @@ mod tests {
     #[test]
     fn regular_rings_compress_tightly() {
         // Perfectly regular rings: after delta everything is constant.
-        let lines: Vec<Vec<[i64; 3]>> = (0..20)
-            .map(|li| (0..100).map(|k| [k * 9, li * 3, 700]).collect())
-            .collect();
+        let lines: Vec<Vec<[i64; 3]>> =
+            (0..20).map(|li| (0..100).map(|k| [k * 9, li * 3, 700]).collect()).collect();
         let size = roundtrip(&lines, &cfg(true));
         let points = 20 * 100;
         assert!(
@@ -308,10 +350,28 @@ mod tests {
     }
 
     #[test]
+    fn reused_scratch_is_byte_identical() {
+        // A dirty scratch (capacity and stale contents from prior groups)
+        // must not leak into the stream.
+        let mut scratch = ScratchBuffers::default();
+        let warmup = ring_lines(40, 60, 7);
+        let mut sink = Vec::new();
+        encode_group_to_buf(&mut sink, &warmup, &cfg(true), &mut scratch);
+        for c in [cfg(true), cfg(false)] {
+            for lines in [ring_lines(25, 40, 100), ring_lines(3, 5, 2), Vec::new()] {
+                let mut fresh = Vec::new();
+                encode_group(&mut fresh, &lines, &c);
+                let mut reused = Vec::new();
+                encode_group_to_buf(&mut reused, &lines, &c, &mut scratch);
+                assert_eq!(fresh, reused, "scratch reuse changed the bytes");
+            }
+        }
+    }
+
+    #[test]
     fn negative_coordinates_roundtrip() {
-        let lines: Vec<Vec<[i64; 3]>> = (0..5)
-            .map(|li| (0..20).map(|k| [k * 3 - 1000, -li * 2, -500 + k]).collect())
-            .collect();
+        let lines: Vec<Vec<[i64; 3]>> =
+            (0..5).map(|li| (0..20).map(|k| [k * 3 - 1000, -li * 2, -500 + k]).collect()).collect();
         roundtrip(&lines, &cfg(true));
     }
 

@@ -10,9 +10,7 @@
 //! Organization runs on the encoder only; any deterministic result is valid,
 //! so this module is free to use floating-point angles directly.
 
-use std::collections::HashMap;
-
-use dbgc_geom::{Point3, Spherical};
+use dbgc_geom::{FxHashMap, Point3, Spherical};
 
 /// The organized output: polyline point indices (into the group's point
 /// array) and leftover outlier indices.
@@ -34,19 +32,16 @@ impl Organized {
 
 /// Angle-space grid for candidate queries.
 struct AngleGrid {
-    cells: HashMap<(i64, i64), Vec<u32>>,
+    cells: FxHashMap<(i64, i64), Vec<u32>>,
     u_theta: f64,
     u_phi: f64,
 }
 
 impl AngleGrid {
     fn build(points: &[Spherical], u_theta: f64, u_phi: f64) -> AngleGrid {
-        let mut cells: HashMap<(i64, i64), Vec<u32>> = HashMap::new();
+        let mut cells: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
         for (i, s) in points.iter().enumerate() {
-            cells
-                .entry(Self::cell(s.theta, s.phi, u_theta, u_phi))
-                .or_default()
-                .push(i as u32);
+            cells.entry(Self::cell(s.theta, s.phi, u_theta, u_phi)).or_default().push(i as u32);
         }
         AngleGrid { cells, u_theta, u_phi }
     }
@@ -171,13 +166,12 @@ pub fn organize_sparse_points(
         }
     }
 
-    // Sort polylines by (polar angle of head, azimuthal angle of head).
-    result.polylines.sort_by(|a, b| {
+    // Sort polylines by (polar angle of head, azimuthal angle of head). The
+    // head index breaks exact angle ties, making the unstable sort a total
+    // (and therefore deterministic) order.
+    result.polylines.sort_unstable_by(|a, b| {
         let (sa, sb) = (spherical[a[0] as usize], spherical[b[0] as usize]);
-        sa.phi
-            .partial_cmp(&sb.phi)
-            .expect("angles are finite")
-            .then(sa.theta.partial_cmp(&sb.theta).expect("angles are finite"))
+        sa.phi.total_cmp(&sb.phi).then(sa.theta.total_cmp(&sb.theta)).then(a[0].cmp(&b[0]))
     });
     result
 }
@@ -199,8 +193,7 @@ mod tests {
 
     #[test]
     fn single_ring_becomes_one_polyline() {
-        let triples: Vec<(f64, f64, f64)> =
-            (0..50).map(|i| (i as f64 * U_T, 1.6, 10.0)).collect();
+        let triples: Vec<(f64, f64, f64)> = (0..50).map(|i| (i as f64 * U_T, 1.6, 10.0)).collect();
         let (sph, cart) = points(&triples);
         let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
         assert_eq!(org.polylines.len(), 1);
@@ -235,18 +228,12 @@ mod tests {
         assert_eq!(org.polylines.len(), 2);
         assert_eq!(org.polylines[0].len(), 20);
         // Sorted by polar angle of head.
-        assert!(
-            sph[org.polylines[0][0] as usize].phi < sph[org.polylines[1][0] as usize].phi
-        );
+        assert!(sph[org.polylines[0][0] as usize].phi < sph[org.polylines[1][0] as usize].phi);
     }
 
     #[test]
     fn isolated_points_are_outliers() {
-        let triples = [
-            (0.0, 1.6, 10.0),
-            (0.5, 1.2, 20.0),
-            (-0.7, 1.9, 30.0),
-        ];
+        let triples = [(0.0, 1.6, 10.0), (0.5, 1.2, 20.0), (-0.7, 1.9, 30.0)];
         let (sph, cart) = points(&triples);
         let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
         assert!(org.polylines.is_empty());
@@ -270,18 +257,15 @@ mod tests {
         // Two candidates in the Δθ window; the nearer (in 3D) is chosen.
         let triples = [
             (0.0, 1.6, 10.0),
-            (1.2 * U_T, 1.6, 10.05),  // near in r
-            (1.0 * U_T, 1.6, 14.0),   // same band, farther in r
-            (2.4 * U_T, 1.6, 10.1),   // continues the line
+            (1.2 * U_T, 1.6, 10.05), // near in r
+            (1.0 * U_T, 1.6, 14.0),  // same band, farther in r
+            (2.4 * U_T, 1.6, 10.1),  // continues the line
         ];
         let (sph, cart) = points(&triples);
         let org = organize_sparse_points(&sph, &cart, U_T, U_P, 2);
         // First polyline should contain points 0, 1, 3 in order.
-        let main: &Vec<u32> = org
-            .polylines
-            .iter()
-            .find(|l| l.contains(&0))
-            .expect("line through point 0");
+        let main: &Vec<u32> =
+            org.polylines.iter().find(|l| l.contains(&0)).expect("line through point 0");
         assert_eq!(main, &vec![0, 1, 3]);
     }
 
@@ -296,13 +280,7 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(90);
         let triples: Vec<(f64, f64, f64)> = (0..2000)
-            .map(|_| {
-                (
-                    rng.gen_range(-3.0..3.0),
-                    rng.gen_range(1.5..2.0),
-                    rng.gen_range(5.0..60.0),
-                )
-            })
+            .map(|_| (rng.gen_range(-3.0..3.0), rng.gen_range(1.5..2.0), rng.gen_range(5.0..60.0)))
             .collect();
         let (sph, cart) = points(&triples);
         let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);

@@ -131,6 +131,21 @@ pub struct RadialStreams {
 /// Encode the radial channel of all lines.
 pub fn encode_radial(lines: &[Vec<[i64; 3]>], th_phi: i64, th_r: i64) -> RadialStreams {
     let mut out = RadialStreams::default();
+    encode_radial_into(lines, th_phi, th_r, &mut out);
+    out
+}
+
+/// [`encode_radial`] into caller-owned streams, so a group-encode loop can
+/// reuse the three backing allocations frame after frame.
+pub fn encode_radial_into(
+    lines: &[Vec<[i64; 3]>],
+    th_phi: i64,
+    th_r: i64,
+    out: &mut RadialStreams,
+) {
+    out.head_nabla.clear();
+    out.tail_nabla.clear();
+    out.refs.clear();
     for li in 0..lines.len() {
         let star = build_consensus(lines, li, th_phi);
         for k in 0..lines[li].len() {
@@ -153,7 +168,6 @@ pub fn encode_radial(lines: &[Vec<[i64; 3]>], th_phi: i64, th_r: i64) -> RadialS
             }
         }
     }
-    out
 }
 
 /// Decode the radial channel in place; `lines[..][..]\[2\]` must be zeroed (or
@@ -188,10 +202,8 @@ pub fn decode_radial(
             let ref_r = match reference(lines, li, k, &star, th_r) {
                 RefChoice::Implied(r) => r,
                 RefChoice::Recorded(cands) => {
-                    let sym = *streams
-                        .refs
-                        .get(ri)
-                        .ok_or(CodecError::CorruptStream("L_ref underrun"))?;
+                    let sym =
+                        *streams.refs.get(ri).ok_or(CodecError::CorruptStream("L_ref underrun"))?;
                     ri += 1;
                     cands
                         .iter()
@@ -203,9 +215,7 @@ pub fn decode_radial(
             lines[li][k][2] = ref_r + d;
         }
     }
-    if hi != streams.head_nabla.len()
-        || ti != streams.tail_nabla.len()
-        || ri != streams.refs.len()
+    if hi != streams.head_nabla.len() || ti != streams.tail_nabla.len() || ri != streams.refs.len()
     {
         return Err(CodecError::CorruptStream("radial stream length mismatch"));
     }
@@ -220,10 +230,8 @@ mod tests {
     /// concatenated residuals in traversal order plus the L_ref symbols.
     fn roundtrip(lines: &[Vec<[i64; 3]>], th_phi: i64, th_r: i64) -> (Vec<i64>, Vec<u8>) {
         let streams = encode_radial(lines, th_phi, th_r);
-        let mut wiped: Vec<Vec<[i64; 3]>> = lines
-            .iter()
-            .map(|l| l.iter().map(|p| [p[0], p[1], 0]).collect())
-            .collect();
+        let mut wiped: Vec<Vec<[i64; 3]>> =
+            lines.iter().map(|l| l.iter().map(|p| [p[0], p[1], 0]).collect()).collect();
         decode_radial(&mut wiped, &streams, th_phi, th_r).unwrap();
         assert_eq!(wiped, lines, "lossless radial round-trip");
         // Re-interleave for assertions that index by traversal order.
@@ -280,7 +288,7 @@ mod tests {
         // A single line: head gets the zero reference, the rest delta to the
         // preceding point.
         let line: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 50, 300 + i * 2]).collect();
-        let (nabla, refs) = roundtrip(&[line.clone()], 4, 50);
+        let (nabla, refs) = roundtrip(std::slice::from_ref(&line), 4, 50);
         assert!(refs.is_empty());
         assert_eq!(nabla[0], 300);
         assert!(nabla[1..].iter().all(|&d| d == 2));

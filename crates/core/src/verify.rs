@@ -60,8 +60,7 @@ pub(crate) mod tests {
                 if rng.gen_bool(0.1) {
                     continue;
                 }
-                let th = k as f64 / 600.0 * std::f64::consts::TAU
-                    + rng.gen_range(-0.001..0.001);
+                let th = k as f64 / 600.0 * std::f64::consts::TAU + rng.gen_range(-0.001..0.001);
                 let r = r0 + rng.gen_range(-0.02..0.02);
                 cloud.push(Point3::new(r * th.cos(), r * th.sin(), -1.73));
             }

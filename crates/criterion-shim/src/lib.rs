@@ -1,0 +1,278 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the slice of the criterion API its benches use: [`Criterion`],
+//! [`criterion_group!`]/[`criterion_main!`] (both the positional and the
+//! `name/config/targets` forms), benchmark groups with
+//! [`Throughput`] annotations, [`BenchmarkId`], and `b.iter(..)`.
+//!
+//! Measurement is deliberately simple: a warmup pass, then `sample_size`
+//! timed samples of an adaptively chosen iteration batch; mean, min and
+//! throughput are printed per benchmark. No statistical regression analysis,
+//! plots, or `target/criterion` reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Work-per-iteration annotation for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + batch sizing: aim for samples of at least ~25 ms so
+        // cheap routines are not dominated by timer overhead.
+        let t = Instant::now();
+        std_black_box(routine());
+        let once = t.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(25).as_nanos() / once.as_nanos()).clamp(1, 1 << 20);
+        self.iters_per_sample = batch as u64;
+        self.samples.clear();
+        for _ in 0..self.sample_size.max(2) {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate the amount of work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Benchmark `f` under `id` with an input passed by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.id), self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+fn run_one(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher { sample_size, ..Bencher::default() };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {label:<48} (no samples)");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_secs_f64() / b.iters_per_sample as f64;
+    let mean = b.samples.iter().map(per_iter).sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => format!(" | {:>10.3} Melem/s", n as f64 / mean / 1e6),
+        Some(Throughput::Bytes(n)) => {
+            format!(" | {:>10.3} MiB/s", n as f64 / mean / (1 << 20) as f64)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {label:<48} mean {:>12} | min {:>12}{rate}",
+        fmt_duration(mean),
+        fmt_duration(min)
+    );
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the default number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+
+    /// Benchmark `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&id.id, self.sample_size, None, &mut f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runner (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("sum", 100usize), &100usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>());
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_targets() {
+        benches();
+    }
+
+    #[test]
+    fn config_form_compiles() {
+        criterion_group! {
+            name = configured;
+            config = Criterion::default().sample_size(2);
+            targets = sample_bench
+        }
+        configured();
+    }
+}

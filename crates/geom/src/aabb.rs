@@ -203,10 +203,7 @@ impl Rect2 {
     /// Centre of cell `(ix, iy)` at `depth`.
     pub fn cell_center(&self, cell: (u64, u64), depth: u32) -> (f64, f64) {
         let side = self.side / (1u64 << depth) as f64;
-        (
-            self.min_x + (cell.0 as f64 + 0.5) * side,
-            self.min_y + (cell.1 as f64 + 0.5) * side,
-        )
+        (self.min_x + (cell.0 as f64 + 0.5) * side, self.min_y + (cell.1 as f64 + 0.5) * side)
     }
 }
 
@@ -216,11 +213,8 @@ mod tests {
 
     #[test]
     fn aabb_from_points() {
-        let pts = [
-            Point3::new(1.0, -2.0, 3.0),
-            Point3::new(-1.0, 4.0, 0.0),
-            Point3::new(0.0, 0.0, 5.0),
-        ];
+        let pts =
+            [Point3::new(1.0, -2.0, 3.0), Point3::new(-1.0, 4.0, 0.0), Point3::new(0.0, 0.0, 5.0)];
         let bb = Aabb::from_points(&pts).unwrap();
         assert_eq!(bb.min, Point3::new(-1.0, -2.0, 0.0));
         assert_eq!(bb.max, Point3::new(1.0, 4.0, 5.0));
@@ -266,11 +260,8 @@ mod tests {
 
     #[test]
     fn enclosing_cube_contains_all() {
-        let pts = [
-            Point3::new(0.0, 0.0, 0.0),
-            Point3::new(5.0, 1.0, 1.0),
-            Point3::new(2.0, 3.0, 4.0),
-        ];
+        let pts =
+            [Point3::new(0.0, 0.0, 0.0), Point3::new(5.0, 1.0, 1.0), Point3::new(2.0, 3.0, 4.0)];
         let cube = BoundingCube::enclosing(Aabb::from_points(&pts).unwrap());
         for p in pts {
             assert!(cube.cell_at_depth(p, 8).is_some());
@@ -279,11 +270,8 @@ mod tests {
 
     #[test]
     fn rect2_roundtrip() {
-        let pts = [
-            Point3::new(0.0, 0.0, -1.0),
-            Point3::new(9.0, 3.0, 2.0),
-            Point3::new(4.0, 8.0, 0.0),
-        ];
+        let pts =
+            [Point3::new(0.0, 0.0, -1.0), Point3::new(9.0, 3.0, 2.0), Point3::new(4.0, 8.0, 0.0)];
         let rect = Rect2::enclosing_xy(&pts).unwrap();
         let depth = rect.depth_for_leaf_side(0.04);
         assert!(rect.side / (1u64 << depth) as f64 <= 0.04 + 1e-12);

@@ -121,14 +121,10 @@ pub fn first_violation(
     decompressed: &[Point3],
     bound: f64,
 ) -> Option<(usize, f64)> {
-    original
-        .iter()
-        .zip(decompressed)
-        .enumerate()
-        .find_map(|(i, (a, b))| {
-            let e = a.dist(*b);
-            (e > bound).then_some((i, e))
-        })
+    original.iter().zip(decompressed).enumerate().find_map(|(i, (a, b))| {
+        let e = a.dist(*b);
+        (e > bound).then_some((i, e))
+    })
 }
 
 #[cfg(test)]
@@ -162,10 +158,7 @@ mod tests {
     fn length_mismatch_detected() {
         let a = cloud(&[(0.0, 0.0, 0.0)]);
         let b = cloud(&[]);
-        assert!(matches!(
-            ErrorReport::identity(&a, &b),
-            Err(CloudError::LengthMismatch { .. })
-        ));
+        assert!(matches!(ErrorReport::identity(&a, &b), Err(CloudError::LengthMismatch { .. })));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 pub mod aabb;
 pub mod error;
+pub mod fxhash;
 pub mod point;
 pub mod quant;
 pub mod sensor;
@@ -24,6 +25,7 @@ pub mod spherical;
 
 pub use aabb::{Aabb, BoundingCube, Rect2};
 pub use error::{CloudError, ErrorReport};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use point::{Point3, PointCloud};
 pub use quant::{dequantize, quantize, QuantParams, SphericalQuant};
 pub use sensor::SensorMeta;

@@ -39,11 +39,7 @@ impl QuantParams {
 
     /// Quantize all three components.
     pub fn quantize3(&self, v: [f64; 3]) -> [i64; 3] {
-        [
-            quantize(v[0], self.step[0]),
-            quantize(v[1], self.step[1]),
-            quantize(v[2], self.step[2]),
-        ]
+        [quantize(v[0], self.step[0]), quantize(v[1], self.step[1]), quantize(v[2], self.step[2])]
     }
 
     /// Reconstruct all three components.
@@ -120,7 +116,7 @@ mod tests {
     fn scalar_quantization_error_bound() {
         let q = 0.02;
         let step = 2.0 * q;
-        for v in [-10.0, -0.019, 0.0, 0.5, 3.14159, 99.99] {
+        for v in [-10.0, -0.019, 0.0, 0.5, std::f64::consts::PI, 99.99] {
             let rec = dequantize(quantize(v, step), step);
             assert!((rec - v).abs() <= q + 1e-12, "v={v}");
         }

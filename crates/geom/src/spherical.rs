@@ -40,11 +40,7 @@ impl Spherical {
     pub fn to_cartesian(self) -> Point3 {
         let (sin_phi, cos_phi) = self.phi.sin_cos();
         let (sin_theta, cos_theta) = self.theta.sin_cos();
-        Point3::new(
-            self.r * sin_phi * cos_theta,
-            self.r * sin_phi * sin_theta,
-            self.r * cos_phi,
-        )
+        Point3::new(self.r * sin_phi * cos_theta, self.r * sin_phi * sin_theta, self.r * cos_phi)
     }
 }
 

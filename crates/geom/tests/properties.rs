@@ -5,8 +5,7 @@ use dbgc_geom::{Aabb, BoundingCube, Point3, Rect2, Spherical};
 use proptest::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point3> {
-    (-200.0..200.0f64, -200.0..200.0f64, -50.0..50.0f64)
-        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+    (-200.0..200.0f64, -200.0..200.0f64, -50.0..50.0f64).prop_map(|(x, y, z)| Point3::new(x, y, z))
 }
 
 proptest! {

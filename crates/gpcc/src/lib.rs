@@ -129,13 +129,11 @@ impl GpccCodec {
         if tree.depth > 0 {
             // BFS level by level; each entry covers leaf_keys[start..end]
             // and carries the node's Morton prefix at the current level.
-            let mut current: Vec<(usize, usize, u64, u8)> =
-                vec![(0, tree.leaf_keys.len(), 0, 0)];
+            let mut current: Vec<(usize, usize, u64, u8)> = vec![(0, tree.leaf_keys.len(), 0, 0)];
             for level in 0..tree.depth {
                 let remaining = tree.depth - level;
                 let shift = 3 * (remaining - 1);
-                let level_cells: HashSet<u64> =
-                    current.iter().map(|&(_, _, p, _)| p).collect();
+                let level_cells: HashSet<u64> = current.iter().map(|&(_, _, p, _)| p).collect();
                 let mut next = Vec::new();
                 for &(start, end, prefix, parent_code) in &current {
                     let neighbors = neighbor_context(prefix, level, &level_cells);
@@ -152,8 +150,7 @@ impl GpccCodec {
                             // adaptively-coded child index per level.
                             let mut prev = 0usize;
                             for lvl in (0..remaining).rev() {
-                                let child =
-                                    ((tree.leaf_keys[start] >> (3 * lvl)) & 0b111) as usize;
+                                let child = ((tree.leaf_keys[start] >> (3 * lvl)) & 0b111) as usize;
                                 idcm_path.encode(&mut enc, prev, child);
                                 prev = child;
                             }
@@ -168,9 +165,7 @@ impl GpccCodec {
                     while i < end {
                         let child = ((tree.leaf_keys[i] >> shift) & 0b111) as u8;
                         let mut j = i + 1;
-                        while j < end
-                            && ((tree.leaf_keys[j] >> shift) & 0b111) as u8 == child
-                        {
+                        while j < end && ((tree.leaf_keys[j] >> shift) & 0b111) as u8 == child {
                             j += 1;
                         }
                         code |= 1 << child;
@@ -334,9 +329,7 @@ mod tests {
         // Points on a plane: neighbour contexts should help.
         let mut rng = rand::rngs::StdRng::seed_from_u64(41);
         let pts: Vec<Point3> = (0..8000)
-            .map(|_| {
-                Point3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), 0.0)
-            })
+            .map(|_| Point3::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0), 0.0))
             .collect();
         check_roundtrip(&pts, 0.02);
     }
@@ -372,10 +365,7 @@ mod tests {
         let q = 0.02;
         let gpcc = GpccCodec.encode(&pts, q).bytes.len();
         let octree = dbgc_octree::OctreeCodec::baseline().encode(&pts, q).bytes.len();
-        assert!(
-            gpcc < octree,
-            "gpcc {gpcc} should beat plain octree {octree} on LiDAR-like data"
-        );
+        assert!(gpcc < octree, "gpcc {gpcc} should beat plain octree {octree} on LiDAR-like data");
     }
 
     #[test]

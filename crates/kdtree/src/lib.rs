@@ -98,12 +98,7 @@ impl KdTreeCodec {
         // perm[k] = original index of the k-th point in DFS output order.
         let mut perm: Vec<u32> = (0..points.len() as u32).collect();
         let mut enc = RangeEncoder::new();
-        let mut stack = vec![NodeTask {
-            start: 0,
-            end: points.len(),
-            min: [0; 3],
-            bits: [qb; 3],
-        }];
+        let mut stack = vec![NodeTask { start: 0, end: points.len(), min: [0; 3], bits: [qb; 3] }];
         while let Some(task) = stack.pop() {
             let n = task.end - task.start;
             if n == 0 {
@@ -184,7 +179,7 @@ impl KdTreeCodec {
         let min_z = r.read_f64()?;
         let step = r.read_f64()?;
         let qb = r.read_uvarint()? as u32;
-        if !(1..=MAX_QB as u32).contains(&qb) {
+        if !(1..=MAX_QB).contains(&qb) {
             return Err(CodecError::CorruptStream("kd qb out of range"));
         }
         let coded = r.read_slice(r.remaining())?;
@@ -261,11 +256,7 @@ mod tests {
         assert_eq!(dec.points.len(), points.len());
         for (i, &p) in points.iter().enumerate() {
             let d = dec.points[enc.mapping[i]];
-            assert!(
-                p.linf_dist(d) <= q + 1e-9,
-                "point {i}: err {} > {q}",
-                p.linf_dist(d)
-            );
+            assert!(p.linf_dist(d) <= q + 1e-9, "point {i}: err {} > {q}", p.linf_dist(d));
         }
         enc.bytes.len()
     }

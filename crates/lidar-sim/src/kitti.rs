@@ -32,9 +32,7 @@ pub fn from_bin_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
     }
     let mut cloud = PointCloud::with_capacity(bytes.len() / 16);
     for chunk in bytes.chunks_exact(16) {
-        let f = |i: usize| {
-            f32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
-        };
+        let f = |i: usize| f32::from_le_bytes(chunk[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
         cloud.push(Point3::new(f(0) as f64, f(1) as f64, f(2) as f64));
     }
     Ok(cloud)
@@ -58,9 +56,7 @@ mod tests {
     use super::*;
 
     fn sample_cloud() -> PointCloud {
-        (0..100)
-            .map(|i| Point3::new(i as f64 * 0.5, -(i as f64) * 0.25, (i % 7) as f64))
-            .collect()
+        (0..100).map(|i| Point3::new(i as f64 * 0.5, -(i as f64) * 0.25, (i % 7) as f64)).collect()
     }
 
     #[test]

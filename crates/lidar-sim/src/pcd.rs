@@ -91,10 +91,9 @@ pub fn from_pcd_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
                 counts = it.map(|v| v.parse().unwrap_or(1)).collect();
             }
             Some("POINTS") => {
-                points =
-                    Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
-                        bad("PCD: bad POINTS")
-                    })?);
+                points = Some(
+                    it.next().and_then(|v| v.parse().ok()).ok_or_else(|| bad("PCD: bad POINTS"))?,
+                );
             }
             Some("DATA") => {
                 data = match it.next() {
@@ -136,10 +135,8 @@ pub fn from_pcd_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
         }
         xyz_field[axis] = Some(i);
     }
-    for a in 0..3 {
-        if xyz_field[a].is_none() {
-            return Err(bad("PCD: FIELDS lacks x/y/z"));
-        }
+    if xyz_field.iter().any(|f| f.is_none()) {
+        return Err(bad("PCD: FIELDS lacks x/y/z"));
     }
 
     let body = &bytes[offset..];
@@ -149,9 +146,7 @@ pub fn from_pcd_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
             let text = std::str::from_utf8(body).map_err(|_| bad("PCD: non-UTF8 body"))?;
             // Each line has one token per field (COUNT=1 enforced for xyz;
             // other fields contribute `count` tokens).
-            let token_index = |field: usize| -> usize {
-                (0..field).map(|i| counts[i]).sum()
-            };
+            let token_index = |field: usize| -> usize { (0..field).map(|i| counts[i]).sum() };
             for line in text.lines().take(n) {
                 let cols: Vec<&str> = line.split_whitespace().collect();
                 let get = |a: usize| -> io::Result<f64> {
@@ -168,15 +163,13 @@ pub fn from_pcd_bytes(bytes: &[u8]) -> io::Result<PointCloud> {
             if body.len() < n * stride {
                 return Err(bad("PCD: binary body shorter than declared"));
             }
-            let field_offset = |field: usize| -> usize {
-                (0..field).map(|i| sizes[i] * counts[i]).sum()
-            };
+            let field_offset =
+                |field: usize| -> usize { (0..field).map(|i| sizes[i] * counts[i]).sum() };
             for v in 0..n {
                 let at = v * stride;
                 let get = |a: usize| -> f64 {
                     let off = at + field_offset(xyz_field[a].expect("validated above"));
-                    f32::from_le_bytes(body[off..off + 4].try_into().expect("4 bytes"))
-                        as f64
+                    f32::from_le_bytes(body[off..off + 4].try_into().expect("4 bytes")) as f64
                 };
                 cloud.push(Point3::new(get(0), get(1), get(2)));
             }

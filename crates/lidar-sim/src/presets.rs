@@ -142,13 +142,7 @@ fn campus_layout(scene: &mut Scene, rng: &mut rand::rngs::StdRng) {
     for _ in 0..45 {
         let r = rng.gen_range(8.0..60.0);
         let th = rng.gen_range(0.0..std::f64::consts::TAU);
-        tree(
-            scene,
-            r * th.cos(),
-            r * th.sin(),
-            rng.gen_range(2.5..5.0),
-            rng.gen_range(1.5..3.5),
-        );
+        tree(scene, r * th.cos(), r * th.sin(), rng.gen_range(2.5..5.0), rng.gen_range(1.5..3.5));
     }
     for _ in 0..10 {
         let r = rng.gen_range(5.0..40.0);
@@ -265,12 +259,7 @@ fn road_layout(scene: &mut Scene, rng: &mut rand::rngs::StdRng) {
         });
     }
     for _ in 0..5 {
-        car(
-            scene,
-            rng.gen_range(-80.0..80.0),
-            rng.gen_range(-5.0..5.0),
-            true,
-        );
+        car(scene, rng.gen_range(-80.0..80.0), rng.gen_range(-5.0..5.0), true);
     }
     // A noise barrier stretch on one side.
     scene.push(Primitive::Box {
@@ -291,9 +280,7 @@ pub fn frame(preset: ScenePreset, seed: u64, frame_idx: u32) -> PointCloud {
     let scene = preset.build_scene(seed);
     let sim = LidarSimulator::new(preset.sensor_meta(), NoiseModel::realistic());
     let pos = Point3::new(frame_idx as f64, 0.0, 0.0);
-    let sensor_centric =
-        sim.scan(&scene, pos, seed ^ (frame_idx as u64).wrapping_mul(0xA24BAED4963EE407));
-    sensor_centric
+    sim.scan(&scene, pos, seed ^ (frame_idx as u64).wrapping_mul(0xA24BAED4963EE407))
 }
 
 #[cfg(test)]
@@ -310,11 +297,7 @@ mod tests {
             } else {
                 (90_000, 135_000)
             };
-            assert!(
-                (lo..hi).contains(&n),
-                "{}: {n} points outside [{lo}, {hi})",
-                preset.name()
-            );
+            assert!((lo..hi).contains(&n), "{}: {n} points outside [{lo}, {hi})", preset.name());
         }
     }
 

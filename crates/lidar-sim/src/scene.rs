@@ -195,10 +195,8 @@ mod tests {
 
     #[test]
     fn box_slab_hit() {
-        let b = Primitive::Box {
-            min: Point3::new(5.0, -1.0, -2.0),
-            max: Point3::new(7.0, 1.0, 3.0),
-        };
+        let b =
+            Primitive::Box { min: Point3::new(5.0, -1.0, -2.0), max: Point3::new(7.0, 1.0, 3.0) };
         let t = b.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))).unwrap();
         assert!((t - 5.0).abs() < 1e-9);
         assert!(b.intersect(&ray((0.0, 5.0, 0.0), (1.0, 0.0, 0.0))).is_none());
@@ -206,10 +204,8 @@ mod tests {
 
     #[test]
     fn box_ray_starting_inside() {
-        let b = Primitive::Box {
-            min: Point3::new(-1.0, -1.0, -1.0),
-            max: Point3::new(1.0, 1.0, 1.0),
-        };
+        let b =
+            Primitive::Box { min: Point3::new(-1.0, -1.0, -1.0), max: Point3::new(1.0, 1.0, 1.0) };
         let t = b.intersect(&ray((0.0, 0.0, 0.0), (1.0, 0.0, 0.0))).unwrap();
         assert!((t - 1.0).abs() < 1e-9);
     }

@@ -97,10 +97,8 @@ impl LidarSimulator {
             for col in 0..m.h_samples {
                 let theta0 = m.theta_min + (col as f64 + 0.5) * u_theta;
                 // Calibration jitter on both angles.
-                let theta = theta0
-                    + rng.gen_range(-1.0..1.0) * self.noise.angle_jitter * u_theta;
-                let phi =
-                    phi0 + rng.gen_range(-1.0..1.0) * self.noise.angle_jitter * u_phi;
+                let theta = theta0 + rng.gen_range(-1.0..1.0) * self.noise.angle_jitter * u_theta;
+                let phi = phi0 + rng.gen_range(-1.0..1.0) * self.noise.angle_jitter * u_phi;
                 let dir = Spherical::new(theta, phi, 1.0).to_cartesian();
                 let ray = Ray { origin: sensor_pos, dir };
                 let Some(t) = scene.cast(&ray, m.r_max) else { continue };
@@ -162,9 +160,8 @@ mod tests {
         let count = |lo: f64, hi: f64| {
             cloud.iter().filter(|p| p.norm() >= lo && p.norm() < hi).count() as f64
         };
-        let shell_volume = |lo: f64, hi: f64| {
-            4.0 / 3.0 * std::f64::consts::PI * (hi.powi(3) - lo.powi(3))
-        };
+        let shell_volume =
+            |lo: f64, hi: f64| 4.0 / 3.0 * std::f64::consts::PI * (hi.powi(3) - lo.powi(3));
         let near = count(3.0, 10.0) / shell_volume(3.0, 10.0);
         let far = count(40.0, 80.0) / shell_volume(40.0, 80.0);
         assert!(near > 10.0 * far, "near density {near:.4} vs far {far:.6}");
@@ -200,10 +197,7 @@ mod tests {
         let sim = LidarSimulator::new(SensorMeta::velodyne_hdl64e(), NoiseModel::none());
         let cloud = sim.scan(&scene, Point3::ZERO, 4);
         // No point with x > 5 in the +x half-plane corridor behind the wall.
-        let behind = cloud
-            .iter()
-            .filter(|p| p.x > 5.5 && p.y.abs() < 40.0)
-            .count();
+        let behind = cloud.iter().filter(|p| p.x > 5.5 && p.y.abs() < 40.0).count();
         assert_eq!(behind, 0, "wall must occlude everything behind it");
     }
 }

@@ -82,10 +82,7 @@ pub struct PipeReader {
 /// output at the modelled bandwidth.
 pub fn throttled_pipe(model: Option<LinkModel>) -> (PipeWriter, PipeReader) {
     let (tx, rx) = sync_channel(64);
-    (
-        PipeWriter { tx, model, horizon: Instant::now() },
-        PipeReader { rx, buf: Vec::new(), pos: 0 },
-    )
+    (PipeWriter { tx, model, horizon: Instant::now() }, PipeReader { rx, buf: Vec::new(), pos: 0 })
 }
 
 impl Write for PipeWriter {

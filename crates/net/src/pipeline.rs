@@ -6,6 +6,19 @@
 //! finer bounds falls behind). [`PipelinedCompressor`] fans frames out to a
 //! small worker pool and yields results in submission order, so the paper's
 //! "online compression" claim (§4.4) holds with a realistic number of cores.
+//!
+//! ## Two-level parallelism
+//!
+//! With the `parallel` feature (default), each worker's `compress` call also
+//! parallelizes *within* the frame — spherical conversion, per-group ORG+SPA,
+//! clustering grid build — over the process-wide `dbgc-parallel` pool. Frame
+//! workers and intra-frame helpers share that single pool: a scoped run's
+//! initiating thread participates in its own work and never blocks on busy
+//! pool workers, so stacking the two levels cannot deadlock or oversubscribe
+//! the machine with per-frame thread spawns. Frame-level workers hide
+//! latency; intra-frame helpers cut per-frame latency; both draw from the
+//! same fixed set of OS threads. Compression output is byte-identical
+//! whatever the thread placement (see `Dbgc::compress`).
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -150,6 +163,32 @@ mod tests {
         assert_eq!(piped.bytes, direct.bytes);
     }
 
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn intra_frame_parallelism_matches_serial_bytes() {
+        // Frame-level workers and intra-frame pool helpers run concurrently;
+        // the bitstream must still be byte-identical to the fully serial
+        // path (threads = 1).
+        let mut serial_cfg = dbgc::DbgcConfig::with_error_bound(0.02);
+        serial_cfg.threads = 1;
+        let mut parallel_cfg = serial_cfg.clone();
+        parallel_cfg.threads = 4;
+
+        let clouds: Vec<PointCloud> = (0..6).map(|s| cloud(s, 3000)).collect();
+        let direct: Vec<CompressedFrame> =
+            clouds.iter().map(|c| Dbgc::new(serial_cfg.clone()).compress(c).unwrap()).collect();
+
+        let mut pipe = PipelinedCompressor::new(Dbgc::new(parallel_cfg), 2);
+        for c in &clouds {
+            pipe.submit(c.clone());
+        }
+        for expected in &direct {
+            let got = pipe.next_ordered().unwrap().unwrap();
+            assert_eq!(got.bytes, expected.bytes);
+            assert_eq!(got.mapping, expected.mapping);
+        }
+    }
+
     #[test]
     fn errors_are_delivered_in_order() {
         let mut pipe = PipelinedCompressor::new(Dbgc::with_error_bound(0.02), 2);
@@ -158,10 +197,7 @@ mod tests {
         bad.push(Point3::new(f64::NAN, 0.0, 0.0));
         pipe.submit(bad);
         assert!(pipe.next_ordered().unwrap().is_ok());
-        assert!(matches!(
-            pipe.next_ordered().unwrap(),
-            Err(DbgcError::NonFinitePoint { .. })
-        ));
+        assert!(matches!(pipe.next_ordered().unwrap(), Err(DbgcError::NonFinitePoint { .. })));
     }
 
     #[test]

@@ -115,8 +115,7 @@ mod tests {
             let clouds = clouds.clone();
             std::thread::spawn(move || {
                 let mut client = Client::new(Dbgc::with_error_bound(0.02), writer);
-                let frames: Vec<_> =
-                    clouds.iter().map(|c| client.send_cloud(c).unwrap()).collect();
+                let frames: Vec<_> = clouds.iter().map(|c| client.send_cloud(c).unwrap()).collect();
                 frames
             })
         };

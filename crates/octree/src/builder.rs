@@ -84,9 +84,8 @@ impl Octree {
             .iter()
             .enumerate()
             .map(|(i, &p)| {
-                let cell = cube
-                    .cell_at_depth(p, depth)
-                    .expect("point must lie inside the bounding cube");
+                let cell =
+                    cube.cell_at_depth(p, depth).expect("point must lie inside the bounding cube");
                 (morton3(cell), i as u32)
             })
             .collect();
@@ -150,8 +149,7 @@ impl Octree {
                 }
                 out.push((parent_code, code));
                 if level + 1 < self.depth {
-                    for child in 0..8 {
-                        let (s, e) = children[child];
+                    for (child, &(s, e)) in children.iter().enumerate() {
                         if code & (1 << child) != 0 {
                             next.push((s, e, code));
                         }

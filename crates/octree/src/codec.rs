@@ -73,11 +73,7 @@ impl OctreeCodec {
     pub fn encode(&self, points: &[Point3], q_xyz: f64) -> OctreeEncodeResult {
         match Octree::build(points, q_xyz) {
             Some(tree) => self.encode_tree(&tree),
-            None => OctreeEncodeResult {
-                bytes: encode_empty(),
-                mapping: Vec::new(),
-                leaves: 0,
-            },
+            None => OctreeEncodeResult { bytes: encode_empty(), mapping: Vec::new(), leaves: 0 },
         }
     }
 
@@ -236,10 +232,7 @@ mod tests {
         let q = 0.02;
         let dense_size = check_roundtrip(OctreeCodec::baseline(), &dense, q);
         let sparse_size = check_roundtrip(OctreeCodec::baseline(), &sparse, q);
-        assert!(
-            dense_size < sparse_size,
-            "dense {dense_size} should beat sparse {sparse_size}"
-        );
+        assert!(dense_size < sparse_size, "dense {dense_size} should beat sparse {sparse_size}");
     }
 
     #[test]

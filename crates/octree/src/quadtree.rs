@@ -74,10 +74,8 @@ pub struct QuadtreeCodec;
 impl QuadtreeCodec {
     /// Compress 2D points with leaf side `2·q` (per-axis error `<= q`).
     pub fn encode(&self, points: &[(f64, f64)], q: f64) -> QuadtreeEncodeResult {
-        let pts3: Vec<dbgc_geom::Point3> = points
-            .iter()
-            .map(|&(x, y)| dbgc_geom::Point3::new(x, y, 0.0))
-            .collect();
+        let pts3: Vec<dbgc_geom::Point3> =
+            points.iter().map(|&(x, y)| dbgc_geom::Point3::new(x, y, 0.0)).collect();
         let Some(rect) = Rect2::enclosing_xy(&pts3) else {
             let mut out = Vec::new();
             write_f64(&mut out, 0.0);

@@ -22,8 +22,7 @@ fn main() {
         Some(p) => PathBuf::from(p),
         None => {
             let path = dir.join("frame0.bin");
-            let cloud =
-                dbgc_lidar_sim::frame(dbgc_lidar_sim::ScenePreset::KittiResidential, 3, 0);
+            let cloud = dbgc_lidar_sim::frame(dbgc_lidar_sim::ScenePreset::KittiResidential, 3, 0);
             kitti::write_bin(&path, &cloud).expect("write .bin");
             println!("no input given; wrote simulated frame to {}", path.display());
             path
@@ -48,8 +47,7 @@ fn main() {
     // Restore from disk and verify against the original.
     let archived = std::fs::read(&dbgc_path).expect("read .dbgc");
     let (restored, _) = decompress(&archived).expect("decompress archive");
-    let report =
-        ErrorReport::paired(&cloud, &restored, &compressed.mapping).expect("one-to-one");
+    let report = ErrorReport::paired(&cloud, &restored, &compressed.mapping).expect("one-to-one");
     println!(
         "restored {} points; max Euclidean error {:.4} m (bound sqrt(3)*{q} = {:.4} m)",
         restored.len(),

@@ -42,10 +42,7 @@ fn main() {
     let wall = t0.elapsed();
     let sent = producer.join().expect("producer thread");
 
-    println!(
-        "streamed {received} frames over a {:.1} Mbps uplink",
-        uplink.bits_per_second / 1e6
-    );
+    println!("streamed {received} frames over a {:.1} Mbps uplink", uplink.bits_per_second / 1e6);
     let mut total_bytes = 0usize;
     for (k, (points, bytes, latency)) in sent.iter().enumerate() {
         total_bytes += bytes;

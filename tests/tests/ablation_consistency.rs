@@ -24,10 +24,7 @@ fn full_dbgc_at_least_matches_minus_radial() {
     // cost-neutral (see EXPERIMENTS.md): it must not *lose* noticeably.
     let (full, _) = run(|c| c);
     let (ablated, _) = run(DbgcConfig::without_radial);
-    assert!(
-        (full as f64) <= ablated as f64 * 1.02,
-        "full {full} vs -Radial {ablated}"
-    );
+    assert!((full as f64) <= ablated as f64 * 1.02, "full {full} vs -Radial {ablated}");
 }
 
 #[test]
@@ -35,20 +32,15 @@ fn full_dbgc_roughly_matches_minus_group_at_2cm() {
     // Grouping pays at fine bounds (Fig. 11); at 2 cm it is near-neutral.
     let (full, _) = run(|c| c);
     let (ablated, _) = run(DbgcConfig::without_grouping);
-    assert!(
-        (full as f64) <= ablated as f64 * 1.06,
-        "full {full} vs -Group {ablated}"
-    );
+    assert!((full as f64) <= ablated as f64 * 1.06, "full {full} vs -Group {ablated}");
 }
 
 #[test]
 fn grouping_pays_at_fine_bounds() {
     let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 11);
     let q = 0.0025;
-    let full = Dbgc::new(small_config(q, meta.clone())).compress(&cloud).unwrap();
-    let ablated = Dbgc::new(small_config(q, meta).without_grouping())
-        .compress(&cloud)
-        .unwrap();
+    let full = Dbgc::new(small_config(q, meta)).compress(&cloud).unwrap();
+    let ablated = Dbgc::new(small_config(q, meta).without_grouping()).compress(&cloud).unwrap();
     assert!(
         full.bytes.len() < ablated.bytes.len(),
         "full {} vs -Group {} at q={q}",
@@ -71,11 +63,9 @@ fn full_dbgc_beats_minus_conversion_substantially() {
 
 #[test]
 fn ablations_respect_error_bound() {
-    for make in [
-        DbgcConfig::without_radial,
-        DbgcConfig::without_grouping,
-        DbgcConfig::without_conversion,
-    ] {
+    for make in
+        [DbgcConfig::without_radial, DbgcConfig::without_grouping, DbgcConfig::without_conversion]
+    {
         let (_, err) = run(make);
         assert!(err <= 3f64.sqrt() * Q * (1.0 + 1e-9));
     }

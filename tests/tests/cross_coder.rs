@@ -62,10 +62,8 @@ fn dbgc_beats_all_baselines_on_lidar_frames() {
     // than every baseline at the same error bound.
     let (cloud, meta) = small_frame(ScenePreset::KittiCity, 6);
     let dbgc = dbgc::Dbgc::new(small_config(Q, meta)).compress(&cloud).unwrap().bytes.len();
-    let octree =
-        dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), Q).bytes.len();
-    let octree_i =
-        dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), Q).bytes.len();
+    let octree = dbgc_octree::OctreeCodec::baseline().encode(cloud.points(), Q).bytes.len();
+    let octree_i = dbgc_octree::OctreeCodec::parent_context().encode(cloud.points(), Q).bytes.len();
     let draco = dbgc_kdtree::KdTreeCodec.encode(cloud.points(), Q).bytes.len();
     let gpcc = dbgc_gpcc::GpccCodec.encode(cloud.points(), Q).bytes.len();
     for (name, size) in

@@ -46,9 +46,5 @@ fn archive_is_much_smaller_than_bin() {
     let bin_size = kitti::to_bin_bytes(&cloud).len();
     let frame = Dbgc::new(small_config(0.02, meta)).compress(&cloud).unwrap();
     // .bin carries 16 bytes/point (with intensity); expect > 10x here.
-    assert!(
-        frame.bytes.len() * 10 < bin_size,
-        "archive {} vs bin {bin_size}",
-        frame.bytes.len()
-    );
+    assert!(frame.bytes.len() * 10 < bin_size, "archive {} vs bin {bin_size}", frame.bytes.len());
 }

@@ -10,8 +10,7 @@ use dbgc_net::{Client, Server};
 
 #[test]
 fn stream_three_frames_over_memory_pipe() {
-    let frames_meta: Vec<_> =
-        (0..3).map(|k| small_frame(ScenePreset::KittiCity, 20 + k)).collect();
+    let frames_meta: Vec<_> = (0..3).map(|k| small_frame(ScenePreset::KittiCity, 20 + k)).collect();
     let meta = frames_meta[0].1;
     let clouds: Vec<_> = frames_meta.into_iter().map(|(c, _)| c).collect();
     let (writer, reader) = throttled_pipe(None);

@@ -23,8 +23,7 @@ fn pipelined_frames_stream_in_order_over_tcp() {
     let producer = {
         let clouds = clouds.clone();
         std::thread::spawn(move || {
-            let mut pipe =
-                PipelinedCompressor::new(Dbgc::new(small_config(0.02, meta)), 2);
+            let mut pipe = PipelinedCompressor::new(Dbgc::new(small_config(0.02, meta)), 2);
             for c in &clouds {
                 pipe.submit(c.clone());
             }

@@ -80,8 +80,7 @@ fn coarser_bounds_give_smaller_streams() {
 fn duplicated_frame_compresses_and_preserves_counts() {
     // Concatenate a frame with itself: every point occurs twice.
     let (base, meta) = small_frame(ScenePreset::KittiRoad, 9);
-    let doubled: dbgc_geom::PointCloud =
-        base.iter().chain(base.iter()).copied().collect();
+    let doubled: dbgc_geom::PointCloud = base.iter().chain(base.iter()).copied().collect();
     let frame = Dbgc::new(small_config(0.02, meta)).compress(&doubled).expect("compress");
     let (restored, _) = decompress(&frame.bytes).expect("decompress");
     assert_eq!(restored.len(), doubled.len());
