@@ -47,12 +47,15 @@ pub fn bitpack_encode(vals: &[i64]) -> Vec<u8> {
 pub fn bitpack_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let n = r.read_uvarint()? as usize;
-    if n > 1 << 32 {
-        return Err(CodecError::CorruptStream("bitpack count unreasonably large"));
+    // Each block of up to BLOCK values carries a 7-bit width header, so a
+    // payload of B bytes cannot hold more than ~B * 8/7 * BLOCK values.
+    // Declared counts above that are structurally impossible.
+    if n > r.remaining().saturating_mul(147).saturating_add(BLOCK) {
+        return Err(CodecError::CorruptStream("bitpack count exceeds payload capacity"));
     }
     let payload = r.read_slice(r.remaining())?;
     let mut bits = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(1 << 16));
     while out.len() < n {
         let width = bits.read_bits(7)? as u32;
         if width > 64 {
@@ -96,15 +99,16 @@ pub fn for_encode(vals: &[i64]) -> Vec<u8> {
 pub fn for_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
     let mut r = ByteReader::new(bytes);
     let n = r.read_uvarint()? as usize;
-    if n > 1 << 32 {
-        return Err(CodecError::CorruptStream("FOR count unreasonably large"));
+    // Same structural bound as `bitpack_decode`: ≥ 7 payload bits per block.
+    if n > r.remaining().saturating_mul(147).saturating_add(BLOCK) {
+        return Err(CodecError::CorruptStream("FOR count exceeds payload capacity"));
     }
     let header_len = r.read_uvarint()? as usize;
     let header = r.read_slice(header_len)?;
     let mut hr = ByteReader::new(header);
     let payload = r.read_slice(r.remaining())?;
     let mut bits = BitReader::new(payload);
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(1 << 16));
     while out.len() < n {
         let min = hr.read_ivarint()?;
         let width = bits.read_bits(7)? as u32;

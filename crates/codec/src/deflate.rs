@@ -157,15 +157,22 @@ pub fn deflate_compress(data: &[u8]) -> Vec<u8> {
 pub fn deflate_decompress(data: &[u8]) -> Result<Vec<u8>, CodecError> {
     let mut r = ByteReader::new(data);
     let original_len = r.read_uvarint()? as usize;
-    if original_len > 1 << 34 {
-        return Err(CodecError::CorruptStream("declared length unreasonably large"));
+    // Every token costs at least one coded bit and emits at most MAX_MATCH
+    // (258) bytes, so a payload of B bytes can never reconstruct more than
+    // 8 * 258 * B bytes. Declared lengths above that are structurally
+    // impossible; reject them before trusting the value anywhere.
+    if original_len > r.remaining().saturating_mul(8 * MAX_MATCH) {
+        return Err(CodecError::CorruptStream("declared length exceeds payload capacity"));
     }
     let litlen = HuffmanDecoder::read_table(&mut r)?;
     let dist = HuffmanDecoder::read_table(&mut r)?;
     let bits = r.read_slice(r.remaining())?;
     let mut br = BitReader::new(bits);
 
-    let mut out = Vec::with_capacity(original_len);
+    // Reserve at most a modest amount up front; growth beyond it is paced by
+    // bytes actually decoded (and capped by the `original_len` check below),
+    // so a hostile header cannot trigger a huge allocation.
+    let mut out = Vec::with_capacity(original_len.min(1 << 20));
     loop {
         let sym = litlen.decode(&mut br)?;
         match sym {

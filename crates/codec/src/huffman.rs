@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
-use crate::rle::{rle_decode, rle_encode};
+use crate::rle::{rle_decode_limited, rle_encode};
 use crate::varint::{write_uvarint, ByteReader};
 
 const MAX_LEN: u32 = 63;
@@ -182,7 +182,9 @@ impl HuffmanDecoder {
         }
         let rle_len = r.read_uvarint()? as usize;
         let rle = r.read_slice(rle_len)?;
-        let bytes = rle_decode(rle)?;
+        // The table must decode to exactly `n` length bytes; cap the RLE
+        // expansion there so a tampered run length cannot balloon memory.
+        let bytes = rle_decode_limited(rle, n)?;
         if bytes.len() != n {
             return Err(CodecError::InvalidHuffmanTable);
         }

@@ -23,6 +23,11 @@ pub fn ints_to_bytes(vals: &[i64]) -> Vec<u8> {
 
 /// Parse exactly `n` zigzag LEB128 integers from `r`.
 pub fn bytes_to_ints(r: &mut ByteReader<'_>, n: usize) -> Result<Vec<i64>, CodecError> {
+    // A varint needs at least one byte, so more values than remaining bytes
+    // is an immediate error (and bounds the reservation below).
+    if n > r.remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(r.read_ivarint()?);
@@ -35,6 +40,17 @@ fn write_frame(out: &mut Vec<u8>, count: usize, raw_len: usize, payload: &[u8]) 
     write_uvarint(out, raw_len as u64);
     write_uvarint(out, payload.len() as u64);
     out.extend_from_slice(payload);
+}
+
+/// Most symbols one range-coded payload byte can carry. The adaptive models
+/// cap any symbol's probability at `(MAX_TOTAL - 255) / MAX_TOTAL`, so each
+/// symbol costs at least ~0.0056 bits; 2048 symbols/byte is a safe ceiling.
+/// Declared counts above `payload_len * RC_MAX_SYMBOLS_PER_BYTE` are
+/// structurally impossible and rejected before any allocation.
+const RC_MAX_SYMBOLS_PER_BYTE: usize = 2048;
+
+fn rc_symbol_cap(payload_len: usize) -> usize {
+    payload_len.saturating_mul(RC_MAX_SYMBOLS_PER_BYTE)
 }
 
 fn read_frame<'a>(r: &mut ByteReader<'a>) -> Result<(usize, usize, &'a [u8]), CodecError> {
@@ -74,10 +90,19 @@ pub fn compress_ints_rc(out: &mut Vec<u8>, vals: &[i64]) {
 /// Invert [`compress_ints_rc`].
 pub fn decompress_ints_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
     let (count, raw_len, payload) = read_frame(r)?;
+    if count > raw_len {
+        // Each varint value occupies at least one raw byte.
+        return Err(CodecError::CorruptStream("rc int frame count exceeds raw length"));
+    }
+    if raw_len > rc_symbol_cap(payload.len()) {
+        return Err(CodecError::CorruptStream("rc int frame raw length exceeds payload capacity"));
+    }
     let mut lead = AdaptiveModel::new(256);
     let mut cont = AdaptiveModel::new(256);
     let mut dec = RangeDecoder::new(payload);
-    let mut bytes = Vec::with_capacity(raw_len);
+    // Growth past the initial reservation is paced by symbols actually
+    // decoded (the range decoder errors at payload EOF), never by raw_len.
+    let mut bytes = Vec::with_capacity(raw_len.min(1 << 16));
     let mut at_lead = true;
     for _ in 0..raw_len {
         let b = if at_lead { lead.decode(&mut dec)? } else { cont.decode(&mut dec)? } as u8;
@@ -103,6 +128,9 @@ pub fn compress_ints_deflate(out: &mut Vec<u8>, vals: &[i64]) {
 /// Invert [`compress_ints_deflate`].
 pub fn decompress_ints_deflate(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
     let (count, raw_len, payload) = read_frame(r)?;
+    if count > raw_len {
+        return Err(CodecError::CorruptStream("deflate int frame count exceeds raw length"));
+    }
     let bytes = deflate_decompress(payload)?;
     if bytes.len() != raw_len {
         return Err(CodecError::CorruptStream("deflate int frame length mismatch"));
@@ -146,9 +174,12 @@ pub fn decompress_symbols_rc(r: &mut ByteReader<'_>) -> Result<Vec<u8>, CodecErr
     if alphabet == 0 || alphabet > 256 {
         return Err(CodecError::CorruptStream("bad symbol alphabet"));
     }
+    if count > rc_symbol_cap(payload.len()) {
+        return Err(CodecError::CorruptStream("symbol frame count exceeds payload capacity"));
+    }
     let mut model = AdaptiveModel::new(alphabet);
     let mut dec = RangeDecoder::new(payload);
-    let mut out = Vec::with_capacity(count);
+    let mut out = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         out.push(model.decode(&mut dec)? as u8);
     }

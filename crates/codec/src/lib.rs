@@ -50,4 +50,5 @@ pub use error::CodecError;
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};
 pub use model::{AdaptiveModel, ContextModel};
 pub use range::{RangeDecoder, RangeEncoder};
+pub use rle::{rle_decode, rle_decode_limited, rle_encode};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode, ByteReader};

@@ -107,7 +107,7 @@ impl AdaptiveModel {
 
     /// Decode one symbol and adapt (mirror of [`AdaptiveModel::encode`]).
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<usize, CodecError> {
-        let slot = dec.decode_freq(self.total);
+        let slot = dec.decode_freq(self.total)?;
         let sym = self.find(slot);
         if sym >= self.n {
             return Err(CodecError::SymbolOutOfRange { symbol: sym, alphabet: self.n });

@@ -111,6 +111,13 @@ impl RangeEncoder {
 }
 
 /// Range decoder reading from a byte slice.
+///
+/// Consuming bytes past the end of the buffer marks the decoder as truncated;
+/// the next [`RangeDecoder::decode_freq`] (i.e. the next symbol) then fails
+/// with [`CodecError::UnexpectedEof`]. A well-formed stream never trips this:
+/// the decoder's byte consumption mirrors the encoder's normalize output plus
+/// the 8 flush bytes exactly, so valid streams are consumed to their end and
+/// no further.
 #[derive(Debug)]
 pub struct RangeDecoder<'a> {
     low: u64,
@@ -118,12 +125,14 @@ pub struct RangeDecoder<'a> {
     code: u64,
     buf: &'a [u8],
     pos: usize,
+    truncated: bool,
 }
 
 impl<'a> RangeDecoder<'a> {
     /// Start decoding from `buf` (reads the initial 8-byte window).
     pub fn new(buf: &'a [u8]) -> Self {
-        let mut d = RangeDecoder { low: 0, range: u64::MAX, code: 0, buf, pos: 0 };
+        let mut d =
+            RangeDecoder { low: 0, range: u64::MAX, code: 0, buf, pos: 0, truncated: false };
         for _ in 0..8 {
             d.code = (d.code << 8) | d.next_byte();
         }
@@ -132,20 +141,38 @@ impl<'a> RangeDecoder<'a> {
 
     #[inline]
     fn next_byte(&mut self) -> u64 {
-        // Reading past the end yields zeros: the encoder's flush wrote the
-        // full state, so trailing reads never affect decoded symbols.
-        let b = self.buf.get(self.pos).copied().unwrap_or(0);
-        self.pos += 1;
-        b as u64
+        // Reading past the end marks the stream truncated; the next symbol
+        // decode surfaces it as a hard error instead of silently zero-filling.
+        match self.buf.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                b as u64
+            }
+            None => {
+                self.truncated = true;
+                0
+            }
+        }
+    }
+
+    /// True once the decoder has tried to read past the end of its input.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
     }
 
     /// Return the cumulative-frequency slot of the next symbol under a model
     /// with the given `total`. The caller maps it to a symbol and then calls
     /// [`RangeDecoder::decode`] with that symbol's `(cum, freq)`.
-    pub fn decode_freq(&mut self, total: u64) -> u64 {
+    ///
+    /// Fails with [`CodecError::UnexpectedEof`] if the input ran out before
+    /// this symbol (the encoder's flush guarantees valid streams never do).
+    pub fn decode_freq(&mut self, total: u64) -> Result<u64, CodecError> {
         debug_assert!(total <= MAX_TOTAL);
+        if self.truncated {
+            return Err(CodecError::UnexpectedEof);
+        }
         let r = self.range / total;
-        ((self.code.wrapping_sub(self.low)) / r).min(total - 1)
+        Ok(((self.code.wrapping_sub(self.low)) / r).min(total - 1))
     }
 
     /// Consume the symbol occupying `[cum, cum + freq)` out of `total`.
@@ -157,18 +184,18 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decode `n` raw bits written by [`RangeEncoder::encode_bits`].
-    pub fn decode_bits(&mut self, n: u32) -> u64 {
+    pub fn decode_bits(&mut self, n: u32) -> Result<u64, CodecError> {
         let mut v = 0u64;
         let mut remaining = n;
         while remaining > 0 {
             let chunk = remaining.min(16);
             let total = 1u64 << chunk;
-            let f = self.decode_freq(total);
+            let f = self.decode_freq(total)?;
             self.decode(f, 1, total);
             v = (v << chunk) | f;
             remaining -= chunk;
         }
-        v
+        Ok(v)
     }
 
     fn normalize(&mut self) {
@@ -206,7 +233,7 @@ pub fn rc_compress_bytes(data: &[u8]) -> Vec<u8> {
 pub fn rc_decompress_bytes(data: &[u8], len: usize) -> Result<Vec<u8>, CodecError> {
     let mut model = crate::model::AdaptiveModel::new(256);
     let mut dec = RangeDecoder::new(data);
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(1 << 16));
     for _ in 0..len {
         out.push(model.decode(&mut dec)? as u8);
     }
@@ -235,7 +262,7 @@ mod tests {
         let buf = enc.finish();
         let mut dec = RangeDecoder::new(&buf);
         for &s in symbols {
-            let slot = dec.decode_freq(total);
+            let slot = dec.decode_freq(total).unwrap();
             let sym = match cums.binary_search(&slot) {
                 Ok(i) => {
                     // Slot may land exactly on a cum of a zero-freq symbol;
@@ -276,10 +303,10 @@ mod tests {
         enc.encode_bits(u64::MAX, 64);
         let buf = enc.finish();
         let mut dec = RangeDecoder::new(&buf);
-        assert_eq!(dec.decode_bits(16), 0xABCD);
-        assert_eq!(dec.decode_bits(40), 0x1_2345_6789);
-        assert_eq!(dec.decode_bits(1), 1);
-        assert_eq!(dec.decode_bits(64), u64::MAX);
+        assert_eq!(dec.decode_bits(16).unwrap(), 0xABCD);
+        assert_eq!(dec.decode_bits(40).unwrap(), 0x1_2345_6789);
+        assert_eq!(dec.decode_bits(1).unwrap(), 1);
+        assert_eq!(dec.decode_bits(64).unwrap(), u64::MAX);
     }
 
     #[test]
@@ -308,6 +335,39 @@ mod tests {
             data.len() / 8,
             comp.len()
         );
+    }
+
+    #[test]
+    fn truncated_stream_is_an_error_not_zero_fill() {
+        let data: Vec<u8> = (0..10_000).map(|i| ((i * 13) % 251) as u8).collect();
+        let comp = rc_compress_bytes(&data);
+        // Cut the stream before the tail: decoding must fail with a typed
+        // error rather than fabricating symbols from zero bytes.
+        for cut in [0, 1, 7, 8, comp.len() / 2] {
+            let err = rc_decompress_bytes(&comp[..cut], data.len())
+                .expect_err("truncated stream must not decode");
+            assert!(matches!(err, CodecError::UnexpectedEof), "cut={cut} gave {err:?}");
+        }
+        // Cutting inside the 8-byte flush tail may land after the final
+        // symbol was already determined; the guarantee is Err or the exact
+        // original bytes — never silent garbage.
+        for cut in comp.len() - 8..comp.len() {
+            match rc_decompress_bytes(&comp[..cut], data.len()) {
+                Err(CodecError::UnexpectedEof) => {}
+                Ok(out) => assert_eq!(out, data, "cut={cut} decoded garbage"),
+                Err(e) => panic!("cut={cut} gave unexpected error {e:?}"),
+            }
+        }
+        // The untouched stream still decodes exactly.
+        assert_eq!(rc_decompress_bytes(&comp, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_buffer_errors_on_first_symbol() {
+        let mut model = crate::model::AdaptiveModel::new(256);
+        let mut dec = RangeDecoder::new(&[]);
+        assert!(dec.is_truncated());
+        assert!(matches!(model.decode(&mut dec), Err(CodecError::UnexpectedEof)));
     }
 
     #[test]

@@ -24,14 +24,28 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
     out
 }
 
-/// Invert [`rle_encode`].
+/// Default output cap for [`rle_decode`] (64 MiB). RLE has no structural
+/// bound tying output size to input size — that is its whole point — so a
+/// hostile two-byte pair could otherwise demand a terabyte-sized resize.
+/// Callers that know their exact expected size should use
+/// [`rle_decode_limited`] instead.
+pub const RLE_MAX_OUTPUT: usize = 1 << 26;
+
+/// Invert [`rle_encode`], refusing to produce more than [`RLE_MAX_OUTPUT`]
+/// bytes.
 pub fn rle_decode(data: &[u8]) -> Result<Vec<u8>, CodecError> {
+    rle_decode_limited(data, RLE_MAX_OUTPUT)
+}
+
+/// Invert [`rle_encode`], erroring before any allocation would push the
+/// output past `max_len` bytes.
+pub fn rle_decode_limited(data: &[u8], max_len: usize) -> Result<Vec<u8>, CodecError> {
     let mut r = ByteReader::new(data);
     let mut out = Vec::new();
     while !r.is_empty() {
         let run = r.read_uvarint()?;
-        if run > (1 << 40) {
-            return Err(CodecError::CorruptStream("RLE run length unreasonably large"));
+        if run > (max_len - out.len()) as u64 {
+            return Err(CodecError::CorruptStream("RLE output exceeds limit"));
         }
         let byte = r.read_u8()?;
         out.resize(out.len() + run as usize, byte);

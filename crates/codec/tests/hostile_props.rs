@@ -1,0 +1,211 @@
+//! Property tests for every codec primitive: encoded data round-trips
+//! exactly, and *arbitrary* bytes decode to `Err` or a value — never a
+//! panic, never an allocation unmoored from the input size.
+//!
+//! These are the per-primitive counterparts of the structure-aware fuzzing
+//! in `dbgc-fuzz`: the fuzzer mutates real streams end-to-end; these drive
+//! each primitive's decoder directly with unconstrained input.
+
+use dbgc_codec::varint::{write_ivarint, write_uvarint, ByteReader};
+use dbgc_codec::{
+    bitpack_decode, bitpack_encode, deflate_compress, deflate_decompress, delta_decode,
+    delta_encode, for_decode, for_encode, rle_decode, rle_decode_limited, rle_encode,
+    HuffmanDecoder, HuffmanEncoder,
+};
+use dbgc_codec::{intseq, lz77, range};
+use proptest::prelude::*;
+
+fn arb_ints() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(
+        (any::<u64>(), 0u32..4).prop_map(|(raw, scale)| {
+            // Mix magnitudes: deltas, coordinates, and extreme values.
+            let v = raw as i64;
+            v >> [0u32, 16, 40, 56][scale as usize]
+        }),
+        0..300,
+    )
+}
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- varint ----------------------------------------------------------
+    #[test]
+    fn varint_roundtrip(vals in proptest::collection::vec(any::<u64>(), 0..200)) {
+        let mut buf = Vec::new();
+        for &v in &vals {
+            write_uvarint(&mut buf, v);
+            write_ivarint(&mut buf, v as i64);
+        }
+        let mut r = ByteReader::new(&buf);
+        for &v in &vals {
+            prop_assert_eq!(r.read_uvarint().unwrap(), v);
+            prop_assert_eq!(r.read_ivarint().unwrap(), v as i64);
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn varint_arbitrary_bytes_never_panic(bytes in arb_bytes(64)) {
+        let mut r = ByteReader::new(&bytes);
+        while r.read_uvarint().is_ok() && !r.is_empty() {}
+        let mut r = ByteReader::new(&bytes);
+        while r.read_ivarint().is_ok() && !r.is_empty() {}
+    }
+
+    // ---- delta -----------------------------------------------------------
+    #[test]
+    fn delta_roundtrip(vals in arb_ints()) {
+        // Wrapping on i64 extremes is part of the contract: decode inverts
+        // encode exactly for every input.
+        prop_assert_eq!(delta_decode(&delta_encode(&vals)), vals);
+    }
+
+    // ---- rle -------------------------------------------------------------
+    #[test]
+    fn rle_roundtrip(data in arb_bytes(400)) {
+        prop_assert_eq!(rle_decode(&rle_encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rle_arbitrary_bytes_never_panic(bytes in arb_bytes(200)) {
+        if let Ok(out) = rle_decode_limited(&bytes, 1 << 12) {
+            prop_assert!(out.len() <= 1 << 12, "limit not honored: {}", out.len());
+        }
+        let _ = rle_decode(&bytes);
+    }
+
+    // ---- lz77 ------------------------------------------------------------
+    #[test]
+    fn lz77_roundtrip(data in arb_bytes(600)) {
+        let tokens = lz77::lz77_tokenize(&data);
+        prop_assert_eq!(lz77::lz77_reconstruct(&tokens).unwrap(), data);
+    }
+
+    #[test]
+    fn lz77_arbitrary_tokens_never_panic(
+        tokens in proptest::collection::vec(
+            (any::<u8>(), any::<u64>()).prop_map(|(b, raw)| {
+                if raw & 1 == 0 {
+                    lz77::Token::Literal(b)
+                } else {
+                    lz77::Token::Match { len: (raw >> 1) as u16, dist: (raw >> 17) as u16 }
+                }
+            }),
+            0..100,
+        )
+    ) {
+        // Err (invalid back-reference) or Ok; output is bounded by
+        // tokens * MAX u16 len, so no unbounded allocation either.
+        let _ = lz77::lz77_reconstruct(&tokens);
+    }
+
+    // ---- huffman ---------------------------------------------------------
+    #[test]
+    fn huffman_roundtrip(syms in proptest::collection::vec(0usize..24, 1..400)) {
+        let mut freqs = vec![0u64; 24];
+        for &s in &syms {
+            freqs[s] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut table = Vec::new();
+        enc.write_table(&mut table);
+        let mut w = dbgc_codec::BitWriter::new();
+        for &s in &syms {
+            enc.encode(&mut w, s);
+        }
+        let bits = w.finish();
+        let dec = HuffmanDecoder::read_table(&mut ByteReader::new(&table)).unwrap();
+        let mut r = dbgc_codec::BitReader::new(&bits);
+        for &s in &syms {
+            prop_assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn huffman_table_from_arbitrary_bytes_never_panics(bytes in arb_bytes(300)) {
+        let _ = HuffmanDecoder::read_table(&mut ByteReader::new(&bytes));
+    }
+
+    // ---- range coder -----------------------------------------------------
+    #[test]
+    fn range_roundtrip_and_truncation(data in arb_bytes(500), cut_frac in 0u32..100) {
+        let comp = range::rc_compress_bytes(&data);
+        prop_assert_eq!(range::rc_decompress_bytes(&comp, data.len()).unwrap(), data.clone());
+        // Any proper prefix: hard error, or — only for cuts inside the
+        // 8-byte flush tail — still the exact original bytes.
+        let cut = (comp.len().saturating_sub(1)) * cut_frac as usize / 100;
+        match range::rc_decompress_bytes(&comp[..cut], data.len()) {
+            Err(_) => {}
+            Ok(out) => {
+                prop_assert!(cut + 8 >= comp.len(), "early cut at {cut} decoded Ok");
+                prop_assert_eq!(out, data, "flush-tail cut returned wrong bytes");
+            }
+        }
+    }
+
+    #[test]
+    fn range_arbitrary_bytes_never_panic(bytes in arb_bytes(200), n in 0usize..4096) {
+        let _ = range::rc_decompress_bytes(&bytes, n);
+    }
+
+    // ---- intseq ----------------------------------------------------------
+    #[test]
+    fn intseq_roundtrip_all_variants(vals in arb_ints()) {
+        let mut buf = Vec::new();
+        intseq::compress_ints_rc(&mut buf, &vals);
+        intseq::compress_ints_deflate(&mut buf, &vals);
+        intseq::compress_ints_delta_rc(&mut buf, &vals);
+        let mut r = ByteReader::new(&buf);
+        prop_assert_eq!(intseq::decompress_ints_rc(&mut r).unwrap(), vals.clone());
+        prop_assert_eq!(intseq::decompress_ints_deflate(&mut r).unwrap(), vals.clone());
+        prop_assert_eq!(intseq::decompress_ints_delta_rc(&mut r).unwrap(), vals.clone());
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn intseq_symbols_roundtrip(syms in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let syms: Vec<u8> = syms.into_iter().map(|s| s % 16).collect();
+        let mut buf = Vec::new();
+        intseq::compress_symbols_rc(&mut buf, &syms, 16);
+        let mut r = ByteReader::new(&buf);
+        prop_assert_eq!(intseq::decompress_symbols_rc(&mut r).unwrap(), syms);
+    }
+
+    #[test]
+    fn intseq_arbitrary_bytes_never_panic(bytes in arb_bytes(300)) {
+        let _ = intseq::decompress_ints_rc(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_ints_deflate(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_ints_delta_rc(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_symbols_rc(&mut ByteReader::new(&bytes));
+    }
+
+    // ---- bitpack / FOR ---------------------------------------------------
+    #[test]
+    fn bitpack_and_for_roundtrip(vals in arb_ints()) {
+        prop_assert_eq!(bitpack_decode(&bitpack_encode(&vals)).unwrap(), vals.clone());
+        prop_assert_eq!(for_decode(&for_encode(&vals)).unwrap(), vals);
+    }
+
+    #[test]
+    fn bitpack_arbitrary_bytes_never_panic(bytes in arb_bytes(300)) {
+        let _ = bitpack_decode(&bytes);
+        let _ = for_decode(&bytes);
+    }
+
+    // ---- deflate composite ----------------------------------------------
+    #[test]
+    fn deflate_roundtrip(data in arb_bytes(800)) {
+        let comp = deflate_compress(&data);
+        prop_assert_eq!(deflate_decompress(&comp).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_arbitrary_bytes_never_panic(bytes in arb_bytes(400)) {
+        let _ = deflate_decompress(&bytes);
+    }
+}

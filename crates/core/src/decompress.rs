@@ -48,7 +48,10 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
         return Err(DbgcError::BadHeader("unsupported version"));
     }
     let q_xyz = r.read_f64().map_err(DbgcError::from)?;
-    if q_xyz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !q_xyz.is_finite() {
+    // The upper cap (a billion-kilometre error bound) keeps every derived
+    // quantization step small enough that dequantized coordinates stay
+    // finite for any i64 quantized value.
+    if q_xyz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || q_xyz > 1e12 {
         return Err(DbgcError::BadHeader("invalid error bound"));
     }
     let _u_theta = r.read_f64().map_err(DbgcError::from)?;
@@ -59,18 +62,22 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
     let radial = flags & FLAG_RADIAL != 0;
     let n_groups = r.read_uvarint().map_err(DbgcError::from)? as usize;
     let declared_points = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    if n_groups > 1 << 20 || declared_points > 1 << 34 {
+    // Every group carries at least its 8-byte r_max, and every point costs
+    // coded payload, so both counts are bounded by the input size. The
+    // absolute point ceiling is far above any real LiDAR frame.
+    if n_groups > r.remaining() / 8 || declared_points > point_budget(bytes.len()) {
         return Err(DbgcError::BadHeader("implausible header counts"));
     }
 
     let mut stats = DecompressStats::default();
-    let mut cloud = PointCloud::with_capacity(declared_points);
+    // Reservation is clamped; growth beyond it is paced by actual decode.
+    let mut cloud = PointCloud::with_capacity(declared_points.min(1 << 20));
 
     // ---- dense section ----------------------------------------------------
     let t = Instant::now();
     let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
     let dense_bytes = r.read_slice(dense_len).map_err(DbgcError::from)?;
-    let dense = OctreeCodec::baseline().decode(dense_bytes)?;
+    let dense = OctreeCodec::baseline().decode_with_limit(dense_bytes, declared_points)?;
     for p in dense.points {
         cloud.push(p);
     }
@@ -79,7 +86,7 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
     // ---- sparse groups ------------------------------------------------------
     for _ in 0..n_groups {
         let r_max = r.read_f64().map_err(DbgcError::from)?;
-        if !r_max.is_finite() || r_max < 0.0 {
+        if !r_max.is_finite() || !(0.0..=1e12).contains(&r_max) {
             return Err(DbgcError::BadHeader("invalid group r_max"));
         }
         let t = Instant::now();
@@ -122,11 +129,14 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
             }
         }
         stats.cor += t.elapsed();
+        if cloud.len() > declared_points {
+            return Err(DbgcError::BadHeader("decoded point count mismatch"));
+        }
     }
 
     // ---- outliers --------------------------------------------------------------
     let t = Instant::now();
-    for p in decode_outliers(&mut r, q_xyz)? {
+    for p in decode_outliers(&mut r, q_xyz, declared_points - cloud.len())? {
         cloud.push(p);
     }
     stats.out = t.elapsed();
@@ -134,7 +144,20 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
     if cloud.len() != declared_points {
         return Err(DbgcError::BadHeader("decoded point count mismatch"));
     }
+    if !r.is_empty() {
+        return Err(DbgcError::BadHeader("trailing bytes after stream"));
+    }
     Ok((cloud, stats))
+}
+
+/// Decoded-point budget for a stream of `len` bytes.
+///
+/// Every coded point costs payload (range-coded symbols are bounded by
+/// [`dbgc_codec::intseq`]'s entropy floor), so a generous per-byte ratio plus
+/// an absolute ceiling rejects hostile headers without touching any stream a
+/// real compressor can produce.
+fn point_budget(len: usize) -> usize {
+    len.saturating_mul(2048).min(dbgc_octree::DEFAULT_MAX_POINTS)
 }
 
 /// Structural information about a DBGC stream, read from headers and frame

@@ -57,13 +57,20 @@ pub fn encode_outliers(
 }
 
 /// Decode outliers written by [`encode_outliers`].
-pub fn decode_outliers(r: &mut ByteReader<'_>, q_xyz: f64) -> Result<Vec<Point3>, CodecError> {
+///
+/// `max_points` bounds the decoded outlier count; hostile streams that claim
+/// more fail with a typed error before large allocations happen.
+pub fn decode_outliers(
+    r: &mut ByteReader<'_>,
+    q_xyz: f64,
+    max_points: usize,
+) -> Result<Vec<Point3>, CodecError> {
     let mode = tag_mode(r.read_u8()?)?;
     match mode {
         OutlierMode::Quadtree => {
             let len = r.read_uvarint()? as usize;
             let bytes = r.read_slice(len)?;
-            let xy = QuadtreeCodec.decode(bytes)?;
+            let xy = QuadtreeCodec.decode_with_limit(bytes, max_points)?;
             let z = intseq::decompress_ints_delta_rc(r)?;
             if z.len() != xy.points.len() {
                 return Err(CodecError::CorruptStream("outlier z-channel length mismatch"));
@@ -79,12 +86,14 @@ pub fn decode_outliers(r: &mut ByteReader<'_>, q_xyz: f64) -> Result<Vec<Point3>
         OutlierMode::Octree => {
             let len = r.read_uvarint()? as usize;
             let bytes = r.read_slice(len)?;
-            Ok(OctreeCodec::baseline().decode(bytes)?.points)
+            Ok(OctreeCodec::baseline().decode_with_limit(bytes, max_points)?.points)
         }
         OutlierMode::None => {
             let n = r.read_uvarint()? as usize;
-            if n > 1 << 32 {
-                return Err(CodecError::CorruptStream("outlier count unreasonably large"));
+            // Each raw point costs 12 bytes, so the remaining buffer bounds n
+            // exactly; the limit check keeps the error typed and uniform.
+            if n > max_points || n > r.remaining() / 12 {
+                return Err(CodecError::CorruptStream("outlier count exceeds limit"));
             }
             let mut pts = Vec::with_capacity(n);
             for _ in 0..n {
@@ -139,7 +148,7 @@ mod tests {
         let mut out = Vec::new();
         let mapping = encode_outliers(&mut out, points, q, mode);
         let mut r = ByteReader::new(&out);
-        let dec = decode_outliers(&mut r, q).unwrap();
+        let dec = decode_outliers(&mut r, q, 1 << 24).unwrap();
         assert!(r.is_empty());
         assert_eq!(dec.len(), points.len());
         for (i, p) in points.iter().enumerate() {
@@ -187,7 +196,7 @@ mod tests {
             let mapping = encode_outliers(&mut out, &[], 0.02, mode);
             assert!(mapping.is_empty());
             let mut r = ByteReader::new(&out);
-            assert!(decode_outliers(&mut r, 0.02).unwrap().is_empty());
+            assert!(decode_outliers(&mut r, 0.02, 1 << 24).unwrap().is_empty());
         }
     }
 
@@ -195,6 +204,6 @@ mod tests {
     fn bad_tag_rejected() {
         let buf = [9u8];
         let mut r = ByteReader::new(&buf);
-        assert!(decode_outliers(&mut r, 0.02).is_err());
+        assert!(decode_outliers(&mut r, 0.02, 1 << 24).is_err());
     }
 }

@@ -125,16 +125,15 @@ pub fn decode_group(
 ) -> Result<Vec<Vec<[i64; 3]>>, CodecError> {
     let lengths = intseq::decompress_ints_rc(r)?;
     let n_lines = lengths.len();
-    let total_tail: usize = lengths
-        .iter()
-        .map(|&l| {
-            if (1..1 << 32).contains(&l) {
-                Ok(l as usize - 1)
-            } else {
-                Err(CodecError::CorruptStream("bad polyline length"))
-            }
-        })
-        .sum::<Result<usize, _>>()?;
+    // Checked sum: a wrapped total could slip past the frame-count
+    // cross-check below and overrun the tail slices while rebuilding lines.
+    let total_tail: usize = lengths.iter().try_fold(0usize, |acc, &l| {
+        if !(1..1 << 32).contains(&l) {
+            return Err(CodecError::CorruptStream("bad polyline length"));
+        }
+        acc.checked_add(l as usize - 1)
+            .ok_or(CodecError::CorruptStream("polyline lengths overflow"))
+    })?;
 
     let heads_c1 = dbgc_codec::delta_decode(&intseq::decompress_ints_deflate(r)?);
     let tails_c1 = intseq::decompress_ints_deflate(r)?;

@@ -31,6 +31,10 @@ use dbgc_octree::builder::{demorton3, morton3, Octree, MAX_DEPTH};
 /// raw path is no cheaper than subdividing.
 const IDCM_MIN_REMAINING: u32 = 2;
 
+/// Default decode budget: far above any real LiDAR frame while keeping
+/// hostile declared counts from demanding gigabytes.
+pub const DEFAULT_MAX_POINTS: usize = 1 << 24;
+
 /// Result of encoding.
 #[derive(Debug, Clone)]
 pub struct GpccEncodeResult {
@@ -196,17 +200,37 @@ impl GpccCodec {
     }
 
     /// Decompress a stream produced by [`GpccCodec::encode`].
+    ///
+    /// Output is capped at [`DEFAULT_MAX_POINTS`] points; use
+    /// [`GpccCodec::decode_with_limit`] to pick a different budget.
     pub fn decode(&self, bytes: &[u8]) -> Result<GpccDecodeResult, CodecError> {
+        self.decode_with_limit(bytes, DEFAULT_MAX_POINTS)
+    }
+
+    /// Decompress with an explicit point budget: hostile streams whose
+    /// declared or reconstructed size exceeds `max_points` fail with a typed
+    /// error before any large allocation.
+    pub fn decode_with_limit(
+        &self,
+        bytes: &[u8],
+        max_points: usize,
+    ) -> Result<GpccDecodeResult, CodecError> {
         let mut r = ByteReader::new(bytes);
         let ox = r.read_f64()?;
         let oy = r.read_f64()?;
         let oz = r.read_f64()?;
         let side = r.read_f64()?;
+        if ![ox, oy, oz, side].iter().all(|v| v.is_finite() && v.abs() <= 1e15) {
+            return Err(CodecError::CorruptStream("gpcc header out of range"));
+        }
         let depth = r.read_uvarint()? as u32;
         if depth > MAX_DEPTH {
             return Err(CodecError::CorruptStream("gpcc depth out of range"));
         }
         let leaf_count = r.read_uvarint()? as usize;
+        if leaf_count > max_points {
+            return Err(CodecError::CorruptStream("gpcc leaf count exceeds limit"));
+        }
         let cube = BoundingCube::new(Point3::new(ox, oy, oz), side);
         if leaf_count == 0 {
             return Ok(GpccDecodeResult { points: Vec::new() });
@@ -224,6 +248,12 @@ impl GpccCodec {
         } else {
             let mut current: Vec<(u64, u8)> = vec![(0, 0)];
             for level in 0..depth {
+                // Leaves emitted so far plus nodes still expanding can only
+                // grow; past the declared count the stream is provably
+                // corrupt, and bailing here bounds the 8×-per-level BFS.
+                if leaves.len().saturating_add(current.len()) > leaf_count {
+                    return Err(CodecError::CorruptStream("gpcc leaf budget exceeded"));
+                }
                 let remaining = depth - level;
                 let level_cells: HashSet<u64> = current.iter().map(|&(p, _)| p).collect();
                 let mut next = Vec::new();
@@ -276,9 +306,14 @@ impl GpccCodec {
             return Err(CodecError::CorruptStream("gpcc multiplicity mismatch"));
         }
         let mut points = Vec::new();
+        let mut total = 0usize;
         for (&key, &extra) in leaves.iter().zip(&extras) {
             if extra < 0 || extra > u32::MAX as i64 {
                 return Err(CodecError::CorruptStream("invalid multiplicity"));
+            }
+            total = total.saturating_add(extra as usize + 1);
+            if total > max_points {
+                return Err(CodecError::CorruptStream("gpcc point count exceeds limit"));
             }
             let center = cube.cell_center(demorton3(key), depth);
             points.extend(std::iter::repeat(center).take(extra as usize + 1));

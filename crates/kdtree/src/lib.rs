@@ -22,6 +22,10 @@ use dbgc_geom::{Aabb, Point3};
 /// Maximum quantization bits per axis.
 pub const MAX_QB: u32 = 30;
 
+/// Default decode budget: far above any real LiDAR frame while keeping
+/// hostile declared counts from demanding gigabytes.
+pub const DEFAULT_MAX_POINTS: usize = 1 << 24;
+
 /// Result of encoding.
 #[derive(Debug, Clone)]
 pub struct KdEncodeResult {
@@ -165,19 +169,36 @@ impl KdTreeCodec {
     }
 
     /// Decompress a stream produced by the encoder.
+    ///
+    /// Output is capped at [`DEFAULT_MAX_POINTS`] points; use
+    /// [`KdTreeCodec::decode_with_limit`] to pick a different budget.
     pub fn decode(&self, bytes: &[u8]) -> Result<KdDecodeResult, CodecError> {
+        self.decode_with_limit(bytes, DEFAULT_MAX_POINTS)
+    }
+
+    /// Decompress with an explicit point budget: a declared count above
+    /// `max_points` fails with a typed error before any allocation sized by
+    /// untrusted input.
+    pub fn decode_with_limit(
+        &self,
+        bytes: &[u8],
+        max_points: usize,
+    ) -> Result<KdDecodeResult, CodecError> {
         let mut r = ByteReader::new(bytes);
         let n = r.read_uvarint()? as usize;
         if n == 0 {
             return Ok(KdDecodeResult { points: Vec::new() });
         }
-        if n > 1 << 32 {
-            return Err(CodecError::CorruptStream("kd point count unreasonably large"));
+        if n > max_points {
+            return Err(CodecError::CorruptStream("kd point count exceeds limit"));
         }
         let min_x = r.read_f64()?;
         let min_y = r.read_f64()?;
         let min_z = r.read_f64()?;
         let step = r.read_f64()?;
+        if ![min_x, min_y, min_z, step].iter().all(|v| v.is_finite() && v.abs() <= 1e15) {
+            return Err(CodecError::CorruptStream("kd header out of range"));
+        }
         let qb = r.read_uvarint()? as u32;
         if !(1..=MAX_QB).contains(&qb) {
             return Err(CodecError::CorruptStream("kd qb out of range"));
@@ -208,7 +229,7 @@ impl KdTreeCodec {
                 continue;
             }
             let total = task.n as u64 + 1;
-            let n_left = dec.decode_freq(total);
+            let n_left = dec.decode_freq(total)?;
             dec.decode(n_left, 1, total);
             let n_left = n_left as usize;
 

@@ -25,5 +25,7 @@ pub mod server;
 pub use client::Client;
 pub use link::LinkModel;
 pub use pipeline::PipelinedCompressor;
-pub use protocol::{read_frame, write_frame, NetError, WireFrame};
-pub use server::{Server, StoredFrame};
+pub use protocol::{
+    frame_checksum, read_frame, read_frame_resync, write_frame, NetError, WireFrame,
+};
+pub use server::{DroppedFrame, Server, StoredFrame};

@@ -1,11 +1,18 @@
 //! Length-prefixed wire protocol for compressed point-cloud frames.
 //!
 //! ```text
-//! "DBGF" | u32 sequence | u64 payload_len | payload bytes
+//! "DBGF" | u32 sequence | u64 payload_len | u32 crc32 | payload bytes
 //! ```
 //!
-//! All integers little-endian. Works over any `Read`/`Write`, so the same
-//! code drives TCP sockets, in-memory pipes, and files.
+//! All integers little-endian. The CRC-32 (IEEE) covers the sequence, the
+//! payload length, and the payload, so a flipped bit anywhere in a frame —
+//! including its header — is detected. Works over any `Read`/`Write`, so the
+//! same code drives TCP sockets, in-memory pipes, and files.
+//!
+//! Corruption handling: [`read_frame`] fails fast with a typed error;
+//! [`read_frame_resync`] additionally scans forward for the next wire magic
+//! so a stream survives one corrupt frame instead of desyncing — the damaged
+//! frame is dropped and the skipped byte count reported to the caller.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -33,6 +40,11 @@ pub enum NetError {
     BadMagic,
     /// A declared payload length exceeds the sanity limit.
     OversizedFrame(u64),
+    /// The frame checksum does not match its contents.
+    ChecksumMismatch {
+        /// Sequence number as read from the (possibly corrupt) header.
+        sequence: u32,
+    },
     /// Clean end of stream between frames.
     Closed,
 }
@@ -43,6 +55,9 @@ impl fmt::Display for NetError {
             NetError::Io(e) => write!(f, "I/O error: {e}"),
             NetError::BadMagic => write!(f, "bad wire magic"),
             NetError::OversizedFrame(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            NetError::ChecksumMismatch { sequence } => {
+                write!(f, "checksum mismatch on frame {sequence}")
+            }
             NetError::Closed => write!(f, "connection closed"),
         }
     }
@@ -56,18 +71,83 @@ impl From<io::Error> for NetError {
     }
 }
 
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+fn crc32_update(mut crc: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        crc = CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// CRC-32 (IEEE) over a frame's sequence, payload length, and payload.
+pub fn frame_checksum(sequence: u32, payload: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFF_u32;
+    c = crc32_update(c, &sequence.to_le_bytes());
+    c = crc32_update(c, &(payload.len() as u64).to_le_bytes());
+    c = crc32_update(c, payload);
+    !c
+}
+
 /// Write one frame.
 pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<(), NetError> {
     w.write_all(&WIRE_MAGIC)?;
     w.write_all(&frame.sequence.to_le_bytes())?;
     w.write_all(&(frame.payload.len() as u64).to_le_bytes())?;
+    w.write_all(&frame_checksum(frame.sequence, &frame.payload).to_le_bytes())?;
     w.write_all(&frame.payload)?;
     w.flush()?;
     Ok(())
 }
 
+/// Read and verify the frame body after the magic: header fields + payload.
+fn read_frame_body(r: &mut impl Read) -> Result<WireFrame, NetError> {
+    let mut buf4 = [0u8; 4];
+    r.read_exact(&mut buf4)?;
+    let sequence = u32::from_le_bytes(buf4);
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let len = u64::from_le_bytes(buf8);
+    r.read_exact(&mut buf4)?;
+    let checksum = u32::from_le_bytes(buf4);
+    if len > MAX_PAYLOAD {
+        return Err(NetError::OversizedFrame(len));
+    }
+    // Reservation is clamped; a corrupt length field only costs as many
+    // bytes as the stream actually delivers before the checksum fails.
+    let mut payload = Vec::with_capacity(len.min(1 << 16) as usize);
+    let got = r.take(len).read_to_end(&mut payload)?;
+    if got as u64 != len {
+        return Err(NetError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream ended mid-payload",
+        )));
+    }
+    if frame_checksum(sequence, &payload) != checksum {
+        return Err(NetError::ChecksumMismatch { sequence });
+    }
+    Ok(WireFrame { sequence, payload })
+}
+
 /// Read one frame; returns [`NetError::Closed`] on a clean EOF at a frame
-/// boundary.
+/// boundary. Fails fast on corruption — see [`read_frame_resync`] for the
+/// skip-and-continue variant.
 pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
     let mut magic = [0u8; 4];
     match r.read_exact(&mut magic) {
@@ -78,18 +158,53 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
     if magic != WIRE_MAGIC {
         return Err(NetError::BadMagic);
     }
-    let mut buf4 = [0u8; 4];
-    r.read_exact(&mut buf4)?;
-    let sequence = u32::from_le_bytes(buf4);
-    let mut buf8 = [0u8; 8];
-    r.read_exact(&mut buf8)?;
-    let len = u64::from_le_bytes(buf8);
-    if len > MAX_PAYLOAD {
-        return Err(NetError::OversizedFrame(len));
+    read_frame_body(r)
+}
+
+/// Read the next verifiable frame, resynchronizing past corruption.
+///
+/// Scans forward for the wire magic, then reads and checksums the candidate
+/// frame; on a checksum or length failure the candidate is discarded and the
+/// scan continues. Returns the frame plus the number of corrupt bytes skipped
+/// over (0 on a clean stream). Returns [`NetError::Closed`] once the stream
+/// ends, even if trailing corrupt bytes were discarded first.
+pub fn read_frame_resync(r: &mut impl Read) -> Result<(WireFrame, u64), NetError> {
+    let mut skipped = 0u64;
+    let mut window = [0u8; 4];
+    let mut have = 0usize;
+    loop {
+        while have < 4 {
+            let mut b = [0u8; 1];
+            match r.read(&mut b) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(_) => {
+                    window[have] = b[0];
+                    have += 1;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if window == WIRE_MAGIC {
+            match read_frame_body(r) {
+                Ok(frame) => return Ok((frame, skipped)),
+                Err(NetError::ChecksumMismatch { .. }) | Err(NetError::OversizedFrame(_)) => {
+                    // Discard the candidate (its body bytes are already
+                    // consumed) and keep scanning from the current position.
+                    skipped += 4;
+                    have = 0;
+                }
+                Err(NetError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(NetError::Closed);
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            window.rotate_left(1);
+            have = 3;
+            skipped += 1;
+        }
     }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(WireFrame { sequence, payload })
 }
 
 #[cfg(test)]
@@ -124,7 +239,73 @@ mod tests {
         buf.extend_from_slice(b"DBGF");
         buf.extend_from_slice(&0u32.to_le_bytes());
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
         assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::OversizedFrame(_))));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireFrame { sequence: 3, payload: vec![0xAB; 64] }).unwrap();
+        let payload_start = buf.len() - 64;
+        buf[payload_start + 20] ^= 0x10;
+        assert!(matches!(
+            read_frame(&mut &buf[..]),
+            Err(NetError::ChecksumMismatch { sequence: 3 })
+        ));
+    }
+
+    #[test]
+    fn flipped_header_bit_fails_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireFrame { sequence: 3, payload: vec![0xAB; 64] }).unwrap();
+        buf[5] ^= 0x01; // sequence field
+        assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::ChecksumMismatch { .. })));
+    }
+
+    #[test]
+    fn resync_skips_corrupt_frame() {
+        let mut buf = Vec::new();
+        for i in 0..3u32 {
+            write_frame(&mut buf, &WireFrame { sequence: i, payload: vec![i as u8; 200] }).unwrap();
+        }
+        // Corrupt the middle frame's payload.
+        let frame_size = buf.len() / 3;
+        buf[frame_size + 40] ^= 0xFF;
+        let mut r = &buf[..];
+        let (f0, s0) = read_frame_resync(&mut r).unwrap();
+        assert_eq!((f0.sequence, s0), (0, 0));
+        let (f2, s2) = read_frame_resync(&mut r).unwrap();
+        assert_eq!(f2.sequence, 2, "frame 1 dropped, frame 2 recovered");
+        assert!(s2 > 0, "skipped bytes reported");
+        assert!(matches!(read_frame_resync(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn resync_skips_leading_garbage() {
+        let mut buf = b"garbage bytes before the stream".to_vec();
+        write_frame(&mut buf, &WireFrame { sequence: 7, payload: vec![1, 2, 3] }).unwrap();
+        let mut r = &buf[..];
+        let (frame, skipped) = read_frame_resync(&mut r).unwrap();
+        assert_eq!(frame.sequence, 7);
+        assert_eq!(skipped, 31);
+    }
+
+    #[test]
+    fn resync_survives_magic_inside_corrupt_region() {
+        // A corrupt length field makes frame 0's body end early; the scan
+        // must still find the following intact frame.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &WireFrame { sequence: 0, payload: vec![9; 50] }).unwrap();
+        let good_start = buf.len();
+        write_frame(&mut buf, &WireFrame { sequence: 1, payload: vec![8; 50] }).unwrap();
+        // Tamper with frame 0's length field (bytes 8..16).
+        buf[8] -= 5;
+        let mut r = &buf[..];
+        let (frame, skipped) = read_frame_resync(&mut r).unwrap();
+        assert_eq!(frame.sequence, 1);
+        assert!(skipped > 0 && skipped <= good_start as u64);
+        assert!(matches!(read_frame_resync(&mut r), Err(NetError::Closed)));
     }
 
     /// A reader that returns at most one byte per call, exercising every
@@ -157,5 +338,16 @@ mod tests {
         write_frame(&mut buf, &WireFrame { sequence: 1, payload: vec![7; 100] }).unwrap();
         buf.truncate(buf.len() - 10);
         assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::Io(_))));
+    }
+
+    #[test]
+    fn checksum_covers_every_field() {
+        let a = frame_checksum(1, b"abc");
+        let b = frame_checksum(2, b"abc");
+        let c = frame_checksum(1, b"abd");
+        assert!(a != b && a != c && b != c);
+        // IEEE CRC-32 sanity: the classic test vector for the underlying
+        // polynomial ("123456789" -> 0xCBF43926).
+        assert_eq!(!crc32_update(0xFFFF_FFFF, b"123456789"), 0xCBF4_3926);
     }
 }

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 
 use dbgc_geom::PointCloud;
 
-use crate::protocol::{read_frame, NetError};
+use crate::protocol::{read_frame_resync, NetError};
 
 /// A received frame: the raw bitstream plus, when decompression is enabled,
 /// the restored point cloud.
@@ -23,12 +23,27 @@ pub struct StoredFrame {
     pub cloud: Option<PointCloud>,
 }
 
+/// Record of data the server discarded instead of desyncing or dying:
+/// a corrupt wire region it resynchronized past, or a checksummed frame
+/// whose payload failed to decompress.
+#[derive(Debug, Clone)]
+pub struct DroppedFrame {
+    /// Sequence number, when the frame's header survived well enough to
+    /// report one.
+    pub sequence: Option<u32>,
+    /// Corrupt wire bytes skipped while resynchronizing (0 for decode drops).
+    pub bytes_skipped: u64,
+    /// Human-readable reason, for logs.
+    pub reason: String,
+}
+
 /// Receives and stores compressed point-cloud frames.
 #[derive(Debug)]
 pub struct Server<R: Read> {
     transport: R,
     decompress: bool,
     store: Vec<StoredFrame>,
+    dropped: Vec<DroppedFrame>,
     /// Optional on-disk sink: every received bitstream is also written as
     /// `frame-<seq>.dbgc` here (stands in for the paper's ODBC storage).
     disk_store: Option<PathBuf>,
@@ -37,7 +52,7 @@ pub struct Server<R: Read> {
 impl<R: Read> Server<R> {
     /// `decompress = false` reproduces the "store B directly" mode.
     pub fn new(transport: R, decompress: bool) -> Server<R> {
-        Server { transport, decompress, store: Vec::new(), disk_store: None }
+        Server { transport, decompress, store: Vec::new(), dropped: Vec::new(), disk_store: None }
     }
 
     /// Additionally persist every received bitstream into `dir` as
@@ -50,24 +65,47 @@ impl<R: Read> Server<R> {
     }
 
     /// Receive one frame; `Ok(false)` on clean end of stream.
+    ///
+    /// Corruption never kills the stream: a frame that fails its wire
+    /// checksum (or leaves the reader desynced) is skipped via
+    /// resynchronization, and a checksummed frame whose payload fails to
+    /// decompress is discarded. Both are recorded in [`Server::dropped`] and
+    /// reception continues with the next frame.
     pub fn receive_one(&mut self) -> Result<bool, NetError> {
-        let wire = match read_frame(&mut self.transport) {
-            Ok(w) => w,
-            Err(NetError::Closed) => return Ok(false),
-            Err(e) => return Err(e),
-        };
-        let cloud = if self.decompress {
-            let (cloud, _) = dbgc::decompress(&wire.payload)
-                .map_err(|e| NetError::Io(std::io::Error::other(e.to_string())))?;
-            Some(cloud)
-        } else {
-            None
-        };
-        if let Some(dir) = &self.disk_store {
-            std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
+        loop {
+            let (wire, skipped) = match read_frame_resync(&mut self.transport) {
+                Ok(x) => x,
+                Err(NetError::Closed) => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            if skipped > 0 {
+                self.dropped.push(DroppedFrame {
+                    sequence: None,
+                    bytes_skipped: skipped,
+                    reason: format!("resynchronized past {skipped} corrupt wire bytes"),
+                });
+            }
+            let cloud = if self.decompress {
+                match dbgc::decompress(&wire.payload) {
+                    Ok((cloud, _)) => Some(cloud),
+                    Err(e) => {
+                        self.dropped.push(DroppedFrame {
+                            sequence: Some(wire.sequence),
+                            bytes_skipped: 0,
+                            reason: format!("frame {} failed to decode: {e}", wire.sequence),
+                        });
+                        continue;
+                    }
+                }
+            } else {
+                None
+            };
+            if let Some(dir) = &self.disk_store {
+                std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
+            }
+            self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
+            return Ok(true);
         }
-        self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
-        Ok(true)
     }
 
     /// Receive until the stream closes; returns the number of frames.
@@ -82,6 +120,11 @@ impl<R: Read> Server<R> {
     /// All frames received so far.
     pub fn frames(&self) -> &[StoredFrame] {
         &self.store
+    }
+
+    /// Frames and wire regions discarded due to corruption.
+    pub fn dropped(&self) -> &[DroppedFrame] {
+        &self.dropped
     }
 
     /// Consume the server, returning its stored frames.
@@ -165,6 +208,33 @@ mod tests {
         let (restored, _) = dbgc::decompress(&persisted).unwrap();
         assert_eq!(restored.len(), 600);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_dropped_stream_continues() {
+        // Build a 3-frame byte stream, flip bytes in the middle frame, and
+        // check the server stores frames 0 and 2 while recording the drop.
+        use crate::protocol::{write_frame, WireFrame};
+        let clouds: Vec<PointCloud> = (1..4).map(|k| toy_cloud(k * 300)).collect();
+        let mut buf = Vec::new();
+        let mut offsets = vec![0usize];
+        for (i, c) in clouds.iter().enumerate() {
+            let payload = Dbgc::with_error_bound(0.02).compress(c).unwrap().bytes;
+            write_frame(&mut buf, &WireFrame { sequence: i as u32, payload }).unwrap();
+            offsets.push(buf.len());
+        }
+        // Flip a few payload bytes inside frame 1.
+        let mid = (offsets[1] + offsets[2]) / 2;
+        for d in 0..3 {
+            buf[mid + d * 7] ^= 0x55;
+        }
+        let mut server = Server::new(&buf[..], true);
+        let n = server.receive_all().unwrap();
+        assert_eq!(n, 2, "two intact frames received");
+        assert_eq!(server.frames()[0].cloud.as_ref().unwrap().len(), clouds[0].len());
+        assert_eq!(server.frames()[1].cloud.as_ref().unwrap().len(), clouds[2].len());
+        assert_eq!(server.dropped().len(), 1, "the corrupt frame is recorded");
+        assert!(server.dropped()[0].bytes_skipped > 0);
     }
 
     #[test]

@@ -164,17 +164,27 @@ impl Octree {
     /// Reconstruct sorted leaf keys from a BFS occupancy-code stream, pulling
     /// one code per internal node via `next_code`, which receives the parent's
     /// occupancy byte as its context argument.
+    ///
+    /// Every occupied node has at least one child, so level sizes never
+    /// shrink toward the leaves; once any level exceeds `max_leaves` the
+    /// final leaf count must too, and `Ok(None)` is returned without
+    /// expanding further. This bounds both memory and time against hostile
+    /// code streams that would otherwise grow 8× per level.
     pub fn leaves_from_codes<E>(
         depth: u32,
+        max_leaves: usize,
         mut next_code: impl FnMut(u8) -> Result<u8, E>,
-    ) -> Result<Vec<u64>, E> {
+    ) -> Result<Option<Vec<u64>>, E> {
         if depth == 0 {
             // Single implicit leaf at the root.
-            return Ok(vec![0]);
+            return Ok(Some(vec![0]));
         }
         // Each entry: (key prefix, parent code).
         let mut current: Vec<(u64, u8)> = vec![(0, 0)];
-        for level in 0..depth {
+        for _level in 0..depth {
+            if current.len() > max_leaves {
+                return Ok(None);
+            }
             let mut next = Vec::with_capacity(current.len() * 2);
             for &(prefix, parent_code) in &current {
                 let code = next_code(parent_code)?;
@@ -184,10 +194,12 @@ impl Octree {
                     }
                 }
             }
-            let _ = level;
             current = next;
         }
-        Ok(current.into_iter().map(|(k, _)| k).collect())
+        if current.len() > max_leaves {
+            return Ok(None);
+        }
+        Ok(Some(current.into_iter().map(|(k, _)| k).collect()))
     }
 
     /// Decoded points: leaf centres repeated by multiplicity, in sorted
@@ -303,12 +315,13 @@ mod tests {
         let tree = Octree::build(&pts, 0.05).unwrap();
         let codes = tree.occupancy_codes();
         let mut it = codes.iter();
-        let leaves = Octree::leaves_from_codes::<()>(tree.depth, |parent| {
+        let leaves = Octree::leaves_from_codes::<()>(tree.depth, tree.leaf_count(), |parent| {
             let &(expected_parent, code) = it.next().expect("stream long enough");
             assert_eq!(parent, expected_parent, "context mismatch");
             Ok(code)
         })
-        .unwrap();
+        .unwrap()
+        .expect("within leaf budget");
         assert!(it.next().is_none(), "stream fully consumed");
         assert_eq!(leaves, tree.leaf_keys);
     }
@@ -329,8 +342,8 @@ mod tests {
         let tree = Octree::build(&pts, 0.02).unwrap();
         assert_eq!(tree.depth, 0);
         assert!(tree.occupancy_codes().is_empty());
-        let leaves = Octree::leaves_from_codes::<()>(0, |_| unreachable!()).unwrap();
-        assert_eq!(leaves, vec![0]);
+        let leaves = Octree::leaves_from_codes::<()>(0, 1, |_| unreachable!()).unwrap();
+        assert_eq!(leaves, Some(vec![0]));
     }
 
     #[test]

@@ -118,17 +118,40 @@ impl OctreeCodec {
 
     /// Decompress a stream produced by [`OctreeCodec::encode`]. The `context`
     /// must match the encoder's.
+    ///
+    /// Output is capped at [`DEFAULT_MAX_POINTS`] points; use
+    /// [`OctreeCodec::decode_with_limit`] to pick a different budget.
     pub fn decode(&self, bytes: &[u8]) -> Result<OctreeDecodeResult, CodecError> {
+        self.decode_with_limit(bytes, DEFAULT_MAX_POINTS)
+    }
+
+    /// Decompress with an explicit point budget: streams whose declared or
+    /// reconstructed size exceeds `max_points` fail with a typed error
+    /// before large allocations happen, so hostile headers cannot OOM the
+    /// decoder.
+    pub fn decode_with_limit(
+        &self,
+        bytes: &[u8],
+        max_points: usize,
+    ) -> Result<OctreeDecodeResult, CodecError> {
         let mut r = ByteReader::new(bytes);
         let ox = r.read_f64()?;
         let oy = r.read_f64()?;
         let oz = r.read_f64()?;
         let side = r.read_f64()?;
+        // Coordinates are meters; anything near f64 extremes is a corrupt
+        // header and would push leaf centres into inf/NaN.
+        if ![ox, oy, oz, side].iter().all(|v| v.is_finite() && v.abs() <= 1e15) {
+            return Err(CodecError::CorruptStream("octree header out of range"));
+        }
         let depth = r.read_uvarint()? as u32;
         if depth > MAX_DEPTH {
             return Err(CodecError::CorruptStream("octree depth out of range"));
         }
         let leaf_count = r.read_uvarint()? as usize;
+        if leaf_count > max_points {
+            return Err(CodecError::CorruptStream("octree leaf count exceeds limit"));
+        }
         let cube = BoundingCube::new(Point3::new(ox, oy, oz), side);
         if leaf_count == 0 {
             return Ok(OctreeDecodeResult { points: Vec::new(), cube, depth });
@@ -140,17 +163,18 @@ impl OctreeCodec {
         let leaves = match self.context {
             OccupancyContext::None => {
                 let mut model = AdaptiveModel::new(255);
-                Octree::leaves_from_codes(depth, |_parent| {
+                Octree::leaves_from_codes(depth, leaf_count, |_parent| {
                     model.decode(&mut dec).map(|s| s as u8 + 1)
                 })?
             }
             OccupancyContext::ParentCode => {
                 let mut model = ContextModel::new(256, 255);
-                Octree::leaves_from_codes(depth, |parent| {
+                Octree::leaves_from_codes(depth, leaf_count, |parent| {
                     model.decode(&mut dec, parent as usize).map(|s| s as u8 + 1)
                 })?
             }
         };
+        let leaves = leaves.ok_or(CodecError::CorruptStream("octree leaf budget exceeded"))?;
         if leaves.len() != leaf_count {
             return Err(CodecError::CorruptStream("leaf count mismatch"));
         }
@@ -160,9 +184,14 @@ impl OctreeCodec {
             return Err(CodecError::CorruptStream("multiplicity count mismatch"));
         }
         let mut points = Vec::new();
+        let mut total = 0usize;
         for (&key, &extra) in leaves.iter().zip(&extras) {
             if extra < 0 || extra > u32::MAX as i64 {
                 return Err(CodecError::CorruptStream("invalid multiplicity"));
+            }
+            total = total.saturating_add(extra as usize + 1);
+            if total > max_points {
+                return Err(CodecError::CorruptStream("octree point count exceeds limit"));
             }
             let center = cube.cell_center(demorton3(key), depth);
             points.extend(std::iter::repeat(center).take(extra as usize + 1));
@@ -170,6 +199,11 @@ impl OctreeCodec {
         Ok(OctreeDecodeResult { points, cube, depth })
     }
 }
+
+/// Default decode budget: far above any real LiDAR frame (a full HDL-64E
+/// sweep is ~131k points) while keeping hostile streams from demanding
+/// gigabytes.
+pub const DEFAULT_MAX_POINTS: usize = 1 << 24;
 
 fn encode_empty() -> Vec<u8> {
     let mut out = Vec::new();

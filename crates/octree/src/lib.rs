@@ -28,5 +28,7 @@ pub mod codec;
 pub mod quadtree;
 
 pub use builder::Octree;
-pub use codec::{OccupancyContext, OctreeCodec, OctreeDecodeResult, OctreeEncodeResult};
+pub use codec::{
+    OccupancyContext, OctreeCodec, OctreeDecodeResult, OctreeEncodeResult, DEFAULT_MAX_POINTS,
+};
 pub use quadtree::{QuadtreeCodec, QuadtreeDecodeResult, QuadtreeEncodeResult};

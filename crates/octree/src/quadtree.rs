@@ -172,16 +172,36 @@ impl QuadtreeCodec {
     }
 
     /// Decompress a stream produced by [`QuadtreeCodec::encode`].
+    ///
+    /// Output is capped at [`crate::codec::DEFAULT_MAX_POINTS`] points; use
+    /// [`QuadtreeCodec::decode_with_limit`] to pick a different budget.
     pub fn decode(&self, bytes: &[u8]) -> Result<QuadtreeDecodeResult, CodecError> {
+        self.decode_with_limit(bytes, crate::codec::DEFAULT_MAX_POINTS)
+    }
+
+    /// Decompress with an explicit point budget: hostile streams whose
+    /// declared or reconstructed size exceeds `max_points` fail with a typed
+    /// error before any large allocation.
+    pub fn decode_with_limit(
+        &self,
+        bytes: &[u8],
+        max_points: usize,
+    ) -> Result<QuadtreeDecodeResult, CodecError> {
         let mut r = ByteReader::new(bytes);
         let min_x = r.read_f64()?;
         let min_y = r.read_f64()?;
         let side = r.read_f64()?;
+        if ![min_x, min_y, side].iter().all(|v| v.is_finite() && v.abs() <= 1e15) {
+            return Err(CodecError::CorruptStream("quadtree header out of range"));
+        }
         let depth = r.read_uvarint()? as u32;
         if depth > MAX_DEPTH_2D {
             return Err(CodecError::CorruptStream("quadtree depth out of range"));
         }
         let leaf_count = r.read_uvarint()? as usize;
+        if leaf_count > max_points {
+            return Err(CodecError::CorruptStream("quadtree leaf count exceeds limit"));
+        }
         if leaf_count == 0 {
             return Ok(QuadtreeDecodeResult { points: Vec::new() });
         }
@@ -193,6 +213,12 @@ impl QuadtreeCodec {
 
         let mut leaves: Vec<u64> = vec![0];
         for _ in 0..depth {
+            // Level sizes never shrink toward the leaves, so a level already
+            // past the declared leaf count proves the stream corrupt; bail
+            // before the 4×-per-level expansion can balloon.
+            if leaves.len() > leaf_count {
+                return Err(CodecError::CorruptStream("quadtree leaf budget exceeded"));
+            }
             // Expanding sorted prefixes with ascending child indices keeps
             // the key list sorted — matching the encoder's sorted traversal.
             let mut next = Vec::with_capacity(leaves.len() * 2);
@@ -216,9 +242,14 @@ impl QuadtreeCodec {
             return Err(CodecError::CorruptStream("quadtree multiplicity mismatch"));
         }
         let mut points = Vec::new();
+        let mut total = 0usize;
         for (&key, &extra) in leaves.iter().zip(&extras) {
             if extra < 0 || extra > u32::MAX as i64 {
                 return Err(CodecError::CorruptStream("invalid multiplicity"));
+            }
+            total = total.saturating_add(extra as usize + 1);
+            if total > max_points {
+                return Err(CodecError::CorruptStream("quadtree point count exceeds limit"));
             }
             let center = rect.cell_center(demorton2(key), depth);
             points.extend(std::iter::repeat(center).take(extra as usize + 1));

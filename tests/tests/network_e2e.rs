@@ -70,6 +70,50 @@ fn compressed_stream_fits_4g_where_raw_does_not() {
 }
 
 #[test]
+fn corrupt_frame_mid_stream_is_dropped_and_stream_recovers() {
+    // Client sends three frames; the link flips bytes inside the second.
+    // The server must drop exactly that frame, record the error, and decode
+    // the frames on either side of it.
+    let frames_meta: Vec<_> = (0..3).map(|k| small_frame(ScenePreset::KittiCity, 40 + k)).collect();
+    let meta = frames_meta[0].1;
+    let clouds: Vec<_> = frames_meta.into_iter().map(|(c, _)| c).collect();
+
+    let compressor = Dbgc::new(small_config(0.02, meta));
+    let mut wire = Vec::new();
+    let mut boundaries = vec![0usize];
+    let frames: Vec<_> = clouds
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let f = compressor.compress(c).unwrap();
+            dbgc_net::write_frame(
+                &mut wire,
+                &dbgc_net::WireFrame { sequence: i as u32, payload: f.bytes.clone() },
+            )
+            .unwrap();
+            boundaries.push(wire.len());
+            f
+        })
+        .collect();
+    // Flip a burst of bytes in the middle of frame 1's payload.
+    let mid = (boundaries[1] + boundaries[2]) / 2;
+    for k in 0..4 {
+        wire[mid + k * 9] ^= 0x5A;
+    }
+
+    let mut server = Server::new(&wire[..], true);
+    assert_eq!(server.receive_all().unwrap(), 2, "frames 0 and 2 survive");
+    assert_eq!(server.dropped().len(), 1, "the corrupt frame is logged");
+    assert!(server.dropped()[0].bytes_skipped > 0);
+    assert_eq!(server.frames()[0].sequence, 0);
+    assert_eq!(server.frames()[1].sequence, 2);
+    for (stored, idx) in server.frames().iter().zip([0usize, 2]) {
+        let restored = stored.cloud.as_ref().expect("decompressed");
+        dbgc::verify_roundtrip(&clouds[idx], restored, &frames[idx], 0.02).expect("bound holds");
+    }
+}
+
+#[test]
 fn store_mode_keeps_exact_bytes() {
     let (cloud, meta) = small_frame(ScenePreset::ApolloUrban, 32);
     let (writer, reader) = throttled_pipe(None);
