@@ -5,22 +5,29 @@
 //!
 //! Measures single-frame compression twice — fully serial (`threads = 1`)
 //! and intra-frame parallel (`threads = 0`, process-wide pool at hardware
-//! size) — and verifies the two bitstreams are byte-identical. Besides the
-//! console report it writes:
+//! size) — and verifies the two bitstreams are byte-identical. Stage times
+//! are wall-clock in both modes (under parallelism the fan-out's wall
+//! interval is split pro rata between ORG and SPA), so per-stage numbers sum
+//! to the frame latency. Besides the console report it writes:
 //!
-//! - `BENCH_e2e.json` (repo root): machine-readable frames/s serial vs
-//!   parallel plus per-stage timing, for CI trend tracking;
+//! - `BENCH_e2e.json` (repo root): a `dbgc-metrics` v1 snapshot — frames/s
+//!   serial vs parallel, per-stage timing gauges, span trees and per-section
+//!   byte accounting from the instrumented runs — for CI trend tracking;
 //! - `results/e2e_throughput.txt`: the human-readable report.
 //!
 //! ```text
-//! cargo run --release -p dbgc-bench --bin e2e_throughput
+//! cargo run --release -p dbgc-bench --bin e2e_throughput [-- --self-check]
 //! ```
+//!
+//! `--self-check` instead measures the overhead of recording: best-of-N
+//! compression with a collector attached must be within 2% of the
+//! uninstrumented path (and byte-identical), then exits.
 
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use dbgc::{decompress, Dbgc, DbgcConfig, TimingBreakdown};
-use dbgc_bench::{scene_frames, timed, Q_TYPICAL};
+use dbgc::{Dbgc, DbgcConfig, TimingBreakdown};
+use dbgc_bench::{bench_collector, scene_frame, scene_frames, timed, Q_TYPICAL};
 use dbgc_lidar_sim::ScenePreset;
 use dbgc_net::LinkModel;
 
@@ -61,12 +68,6 @@ impl StageSums {
     }
 }
 
-fn stage_json(stages: &StageSums, frames: usize) -> String {
-    let fields: Vec<String> =
-        stages.mean_ms(frames).iter().map(|(label, ms)| format!("\"{label}\": {ms:.3}")).collect();
-    format!("{{ {} }}", fields.join(", "))
-}
-
 fn stage_line(stages: &StageSums, frames: usize) -> String {
     stages
         .mean_ms(frames)
@@ -76,7 +77,68 @@ fn stage_line(stages: &StageSums, frames: usize) -> String {
         .join(" | ")
 }
 
+/// Record one mode's mean stage times as `<mode>.stage_ms.<stage>` gauges.
+fn stage_gauges(
+    collector: &dbgc::metrics::Collector,
+    mode: &str,
+    stages: &StageSums,
+    frames: usize,
+) {
+    for (label, ms) in stages.mean_ms(frames) {
+        collector.set_gauge(&format!("{mode}.stage_ms.{label}"), ms);
+    }
+}
+
+/// `--self-check`: recording must be near-free. Best-of-N wall time with a
+/// collector attached vs the plain path, interleaved to decorrelate machine
+/// drift; asserts the overhead is within 2% and the bitstream is identical.
+fn self_check() {
+    const REPS: usize = 7;
+    const MAX_OVERHEAD: f64 = 0.02;
+    let cloud = scene_frame(ScenePreset::KittiCity);
+    let dbgc = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(0));
+    let baseline = dbgc.compress(&cloud).expect("compress"); // warm-up
+    let mut plain_best = f64::INFINITY;
+    let mut instrumented_best = f64::INFINITY;
+    for _ in 0..REPS {
+        let (frame, t) = timed(|| dbgc.compress(&cloud).expect("compress"));
+        assert_eq!(frame.bytes, baseline.bytes);
+        plain_best = plain_best.min(t.as_secs_f64());
+
+        let collector = dbgc::metrics::Collector::new();
+        let (frame, t) =
+            timed(|| dbgc.compress_with_metrics(&cloud, &collector).expect("compress"));
+        assert_eq!(frame.bytes, baseline.bytes, "recording must not change the bitstream");
+        assert_eq!(
+            collector.snapshot().bytes_total() as usize,
+            frame.bytes.len(),
+            "byte channels must sum to the stream size"
+        );
+        instrumented_best = instrumented_best.min(t.as_secs_f64());
+    }
+    let overhead = instrumented_best / plain_best - 1.0;
+    println!(
+        "metrics overhead self-check ({} points, best of {REPS}): \
+         plain {:.1} ms, instrumented {:.1} ms, overhead {:+.2}%",
+        cloud.len(),
+        plain_best * 1e3,
+        instrumented_best * 1e3,
+        overhead * 100.0
+    );
+    assert!(
+        overhead <= MAX_OVERHEAD,
+        "metrics recording overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+    println!("OK (budget {:.0}%)", MAX_OVERHEAD * 100.0);
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--self-check") {
+        self_check();
+        return;
+    }
     let frames = scene_frames(ScenePreset::KittiCity, 3);
     let serial = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(1));
     let parallel = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(0));
@@ -84,6 +146,10 @@ fn main() {
     let uplink = LinkModel::mobile_4g();
     let hdd = LinkModel::hdd_write();
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Spans, counters and byte accounting from the instrumented (parallel
+    // compress + decompress) runs land here; summary gauges are added at the
+    // end and the whole snapshot becomes BENCH_e2e.json.
+    let collector = bench_collector("e2e_throughput", ScenePreset::KittiCity);
 
     // The report goes to stdout AND results/e2e_throughput.txt.
     let mut report = String::new();
@@ -108,9 +174,11 @@ fn main() {
     for cloud in &frames {
         let raw = cloud.raw_size_bytes();
         let (frame, t_comp) = timed(|| serial.compress(cloud).expect("compress"));
-        let (par_frame, t_par) = timed(|| parallel.compress(cloud).expect("compress"));
+        let (par_frame, t_par) =
+            timed(|| parallel.compress_with_metrics(cloud, &collector).expect("compress"));
         assert_eq!(frame.bytes, par_frame.bytes, "parallel path must be byte-identical");
-        let (out, t_dec) = timed(|| decompress(&frame.bytes).expect("own stream"));
+        let (out, t_dec) =
+            timed(|| dbgc::decompress_with_metrics(&frame.bytes, &collector).expect("own stream"));
         assert_eq!(out.0.len(), cloud.len());
         serial_stages.add(&frame.stats.timing);
         parallel_stages.add(&par_frame.stats.timing);
@@ -159,10 +227,7 @@ fn main() {
         if cores == 1 { " -> single core, no speedup possible" } else { "" }
     );
     say!("    serial stage ms/frame:   {}", stage_line(&serial_stages, frames.len()));
-    say!(
-        "    parallel stage ms/frame: {}  (ORG/SPA = summed worker CPU time)",
-        stage_line(&parallel_stages, frames.len())
-    );
+    say!("    parallel stage ms/frame: {}", stage_line(&parallel_stages, frames.len()));
     // Pipelined compression (frame-ordered worker pool). Scaling requires
     // actual cores; report the parallelism available so single-CPU runs are
     // interpretable.
@@ -205,44 +270,29 @@ fn main() {
 
     print!("{report}");
 
-    // Machine-readable summary for CI trend tracking; hand-rolled JSON since
-    // the workspace carries no serde.
-    let pipelined_json: Vec<String> = pipelined
-        .iter()
-        .map(|(workers, fps)| format!("{{ \"workers\": {workers}, \"frames_per_s\": {fps:.3} }}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"e2e_throughput\",\n  \"preset\": \"{preset}\",\n  \
-         \"error_bound_m\": {q},\n  \"frames\": {nf},\n  \
-         \"avg_points_per_frame\": {pts},\n  \"cores\": {cores},\n  \
-         \"sensor_fps\": {FPS},\n  \"byte_identical\": true,\n  \
-         \"serial\": {{ \"threads\": 1, \"frames_per_s\": {sfps:.3}, \"stage_ms\": {sstage} }},\n  \
-         \"parallel\": {{ \"threads\": 0, \"frames_per_s\": {pfps:.3}, \"stage_ms\": {pstage}, \
-         \"note\": \"threads=0 uses the shared pool at hardware size; \
-         org/spa are summed worker CPU time\" }},\n  \
-         \"speedup\": {speedup:.3},\n  \
-         \"pipelined\": [{pipe}],\n  \
-         \"decompress_frames_per_s\": {dfps:.3},\n  \
-         \"avg_compressed_bytes\": {bytes},\n  \
-         \"uplink_mbps\": {mbps:.3}\n}}\n",
-        preset = ScenePreset::KittiCity.name(),
-        q = Q_TYPICAL,
-        nf = frames.len(),
-        pts = sum_points / frames.len(),
-        sfps = serial_fps,
-        sstage = stage_json(&serial_stages, frames.len()),
-        pfps = parallel_fps,
-        pstage = stage_json(&parallel_stages, frames.len()),
-        speedup = parallel_fps / serial_fps,
-        pipe = pipelined_json.join(", "),
-        dfps = n / sum_dec,
-        bytes = avg_bytes,
-        mbps = LinkModel::required_mbps(avg_bytes, FPS),
-    );
+    // Machine-readable summary for CI trend tracking, in the one snapshot
+    // schema (dbgc-metrics v1) every harness emits.
+    collector.set_label("byte_identical", "true");
+    collector.set_gauge("error_bound_m", Q_TYPICAL);
+    collector.set_gauge("sensor_fps", FPS);
+    collector.set_gauge("cores", cores as f64);
+    collector.set_gauge("frames", frames.len() as f64);
+    collector.set_gauge("avg_points_per_frame", (sum_points / frames.len()) as f64);
+    collector.set_gauge("avg_compressed_bytes", avg_bytes as f64);
+    collector.set_gauge("serial.frames_per_s", serial_fps);
+    collector.set_gauge("parallel.frames_per_s", parallel_fps);
+    collector.set_gauge("speedup", parallel_fps / serial_fps);
+    collector.set_gauge("decompress.frames_per_s", n / sum_dec);
+    collector.set_gauge("uplink_mbps", LinkModel::required_mbps(avg_bytes, FPS));
+    for (workers, fps) in &pipelined {
+        collector.set_gauge(&format!("pipelined.{workers}_workers.frames_per_s"), *fps);
+    }
+    stage_gauges(&collector, "serial", &serial_stages, frames.len());
+    stage_gauges(&collector, "parallel", &parallel_stages, frames.len());
 
     // The binary lives at crates/bench; the artifacts go to the repo root.
     let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    if let Err(e) = std::fs::write(root.join("BENCH_e2e.json"), &json) {
+    if let Err(e) = std::fs::write(root.join("BENCH_e2e.json"), collector.snapshot().to_json()) {
         eprintln!("warning: could not write BENCH_e2e.json: {e}");
     }
     let results = root.join("results");

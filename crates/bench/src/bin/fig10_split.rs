@@ -7,11 +7,14 @@
 //! ```
 
 use dbgc::{Dbgc, DbgcConfig, SplitStrategy};
-use dbgc_bench::{f2, print_table, scene_frame, Q_TYPICAL};
+use dbgc_bench::{
+    bench_collector, f2, print_table, scene_frame, write_metrics_snapshot, Q_TYPICAL,
+};
 use dbgc_lidar_sim::ScenePreset;
 
 fn main() {
     let cloud = scene_frame(ScenePreset::KittiCity);
+    let collector = bench_collector("fig10_split", ScenePreset::KittiCity);
     println!(
         "Fig. 10 — {} ({} points), q = {} m: octree share swept manually\n",
         ScenePreset::KittiCity.name(),
@@ -27,6 +30,7 @@ fn main() {
         cfg.split = SplitStrategy::NearestFraction(pct as f64 / 100.0);
         let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
         best_manual = best_manual.max(frame.compression_ratio());
+        collector.set_gauge(&format!("ratio.manual_{pct}pct"), frame.compression_ratio());
         rows.push(vec![
             format!("{pct}%"),
             f2(frame.compression_ratio()),
@@ -57,4 +61,11 @@ fn main() {
         100.0 * (1.0 - frame.stats.dense_fraction()),
         100.0 * frame.stats.outlier_fraction()
     );
+    collector.set_gauge("ratio.density_based", frame.compression_ratio());
+    collector.set_gauge("ratio.best_manual", best_manual);
+    collector.set_gauge("dense_fraction", frame.stats.dense_fraction());
+    collector.set_gauge("outlier_fraction", frame.stats.outlier_fraction());
+    if let Some(path) = write_metrics_snapshot("fig10_split", &collector) {
+        println!("metrics snapshot -> {}", path.display());
+    }
 }

@@ -7,11 +7,14 @@
 //! ```
 
 use dbgc::{Dbgc, DbgcConfig};
-use dbgc_bench::{f2, print_table, scene_frame, ERROR_BOUNDS};
+use dbgc_bench::{
+    bench_collector, f2, print_table, scene_frame, write_metrics_snapshot, ERROR_BOUNDS,
+};
 use dbgc_lidar_sim::ScenePreset;
 
 fn main() {
     let cloud = scene_frame(ScenePreset::KittiCampus);
+    let collector = bench_collector("fig11_ablation", ScenePreset::KittiCampus);
     println!(
         "Fig. 11 — {} ({} points): ablations vs full DBGC\n",
         ScenePreset::KittiCampus.name(),
@@ -40,6 +43,7 @@ fn main() {
             let cfg = make(DbgcConfig::with_error_bound(q));
             let frame = Dbgc::new(cfg).compress(&cloud).expect("compress");
             let r = frame.compression_ratio();
+            collector.set_gauge(&format!("{}.q_{}cm", name, q * 100.0), r);
             row.push(f2(r));
             if *name == "DBGC" {
                 full_ratio = r;
@@ -60,4 +64,10 @@ fn main() {
         pct_sums[1] / n,
         pct_sums[2] / n
     );
+    for (i, name) in ["-Radial", "-Group", "-Conversion"].iter().enumerate() {
+        collector.set_gauge(&format!("avg_pct_of_dbgc.{name}"), pct_sums[i] / n);
+    }
+    if let Some(path) = write_metrics_snapshot("fig11_ablation", &collector) {
+        println!("metrics snapshot -> {}", path.display());
+    }
 }

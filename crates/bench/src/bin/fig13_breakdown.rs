@@ -6,12 +6,15 @@
 //! cargo run --release -p dbgc-bench --bin fig13_breakdown
 //! ```
 
-use dbgc::{decompress, Dbgc};
-use dbgc_bench::{peak_rss_bytes, print_table, scene_frame, Q_TYPICAL};
+use dbgc::Dbgc;
+use dbgc_bench::{
+    bench_collector, peak_rss_bytes, print_table, scene_frame, write_metrics_snapshot, Q_TYPICAL,
+};
 use dbgc_lidar_sim::ScenePreset;
 
 fn main() {
     let cloud = scene_frame(ScenePreset::KittiCity);
+    let collector = bench_collector("fig13_breakdown", ScenePreset::KittiCity);
     println!(
         "Fig. 13 — {} ({} points), q = {} m\n",
         ScenePreset::KittiCity.name(),
@@ -25,7 +28,9 @@ fn main() {
     let mut comp_fracs = [0.0f64; 6];
     let mut comp_total = 0.0;
     for _ in 0..REPS {
-        let f = Dbgc::with_error_bound(Q_TYPICAL).compress(&cloud).expect("compress");
+        let f = Dbgc::with_error_bound(Q_TYPICAL)
+            .compress_with_metrics(&cloud, &collector)
+            .expect("compress");
         for (i, (_, frac)) in f.stats.timing.fractions().iter().enumerate() {
             comp_fracs[i] += frac / REPS as f64;
         }
@@ -44,7 +49,8 @@ fn main() {
     let mut dec_stats = None;
     let mut dec_total = 0.0;
     for _ in 0..REPS {
-        let (restored, st) = decompress(&frame.bytes).expect("own stream");
+        let (restored, st) =
+            dbgc::decompress_with_metrics(&frame.bytes, &collector).expect("own stream");
         assert_eq!(restored.len(), cloud.len());
         dec_total += st.total().as_secs_f64() / REPS as f64;
         dec_stats = Some(st);
@@ -68,5 +74,15 @@ fn main() {
              (paper: ~45 MB compression, ~12 MB decompression)",
             rss as f64 / (1 << 20) as f64
         );
+        collector.set_gauge("peak_rss_bytes", rss as f64);
+    }
+    let stage_labels = ["den", "oct", "cor", "org", "spa", "out"];
+    for (label, frac) in stage_labels.iter().zip(comp_fracs) {
+        collector.set_gauge(&format!("compress.fraction.{label}"), frac);
+    }
+    collector.set_gauge("compress.total_s", comp_total);
+    collector.set_gauge("decompress.total_s", dec_total);
+    if let Some(path) = write_metrics_snapshot("fig13_breakdown", &collector) {
+        println!("metrics snapshot -> {}", path.display());
     }
 }

@@ -8,7 +8,9 @@
 //! Also reports the bandwidth requirement at 10 fps for the 2 cm bound (the
 //! paper's Mbps metric).
 
-use dbgc_bench::{f2, mean_ratio, print_table, scene_frames, Coder, ERROR_BOUNDS};
+use dbgc_bench::{
+    f2, mean_ratio, print_table, scene_frames, write_metrics_snapshot, Coder, ERROR_BOUNDS,
+};
 use dbgc_lidar_sim::ScenePreset;
 use dbgc_net::LinkModel;
 
@@ -28,6 +30,11 @@ fn main() {
         }
     };
 
+    // One dbgc-metrics snapshot covers the whole sweep: a
+    // `<preset>.<coder>.q_<cm>cm` ratio gauge per cell of the figure.
+    let collector = dbgc::metrics::Collector::new();
+    collector.set_label("bench", "fig9_ratio");
+    collector.set_label("selector", &which);
     for preset in presets {
         let frames = scene_frames(preset, FRAMES);
         let n_points = frames[0].len();
@@ -48,6 +55,8 @@ fn main() {
                 if coder == Coder::Dbgc && q == 0.02 {
                     dbgc_2cm_bytes = (frames[0].raw_size_bytes() as f64 / r) as usize;
                 }
+                collector
+                    .set_gauge(&format!("{}.{}.q_{}cm", preset.name(), coder.name(), q * 100.0), r);
                 row.push(f2(r));
             }
             rows.push(row);
@@ -64,4 +73,7 @@ fn main() {
         "\nExpected shape (paper): DBGC highest everywhere; G-PCC the best baseline \
          at coarse bounds; Draco lowest; ratios grow with the error bound."
     );
+    if let Some(path) = write_metrics_snapshot("fig9_ratio", &collector) {
+        println!("metrics snapshot -> {}", path.display());
+    }
 }

@@ -120,6 +120,37 @@ pub fn mean_ratio(coder: Coder, frames: &[PointCloud], q: f64) -> f64 {
     sum / frames.len() as f64
 }
 
+/// Build a metrics collector labelled for a bench harness, so every
+/// harness's snapshot carries the same identifying labels.
+pub fn bench_collector(bench: &str, preset: ScenePreset) -> dbgc::metrics::Collector {
+    let collector = dbgc::metrics::Collector::new();
+    collector.set_label("bench", bench);
+    collector.set_label("preset", preset.name());
+    collector
+}
+
+/// Write `collector`'s snapshot to `<repo root>/results/<name>.metrics.json`
+/// — the one machine-readable schema (`dbgc-metrics` v1) every harness
+/// emits. Returns the path it wrote, or logs a warning on failure.
+pub fn write_metrics_snapshot(
+    name: &str,
+    collector: &dbgc::metrics::Collector,
+) -> Option<std::path::PathBuf> {
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    if let Err(e) = std::fs::create_dir_all(&results) {
+        eprintln!("warning: could not create results/: {e}");
+        return None;
+    }
+    let path = results.join(format!("{name}.metrics.json"));
+    match std::fs::write(&path, collector.snapshot().to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
 /// Peak resident set size (`VmHWM`) of this process in bytes, from
 /// `/proc/self/status` — the paper's §4.4 memory metric.
 pub fn peak_rss_bytes() -> Option<u64> {

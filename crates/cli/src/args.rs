@@ -31,6 +31,8 @@ COMPRESSION OPTIONS:
     --threads <n>            intra-frame worker threads: 0 = all cores
                              (default), 1 = serial; output is byte-identical
                              for every setting
+    --metrics-out <path>     write a JSON metrics snapshot (spans, counters,
+                             per-section byte accounting) after the run
 
 SCENES:
     kitti-campus kitti-city kitti-residential kitti-road apollo-urban ford-campus";
@@ -46,6 +48,8 @@ pub enum Command {
         output: PathBuf,
         /// Compression configuration assembled from the flags.
         config: DbgcConfig,
+        /// Where to write the JSON metrics snapshot, when requested.
+        metrics_out: Option<PathBuf>,
     },
     /// `decompress <in.dbgc> <out>`: DBGC stream → point-cloud file.
     Decompress {
@@ -65,6 +69,8 @@ pub enum Command {
         input: PathBuf,
         /// Compression configuration assembled from the flags.
         config: DbgcConfig,
+        /// Where to write the JSON metrics snapshot, when requested.
+        metrics_out: Option<PathBuf>,
     },
     /// `convert <in> <out>`: translate between .bin/.ply/.pcd.
     Convert {
@@ -128,9 +134,11 @@ fn parse_scene(name: &str) -> Option<ScenePreset> {
     ScenePreset::all().into_iter().find(|p| p.name() == name)
 }
 
-/// Parse the compression-option flags shared by `compress` and `roundtrip`.
-fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
+/// Parse the compression-option flags shared by `compress` and `roundtrip`:
+/// the [`DbgcConfig`] plus the optional `--metrics-out` snapshot path.
+fn parse_config(args: &[String]) -> Result<(DbgcConfig, Option<PathBuf>), ParseError> {
     let mut config = DbgcConfig::default();
+    let mut metrics_out = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -191,10 +199,15 @@ fn parse_config(args: &[String]) -> Result<DbgcConfig, ParseError> {
                 config.radial_optimized = false;
                 i += 1;
             }
+            "--metrics-out" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--metrics-out"))?;
+                metrics_out = Some(PathBuf::from(v));
+                i += 2;
+            }
             other => return Err(ParseError::UnknownFlag(other.to_string())),
         }
     }
-    Ok(config)
+    Ok((config, metrics_out))
 }
 
 /// Parse an argument vector (without `argv\[0\]`).
@@ -207,10 +220,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         "compress" => {
             let input = args.get(1).ok_or(ParseError::MissingArgument("<in.bin>"))?;
             let output = args.get(2).ok_or(ParseError::MissingArgument("<out.dbgc>"))?;
+            let (config, metrics_out) = parse_config(&args[3..])?;
             Ok(Command::Compress {
                 input: input.into(),
                 output: output.into(),
-                config: parse_config(&args[3..])?,
+                config,
+                metrics_out,
             })
         }
         "decompress" => {
@@ -224,7 +239,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         "roundtrip" => {
             let input = args.get(1).ok_or(ParseError::MissingArgument("<in.bin>"))?;
-            Ok(Command::Roundtrip { input: input.into(), config: parse_config(&args[2..])? })
+            let (config, metrics_out) = parse_config(&args[2..])?;
+            Ok(Command::Roundtrip { input: input.into(), config, metrics_out })
         }
         "convert" => {
             let input = args.get(1).ok_or(ParseError::MissingArgument("<in>"))?;
@@ -277,10 +293,30 @@ mod tests {
     #[test]
     fn parse_compress_defaults() {
         let cmd = parse(&argv("compress in.bin out.dbgc")).unwrap();
-        let Command::Compress { input, output, config } = cmd else { panic!("wrong command") };
+        let Command::Compress { input, output, config, metrics_out } = cmd else {
+            panic!("wrong command")
+        };
         assert_eq!(input, PathBuf::from("in.bin"));
         assert_eq!(output, PathBuf::from("out.dbgc"));
         assert_eq!(config, DbgcConfig::default());
+        assert_eq!(metrics_out, None);
+    }
+
+    #[test]
+    fn parse_metrics_out() {
+        let cmd = parse(&argv("compress a b --metrics-out m.json --threads 2")).unwrap();
+        let Command::Compress { config, metrics_out, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(metrics_out, Some(PathBuf::from("m.json")));
+        assert_eq!(config.threads, 2);
+
+        let cmd = parse(&argv("roundtrip a --metrics-out rt.json")).unwrap();
+        let Command::Roundtrip { metrics_out, .. } = cmd else { panic!("wrong command") };
+        assert_eq!(metrics_out, Some(PathBuf::from("rt.json")));
+
+        assert_eq!(
+            parse(&argv("compress a b --metrics-out")),
+            Err(ParseError::MissingArgument("--metrics-out"))
+        );
     }
 
     #[test]

@@ -37,6 +37,24 @@ pub fn write_cloud(path: &Path, cloud: &PointCloud) -> Result<(), CliError> {
     }
 }
 
+/// Build the collector for a `--metrics-out` run, pre-labelled with the
+/// command and input path.
+fn metrics_collector(command: &str, input: &Path) -> dbgc::metrics::Collector {
+    let collector = dbgc::metrics::Collector::new();
+    collector.set_label("command", command);
+    collector.set_label("input", &input.display().to_string());
+    collector
+}
+
+/// Write the collector's snapshot as JSON to `path`.
+fn write_metrics_snapshot(
+    path: &Path,
+    collector: &dbgc::metrics::Collector,
+) -> Result<(), CliError> {
+    std::fs::write(path, collector.snapshot().to_json())?;
+    Ok(())
+}
+
 /// Execute a parsed command, writing its report to `out`.
 pub fn execute(command: Command, out: &mut impl Write) -> Result<(), CliError> {
     match command {
@@ -44,12 +62,22 @@ pub fn execute(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "{USAGE}")?;
             Ok(())
         }
-        Command::Compress { input, output, config } => {
+        Command::Compress { input, output, config, metrics_out } => {
             config.validate().map_err(CliError::Invalid)?;
             let cloud = read_cloud(&input)?;
             let dbgc = Dbgc::new(config);
-            let frame = dbgc.compress(&cloud)?;
+            let collector = metrics_out.as_ref().map(|_| metrics_collector("compress", &input));
+            let frame = match &collector {
+                Some(c) => dbgc.compress_with_metrics(&cloud, c)?,
+                None => dbgc.compress(&cloud)?,
+            };
             std::fs::write(&output, &frame.bytes)?;
+            if let (Some(path), Some(c)) = (&metrics_out, &collector) {
+                c.set_gauge("compression_ratio", frame.compression_ratio());
+                c.set_gauge("bits_per_point", frame.stats.bits_per_point());
+                write_metrics_snapshot(path, c)?;
+                writeln!(out, "metrics snapshot -> {}", path.display())?;
+            }
             let s = &frame.stats;
             writeln!(
                 out,
@@ -103,13 +131,20 @@ pub fn execute(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "  ratio         {:.2}x", info.compression_ratio())?;
             Ok(())
         }
-        Command::Roundtrip { input, config } => {
+        Command::Roundtrip { input, config, metrics_out } => {
             config.validate().map_err(CliError::Invalid)?;
             let q = config.q_xyz;
             let cloud = read_cloud(&input)?;
             let dbgc = Dbgc::new(config);
-            let frame = dbgc.compress(&cloud)?;
-            let (restored, _) = decompress(&frame.bytes)?;
+            let collector = metrics_out.as_ref().map(|_| metrics_collector("roundtrip", &input));
+            let frame = match &collector {
+                Some(c) => dbgc.compress_with_metrics(&cloud, c)?,
+                None => dbgc.compress(&cloud)?,
+            };
+            let (restored, _) = match &collector {
+                Some(c) => dbgc::decompress_with_metrics(&frame.bytes, c)?,
+                None => decompress(&frame.bytes)?,
+            };
             let report = ErrorReport::paired(&cloud, &restored, &frame.mapping)
                 .map_err(|e| CliError::Invalid(e.to_string()))?;
             let bound = 3f64.sqrt() * q;
@@ -123,6 +158,12 @@ pub fn execute(command: Command, out: &mut impl Write) -> Result<(), CliError> {
                 bound,
                 if report.max_euclidean_error <= bound * (1.0 + 1e-9) { "OK" } else { "VIOLATION" }
             )?;
+            if let (Some(path), Some(c)) = (&metrics_out, &collector) {
+                c.set_gauge("compression_ratio", frame.compression_ratio());
+                c.set_gauge("max_euclidean_error", report.max_euclidean_error);
+                write_metrics_snapshot(path, c)?;
+                writeln!(out, "metrics snapshot -> {}", path.display())?;
+            }
             if report.max_euclidean_error > bound * (1.0 + 1e-9) {
                 return Err(CliError::Invalid("error bound violated".into()));
             }
@@ -210,6 +251,54 @@ mod tests {
 
         let back = kitti::read_bin(&restored).unwrap();
         assert_eq!(back.len(), 4000);
+    }
+
+    #[test]
+    fn compress_writes_metrics_snapshot() {
+        let bin = ring_bin("met.bin", 2500);
+        let dbgc_path = tmp("met.dbgc");
+        let snap_path = tmp("met.json");
+        let report = run_str(&format!(
+            "compress {} {} --metrics-out {}",
+            bin.display(),
+            dbgc_path.display(),
+            snap_path.display()
+        ));
+        assert!(report.contains("metrics snapshot"), "{report}");
+        let json = std::fs::read_to_string(&snap_path).unwrap();
+        for needle in [
+            "\"schema\": \"dbgc-metrics\"",
+            "\"version\": 1",
+            "\"command\": \"compress\"",
+            "\"compress.frames\": 1",
+            "\"compression_ratio\"",
+            "\"name\": \"compress\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+        // The snapshot's byte channels must partition the written stream.
+        let stream_len = std::fs::metadata(&dbgc_path).unwrap().len();
+        assert!(json.contains("\"header\""), "{json}");
+        let collector = dbgc::metrics::Collector::new();
+        let cloud = kitti::read_bin(&bin).unwrap();
+        let frame = Dbgc::new(dbgc::DbgcConfig::default())
+            .compress_with_metrics(&cloud, &collector)
+            .unwrap();
+        assert_eq!(frame.bytes.len() as u64, stream_len);
+        assert_eq!(collector.snapshot().bytes_total(), stream_len);
+    }
+
+    #[test]
+    fn roundtrip_metrics_snapshot_has_decode_spans() {
+        let bin = ring_bin("metrt.bin", 1500);
+        let snap_path = tmp("metrt.json");
+        let report =
+            run_str(&format!("roundtrip {} --metrics-out {}", bin.display(), snap_path.display()));
+        assert!(report.contains("-> OK"), "{report}");
+        let json = std::fs::read_to_string(&snap_path).unwrap();
+        assert!(json.contains("\"name\": \"decompress\""), "{json}");
+        assert!(json.contains("\"decompress.frames\": 1"), "{json}");
+        assert!(json.contains("\"max_euclidean_error\""), "{json}");
     }
 
     #[test]

@@ -37,8 +37,37 @@ impl DecompressStats {
     }
 }
 
+/// Optional metrics sink (always `None` with the `metrics` feature off).
+#[cfg(feature = "metrics")]
+type MetricsOpt<'a> = Option<&'a dbgc_metrics::Collector>;
+#[cfg(not(feature = "metrics"))]
+type MetricsOpt<'a> = Option<&'a std::convert::Infallible>;
+
 /// Decompress a DBGC bitstream into a point cloud.
 pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcError> {
+    decompress_impl(bytes, None)
+}
+
+/// [`decompress`], recording observability data into `collector`: a
+/// `decompress` span with `oct`/`spa`/`cor`/`out` stage children (one
+/// `spa`/`cor` pair per radial group) and frame/point/byte counters. The
+/// decoded cloud is identical to the uninstrumented path.
+#[cfg(feature = "metrics")]
+pub fn decompress_with_metrics(
+    bytes: &[u8],
+    collector: &dbgc_metrics::Collector,
+) -> Result<(PointCloud, DecompressStats), DbgcError> {
+    decompress_impl(bytes, Some(collector))
+}
+
+fn decompress_impl(
+    bytes: &[u8],
+    m: MetricsOpt,
+) -> Result<(PointCloud, DecompressStats), DbgcError> {
+    #[cfg(not(feature = "metrics"))]
+    let _ = m;
+    #[cfg(feature = "metrics")]
+    let root = m.map(|c| c.span("decompress"));
     let mut r = ByteReader::new(bytes);
     let magic = r.read_slice(4).map_err(|_| DbgcError::BadHeader("missing magic"))?;
     if magic != MAGIC {
@@ -74,6 +103,8 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
     let mut cloud = PointCloud::with_capacity(declared_points.min(1 << 20));
 
     // ---- dense section ----------------------------------------------------
+    #[cfg(feature = "metrics")]
+    let stage = root.as_ref().map(|s| s.child("oct"));
     let t = Instant::now();
     let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
     let dense_bytes = r.read_slice(dense_len).map_err(DbgcError::from)?;
@@ -82,6 +113,8 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
         cloud.push(p);
     }
     stats.oct = t.elapsed();
+    #[cfg(feature = "metrics")]
+    drop(stage);
 
     // ---- sparse groups ------------------------------------------------------
     for _ in 0..n_groups {
@@ -89,6 +122,8 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
         if !r_max.is_finite() || !(0.0..=1e12).contains(&r_max) {
             return Err(DbgcError::BadHeader("invalid group r_max"));
         }
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("spa"));
         let t = Instant::now();
         let (codec_cfg, sq) = if spherical {
             let sq = SphericalQuant::from_error_bound(q_xyz, r_max);
@@ -105,7 +140,11 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
         };
         let lines = decode_group(&mut r, &codec_cfg)?;
         stats.spa += t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(stage);
 
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("cor"));
         let t = Instant::now();
         match sq {
             Some(sq) => {
@@ -129,23 +168,35 @@ pub fn decompress(bytes: &[u8]) -> Result<(PointCloud, DecompressStats), DbgcErr
             }
         }
         stats.cor += t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(stage);
         if cloud.len() > declared_points {
             return Err(DbgcError::BadHeader("decoded point count mismatch"));
         }
     }
 
     // ---- outliers --------------------------------------------------------------
+    #[cfg(feature = "metrics")]
+    let stage = root.as_ref().map(|s| s.child("out"));
     let t = Instant::now();
     for p in decode_outliers(&mut r, q_xyz, declared_points - cloud.len())? {
         cloud.push(p);
     }
     stats.out = t.elapsed();
+    #[cfg(feature = "metrics")]
+    drop(stage);
 
     if cloud.len() != declared_points {
         return Err(DbgcError::BadHeader("decoded point count mismatch"));
     }
     if !r.is_empty() {
         return Err(DbgcError::BadHeader("trailing bytes after stream"));
+    }
+    #[cfg(feature = "metrics")]
+    if let Some(c) = m {
+        c.incr("decompress.frames", 1);
+        c.incr("decompress.points_out", cloud.len() as u64);
+        c.record("decompress.bytes_per_frame", bytes.len() as u64);
     }
     Ok((cloud, stats))
 }

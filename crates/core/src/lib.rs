@@ -60,11 +60,19 @@ pub mod stats;
 pub mod verify;
 
 pub use config::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
+#[cfg(feature = "metrics")]
+pub use decompress::decompress_with_metrics;
 pub use decompress::{decompress, inspect, DecompressStats, StreamInfo};
 pub use error::DbgcError;
 pub use pipeline::{CompressedFrame, Dbgc};
 pub use stats::{CompressionStats, SectionSizes, TimingBreakdown};
 pub use verify::verify_roundtrip;
+
+/// Re-export of the observability crate, so dependents that already depend
+/// on `dbgc` with the `metrics` feature can name `Collector`/`Snapshot`
+/// without a separate dependency line.
+#[cfg(feature = "metrics")]
+pub use dbgc_metrics as metrics;
 
 #[cfg(test)]
 mod tests {

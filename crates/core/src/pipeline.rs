@@ -18,6 +18,21 @@ use crate::sparse::organize::organize_sparse_points;
 use crate::stats::{CompressionStats, SectionSizes, TimingBreakdown};
 use crate::DbgcError;
 
+/// Optional metrics sink threaded through the pipeline. With the `metrics`
+/// feature off this is an uninhabited `Option` (always `None`), so every
+/// recording site compiles to nothing.
+#[cfg(feature = "metrics")]
+pub(crate) type MetricsOpt<'a> = Option<&'a dbgc_metrics::Collector>;
+/// Disabled-`metrics` stand-in: an `Option` that can never be `Some`.
+#[cfg(not(feature = "metrics"))]
+pub(crate) type MetricsOpt<'a> = Option<&'a std::convert::Infallible>;
+
+/// Optional parent-span handle passed into per-group encoding.
+#[cfg(feature = "metrics")]
+type SpanOpt<'a> = Option<&'a dbgc_metrics::Span>;
+#[cfg(not(feature = "metrics"))]
+type SpanOpt<'a> = Option<&'a std::convert::Infallible>;
+
 std::thread_local! {
     /// Per-thread group-codec scratch: reused across groups and frames, both
     /// on the calling thread (serial mode) and on pool workers.
@@ -60,9 +75,11 @@ struct GroupResult {
     polylines: Vec<Vec<u32>>,
     /// Outlier indices, local to the group's point array.
     outliers: Vec<u32>,
-    /// Time spent in organization (per-worker CPU time).
+    /// Time this worker spent in organization. Worker times overlap under
+    /// `threads > 1`; they are only used to split the fan-out's wall-clock
+    /// interval between ORG and SPA pro rata.
     org: std::time::Duration,
-    /// Time spent in coordinate compression (per-worker CPU time).
+    /// Time this worker spent in coordinate compression (see `org`).
     spa: std::time::Duration,
 }
 
@@ -86,6 +103,32 @@ impl Dbgc {
 
     /// Compress a point cloud into a DBGC bitstream.
     pub fn compress(&self, cloud: &PointCloud) -> Result<CompressedFrame, DbgcError> {
+        self.compress_impl(cloud, None)
+    }
+
+    /// [`compress`](Dbgc::compress), recording observability data into
+    /// `collector`: a `compress` span with per-stage children (`den`, `oct`,
+    /// `cor`, `sparse_groups` with per-group `org`/`spa` children finished on
+    /// whichever pool worker ran them, `out`), per-substream byte accounting
+    /// (`header`/`dense`/`sparse`/`outlier`, summing to the stream size),
+    /// and frame/point counters. The bitstream is byte-identical to the
+    /// uninstrumented path.
+    #[cfg(feature = "metrics")]
+    pub fn compress_with_metrics(
+        &self,
+        cloud: &PointCloud,
+        collector: &dbgc_metrics::Collector,
+    ) -> Result<CompressedFrame, DbgcError> {
+        self.compress_impl(cloud, Some(collector))
+    }
+
+    fn compress_impl(
+        &self,
+        cloud: &PointCloud,
+        m: MetricsOpt,
+    ) -> Result<CompressedFrame, DbgcError> {
+        #[cfg(not(feature = "metrics"))]
+        let _ = m;
         let cfg = &self.config;
         cfg.validate().map_err(DbgcError::InvalidConfig)?;
         if let Some(i) = cloud.iter().position(|p| !p.is_finite()) {
@@ -94,28 +137,42 @@ impl Dbgc {
         let points = cloud.points();
         let mut timing = TimingBreakdown::default();
         let mut sections = SectionSizes::default();
+        #[cfg(feature = "metrics")]
+        let root = m.map(|c| c.span("compress"));
 
         // ---- DEN: dense/sparse split -----------------------------------
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("den"));
         let t = Instant::now();
         let split = self.split(points);
         timing.den = t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(stage);
         let (dense_idx, sparse_idx) = split.partition_indices();
         let dense_pts: Vec<Point3> = dense_idx.iter().map(|&i| points[i]).collect();
 
         // ---- OCT: octree over dense points ------------------------------
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("oct"));
         let t = Instant::now();
         let dense_enc = OctreeCodec::baseline().encode(&dense_pts, cfg.q_xyz);
         timing.oct = t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(stage);
 
         // ---- COR: spherical conversion ----------------------------------
         // Organization always runs in (θ, φ) space; the flag only controls
         // which coordinates are *compressed*. Per-point conversions are
         // independent, so they fan out over the pool.
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("cor"));
         let t = Instant::now();
         let sparse_pts: Vec<Point3> = sparse_idx.iter().map(|&i| points[i]).collect();
         let sparse_sph: Vec<Spherical> =
             par::map(cfg.threads, None, &sparse_pts, |_, p| p.to_spherical());
         timing.cor = t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(stage);
 
         // ---- grouping by radial distance --------------------------------
         // `order[g]` lists indices into sparse_pts for group g, ascending r.
@@ -173,6 +230,13 @@ impl Dbgc {
         // few and expensive). Each group encodes into its own buffer; buffers
         // are spliced into the stream in group order below, so the bitstream
         // is byte-identical to the serial in-place loop.
+        #[cfg(feature = "metrics")]
+        let group_stage = root.as_ref().map(|s| s.child("sparse_groups"));
+        #[cfg(feature = "metrics")]
+        let group_span: SpanOpt = group_stage.as_ref();
+        #[cfg(not(feature = "metrics"))]
+        let group_span: SpanOpt = None;
+        let group_wall = Instant::now();
         let group_results: Vec<GroupResult> =
             par::map(cfg.threads, Some(1), &groups, |_, group| {
                 SCRATCH.with(|scratch| {
@@ -181,13 +245,19 @@ impl Dbgc {
                         &sparse_sph,
                         &sparse_pts,
                         &mut scratch.borrow_mut(),
+                        group_span,
                     )
                 })
             });
+        let sparse_wall = group_wall.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(group_stage);
 
         // Deterministic post-pass: splice the buffers and replay the
         // bookkeeping (mapping cursor, outlier list) in group order, exactly
         // as the serial loop interleaved it.
+        let mut org_cpu = std::time::Duration::ZERO;
+        let mut spa_cpu = std::time::Duration::ZERO;
         for (group, result) in groups.iter().zip(&group_results) {
             out.extend_from_slice(&result.bytes);
             for line in &result.polylines {
@@ -198,12 +268,24 @@ impl Dbgc {
             }
             polyline_count += result.polylines.len();
             outliers_global.extend(result.outliers.iter().map(|&l| group[l as usize]));
-            timing.org += result.org;
-            timing.spa += result.spa;
+            org_cpu += result.org;
+            spa_cpu += result.spa;
+        }
+        // Wall-clock stage attribution: under `threads > 1` the per-worker
+        // ORG and SPA measurements overlap in time, so their sum overstates
+        // the stage cost. Report the fan-out's wall-clock interval instead,
+        // split between ORG and SPA pro rata by measured worker time (with
+        // one thread the split reproduces the direct measurements).
+        let cpu_total = org_cpu + spa_cpu;
+        if !cpu_total.is_zero() {
+            timing.org = sparse_wall.mul_f64(org_cpu.as_secs_f64() / cpu_total.as_secs_f64());
+            timing.spa = sparse_wall.saturating_sub(timing.org);
         }
         sections.sparse = out.len() - sparse_mark;
 
         // ---- B_outlier ------------------------------------------------------
+        #[cfg(feature = "metrics")]
+        let stage = root.as_ref().map(|s| s.child("out"));
         let outlier_mark = out.len();
         let t = Instant::now();
         let outlier_pts: Vec<Point3> =
@@ -214,8 +296,13 @@ impl Dbgc {
         }
         timing.out = t.elapsed();
         sections.outlier = out.len() - outlier_mark;
+        #[cfg(feature = "metrics")]
+        drop(stage);
 
-        debug_assert!(mapping.iter().all(|&m| m != usize::MAX), "every input point must be mapped");
+        debug_assert!(
+            mapping.iter().all(|&mapped| mapped != usize::MAX),
+            "every input point must be mapped"
+        );
 
         let stats = CompressionStats {
             total_points: points.len(),
@@ -226,6 +313,22 @@ impl Dbgc {
             sections,
             timing,
         };
+        // Per-substream byte accounting (the four channels partition the
+        // stream, so they must sum to `out.len()`), plus frame counters.
+        #[cfg(feature = "metrics")]
+        if let Some(c) = m {
+            c.add_bytes("header", sections.header as u64);
+            c.add_bytes("dense", sections.dense as u64);
+            c.add_bytes("sparse", sections.sparse as u64);
+            c.add_bytes("outlier", sections.outlier as u64);
+            c.incr("compress.frames", 1);
+            c.incr("compress.points_in", stats.total_points as u64);
+            c.incr("compress.points_dense", stats.dense_points as u64);
+            c.incr("compress.points_sparse", stats.sparse_points as u64);
+            c.incr("compress.points_outlier", stats.outlier_points as u64);
+            c.incr("compress.polylines", stats.polylines as u64);
+            c.record("compress.bytes_per_frame", out.len() as u64);
+        }
         Ok(CompressedFrame { bytes: out, mapping, stats })
     }
 
@@ -240,13 +343,20 @@ impl Dbgc {
         sparse_sph: &[Spherical],
         sparse_pts: &[Point3],
         scratch: &mut ScratchBuffers,
+        span: SpanOpt,
     ) -> GroupResult {
+        #[cfg(not(feature = "metrics"))]
+        let _ = span;
         let cfg = &self.config;
         let g_sph: Vec<Spherical> = group.iter().map(|&i| sparse_sph[i as usize]).collect();
         let g_cart: Vec<Point3> = group.iter().map(|&i| sparse_pts[i as usize]).collect();
         let r_max = g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
 
-        // ORG: Algorithm 1.
+        // ORG: Algorithm 1. The child span is created and finished on
+        // whichever pool worker runs this group; it nests under the
+        // `sparse_groups` stage span owned by the calling thread.
+        #[cfg(feature = "metrics")]
+        let phase = span.map(|s| s.child("org"));
         let t = Instant::now();
         let organized = organize_sparse_points(
             &g_sph,
@@ -256,8 +366,12 @@ impl Dbgc {
             cfg.min_polyline_len,
         );
         let org = t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(phase);
 
         // SPA: steps 1-9.
+        #[cfg(feature = "metrics")]
+        let phase = span.map(|s| s.child("spa"));
         let t = Instant::now();
         let (lines_q, codec_cfg) =
             self.quantize_lines(&organized.polylines, &g_sph, &g_cart, r_max);
@@ -265,6 +379,8 @@ impl Dbgc {
         write_f64(&mut bytes, r_max);
         encode_group_to_buf(&mut bytes, &lines_q, &codec_cfg, scratch);
         let spa = t.elapsed();
+        #[cfg(feature = "metrics")]
+        drop(phase);
 
         GroupResult {
             bytes,

@@ -26,6 +26,12 @@ impl SectionSizes {
 /// DEN (clustering), OCT (octree), COR (coordinate conversion),
 /// ORG (point organization), SPA (sparse coordinate compression),
 /// OUT (outlier compression).
+///
+/// All durations are **wall-clock**. Under intra-frame parallelism
+/// (`threads != 1`) the per-group ORG/SPA work overlaps across pool
+/// workers; `org` and `spa` split the fan-out's wall-clock interval pro
+/// rata by measured worker time, so `total()` stays an honest wall-clock
+/// figure instead of a summed-CPU one that can exceed the frame latency.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TimingBreakdown {
     /// Density-based clustering.

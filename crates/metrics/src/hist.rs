@@ -1,0 +1,163 @@
+//! Lock-free log-bucket histograms.
+//!
+//! Values are `u64` (byte sizes, microseconds, queue depths). Bucket `0`
+//! holds the value `0`; bucket `k >= 1` holds `[2^(k-1), 2^k)`. 65 buckets
+//! cover the full `u64` range, recording costs one `fetch_add`, and the
+//! exact count/sum/min/max ride along so snapshots can report means without
+//! bucket-quantization error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 65;
+
+/// A concurrent histogram with power-of-two buckets.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Bucket index for `value`: 0 for 0, else `64 - leading_zeros`.
+fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy (empty buckets elided).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Read count last so it never exceeds the bucket sum mid-recording.
+        let buckets: Vec<BucketCount> = (0..BUCKETS)
+            .filter_map(|k| {
+                let count = self.buckets[k].load(Ordering::Relaxed);
+                (count > 0).then(|| BucketCount {
+                    lo: if k == 0 { 0 } else { 1u64 << (k - 1) },
+                    hi: if k == 0 {
+                        0
+                    } else if k == BUCKETS - 1 {
+                        u64::MAX
+                    } else {
+                        (1u64 << k) - 1
+                    },
+                    count,
+                })
+            })
+            .collect();
+        let count = buckets.iter().map(|b| b.count).sum();
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// One non-empty bucket: the inclusive value range `[lo, hi]` and its count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketCount {
+    /// Smallest value the bucket holds.
+    pub lo: u64,
+    /// Largest value the bucket holds.
+    pub hi: u64,
+    /// Number of recorded samples in range.
+    pub count: u64,
+}
+
+/// A point-in-time histogram copy, as embedded in [`crate::Snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples (equals the sum of bucket counts).
+    pub count: u64,
+    /// Sum of all sample values.
+    pub sum: u64,
+    /// Smallest sample (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets in ascending value order.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 100, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, u64::MAX);
+        // 0 | 1 | {2,3} | {100,100} | MAX
+        assert_eq!(s.buckets.len(), 5);
+        assert_eq!(s.buckets.iter().map(|b| b.count).sum::<u64>(), 7);
+        let b100 = s.buckets.iter().find(|b| b.lo <= 100 && 100 <= b.hi).unwrap();
+        assert_eq!((b100.lo, b100.hi, b100.count), (64, 127, 2));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Histogram::new().snapshot().mean(), 0.0);
+        let h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        assert_eq!(h.snapshot().mean(), 15.0);
+    }
+}

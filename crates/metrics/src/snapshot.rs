@@ -1,0 +1,285 @@
+//! Point-in-time snapshots and their versioned JSON serialization.
+//!
+//! The workspace carries no serde; the JSON writer here is the one place
+//! hand-rolled JSON lives, and every producer (CLI `--metrics-out`, the
+//! `dbgc-bench` harnesses, CI artifacts) goes through it so there is a
+//! single schema to parse:
+//!
+//! ```json
+//! {
+//!   "schema": "dbgc-metrics",
+//!   "version": 1,
+//!   "labels": { "preset": "kitti-city" },
+//!   "counters": { "compress.frames": 3 },
+//!   "bytes": { "header": 40, "dense": 9000, "sparse": 60000, "outlier": 800 },
+//!   "gauges": { "e2e.frames_per_s": 5.4 },
+//!   "histograms": { "net.queue_depth": { "count": 12, "sum": 30, "min": 0,
+//!                    "max": 5, "buckets": [{ "lo": 0, "hi": 0, "count": 2 }] } },
+//!   "spans": [{ "id": 1, "parent": null, "name": "compress",
+//!               "start_us": 0, "end_us": 181234 }]
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+use crate::span::SpanRecord;
+use crate::{SCHEMA, SCHEMA_VERSION};
+
+/// A point-in-time copy of every instrument in a [`crate::Collector`].
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// Monotonic counters by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Byte-accounting channels by substream name.
+    pub bytes: BTreeMap<String, u64>,
+    /// f64 gauges by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// String labels by name.
+    pub labels: BTreeMap<String, String>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Finished spans, in finish order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// Sum of all byte-accounting channels.
+    ///
+    /// For a single compressed frame this must equal the stream size — the
+    /// invariant the metric-invariant suite pins down.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes.values().sum()
+    }
+
+    /// The finished spans whose parent is `id`.
+    pub fn span_children(&self, id: u64) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == Some(id)).collect()
+    }
+
+    /// Check span-tree well-formedness: unique positive ids, every parent
+    /// finished and present, no negative durations, and every child interval
+    /// contained in its parent's (children finish before their parent).
+    pub fn validate_spans(&self) -> Result<(), String> {
+        let mut by_id: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
+        for s in &self.spans {
+            if s.id == 0 {
+                return Err(format!("span '{}' has id 0", s.name));
+            }
+            if by_id.insert(s.id, s).is_some() {
+                return Err(format!("duplicate span id {}", s.id));
+            }
+            if s.end_ns < s.start_ns {
+                return Err(format!("span '{}' has negative duration", s.name));
+            }
+        }
+        for s in &self.spans {
+            if let Some(pid) = s.parent {
+                let Some(p) = by_id.get(&pid) else {
+                    return Err(format!("span '{}' has orphan parent id {pid}", s.name));
+                };
+                if s.start_ns < p.start_ns || s.end_ns > p.end_ns {
+                    return Err(format!(
+                        "span '{}' [{}, {}] escapes its parent '{}' [{}, {}]",
+                        s.name, s.start_ns, s.end_ns, p.name, p.start_ns, p.end_ns
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to the versioned JSON document described in the module docs.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(out, "  \"version\": {SCHEMA_VERSION},");
+
+        let _ = write!(out, "  \"labels\": ");
+        write_map(&mut out, self.labels.iter(), |out, v| {
+            let _ = write!(out, "\"{}\"", json_escape(v));
+        });
+        out.push_str(",\n");
+
+        let _ = write!(out, "  \"counters\": ");
+        write_map(&mut out, self.counters.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\n");
+
+        let _ = write!(out, "  \"bytes\": ");
+        write_map(&mut out, self.bytes.iter(), |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str(",\n");
+
+        let _ = write!(out, "  \"gauges\": ");
+        write_map(&mut out, self.gauges.iter(), |out, v| write_f64(out, **v));
+        out.push_str(",\n");
+
+        let _ = write!(out, "  \"histograms\": ");
+        write_map(&mut out, self.histograms.iter(), |out, h| {
+            let _ = write!(out, "{{ \"count\": {}, \"sum\": {}, ", h.count, h.sum);
+            let _ = write!(out, "\"min\": {}, \"max\": {}, \"buckets\": [", h.min, h.max);
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ =
+                    write!(out, "{{ \"lo\": {}, \"hi\": {}, \"count\": {} }}", b.lo, b.hi, b.count);
+            }
+            out.push_str("] }");
+        });
+        out.push_str(",\n");
+
+        out.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {{ \"id\": {}, \"parent\": ", s.id);
+            match s.parent {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ", \"name\": \"{}\", \"start_us\": {}, \"end_us\": {} }}",
+                json_escape(&s.name),
+                s.start_ns / 1_000,
+                s.end_ns / 1_000
+            );
+        }
+        if !self.spans.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Write a `{ "k": v, ... }` object using `value` for each payload.
+fn write_map<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, V)>,
+    value: impl Fn(&mut String, &V),
+) {
+    out.push('{');
+    let mut first = true;
+    for (k, v) in entries {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, " \"{}\": ", json_escape(k));
+        value(out, &v);
+    }
+    if !first {
+        out.push(' ');
+    }
+    out.push('}');
+}
+
+/// Write an f64 as JSON (non-finite values become `null`).
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn json_contains_schema_and_instruments() {
+        let c = Collector::new();
+        c.incr("compress.frames", 3);
+        c.add_bytes("dense", 9000);
+        c.set_gauge("fps", 5.5);
+        c.set_label("preset", "kitti-city");
+        c.record("sizes", 100);
+        c.span("root").finish();
+        let json = c.snapshot().to_json();
+        for needle in [
+            "\"schema\": \"dbgc-metrics\"",
+            "\"version\": 1",
+            "\"compress.frames\": 3",
+            "\"dense\": 9000",
+            "\"fps\": 5.5",
+            "\"preset\": \"kitti-city\"",
+            "\"count\": 1",
+            "\"name\": \"root\"",
+            "\"parent\": null",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in:\n{json}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let json = Snapshot::default().to_json();
+        assert!(json.contains("\"spans\": []"));
+        assert!(json.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn non_finite_gauges_become_null() {
+        let c = Collector::new();
+        c.set_gauge("bad", f64::NAN);
+        assert!(c.snapshot().to_json().contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn validate_rejects_malformed_trees() {
+        let good = SpanRecord { id: 1, parent: None, name: "a".into(), start_ns: 0, end_ns: 10 };
+        let orphan =
+            SpanRecord { id: 2, parent: Some(99), name: "b".into(), start_ns: 1, end_ns: 2 };
+        let escapes =
+            SpanRecord { id: 3, parent: Some(1), name: "c".into(), start_ns: 5, end_ns: 20 };
+
+        let mut s = Snapshot { spans: vec![good.clone()], ..Default::default() };
+        s.validate_spans().unwrap();
+
+        s.spans = vec![good.clone(), orphan];
+        assert!(s.validate_spans().unwrap_err().contains("orphan"));
+
+        s.spans = vec![good.clone(), escapes];
+        assert!(s.validate_spans().unwrap_err().contains("escapes"));
+
+        s.spans = vec![good.clone(), good];
+        assert!(s.validate_spans().unwrap_err().contains("duplicate"));
+    }
+}

@@ -27,6 +27,12 @@ use std::thread::JoinHandle;
 use dbgc::{CompressedFrame, Dbgc, DbgcError};
 use dbgc_geom::PointCloud;
 
+/// Optional metrics sink (always `None` with the `metrics` feature off).
+#[cfg(feature = "metrics")]
+type MetricsSink = Option<dbgc_metrics::Collector>;
+#[cfg(not(feature = "metrics"))]
+type MetricsSink = Option<std::convert::Infallible>;
+
 /// A frame-ordered, multi-threaded DBGC compressor.
 #[derive(Debug)]
 pub struct PipelinedCompressor {
@@ -37,11 +43,32 @@ pub struct PipelinedCompressor {
     next_yield: u64,
     /// Out-of-order results parked until their turn.
     parked: HashMap<u64, Result<CompressedFrame, DbgcError>>,
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    metrics: MetricsSink,
 }
 
 impl PipelinedCompressor {
     /// Spawn `workers` threads, each owning a clone of `compressor`.
     pub fn new(compressor: Dbgc, workers: usize) -> PipelinedCompressor {
+        Self::new_impl(compressor, workers, None)
+    }
+
+    /// [`PipelinedCompressor::new`], recording observability data into
+    /// `collector`: `net.frames_submitted` / `net.frames_yielded` counters, a
+    /// `net.queue_depth` histogram sampled at each submission, and each
+    /// worker's `compress` span tree (workers share the collector, so spans
+    /// from concurrent frames interleave; span parentage keeps them
+    /// separable).
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(
+        compressor: Dbgc,
+        workers: usize,
+        collector: &dbgc_metrics::Collector,
+    ) -> PipelinedCompressor {
+        Self::new_impl(compressor, workers, Some(collector.clone()))
+    }
+
+    fn new_impl(compressor: Dbgc, workers: usize, metrics: MetricsSink) -> PipelinedCompressor {
         assert!(workers >= 1, "need at least one worker");
         let (submit_tx, submit_rx) = channel::<(u64, PointCloud)>();
         let submit_rx = std::sync::Arc::new(std::sync::Mutex::new(submit_rx));
@@ -51,11 +78,21 @@ impl PipelinedCompressor {
             let rx = std::sync::Arc::clone(&submit_rx);
             let tx = result_tx.clone();
             let dbgc = compressor.clone();
+            #[cfg(feature = "metrics")]
+            let worker_metrics = metrics.clone();
             handles.push(std::thread::spawn(move || loop {
                 // Hold the lock only while receiving, not while compressing.
                 let job = { rx.lock().expect("worker lock").recv() };
                 let Ok((seq, cloud)) = job else { return };
-                let result = dbgc.compress(&cloud);
+                let result = {
+                    #[cfg(feature = "metrics")]
+                    match &worker_metrics {
+                        Some(c) => dbgc.compress_with_metrics(&cloud, c),
+                        None => dbgc.compress(&cloud),
+                    }
+                    #[cfg(not(feature = "metrics"))]
+                    dbgc.compress(&cloud)
+                };
                 if tx.send((seq, result)).is_err() {
                     return;
                 }
@@ -68,6 +105,7 @@ impl PipelinedCompressor {
             next_submit: 0,
             next_yield: 0,
             parked: HashMap::new(),
+            metrics,
         }
     }
 
@@ -80,6 +118,11 @@ impl PipelinedCompressor {
             .expect("submit after finish")
             .send((seq, cloud))
             .expect("workers alive");
+        #[cfg(feature = "metrics")]
+        if let Some(c) = &self.metrics {
+            c.incr("net.frames_submitted", 1);
+            c.record("net.queue_depth", self.in_flight());
+        }
         seq
     }
 
@@ -97,6 +140,10 @@ impl PipelinedCompressor {
         loop {
             if let Some(result) = self.parked.remove(&self.next_yield) {
                 self.next_yield += 1;
+                #[cfg(feature = "metrics")]
+                if let Some(c) = &self.metrics {
+                    c.incr("net.frames_yielded", 1);
+                }
                 return Some(result);
             }
             let (seq, result) = self.results.recv().expect("workers alive");

@@ -37,6 +37,12 @@ pub struct DroppedFrame {
     pub reason: String,
 }
 
+/// Optional metrics sink (always `None` with the `metrics` feature off).
+#[cfg(feature = "metrics")]
+type MetricsSink = Option<dbgc_metrics::Collector>;
+#[cfg(not(feature = "metrics"))]
+type MetricsSink = Option<std::convert::Infallible>;
+
 /// Receives and stores compressed point-cloud frames.
 #[derive(Debug)]
 pub struct Server<R: Read> {
@@ -47,12 +53,33 @@ pub struct Server<R: Read> {
     /// Optional on-disk sink: every received bitstream is also written as
     /// `frame-<seq>.dbgc` here (stands in for the paper's ODBC storage).
     disk_store: Option<PathBuf>,
+    #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
+    metrics: MetricsSink,
 }
 
 impl<R: Read> Server<R> {
     /// `decompress = false` reproduces the "store B directly" mode.
     pub fn new(transport: R, decompress: bool) -> Server<R> {
-        Server { transport, decompress, store: Vec::new(), dropped: Vec::new(), disk_store: None }
+        Server {
+            transport,
+            decompress,
+            store: Vec::new(),
+            dropped: Vec::new(),
+            disk_store: None,
+            metrics: None,
+        }
+    }
+
+    /// Record per-connection observability data into `collector`:
+    /// `net.frames_received` / `net.bytes_received` for stored frames,
+    /// `net.frames_dropped` / `net.decode_failures` for discarded ones,
+    /// `net.resyncs` / `net.bytes_skipped` for wire-level recovery, and a
+    /// `net.frame_bytes` size histogram. When decompression is enabled the
+    /// decoder also records its stage spans into the same collector.
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(mut self, collector: &dbgc_metrics::Collector) -> Server<R> {
+        self.metrics = Some(collector.clone());
+        self
     }
 
     /// Additionally persist every received bitstream into `dir` as
@@ -79,6 +106,12 @@ impl<R: Read> Server<R> {
                 Err(e) => return Err(e),
             };
             if skipped > 0 {
+                #[cfg(feature = "metrics")]
+                if let Some(c) = &self.metrics {
+                    c.incr("net.resyncs", 1);
+                    c.incr("net.bytes_skipped", skipped);
+                    c.incr("net.frames_dropped", 1);
+                }
                 self.dropped.push(DroppedFrame {
                     sequence: None,
                     bytes_skipped: skipped,
@@ -86,9 +119,23 @@ impl<R: Read> Server<R> {
                 });
             }
             let cloud = if self.decompress {
-                match dbgc::decompress(&wire.payload) {
+                let decoded = {
+                    #[cfg(feature = "metrics")]
+                    match &self.metrics {
+                        Some(c) => dbgc::decompress_with_metrics(&wire.payload, c),
+                        None => dbgc::decompress(&wire.payload),
+                    }
+                    #[cfg(not(feature = "metrics"))]
+                    dbgc::decompress(&wire.payload)
+                };
+                match decoded {
                     Ok((cloud, _)) => Some(cloud),
                     Err(e) => {
+                        #[cfg(feature = "metrics")]
+                        if let Some(c) = &self.metrics {
+                            c.incr("net.decode_failures", 1);
+                            c.incr("net.frames_dropped", 1);
+                        }
                         self.dropped.push(DroppedFrame {
                             sequence: Some(wire.sequence),
                             bytes_skipped: 0,
@@ -102,6 +149,12 @@ impl<R: Read> Server<R> {
             };
             if let Some(dir) = &self.disk_store {
                 std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
+            }
+            #[cfg(feature = "metrics")]
+            if let Some(c) = &self.metrics {
+                c.incr("net.frames_received", 1);
+                c.incr("net.bytes_received", wire.payload.len() as u64);
+                c.record("net.frame_bytes", wire.payload.len() as u64);
             }
             self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
             return Ok(true);
