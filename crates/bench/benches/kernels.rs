@@ -1,0 +1,241 @@
+//! Criterion micro-benches for the single-core hot-path kernels: the fused
+//! Fenwick model step, range-coder renormalization, and the SoA sparse-stage
+//! loops (organize grid + consensus-windowed radial coding).
+//!
+//! Besides the human-readable criterion output, a compact second pass writes
+//! `BENCH_kernels.json` (dbgc-metrics v1 snapshot) to the repo root so CI can
+//! trend the kernel throughputs alongside `BENCH_e2e.json`.
+
+use std::time::Instant;
+
+use criterion::{black_box, BenchmarkId, Criterion, Throughput};
+use dbgc::sparse::organize::{organize_sparse_points_with, OrganizeScratch};
+use dbgc::sparse::radial::{encode_radial_into, RadialStreams};
+use dbgc_codec::{AdaptiveModel, ContextModel, RangeDecoder, RangeEncoder};
+use dbgc_geom::{Point3, Spherical};
+
+/// Skewed symbol stream over `alphabet` symbols (residual-like statistics).
+fn skewed_symbols(n: usize, alphabet: usize) -> Vec<usize> {
+    (0..n as u32)
+        .map(|i| {
+            let r = (i.wrapping_mul(2654435761) >> 16) as usize;
+            if i % 7 == 0 {
+                r % alphabet
+            } else {
+                r % alphabet.div_ceil(8).max(1)
+            }
+        })
+        .collect()
+}
+
+fn model_encode(syms: &[usize], alphabet: usize) -> Vec<u8> {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut enc = RangeEncoder::new();
+    for &s in syms {
+        m.encode(&mut enc, s);
+    }
+    enc.finish()
+}
+
+fn model_decode(bytes: &[u8], n: usize, alphabet: usize) -> usize {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut dec = RangeDecoder::new(bytes);
+    let mut acc = 0usize;
+    for _ in 0..n {
+        acc ^= m.decode(&mut dec).expect("valid stream");
+    }
+    acc
+}
+
+fn context_encode(stream: &[(usize, usize)], contexts: usize, alphabet: usize) -> Vec<u8> {
+    let mut m = ContextModel::new(contexts, alphabet);
+    let mut enc = RangeEncoder::new();
+    for &(c, s) in stream {
+        m.encode(&mut enc, c, s);
+    }
+    enc.finish()
+}
+
+/// Uniform 16-bit payload: every `encode` call renormalizes, so this is a
+/// renorm-bandwidth measurement more than a modeling one.
+fn range_renorm(vals: &[u16]) -> Vec<u8> {
+    let mut enc = RangeEncoder::new();
+    for &v in vals {
+        enc.encode_bits(v as u64, 16);
+    }
+    enc.finish()
+}
+
+/// A ring-structured synthetic sweep: `rings` polar lines of `per_ring`
+/// azimuthal steps with mild radial texture and periodic dropouts, the shape
+/// the organize grid and consensus window are built for.
+fn ring_cloud(
+    rings: usize,
+    per_ring: usize,
+    u_theta: f64,
+    u_phi: f64,
+) -> (Vec<Spherical>, Vec<Point3>) {
+    let mut sph = Vec::with_capacity(rings * per_ring);
+    for ring in 0..rings {
+        let phi = 0.3 + ring as f64 * u_phi;
+        for k in 0..per_ring {
+            if (ring + k) % 23 == 0 {
+                continue; // dropout: forces seed/extend decisions
+            }
+            let theta = k as f64 * u_theta;
+            let r = 8.0 + ((k / 40) % 5) as f64 * 3.0 + (k % 7) as f64 * 0.01;
+            sph.push(Spherical { r, theta, phi });
+        }
+    }
+    let cart: Vec<Point3> = sph.iter().map(|s| s.to_cartesian()).collect();
+    (sph, cart)
+}
+
+/// Quantized ring polylines for the radial kernel, sorted by head (φ, θ) the
+/// way the organize stage emits them.
+fn ring_lines(rings: usize, per_ring: usize) -> Vec<Vec<[i64; 3]>> {
+    (0..rings as i64)
+        .map(|ring| {
+            (0..per_ring as i64)
+                .map(|k| {
+                    let r = 4000 + ((k / 40) % 5) * 1500 + (k % 7) + ring % 3;
+                    [k * 10, ring * 4, r]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+const MODEL_SYMS: usize = 1 << 16;
+const RENORM_VALS: usize = 1 << 15;
+const RINGS: usize = 64;
+const PER_RING: usize = 500;
+const U_THETA: f64 = 0.002;
+const U_PHI: f64 = 0.008;
+
+fn bench_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model");
+    let alphabet = 64usize;
+    let syms = skewed_symbols(MODEL_SYMS, alphabet);
+    g.throughput(Throughput::Elements(syms.len() as u64));
+    g.bench_with_input(BenchmarkId::new("encode", alphabet), &syms, |b, syms| {
+        b.iter(|| model_encode(syms, alphabet));
+    });
+    let bytes = model_encode(&syms, alphabet);
+    g.bench_with_input(BenchmarkId::new("decode", alphabet), &bytes, |b, bytes| {
+        b.iter(|| model_decode(bytes, syms.len(), alphabet));
+    });
+    let stream: Vec<(usize, usize)> = syms.iter().enumerate().map(|(i, &s)| (i % 16, s)).collect();
+    g.bench_with_input(BenchmarkId::new("context_encode", "16x64"), &stream, |b, stream| {
+        b.iter(|| context_encode(stream, 16, alphabet));
+    });
+    g.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut g = c.benchmark_group("range");
+    let vals: Vec<u16> =
+        (0..RENORM_VALS as u32).map(|i| (i.wrapping_mul(40503) >> 8) as u16).collect();
+    g.throughput(Throughput::Bytes(2 * vals.len() as u64));
+    g.bench_with_input(BenchmarkId::new("renorm_bits", 16), &vals, |b, vals| {
+        b.iter(|| range_renorm(vals));
+    });
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparse");
+    let (sph, cart) = ring_cloud(RINGS, PER_RING, U_THETA, U_PHI);
+    g.throughput(Throughput::Elements(sph.len() as u64));
+    let mut scratch = OrganizeScratch::default();
+    g.bench_function("organize", |b| {
+        b.iter(|| organize_sparse_points_with(&sph, &cart, U_THETA, U_PHI, 3, &mut scratch));
+    });
+    let lines = ring_lines(RINGS, PER_RING);
+    let points: usize = lines.iter().map(Vec::len).sum();
+    g.throughput(Throughput::Elements(points as u64));
+    let mut streams = RadialStreams::default();
+    g.bench_function("radial_encode", |b| {
+        b.iter(|| {
+            encode_radial_into(&lines, 8, 50, &mut streams);
+            black_box(streams.tail_nabla.len())
+        });
+    });
+    g.finish();
+}
+
+/// Mean seconds per call over an adaptively sized batch (quiet pass for the
+/// JSON snapshot; criterion's printed numbers come from the groups above).
+fn secs_per_call<F: FnMut()>(mut f: F) -> f64 {
+    let t = Instant::now();
+    f();
+    let once = t.elapsed().max(std::time::Duration::from_nanos(20));
+    let batch =
+        (std::time::Duration::from_millis(40).as_nanos() / once.as_nanos()).clamp(1, 1 << 18);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / batch as f64);
+    }
+    best
+}
+
+fn write_snapshot() {
+    let collector = dbgc::metrics::Collector::new();
+    let alphabet = 64usize;
+    let syms = skewed_symbols(MODEL_SYMS, alphabet);
+    let bytes = model_encode(&syms, alphabet);
+    let n = syms.len() as f64;
+    let s = secs_per_call(|| {
+        black_box(model_encode(&syms, alphabet));
+    });
+    collector.set_gauge("model.encode.melem_per_s", n / s / 1e6);
+    let s = secs_per_call(|| {
+        black_box(model_decode(&bytes, syms.len(), alphabet));
+    });
+    collector.set_gauge("model.decode.melem_per_s", n / s / 1e6);
+
+    let vals: Vec<u16> =
+        (0..RENORM_VALS as u32).map(|i| (i.wrapping_mul(40503) >> 8) as u16).collect();
+    let s = secs_per_call(|| {
+        black_box(range_renorm(&vals));
+    });
+    collector.set_gauge("range.renorm.mib_per_s", 2.0 * vals.len() as f64 / s / (1 << 20) as f64);
+
+    let (sph, cart) = ring_cloud(RINGS, PER_RING, U_THETA, U_PHI);
+    let mut scratch = OrganizeScratch::default();
+    let s = secs_per_call(|| {
+        black_box(
+            organize_sparse_points_with(&sph, &cart, U_THETA, U_PHI, 3, &mut scratch)
+                .polylines
+                .len(),
+        );
+    });
+    collector.set_gauge("sparse.organize.melem_per_s", sph.len() as f64 / s / 1e6);
+
+    let lines = ring_lines(RINGS, PER_RING);
+    let points: usize = lines.iter().map(Vec::len).sum();
+    let mut streams = RadialStreams::default();
+    let s = secs_per_call(|| {
+        encode_radial_into(&lines, 8, 50, &mut streams);
+        black_box(streams.tail_nabla.len());
+    });
+    collector.set_gauge("sparse.radial_encode.melem_per_s", points as f64 / s / 1e6);
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match std::fs::write(root.join("BENCH_kernels.json"), collector.snapshot().to_json()) {
+        Ok(()) => println!("wrote BENCH_kernels.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_kernels.json: {e}"),
+    }
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_model(&mut c);
+    bench_range(&mut c);
+    bench_sparse(&mut c);
+    write_snapshot();
+}

@@ -15,10 +15,47 @@ use crate::varint::{write_uvarint, ByteReader};
 /// Serialize signed integers as zigzag LEB128 bytes.
 pub fn ints_to_bytes(vals: &[i64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * 2);
-    for &v in vals {
-        crate::varint::write_ivarint(&mut out, v);
-    }
+    ints_to_bytes_into(&mut out, vals);
     out
+}
+
+/// [`ints_to_bytes`] into a caller-owned buffer (cleared first).
+pub fn ints_to_bytes_into(out: &mut Vec<u8>, vals: &[i64]) {
+    out.clear();
+    for &v in vals {
+        crate::varint::write_ivarint(out, v);
+    }
+}
+
+/// Reusable scratch for the integer-sequence compressors, so per-frame hot
+/// loops (one sparse group emits half a dozen frames) recycle the varint
+/// staging buffer, the range coder's output buffer, and the two positional
+/// byte models instead of reallocating them per call.
+///
+/// Purely an allocation cache: every codec resets the state it uses, so
+/// output bytes are identical whether a scratch is fresh, reused, or the
+/// internal default used by the plain entry points.
+#[derive(Debug, Default)]
+pub struct IntseqScratch {
+    /// Varint-encoded staging bytes.
+    varint: Vec<u8>,
+    /// Range-coder output buffer, taken and returned around each frame.
+    payload: Vec<u8>,
+    /// Positional byte models (lead/continuation), reset per frame.
+    lead: Option<AdaptiveModel>,
+    cont: Option<AdaptiveModel>,
+}
+
+impl IntseqScratch {
+    /// The lead/continuation byte models, created on first use and reset to
+    /// their fresh state.
+    fn byte_models(&mut self) -> (&mut AdaptiveModel, &mut AdaptiveModel) {
+        let lead = self.lead.get_or_insert_with(|| AdaptiveModel::new(256));
+        lead.reset();
+        let cont = self.cont.get_or_insert_with(|| AdaptiveModel::new(256));
+        cont.reset();
+        (self.lead.as_mut().unwrap(), self.cont.as_mut().unwrap())
+    }
 }
 
 /// Parse exactly `n` zigzag LEB128 integers from `r`.
@@ -69,10 +106,16 @@ fn read_frame<'a>(r: &mut ByteReader<'a>) -> Result<(usize, usize, &'a [u8]), Co
 /// dominate the lead-byte model; continuation bytes only appear on the heavy
 /// tail), so two adaptive models beat a single order-0 model.
 pub fn compress_ints_rc(out: &mut Vec<u8>, vals: &[i64]) {
-    let bytes = ints_to_bytes(vals);
-    let mut lead = AdaptiveModel::new(256);
-    let mut cont = AdaptiveModel::new(256);
-    let mut enc = RangeEncoder::new();
+    compress_ints_rc_with(out, vals, &mut IntseqScratch::default());
+}
+
+/// [`compress_ints_rc`] with caller-owned [`IntseqScratch`]; byte-identical
+/// output, no per-call allocations once the scratch is warm.
+pub fn compress_ints_rc_with(out: &mut Vec<u8>, vals: &[i64], scratch: &mut IntseqScratch) {
+    let mut bytes = std::mem::take(&mut scratch.varint);
+    ints_to_bytes_into(&mut bytes, vals);
+    let mut enc = RangeEncoder::with_buf(std::mem::take(&mut scratch.payload));
+    let (lead, cont) = scratch.byte_models();
     let mut at_lead = true;
     for &b in &bytes {
         if at_lead {
@@ -85,6 +128,8 @@ pub fn compress_ints_rc(out: &mut Vec<u8>, vals: &[i64]) {
     }
     let payload = enc.finish();
     write_frame(out, vals.len(), bytes.len(), &payload);
+    scratch.varint = bytes;
+    scratch.payload = payload;
 }
 
 /// Invert [`compress_ints_rc`].
@@ -120,9 +165,15 @@ pub fn decompress_ints_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError
 /// Compress integers with the deflate-like codec over their varint bytes —
 /// the repeated-pattern path of the paper (step 6).
 pub fn compress_ints_deflate(out: &mut Vec<u8>, vals: &[i64]) {
-    let bytes = ints_to_bytes(vals);
-    let payload = deflate_compress(&bytes);
-    write_frame(out, vals.len(), bytes.len(), &payload);
+    compress_ints_deflate_with(out, vals, &mut IntseqScratch::default());
+}
+
+/// [`compress_ints_deflate`] with caller-owned [`IntseqScratch`] for the
+/// varint staging buffer; byte-identical output.
+pub fn compress_ints_deflate_with(out: &mut Vec<u8>, vals: &[i64], scratch: &mut IntseqScratch) {
+    ints_to_bytes_into(&mut scratch.varint, vals);
+    let payload = deflate_compress(&scratch.varint);
+    write_frame(out, vals.len(), scratch.varint.len(), &payload);
 }
 
 /// Invert [`compress_ints_deflate`].
@@ -158,14 +209,27 @@ pub fn decompress_ints_delta_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, Code
 /// Compress a small-alphabet symbol stream (e.g. the reference-point choices
 /// `L_ref`, alphabet 4) with a dedicated adaptive model.
 pub fn compress_symbols_rc(out: &mut Vec<u8>, symbols: &[u8], alphabet: usize) {
+    compress_symbols_rc_with(out, symbols, alphabet, &mut IntseqScratch::default());
+}
+
+/// [`compress_symbols_rc`] with caller-owned [`IntseqScratch`] for the range
+/// coder's output buffer (the small-alphabet model itself is a few hundred
+/// bytes and stays per-call); byte-identical output.
+pub fn compress_symbols_rc_with(
+    out: &mut Vec<u8>,
+    symbols: &[u8],
+    alphabet: usize,
+    scratch: &mut IntseqScratch,
+) {
     debug_assert!(symbols.iter().all(|&s| (s as usize) < alphabet));
     let mut model = AdaptiveModel::new(alphabet.max(1));
-    let mut enc = RangeEncoder::new();
+    let mut enc = RangeEncoder::with_buf(std::mem::take(&mut scratch.payload));
     for &s in symbols {
         model.encode(&mut enc, s as usize);
     }
     let payload = enc.finish();
     write_frame(out, symbols.len(), alphabet, &payload);
+    scratch.payload = payload;
 }
 
 /// Invert [`compress_symbols_rc`].
@@ -256,6 +320,27 @@ mod tests {
         assert!(decompress_ints_rc(&mut r).unwrap().is_empty());
         assert!(decompress_ints_deflate(&mut r).unwrap().is_empty());
         assert!(decompress_symbols_rc(&mut r).unwrap().is_empty());
+    }
+
+    #[test]
+    fn reused_scratch_is_byte_identical() {
+        let seqs: Vec<Vec<i64>> =
+            (0..4).map(|k| (0..2000i64).map(|i| (i * (k + 3)) % 97 - 48).collect()).collect();
+        let syms: Vec<u8> = (0..500).map(|i| (i % 4) as u8).collect();
+        let mut fresh = Vec::new();
+        for vals in &seqs {
+            compress_ints_rc(&mut fresh, vals);
+            compress_ints_deflate(&mut fresh, vals);
+        }
+        compress_symbols_rc(&mut fresh, &syms, 4);
+        let mut scratch = IntseqScratch::default();
+        let mut reused = Vec::new();
+        for vals in &seqs {
+            compress_ints_rc_with(&mut reused, vals, &mut scratch);
+            compress_ints_deflate_with(&mut reused, vals, &mut scratch);
+        }
+        compress_symbols_rc_with(&mut reused, &syms, 4, &mut scratch);
+        assert_eq!(fresh, reused);
     }
 
     proptest! {

@@ -6,6 +6,14 @@
 //! models by an integer context — this is how the Octree_i variant groups
 //! nodes "by the occupancy code of their parent" and how the G-PCC-like coder
 //! conditions on neighbour occupancy.
+//!
+//! The models sit on the per-symbol hot path of every range-coded stream, so
+//! the Fenwick operations are fused: one descending traversal yields both
+//! `cum(sym)` and `freq(sym)` (instead of three prefix-sum walks), the
+//! decoder's lower-bound search carries `cum` out of the descent for free,
+//! and `rescale` rebuilds the tree in place without allocating. The coded
+//! bytes are identical to the naive formulation — only the traversal count
+//! changes (see `DESIGN.md` §10).
 
 use crate::error::CodecError;
 use crate::range::{RangeDecoder, RangeEncoder};
@@ -15,6 +23,163 @@ const INCREMENT: u64 = 32;
 /// Rescale threshold; keeps totals far below `range::MAX_TOTAL` while letting
 /// the model adapt to local statistics.
 const MAX_TOTAL: u64 = 1 << 16;
+
+// ---- Fenwick kernel ------------------------------------------------------
+//
+// Free functions over a raw tree slice (1-indexed, slot 0 unused, alphabet
+// size `tree.len() - 1`) so the owned [`AdaptiveModel`] and the arena-backed
+// [`ContextModel`] share one implementation.
+
+/// Reset `tree` to the all-ones frequency state in place: the node at `i`
+/// covers `lowbit(i)` symbols of frequency 1, so it holds exactly `lowbit(i)`.
+#[inline]
+fn fw_init_uniform(tree: &mut [u64]) {
+    for (i, node) in tree.iter_mut().enumerate() {
+        *node = (i & i.wrapping_neg()) as u64;
+    }
+}
+
+/// Add `delta` to `sym`'s frequency (ascending update chain).
+#[inline]
+fn fw_add(tree: &mut [u64], sym: usize, delta: u64) {
+    let n = tree.len() - 1;
+    let mut i = sym + 1;
+    while i <= n {
+        tree[i] += delta;
+        i += i & i.wrapping_neg();
+    }
+}
+
+/// Fused `(cum, freq)` of `sym` in a single descending traversal.
+///
+/// Uses `freq(sym) = tree[pos] - (cum(pos - 1) - cum(pos - lowbit(pos)))`
+/// with `pos = sym + 1`: the chain of `pos - 1` passes through
+/// `pos - lowbit(pos)`, so one walk serves both the frequency correction and
+/// the cumulative sum.
+#[inline]
+fn fw_cum_freq(tree: &[u64], sym: usize) -> (u64, u64) {
+    let pos = sym + 1;
+    let mut freq = tree[pos];
+    let stop = pos - (pos & pos.wrapping_neg());
+    let mut cum = 0u64;
+    let mut i = sym; // == pos - 1
+    while i > stop {
+        freq -= tree[i];
+        cum += tree[i];
+        i &= i - 1; // i -= lowbit(i)
+    }
+    while i > 0 {
+        cum += tree[i];
+        i &= i - 1;
+    }
+    (cum, freq)
+}
+
+/// Frequency of `sym` alone (short descending chain from `sym + 1`).
+#[inline]
+fn fw_freq(tree: &[u64], sym: usize) -> u64 {
+    let pos = sym + 1;
+    let mut freq = tree[pos];
+    let stop = pos - (pos & pos.wrapping_neg());
+    let mut i = pos - 1;
+    while i > stop {
+        freq -= tree[i];
+        i &= i - 1;
+    }
+    freq
+}
+
+/// Fenwick lower-bound search: the largest `sym` with `cum(sym) <= slot`,
+/// returned together with that `cum` (carried out of the descent for free).
+///
+/// With every frequency `>= 1` and `slot < total` the result is always a
+/// valid symbol; `sym == alphabet` signals a broken invariant (an
+/// out-of-range slot) and must be surfaced by the caller, never clamped.
+#[inline]
+fn fw_find(tree: &[u64], slot: u64) -> (usize, u64) {
+    let n = tree.len() - 1;
+    let mut idx = 0usize;
+    let mut rem = slot;
+    let mut mask = n.next_power_of_two();
+    while mask > 0 {
+        let next = idx + mask;
+        if next <= n && tree[next] <= rem {
+            rem -= tree[next];
+            idx = next;
+        }
+        mask >>= 1;
+    }
+    (idx, slot - rem)
+}
+
+/// Halve all frequencies in place (keeping them `>= 1`) and return the new
+/// total. Allocation-free: the tree is unfolded to plain frequencies
+/// (descending, so lower nodes are still in Fenwick form when read), halved,
+/// and refolded (ascending).
+fn fw_rescale(tree: &mut [u64]) -> u64 {
+    let n = tree.len() - 1;
+    for i in (1..=n).rev() {
+        let lb = i & i.wrapping_neg();
+        if lb > 1 {
+            let stop = i - lb;
+            let mut j = i - 1;
+            while j > stop {
+                tree[i] -= tree[j];
+                j &= j - 1;
+            }
+        }
+    }
+    let mut total = 0u64;
+    for f in tree[1..].iter_mut() {
+        *f = (*f).div_ceil(2).max(1);
+        total += *f;
+    }
+    for i in 1..=n {
+        let j = i + (i & i.wrapping_neg());
+        if j <= n {
+            tree[j] += tree[i];
+        }
+    }
+    total
+}
+
+/// Encode one symbol against `(tree, total)` and adapt; returns the new total.
+#[inline]
+fn fw_encode_step(tree: &mut [u64], total: u64, enc: &mut RangeEncoder, sym: usize) -> u64 {
+    let (cum, freq) = fw_cum_freq(tree, sym);
+    enc.encode(cum, freq, total);
+    fw_add(tree, sym, INCREMENT);
+    let total = total + INCREMENT;
+    if total >= MAX_TOTAL {
+        fw_rescale(tree)
+    } else {
+        total
+    }
+}
+
+/// Decode one symbol against `(tree, total)` and adapt; returns
+/// `(sym, new_total)`.
+#[inline]
+fn fw_decode_step(
+    tree: &mut [u64],
+    total: u64,
+    dec: &mut RangeDecoder<'_>,
+) -> Result<(usize, u64), CodecError> {
+    let n = tree.len() - 1;
+    let slot = dec.decode_freq(total)?;
+    let (sym, cum) = fw_find(tree, slot);
+    if sym >= n {
+        // The Fenwick search ran off the end of the alphabet: an
+        // out-of-range slot that must surface, not decode the last symbol.
+        return Err(CodecError::SymbolOutOfRange { symbol: sym, alphabet: n });
+    }
+    let freq = fw_freq(tree, sym);
+    dec.decode(cum, freq, total);
+    fw_add(tree, sym, INCREMENT);
+    let total = total + INCREMENT;
+    let total = if total >= MAX_TOTAL { fw_rescale(tree) } else { total };
+    Ok((sym, total))
+}
 
 /// An adaptive order-0 symbol model.
 #[derive(Debug, Clone)]
@@ -29,11 +194,9 @@ impl AdaptiveModel {
     /// Model over `alphabet` symbols, all starting with frequency 1.
     pub fn new(alphabet: usize) -> Self {
         assert!(alphabet > 0, "alphabet must be non-empty");
-        let mut m = AdaptiveModel { tree: vec![0; alphabet + 1], n: alphabet, total: 0 };
-        for s in 0..alphabet {
-            m.add(s, 1);
-        }
-        m
+        let mut tree = vec![0; alphabet + 1];
+        fw_init_uniform(&mut tree);
+        AdaptiveModel { tree, n: alphabet, total: alphabet as u64 }
     }
 
     /// Alphabet size this model was built for.
@@ -41,116 +204,114 @@ impl AdaptiveModel {
         self.n
     }
 
+    /// Reset to the fresh all-ones state without reallocating, so hot loops
+    /// can recycle one model across independent streams.
+    pub fn reset(&mut self) {
+        fw_init_uniform(&mut self.tree);
+        self.total = self.n as u64;
+    }
+
+    #[cfg(test)]
     fn add(&mut self, sym: usize, delta: u64) {
-        let mut i = sym + 1;
-        while i <= self.n {
-            self.tree[i] += delta;
-            i += i & i.wrapping_neg();
-        }
+        fw_add(&mut self.tree, sym, delta);
         self.total += delta;
     }
 
     /// Cumulative frequency of symbols `< sym`.
+    #[cfg(test)]
     fn cum(&self, sym: usize) -> u64 {
         let mut i = sym;
         let mut s = 0;
         while i > 0 {
             s += self.tree[i];
-            i -= i & i.wrapping_neg();
+            i &= i - 1;
         }
         s
     }
 
+    #[cfg(test)]
     fn freq(&self, sym: usize) -> u64 {
-        self.cum(sym + 1) - self.cum(sym)
-    }
-
-    /// Find the symbol whose `[cum, cum + freq)` interval contains `slot`.
-    fn find(&self, slot: u64) -> usize {
-        let mut idx = 0usize;
-        let mut rem = slot;
-        let mut mask = self.n.next_power_of_two();
-        while mask > 0 {
-            let next = idx + mask;
-            if next <= self.n && self.tree[next] <= rem {
-                rem -= self.tree[next];
-                idx = next;
-            }
-            mask >>= 1;
-        }
-        idx.min(self.n - 1)
-    }
-
-    fn update(&mut self, sym: usize) {
-        self.add(sym, INCREMENT);
-        if self.total >= MAX_TOTAL {
-            self.rescale();
-        }
-    }
-
-    /// Halve all frequencies (keeping them >= 1) and rebuild the tree.
-    fn rescale(&mut self) {
-        let freqs: Vec<u64> = (0..self.n).map(|s| self.freq(s).div_ceil(2)).collect();
-        self.tree.iter_mut().for_each(|v| *v = 0);
-        self.total = 0;
-        for (s, f) in freqs.into_iter().enumerate() {
-            self.add(s, f.max(1));
-        }
+        fw_freq(&self.tree, sym)
     }
 
     /// Encode `sym` and adapt.
     pub fn encode(&mut self, enc: &mut RangeEncoder, sym: usize) {
         assert!(sym < self.n, "symbol {sym} outside alphabet of {}", self.n);
-        enc.encode(self.cum(sym), self.freq(sym), self.total);
-        self.update(sym);
+        self.total = fw_encode_step(&mut self.tree, self.total, enc, sym);
     }
 
     /// Decode one symbol and adapt (mirror of [`AdaptiveModel::encode`]).
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<usize, CodecError> {
-        let slot = dec.decode_freq(self.total)?;
-        let sym = self.find(slot);
-        if sym >= self.n {
-            return Err(CodecError::SymbolOutOfRange { symbol: sym, alphabet: self.n });
-        }
-        dec.decode(self.cum(sym), self.freq(sym), self.total);
-        self.update(sym);
+        let (sym, total) = fw_decode_step(&mut self.tree, self.total, dec)?;
+        self.total = total;
         Ok(sym)
     }
 }
 
 /// A family of independent adaptive models selected by an integer context.
 ///
-/// Models are created lazily, so sparse context spaces (e.g. 256 parent
-/// occupancy codes of which a scene uses a few dozen) cost only what they use.
+/// Backed by one flat arena of pre-sized frequency tables (`contexts ×
+/// (alphabet + 1)` slots) instead of per-context heap boxes: selecting a
+/// context is pointer arithmetic, tables of neighbouring contexts share cache
+/// lines, and the whole family is freed in one deallocation. A context's
+/// table is initialized on first use (`totals[ctx] == 0` marks untouched), so
+/// sparse context spaces (e.g. 256 parent occupancy codes of which a scene
+/// uses a few dozen) pay only one zeroed allocation up front.
 #[derive(Debug, Clone)]
 pub struct ContextModel {
-    models: Vec<Option<AdaptiveModel>>,
+    /// Flat arena: context `c` owns `arena[c * stride .. (c + 1) * stride]`.
+    arena: Vec<u64>,
+    /// Per-context totals; 0 marks a context whose table is untouched.
+    totals: Vec<u64>,
     alphabet: usize,
+    stride: usize,
 }
 
 impl ContextModel {
-    /// A family of `contexts` lazily-created models over `alphabet` symbols.
+    /// A family of `contexts` lazily-initialized models over `alphabet`
+    /// symbols.
     pub fn new(contexts: usize, alphabet: usize) -> Self {
-        ContextModel { models: vec![None; contexts], alphabet }
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        let stride = alphabet + 1;
+        ContextModel {
+            arena: vec![0; contexts * stride],
+            totals: vec![0; contexts],
+            alphabet,
+            stride,
+        }
     }
 
     /// Number of context slots.
     pub fn contexts(&self) -> usize {
-        self.models.len()
+        self.totals.len()
     }
 
-    fn model(&mut self, ctx: usize) -> &mut AdaptiveModel {
-        self.models[ctx].get_or_insert_with(|| AdaptiveModel::new(self.alphabet))
+    /// The context's tree slice and total, initializing the table on first
+    /// use.
+    #[inline]
+    fn slot(&mut self, ctx: usize) -> (&mut [u64], &mut u64) {
+        let tree = &mut self.arena[ctx * self.stride..][..self.stride];
+        let total = &mut self.totals[ctx];
+        if *total == 0 {
+            fw_init_uniform(tree);
+            *total = self.alphabet as u64;
+        }
+        (tree, total)
     }
 
     /// Encode `sym` under context `ctx` and adapt that context's model.
     pub fn encode(&mut self, enc: &mut RangeEncoder, ctx: usize, sym: usize) {
-        self.model(ctx).encode(enc, sym);
+        assert!(sym < self.alphabet, "symbol {sym} outside alphabet of {}", self.alphabet);
+        let (tree, total) = self.slot(ctx);
+        *total = fw_encode_step(tree, *total, enc, sym);
     }
 
     /// Decode one symbol under context `ctx` (mirror of `encode`).
     pub fn decode(&mut self, dec: &mut RangeDecoder<'_>, ctx: usize) -> Result<usize, CodecError> {
-        self.model(ctx).decode(dec)
+        let (tree, total) = self.slot(ctx);
+        let (sym, new_total) = fw_decode_step(tree, *total, dec)?;
+        *total = new_total;
+        Ok(sym)
     }
 }
 
@@ -170,8 +331,41 @@ mod tests {
         for s in 0..10 {
             let c = m.cum(s);
             let f = m.freq(s);
-            assert_eq!(m.find(c), s);
-            assert_eq!(m.find(c + f - 1), s);
+            assert_eq!(fw_cum_freq(&m.tree, s), (c, f), "fused query disagrees at {s}");
+            assert_eq!(fw_find(&m.tree, c), (s, c));
+            assert_eq!(fw_find(&m.tree, c + f - 1), (s, c));
+        }
+    }
+
+    #[test]
+    fn find_past_total_is_out_of_range_not_clamped() {
+        let m = AdaptiveModel::new(4);
+        // A slot at or past the total lands on the one-past-the-end index;
+        // decode surfaces this as SymbolOutOfRange instead of clamping.
+        let (sym, cum) = fw_find(&m.tree, m.total);
+        assert_eq!((sym, cum), (4, 4));
+        let (sym, _) = fw_find(&m.tree, m.total + 100);
+        assert_eq!(sym, 4);
+    }
+
+    #[test]
+    fn rescale_in_place_matches_reference() {
+        // Drive several models across many rescales and check the invariants
+        // the old allocation-based rescale guaranteed: freq' = ceil(freq/2)
+        // clamped to >= 1, and total = sum of frequencies.
+        let mut m = AdaptiveModel::new(9);
+        for i in 0..10_000u64 {
+            let before: Vec<u64> = (0..9).map(|s| m.freq(s)).collect();
+            let will_rescale = m.total + INCREMENT >= MAX_TOTAL;
+            let mut enc = RangeEncoder::new();
+            m.encode(&mut enc, (i % 9) as usize);
+            if will_rescale {
+                for (s, &f) in before.iter().enumerate() {
+                    let f = if s == (i % 9) as usize { f + INCREMENT } else { f };
+                    assert_eq!(m.freq(s), f.div_ceil(2).max(1), "sym {s} after rescale");
+                }
+            }
+            assert_eq!(m.total, (0..9).map(|s| m.freq(s)).sum::<u64>());
         }
     }
 
@@ -206,6 +400,26 @@ mod tests {
         for &s in &syms {
             assert_eq!(dm.decode(&mut dec).unwrap(), s);
         }
+    }
+
+    #[test]
+    fn reset_matches_fresh_model() {
+        let syms: Vec<usize> = (0..5000).map(|i| i % 7).collect();
+        let mut reused = AdaptiveModel::new(7);
+        // Dirty the model (including across a rescale), then reset.
+        let mut warmup = RangeEncoder::new();
+        for &s in &syms {
+            reused.encode(&mut warmup, s);
+        }
+        reused.reset();
+        let mut enc_fresh = RangeEncoder::new();
+        let mut enc_reused = RangeEncoder::new();
+        let mut fresh = AdaptiveModel::new(7);
+        for &s in &syms {
+            fresh.encode(&mut enc_fresh, s);
+            reused.encode(&mut enc_reused, s);
+        }
+        assert_eq!(enc_fresh.finish(), enc_reused.finish(), "reset model must be byte-identical");
     }
 
     #[test]
@@ -257,10 +471,35 @@ mod tests {
     }
 
     #[test]
+    fn context_model_matches_independent_adaptive_models() {
+        // The arena-backed family must code exactly like a bank of
+        // independent AdaptiveModels.
+        let stream: Vec<(usize, usize)> =
+            (0..9000).map(|i| ((i * 7) % 5, (i * i + 3 * i) % 11)).collect();
+        let mut cm = ContextModel::new(5, 11);
+        let mut enc_cm = RangeEncoder::new();
+        let mut bank: Vec<AdaptiveModel> = (0..5).map(|_| AdaptiveModel::new(11)).collect();
+        let mut enc_bank = RangeEncoder::new();
+        for &(ctx, sym) in &stream {
+            cm.encode(&mut enc_cm, ctx, sym);
+            bank[ctx].encode(&mut enc_bank, sym);
+        }
+        assert_eq!(enc_cm.finish(), enc_bank.finish());
+    }
+
+    #[test]
     #[should_panic]
     fn encode_out_of_alphabet_panics() {
         let mut m = AdaptiveModel::new(4);
         let mut enc = RangeEncoder::new();
         m.encode(&mut enc, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn context_encode_out_of_alphabet_panics() {
+        let mut m = ContextModel::new(2, 4);
+        let mut enc = RangeEncoder::new();
+        m.encode(&mut enc, 0, 4);
     }
 }

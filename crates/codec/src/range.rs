@@ -22,6 +22,21 @@ const BOT: u64 = 1 << 48;
 /// Maximum allowed model total.
 pub const MAX_TOTAL: u64 = 1 << 32;
 
+/// `range / total`, as a shift when `total` is a power of two.
+///
+/// Exact unsigned division either way, so the coded bytes cannot differ from
+/// the plain `/` formulation — this only removes the hardware divide on the
+/// raw-bits path (`encode_bits`/`decode_bits`, where `total` is always a
+/// power of two) and on fresh byte models (`total` starts at 256).
+#[inline]
+fn div_total(range: u64, total: u64) -> u64 {
+    if total.is_power_of_two() {
+        range >> total.trailing_zeros()
+    } else {
+        range / total
+    }
+}
+
 /// Range encoder writing to an internal buffer.
 #[derive(Debug)]
 pub struct RangeEncoder {
@@ -39,14 +54,22 @@ impl Default for RangeEncoder {
 impl RangeEncoder {
     /// A fresh encoder over the full interval.
     pub fn new() -> Self {
-        RangeEncoder { low: 0, range: u64::MAX, out: Vec::new() }
+        Self::with_buf(Vec::new())
+    }
+
+    /// A fresh encoder writing into `buf` (cleared, capacity kept), so hot
+    /// loops can recycle one output allocation across frames: take the buffer
+    /// back with [`RangeEncoder::finish`].
+    pub fn with_buf(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        RangeEncoder { low: 0, range: u64::MAX, out: buf }
     }
 
     /// Encode a symbol occupying `[cum, cum + freq)` out of `total`.
     pub fn encode(&mut self, cum: u64, freq: u64, total: u64) {
         debug_assert!(freq > 0, "cannot encode zero-frequency symbol");
         debug_assert!(cum + freq <= total && total <= MAX_TOTAL);
-        let r = self.range / total;
+        let r = div_total(self.range, total);
         self.low += r * cum;
         self.range = if cum + freq == total {
             // Give the last symbol the division remainder to avoid wasting
@@ -126,13 +149,29 @@ pub struct RangeDecoder<'a> {
     buf: &'a [u8],
     pos: usize,
     truncated: bool,
+    /// `total` of the last [`RangeDecoder::decode_freq`]; 0 when no cached
+    /// quotient is live.
+    pair_total: u64,
+    /// The `range / total` quotient from that call. `range` cannot change
+    /// between `decode_freq` and the paired `decode` (only `decode` narrows
+    /// it, and it invalidates the cache), so reusing the quotient is exact —
+    /// it skips the second hardware divide per symbol, nothing else.
+    pair_r: u64,
 }
 
 impl<'a> RangeDecoder<'a> {
     /// Start decoding from `buf` (reads the initial 8-byte window).
     pub fn new(buf: &'a [u8]) -> Self {
-        let mut d =
-            RangeDecoder { low: 0, range: u64::MAX, code: 0, buf, pos: 0, truncated: false };
+        let mut d = RangeDecoder {
+            low: 0,
+            range: u64::MAX,
+            code: 0,
+            buf,
+            pos: 0,
+            truncated: false,
+            pair_total: 0,
+            pair_r: 0,
+        };
         for _ in 0..8 {
             d.code = (d.code << 8) | d.next_byte();
         }
@@ -165,19 +204,34 @@ impl<'a> RangeDecoder<'a> {
     /// [`RangeDecoder::decode`] with that symbol's `(cum, freq)`.
     ///
     /// Fails with [`CodecError::UnexpectedEof`] if the input ran out before
-    /// this symbol (the encoder's flush guarantees valid streams never do).
+    /// this symbol (the encoder's flush guarantees valid streams never do),
+    /// or with [`CodecError::CorruptStream`] if the coded value fell outside
+    /// the current interval — a state no valid stream can reach (the encoder
+    /// only ever narrows the interval around the value it emits), so it
+    /// identifies a tampered stream before the slot is even mapped to a
+    /// symbol.
     pub fn decode_freq(&mut self, total: u64) -> Result<u64, CodecError> {
         debug_assert!(total <= MAX_TOTAL);
         if self.truncated {
             return Err(CodecError::UnexpectedEof);
         }
-        let r = self.range / total;
-        Ok(((self.code.wrapping_sub(self.low)) / r).min(total - 1))
+        let off = self.code.wrapping_sub(self.low);
+        if off >= self.range {
+            return Err(CodecError::CorruptStream("range-coded value outside current interval"));
+        }
+        let r = div_total(self.range, total);
+        self.pair_total = total;
+        self.pair_r = r;
+        // The clamp is load-bearing on VALID streams: when `range % total`
+        // is nonzero the last symbol also owns the remainder slice, where
+        // `off / r` computes to `total`.
+        Ok((off / r).min(total - 1))
     }
 
     /// Consume the symbol occupying `[cum, cum + freq)` out of `total`.
     pub fn decode(&mut self, cum: u64, freq: u64, total: u64) {
-        let r = self.range / total;
+        let r = if self.pair_total == total { self.pair_r } else { div_total(self.range, total) };
+        self.pair_total = 0;
         self.low += r * cum;
         self.range = if cum + freq == total { self.range - r * cum } else { r * freq };
         self.normalize();
@@ -368,6 +422,36 @@ mod tests {
         let mut dec = RangeDecoder::new(&[]);
         assert!(dec.is_truncated());
         assert!(matches!(model.decode(&mut dec), Err(CodecError::UnexpectedEof)));
+    }
+
+    #[test]
+    fn code_outside_interval_is_corrupt_not_clamped() {
+        // Eight 0xFF bytes put the initial coded value at u64::MAX, one past
+        // the largest value any valid stream can flush (the final `low` is
+        // strictly below `low₀ + range₀ = u64::MAX`). The decoder must
+        // surface this as CorruptStream on the first symbol, not fold it
+        // into the last slot.
+        let hostile = [0xFFu8; 16];
+        let mut model = crate::model::AdaptiveModel::new(256);
+        let mut dec = RangeDecoder::new(&hostile);
+        assert!(matches!(model.decode(&mut dec), Err(CodecError::CorruptStream(_))));
+    }
+
+    #[test]
+    fn with_buf_reuse_is_byte_identical() {
+        let data: Vec<u8> = (0..4000).map(|i| ((i * 31) % 17) as u8).collect();
+        let fresh = rc_compress_bytes(&data);
+        // Same stream through an encoder recycling a dirty buffer.
+        let mut buf = vec![0xAA; 1024];
+        for _ in 0..2 {
+            let mut model = crate::model::AdaptiveModel::new(256);
+            let mut enc = RangeEncoder::with_buf(buf);
+            for &b in &data {
+                model.encode(&mut enc, b as usize);
+            }
+            buf = enc.finish();
+            assert_eq!(buf, fresh);
+        }
     }
 
     #[test]

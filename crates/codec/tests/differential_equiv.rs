@@ -1,0 +1,321 @@
+//! Differential equivalence: the fused-Fenwick hot-path kernels must be
+//! bit-for-bit interchangeable with the straightforward implementations they
+//! replaced.
+//!
+//! The `reference` module below is a deliberately naive transliteration of
+//! the pre-optimization coder: three separate Fenwick traversals per symbol
+//! (`cum`, `freq`, `find`), an allocate-and-rebuild `rescale`, a plain
+//! division per `encode`/`decode` call, and a `ContextModel` that banks whole
+//! `AdaptiveModel`s. Property tests drive both implementations with the same
+//! random symbol streams and assert identical bytes out of the encoders and
+//! identical symbols out of the decoders — including streams long enough to
+//! cross the `MAX_TOTAL` rescale boundary several times.
+
+use dbgc_codec::{AdaptiveModel, ContextModel, RangeDecoder, RangeEncoder};
+use proptest::prelude::*;
+
+/// Naive reference implementations (see module docs). Kept self-contained so
+/// future kernel changes cannot silently "optimize" the oracle too.
+mod reference {
+    const INCREMENT: u64 = 32;
+    const MAX_TOTAL: u64 = 1 << 16;
+    const TOP: u64 = 1 << 56;
+    const BOT: u64 = 1 << 48;
+
+    pub struct RefEncoder {
+        low: u64,
+        range: u64,
+        out: Vec<u8>,
+    }
+
+    impl RefEncoder {
+        pub fn new() -> Self {
+            RefEncoder { low: 0, range: u64::MAX, out: Vec::new() }
+        }
+
+        pub fn encode(&mut self, cum: u64, freq: u64, total: u64) {
+            let r = self.range / total;
+            self.low += r * cum;
+            self.range = if cum + freq == total { self.range - r * cum } else { r * freq };
+            loop {
+                if (self.low ^ (self.low.wrapping_add(self.range))) < TOP {
+                } else if self.range < BOT {
+                    self.range = self.low.wrapping_neg() & (BOT - 1);
+                } else {
+                    break;
+                }
+                self.out.push((self.low >> 56) as u8);
+                self.low <<= 8;
+                self.range <<= 8;
+            }
+        }
+
+        pub fn finish(mut self) -> Vec<u8> {
+            for _ in 0..8 {
+                self.out.push((self.low >> 56) as u8);
+                self.low <<= 8;
+            }
+            self.out
+        }
+    }
+
+    pub struct RefDecoder<'a> {
+        low: u64,
+        range: u64,
+        code: u64,
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> RefDecoder<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            let mut d = RefDecoder { low: 0, range: u64::MAX, code: 0, buf, pos: 0 };
+            for _ in 0..8 {
+                d.code = (d.code << 8) | d.next_byte();
+            }
+            d
+        }
+
+        fn next_byte(&mut self) -> u64 {
+            let b = self.buf.get(self.pos).copied().unwrap_or(0);
+            self.pos += 1;
+            b as u64
+        }
+
+        pub fn decode_freq(&mut self, total: u64) -> u64 {
+            let r = self.range / total;
+            (self.code.wrapping_sub(self.low) / r).min(total - 1)
+        }
+
+        pub fn decode(&mut self, cum: u64, freq: u64, total: u64) {
+            let r = self.range / total;
+            self.low += r * cum;
+            self.range = if cum + freq == total { self.range - r * cum } else { r * freq };
+            loop {
+                if (self.low ^ (self.low.wrapping_add(self.range))) < TOP {
+                } else if self.range < BOT {
+                    self.range = self.low.wrapping_neg() & (BOT - 1);
+                } else {
+                    break;
+                }
+                self.code = (self.code << 8) | self.next_byte();
+                self.low <<= 8;
+                self.range <<= 8;
+            }
+        }
+    }
+
+    /// Order-0 adaptive model with one Fenwick traversal per query.
+    pub struct RefModel {
+        tree: Vec<u64>,
+        n: usize,
+        total: u64,
+    }
+
+    impl RefModel {
+        pub fn new(alphabet: usize) -> Self {
+            let mut m = RefModel { tree: vec![0; alphabet + 1], n: alphabet, total: 0 };
+            for s in 0..alphabet {
+                m.add(s, 1);
+            }
+            m
+        }
+
+        fn add(&mut self, sym: usize, delta: u64) {
+            let mut i = sym + 1;
+            while i <= self.n {
+                self.tree[i] += delta;
+                i += i & i.wrapping_neg();
+            }
+            self.total += delta;
+        }
+
+        fn cum(&self, sym: usize) -> u64 {
+            let mut i = sym;
+            let mut s = 0;
+            while i > 0 {
+                s += self.tree[i];
+                i -= i & i.wrapping_neg();
+            }
+            s
+        }
+
+        fn freq(&self, sym: usize) -> u64 {
+            self.cum(sym + 1) - self.cum(sym)
+        }
+
+        fn find(&self, slot: u64) -> usize {
+            let mut idx = 0usize;
+            let mut rem = slot;
+            let mut mask = self.n.next_power_of_two();
+            while mask > 0 {
+                let next = idx + mask;
+                if next <= self.n && self.tree[next] <= rem {
+                    rem -= self.tree[next];
+                    idx = next;
+                }
+                mask >>= 1;
+            }
+            idx
+        }
+
+        fn update(&mut self, sym: usize) {
+            self.add(sym, INCREMENT);
+            if self.total >= MAX_TOTAL {
+                let freqs: Vec<u64> =
+                    (0..self.n).map(|s| self.freq(s).div_ceil(2).max(1)).collect();
+                self.tree.iter_mut().for_each(|v| *v = 0);
+                self.total = 0;
+                for (s, f) in freqs.into_iter().enumerate() {
+                    self.add(s, f);
+                }
+            }
+        }
+
+        pub fn encode(&mut self, enc: &mut RefEncoder, sym: usize) {
+            enc.encode(self.cum(sym), self.freq(sym), self.total);
+            self.update(sym);
+        }
+
+        pub fn decode(&mut self, dec: &mut RefDecoder<'_>) -> usize {
+            let slot = dec.decode_freq(self.total);
+            let sym = self.find(slot);
+            assert!(sym < self.n, "reference decode went out of range");
+            dec.decode(self.cum(sym), self.freq(sym), self.total);
+            self.update(sym);
+            sym
+        }
+    }
+
+    /// Context family as a bank of whole models (the pre-arena layout).
+    pub struct RefContextModel {
+        models: Vec<Option<RefModel>>,
+        alphabet: usize,
+    }
+
+    impl RefContextModel {
+        pub fn new(contexts: usize, alphabet: usize) -> Self {
+            let mut models = Vec::new();
+            models.resize_with(contexts, || None);
+            RefContextModel { models, alphabet }
+        }
+
+        fn model(&mut self, ctx: usize) -> &mut RefModel {
+            self.models[ctx].get_or_insert_with(|| RefModel::new(self.alphabet))
+        }
+
+        pub fn encode(&mut self, enc: &mut RefEncoder, ctx: usize, sym: usize) {
+            self.model(ctx).encode(enc, sym);
+        }
+
+        pub fn decode(&mut self, dec: &mut RefDecoder<'_>, ctx: usize) -> usize {
+            self.model(ctx).decode(dec)
+        }
+    }
+}
+
+/// Symbol streams biased toward skew (realistic for residual coding) with
+/// enough length available to cross rescale boundaries.
+fn arb_symbols(alphabet: usize, max_len: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(
+        (any::<u32>(), any::<bool>()).prop_map(move |(raw, skew)| {
+            let span = if skew { alphabet.div_ceil(4) } else { alphabet };
+            raw as usize % span.max(1)
+        }),
+        0..max_len,
+    )
+}
+
+fn encode_both(alphabet: usize, syms: &[usize]) -> (Vec<u8>, Vec<u8>) {
+    let mut opt_model = AdaptiveModel::new(alphabet);
+    let mut opt_enc = RangeEncoder::new();
+    let mut ref_model = reference::RefModel::new(alphabet);
+    let mut ref_enc = reference::RefEncoder::new();
+    for &s in syms {
+        opt_model.encode(&mut opt_enc, s);
+        ref_model.encode(&mut ref_enc, s);
+    }
+    (opt_enc.finish(), ref_enc.finish())
+}
+
+fn decode_both(alphabet: usize, bytes: &[u8], n: usize) -> (Vec<usize>, Vec<usize>) {
+    let mut opt_model = AdaptiveModel::new(alphabet);
+    let mut opt_dec = RangeDecoder::new(bytes);
+    let mut ref_model = reference::RefModel::new(alphabet);
+    let mut ref_dec = reference::RefDecoder::new(bytes);
+    let opt: Vec<usize> =
+        (0..n).map(|_| opt_model.decode(&mut opt_dec).expect("valid stream")).collect();
+    let re: Vec<usize> = (0..n).map(|_| ref_model.decode(&mut ref_dec)).collect();
+    (opt, re)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Adaptive model + range coder: same bytes, same symbols.
+    #[test]
+    fn adaptive_model_is_byte_equivalent(
+        alphabet in 1usize..48,
+        syms in arb_symbols(48, 800),
+    ) {
+        let syms: Vec<usize> = syms.into_iter().map(|s| s % alphabet).collect();
+        let (opt_bytes, ref_bytes) = encode_both(alphabet, &syms);
+        prop_assert_eq!(&opt_bytes, &ref_bytes, "encoder bytes diverge");
+        let (opt_syms, ref_syms) = decode_both(alphabet, &opt_bytes, syms.len());
+        prop_assert_eq!(&opt_syms, &syms, "optimized decode mismatch");
+        prop_assert_eq!(&ref_syms, &syms, "reference decode mismatch");
+    }
+
+    /// Long, narrow-alphabet streams cross the `MAX_TOTAL` rescale several
+    /// times (total grows by 32 per symbol, rescaling near 2048 symbols);
+    /// equivalence must hold through every in-place ceil-halve.
+    #[test]
+    fn rescale_boundaries_preserve_equivalence(
+        alphabet in 1usize..9,
+        syms in arb_symbols(8, 5000),
+        pad in 4200usize..5000,
+    ) {
+        // Guarantee length past two rescales regardless of the drawn vector.
+        let mut syms: Vec<usize> = syms.into_iter().map(|s| s % alphabet).collect();
+        let n = syms.len();
+        syms.extend((0..pad.saturating_sub(n)).map(|i| i % alphabet));
+        let (opt_bytes, ref_bytes) = encode_both(alphabet, &syms);
+        prop_assert_eq!(&opt_bytes, &ref_bytes, "bytes diverge across rescale");
+        let (opt_syms, ref_syms) = decode_both(alphabet, &opt_bytes, syms.len());
+        prop_assert_eq!(&opt_syms, &syms);
+        prop_assert_eq!(&ref_syms, &syms);
+    }
+
+    /// Arena-backed `ContextModel` vs a bank of whole models, interleaving
+    /// contexts within one stream.
+    #[test]
+    fn context_model_is_byte_equivalent(
+        contexts in 1usize..6,
+        alphabet in 1usize..17,
+        stream in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..1200),
+    ) {
+        let stream: Vec<(usize, usize)> = stream
+            .into_iter()
+            .map(|(c, s)| (c as usize % contexts, s as usize % alphabet))
+            .collect();
+        let mut opt_model = ContextModel::new(contexts, alphabet);
+        let mut opt_enc = RangeEncoder::new();
+        let mut ref_model = reference::RefContextModel::new(contexts, alphabet);
+        let mut ref_enc = reference::RefEncoder::new();
+        for &(c, s) in &stream {
+            opt_model.encode(&mut opt_enc, c, s);
+            ref_model.encode(&mut ref_enc, c, s);
+        }
+        let opt_bytes = opt_enc.finish();
+        prop_assert_eq!(&opt_bytes, &ref_enc.finish(), "context encoder bytes diverge");
+
+        let mut opt_model = ContextModel::new(contexts, alphabet);
+        let mut opt_dec = RangeDecoder::new(&opt_bytes);
+        let mut ref_model = reference::RefContextModel::new(contexts, alphabet);
+        let mut ref_dec = reference::RefDecoder::new(&opt_bytes);
+        for &(c, s) in &stream {
+            prop_assert_eq!(opt_model.decode(&mut opt_dec, c).expect("valid stream"), s);
+            prop_assert_eq!(ref_model.decode(&mut ref_dec, c), s);
+        }
+    }
+}

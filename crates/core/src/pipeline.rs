@@ -14,7 +14,7 @@ use crate::config::{ClusteringAlgorithm, DbgcConfig, SplitStrategy};
 use crate::outlier::encode_outliers;
 use crate::par;
 use crate::sparse::codec::{encode_group_to_buf, GroupCodecConfig, ScratchBuffers};
-use crate::sparse::organize::organize_sparse_points;
+use crate::sparse::organize::{organize_sparse_points_with, OrganizeScratch};
 use crate::stats::{CompressionStats, SectionSizes, TimingBreakdown};
 use crate::DbgcError;
 
@@ -33,11 +33,26 @@ type SpanOpt<'a> = Option<&'a dbgc_metrics::Span>;
 #[cfg(not(feature = "metrics"))]
 type SpanOpt<'a> = Option<&'a std::convert::Infallible>;
 
+/// Per-thread working memory for one group's ORG + SPA: codec scratch,
+/// organizer scratch, the gathered per-group coordinate arrays, and the
+/// quantized-line buffers (with a pool of spare line vectors recycled across
+/// groups). Purely an allocation cache — the encoded bytes are identical for
+/// any scratch state.
+#[derive(Debug, Default)]
+struct GroupScratch {
+    codec: ScratchBuffers,
+    org: OrganizeScratch,
+    g_sph: Vec<Spherical>,
+    g_cart: Vec<Point3>,
+    lines_q: Vec<Vec<[i64; 3]>>,
+    line_pool: Vec<Vec<[i64; 3]>>,
+}
+
 std::thread_local! {
-    /// Per-thread group-codec scratch: reused across groups and frames, both
-    /// on the calling thread (serial mode) and on pool workers.
-    static SCRATCH: std::cell::RefCell<ScratchBuffers> =
-        std::cell::RefCell::new(ScratchBuffers::default());
+    /// Per-thread group scratch: reused across groups and frames, both on
+    /// the calling thread (serial mode) and on pool workers.
+    static SCRATCH: std::cell::RefCell<GroupScratch> =
+        std::cell::RefCell::new(GroupScratch::default());
 }
 
 /// Stream magic and version.
@@ -342,15 +357,17 @@ impl Dbgc {
         group: &[u32],
         sparse_sph: &[Spherical],
         sparse_pts: &[Point3],
-        scratch: &mut ScratchBuffers,
+        scratch: &mut GroupScratch,
         span: SpanOpt,
     ) -> GroupResult {
         #[cfg(not(feature = "metrics"))]
         let _ = span;
         let cfg = &self.config;
-        let g_sph: Vec<Spherical> = group.iter().map(|&i| sparse_sph[i as usize]).collect();
-        let g_cart: Vec<Point3> = group.iter().map(|&i| sparse_pts[i as usize]).collect();
-        let r_max = g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
+        scratch.g_sph.clear();
+        scratch.g_sph.extend(group.iter().map(|&i| sparse_sph[i as usize]));
+        scratch.g_cart.clear();
+        scratch.g_cart.extend(group.iter().map(|&i| sparse_pts[i as usize]));
+        let r_max = scratch.g_sph.iter().map(|s| s.r).fold(0.0f64, f64::max);
 
         // ORG: Algorithm 1. The child span is created and finished on
         // whichever pool worker runs this group; it nests under the
@@ -358,12 +375,13 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let phase = span.map(|s| s.child("org"));
         let t = Instant::now();
-        let organized = organize_sparse_points(
-            &g_sph,
-            &g_cart,
+        let organized = organize_sparse_points_with(
+            &scratch.g_sph,
+            &scratch.g_cart,
             cfg.sensor.u_theta(),
             cfg.sensor.u_phi(),
             cfg.min_polyline_len,
+            &mut scratch.org,
         );
         let org = t.elapsed();
         #[cfg(feature = "metrics")]
@@ -373,11 +391,10 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let phase = span.map(|s| s.child("spa"));
         let t = Instant::now();
-        let (lines_q, codec_cfg) =
-            self.quantize_lines(&organized.polylines, &g_sph, &g_cart, r_max);
+        let codec_cfg = self.quantize_lines_into(&organized.polylines, r_max, scratch);
         let mut bytes = Vec::new();
         write_f64(&mut bytes, r_max);
-        encode_group_to_buf(&mut bytes, &lines_q, &codec_cfg, scratch);
+        encode_group_to_buf(&mut bytes, &scratch.lines_q, &codec_cfg, &mut scratch.codec);
         let spa = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(phase);
@@ -420,45 +437,49 @@ impl Dbgc {
     }
 
     /// Step 1 (coordinate scaling) for one group: quantize the polyline
-    /// points and derive the group codec configuration.
-    fn quantize_lines(
+    /// points into `scratch.lines_q` and derive the group codec
+    /// configuration. Line buffers are recycled through `scratch.line_pool`
+    /// so a warm scratch quantizes without allocating.
+    fn quantize_lines_into(
         &self,
         lines: &[Vec<u32>],
-        sph: &[Spherical],
-        cart: &[Point3],
         r_max: f64,
-    ) -> (Vec<Vec<[i64; 3]>>, GroupCodecConfig) {
+        scratch: &mut GroupScratch,
+    ) -> GroupCodecConfig {
         let cfg = &self.config;
+        let out = &mut scratch.lines_q;
+        let pool = &mut scratch.line_pool;
+        pool.extend(out.drain(..).map(|mut l| {
+            l.clear();
+            l
+        }));
         if cfg.spherical_conversion {
             let sq = SphericalQuant::from_error_bound(cfg.q_xyz, r_max);
-            let q_lines = lines
-                .iter()
-                .map(|line| line.iter().map(|&i| sq.quantize(sph[i as usize])).collect())
-                .collect();
-            let codec_cfg = GroupCodecConfig {
+            for line in lines {
+                let mut q = pool.pop().unwrap_or_default();
+                q.extend(line.iter().map(|&i| sq.quantize(scratch.g_sph[i as usize])));
+                out.push(q);
+            }
+            GroupCodecConfig {
                 radial: cfg.radial_optimized,
                 th_phi: (2.0 * cfg.sensor.u_phi() / sq.angle_step()).round() as i64,
                 th_r: (cfg.th_r / sq.r_step()).round() as i64,
-            };
-            (q_lines, codec_cfg)
+            }
         } else {
             let qp = QuantParams::cartesian(cfg.q_xyz);
-            let q_lines = lines
-                .iter()
-                .map(|line| {
-                    line.iter()
-                        .map(|&i| {
-                            let p = cart[i as usize];
-                            [
-                                quantize(p.x, qp.step[0]),
-                                quantize(p.y, qp.step[1]),
-                                quantize(p.z, qp.step[2]),
-                            ]
-                        })
-                        .collect()
-                })
-                .collect();
-            (q_lines, GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 })
+            for line in lines {
+                let mut q = pool.pop().unwrap_or_default();
+                q.extend(line.iter().map(|&i| {
+                    let p = scratch.g_cart[i as usize];
+                    [
+                        quantize(p.x, qp.step[0]),
+                        quantize(p.y, qp.step[1]),
+                        quantize(p.z, qp.step[2]),
+                    ]
+                }));
+                out.push(q);
+            }
+            GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 }
         }
     }
 }

@@ -40,12 +40,15 @@ pub struct GroupCodecConfig {
 /// two tail frames — plus the three radial streams) before entropy coding.
 /// Keeping the backing allocations in a scratch arena lets a frame loop — or
 /// a per-worker thread-local — pay for them once instead of once per group.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct ScratchBuffers {
     /// Sequence staging area; each frame is filled, compressed, then reused.
     seq: Vec<i64>,
     /// Radial-channel streams (`∇L_r` heads/tails and `L_ref`).
     radial: RadialStreams,
+    /// Integer-codec internals (varint staging, range-coder output buffer,
+    /// positional byte models).
+    intseq: intseq::IntseqScratch,
 }
 
 /// Fill `seq` with channel `c` of each line's head.
@@ -83,38 +86,40 @@ pub fn encode_group_to_buf(
 ) {
     debug_assert!(lines.iter().all(|l| !l.is_empty()), "no empty polylines");
 
+    let ScratchBuffers { seq, radial, intseq: iscr } = scratch;
+
     // Step 5: lengths.
-    scratch.seq.clear();
-    scratch.seq.extend(lines.iter().map(|l| l.len() as i64));
-    intseq::compress_ints_rc(out, &scratch.seq);
+    seq.clear();
+    seq.extend(lines.iter().map(|l| l.len() as i64));
+    intseq::compress_ints_rc_with(out, seq, iscr);
 
     // Steps 2-4 (head/tail split) + step 6: azimuthal channel via Deflate
     // (repeated cross-line patterns).
-    fill_heads(&mut scratch.seq, lines, 0);
-    dbgc_codec::delta_encode_in_place(&mut scratch.seq);
-    intseq::compress_ints_deflate(out, &scratch.seq);
-    fill_tail_deltas(&mut scratch.seq, lines, 0);
-    intseq::compress_ints_deflate(out, &scratch.seq);
+    fill_heads(seq, lines, 0);
+    dbgc_codec::delta_encode_in_place(seq);
+    intseq::compress_ints_deflate_with(out, seq, iscr);
+    fill_tail_deltas(seq, lines, 0);
+    intseq::compress_ints_deflate_with(out, seq, iscr);
 
     // Step 7: polar channel via arithmetic coding.
-    fill_heads(&mut scratch.seq, lines, 1);
-    dbgc_codec::delta_encode_in_place(&mut scratch.seq);
-    intseq::compress_ints_rc(out, &scratch.seq);
-    fill_tail_deltas(&mut scratch.seq, lines, 1);
-    intseq::compress_ints_rc(out, &scratch.seq);
+    fill_heads(seq, lines, 1);
+    dbgc_codec::delta_encode_in_place(seq);
+    intseq::compress_ints_rc_with(out, seq, iscr);
+    fill_tail_deltas(seq, lines, 1);
+    intseq::compress_ints_rc_with(out, seq, iscr);
 
     // Step 8: radial channel (head/tail residuals in separate frames).
     if cfg.radial {
-        encode_radial_into(lines, cfg.th_phi, cfg.th_r, &mut scratch.radial);
-        intseq::compress_ints_rc(out, &scratch.radial.head_nabla);
-        intseq::compress_ints_rc(out, &scratch.radial.tail_nabla);
-        intseq::compress_symbols_rc(out, &scratch.radial.refs, 4);
+        encode_radial_into(lines, cfg.th_phi, cfg.th_r, radial);
+        intseq::compress_ints_rc_with(out, &radial.head_nabla, iscr);
+        intseq::compress_ints_rc_with(out, &radial.tail_nabla, iscr);
+        intseq::compress_symbols_rc_with(out, &radial.refs, 4, iscr);
     } else {
-        fill_heads(&mut scratch.seq, lines, 2);
-        dbgc_codec::delta_encode_in_place(&mut scratch.seq);
-        intseq::compress_ints_rc(out, &scratch.seq);
-        fill_tail_deltas(&mut scratch.seq, lines, 2);
-        intseq::compress_ints_rc(out, &scratch.seq);
+        fill_heads(seq, lines, 2);
+        dbgc_codec::delta_encode_in_place(seq);
+        intseq::compress_ints_rc_with(out, seq, iscr);
+        fill_tail_deltas(seq, lines, 2);
+        intseq::compress_ints_rc_with(out, seq, iscr);
     }
 }
 

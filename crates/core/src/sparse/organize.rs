@@ -30,51 +30,103 @@ impl Organized {
     }
 }
 
-/// Angle-space grid for candidate queries.
-struct AngleGrid {
-    cells: FxHashMap<(i64, i64), Vec<u32>>,
-    u_theta: f64,
-    u_phi: f64,
+/// Reusable working memory for [`organize_sparse_points_with`].
+///
+/// Holds the SoA angle arrays, the dense candidate grid (CSR layout built by
+/// counting sort), the used-point bitmap, and the per-polyline extension
+/// staging buffers. Purely an allocation cache: results are identical for any
+/// scratch state.
+#[derive(Debug, Clone, Default)]
+pub struct OrganizeScratch {
+    /// SoA copy of the group's azimuthal angles — the extend loop touches θ
+    /// and φ of many candidates but never `r`, so splitting them out of the
+    /// 24-byte `Spherical` triples the useful bytes per cache line.
+    theta: Vec<f64>,
+    phi: Vec<f64>,
+    /// Dense grid, CSR: `cell_pts[cell_start[c]..cell_start[c + 1]]` lists
+    /// the points of cell `c` in ascending index order.
+    cell_start: Vec<u32>,
+    cell_pts: Vec<u32>,
+    /// Points already placed on a polyline.
+    used: Vec<bool>,
+    /// Rightward / leftward extension staging for the current polyline.
+    right: Vec<u32>,
+    left: Vec<u32>,
 }
 
-impl AngleGrid {
-    fn build(points: &[Spherical], u_theta: f64, u_phi: f64) -> AngleGrid {
-        let mut cells: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
-        for (i, s) in points.iter().enumerate() {
-            cells.entry(Self::cell(s.theta, s.phi, u_theta, u_phi)).or_default().push(i as u32);
-        }
-        AngleGrid { cells, u_theta, u_phi }
-    }
+/// Candidate index over the angle grid: a dense CSR grid when the angle span
+/// is reasonable (the common case — LiDAR angles are bounded), a hash grid
+/// for pathological spreads where a dense array would be mostly empty.
+enum GridKind {
+    Dense { w: i64, h: i64, tc_min: i64, pc_min: i64 },
+    Hash(FxHashMap<(i64, i64), Vec<u32>>),
+}
 
-    #[inline]
-    fn cell(theta: f64, phi: f64, u_theta: f64, u_phi: f64) -> (i64, i64) {
-        ((theta / u_theta).floor() as i64, (phi / u_phi).floor() as i64)
-    }
+#[inline]
+fn cell_coords(theta: f64, phi: f64, u_theta: f64, u_phi: f64) -> (i64, i64) {
+    ((theta / u_theta).floor() as i64, (phi / u_phi).floor() as i64)
+}
 
-    /// Visit unused candidate indices with θ in `(theta_lo, theta_hi)`
-    /// exclusive/inclusive handled by the caller's filter.
-    fn for_candidates(
-        &self,
-        theta_lo: f64,
-        theta_hi: f64,
-        phi_lo: f64,
-        phi_hi: f64,
-        mut f: impl FnMut(u32),
-    ) {
-        let tc_lo = (theta_lo / self.u_theta).floor() as i64;
-        let tc_hi = (theta_hi / self.u_theta).floor() as i64;
-        let pc_lo = (phi_lo / self.u_phi).floor() as i64;
-        let pc_hi = (phi_hi / self.u_phi).floor() as i64;
-        for tc in tc_lo..=tc_hi {
-            for pc in pc_lo..=pc_hi {
-                if let Some(v) = self.cells.get(&(tc, pc)) {
-                    for &i in v {
-                        f(i);
-                    }
-                }
-            }
-        }
+/// Build the candidate grid over the SoA angles in `scratch`.
+fn build_grid(scratch: &mut OrganizeScratch, u_theta: f64, u_phi: f64) -> GridKind {
+    let n = scratch.theta.len();
+    let (mut tc_min, mut tc_max) = (i64::MAX, i64::MIN);
+    let (mut pc_min, mut pc_max) = (i64::MAX, i64::MIN);
+    for i in 0..n {
+        let (tc, pc) = cell_coords(scratch.theta[i], scratch.phi[i], u_theta, u_phi);
+        tc_min = tc_min.min(tc);
+        tc_max = tc_max.max(tc);
+        pc_min = pc_min.min(pc);
+        pc_max = pc_max.max(pc);
     }
+    if n == 0 {
+        scratch.cell_start.clear();
+        scratch.cell_start.push(0);
+        scratch.cell_pts.clear();
+        return GridKind::Dense { w: 0, h: 0, tc_min: 0, pc_min: 0 };
+    }
+    // Memory bound for the dense grid: a few dozen cells per point covers
+    // every real scan pattern; beyond that the grid is mostly empty and the
+    // hash map is the better structure.
+    let cap = (n as i64).saturating_mul(64).saturating_add(4096).min(1 << 22);
+    let (w, h) = (tc_max - tc_min + 1, pc_max - pc_min + 1);
+    let cells = w.checked_mul(h).filter(|&c| c <= cap);
+    let Some(n_cells) = cells else {
+        let mut map: FxHashMap<(i64, i64), Vec<u32>> = FxHashMap::default();
+        for i in 0..n {
+            let key = cell_coords(scratch.theta[i], scratch.phi[i], u_theta, u_phi);
+            map.entry(key).or_default().push(i as u32);
+        }
+        return GridKind::Hash(map);
+    };
+    // Counting sort into CSR. Rows are φ so the 3–4 θ-adjacent cells each
+    // extend query touches per row are contiguous.
+    let n_cells = n_cells as usize;
+    let cell_id = |i: usize| -> usize {
+        let (tc, pc) = cell_coords(scratch.theta[i], scratch.phi[i], u_theta, u_phi);
+        ((pc - pc_min) * w + (tc - tc_min)) as usize
+    };
+    scratch.cell_start.clear();
+    scratch.cell_start.resize(n_cells + 1, 0);
+    for i in 0..n {
+        scratch.cell_start[cell_id(i) + 1] += 1;
+    }
+    for c in 1..=n_cells {
+        scratch.cell_start[c] += scratch.cell_start[c - 1];
+    }
+    scratch.cell_pts.clear();
+    scratch.cell_pts.resize(n, 0);
+    for i in 0..n {
+        let c = cell_id(i);
+        scratch.cell_pts[scratch.cell_start[c] as usize] = i as u32;
+        scratch.cell_start[c] += 1;
+    }
+    // The scatter shifted each start to its cell's end; shift back.
+    for c in (1..=n_cells).rev() {
+        scratch.cell_start[c] = scratch.cell_start[c - 1];
+    }
+    scratch.cell_start[0] = 0;
+    GridKind::Dense { w, h, tc_min, pc_min }
 }
 
 /// Run Algorithm 1 over a group of sparse points.
@@ -91,44 +143,103 @@ pub fn organize_sparse_points(
     u_phi: f64,
     min_len: usize,
 ) -> Organized {
+    organize_sparse_points_with(
+        spherical,
+        cartesian,
+        u_theta,
+        u_phi,
+        min_len,
+        &mut OrganizeScratch::default(),
+    )
+}
+
+/// [`organize_sparse_points`] with caller-owned [`OrganizeScratch`], so a
+/// group loop pays for the grid and staging allocations once. The result is
+/// identical for any scratch state.
+pub fn organize_sparse_points_with(
+    spherical: &[Spherical],
+    cartesian: &[Point3],
+    u_theta: f64,
+    u_phi: f64,
+    min_len: usize,
+    scratch: &mut OrganizeScratch,
+) -> Organized {
     assert_eq!(spherical.len(), cartesian.len());
     assert!(u_theta > 0.0 && u_phi > 0.0, "sample spacings must be positive");
     let n = spherical.len();
-    let grid = AngleGrid::build(spherical, u_theta, u_phi);
-    let mut used = vec![false; n];
+    scratch.theta.clear();
+    scratch.theta.extend(spherical.iter().map(|s| s.theta));
+    scratch.phi.clear();
+    scratch.phi.extend(spherical.iter().map(|s| s.phi));
+    let grid = build_grid(scratch, u_theta, u_phi);
+    let OrganizeScratch { theta, phi, cell_start, cell_pts, used, right, left } = scratch;
+    let (theta, phi) = (theta.as_slice(), phi.as_slice());
+    let (cell_start, cell_pts) = (cell_start.as_slice(), cell_pts.as_slice());
+    used.clear();
+    used.resize(n, false);
     let mut result = Organized::default();
+    let two_ut = 2.0 * u_theta;
 
     // Extend from `from` in direction `dir` (+1 right, -1 left); returns the
     // chosen next point, if any.
     let extend = |used: &[bool], from: u32, dir: f64, phi_lo: f64, phi_hi: f64| -> Option<u32> {
-        let sp = spherical[from as usize];
-        let (t_lo, t_hi) = if dir > 0.0 {
-            (sp.theta, sp.theta + 2.0 * u_theta)
-        } else {
-            (sp.theta - 2.0 * u_theta, sp.theta)
-        };
+        let s_theta = theta[from as usize];
+        let (t_lo, t_hi) =
+            if dir > 0.0 { (s_theta, s_theta + two_ut) } else { (s_theta - two_ut, s_theta) };
         let p = cartesian[from as usize];
-        let mut best: Option<(f64, u32)> = None;
-        grid.for_candidates(t_lo, t_hi, phi_lo, phi_hi, |cand| {
+        let mut best_d = f64::INFINITY;
+        let mut best_i = u32::MAX;
+        let mut visit = |cand: u32| {
             if used[cand as usize] || cand == from {
                 return;
             }
-            let cs = spherical[cand as usize];
             // Strict on the near side, inclusive on the far side.
-            let dt = (cs.theta - sp.theta) * dir;
-            if dt <= 0.0 || dt > 2.0 * u_theta {
+            let dt = (theta[cand as usize] - s_theta) * dir;
+            if dt <= 0.0 || dt > two_ut {
                 return;
             }
-            if cs.phi < phi_lo || cs.phi > phi_hi {
+            let cp = phi[cand as usize];
+            if cp < phi_lo || cp > phi_hi {
                 return;
             }
             let d = p.dist2(cartesian[cand as usize]);
-            // Deterministic tie-break on index.
-            if best.map_or(true, |(bd, bi)| d < bd || (d == bd && cand < bi)) {
-                best = Some((d, cand));
+            // Deterministic tie-break on index (which also makes the result
+            // independent of candidate visit order, so the dense and hash
+            // grids organize identically).
+            if d < best_d || (d == best_d && cand < best_i) {
+                best_d = d;
+                best_i = cand;
             }
-        });
-        best.map(|(_, i)| i)
+        };
+        let (tc_lo, tc_hi) = ((t_lo / u_theta).floor() as i64, (t_hi / u_theta).floor() as i64);
+        let (pc_lo, pc_hi) = ((phi_lo / u_phi).floor() as i64, (phi_hi / u_phi).floor() as i64);
+        match &grid {
+            GridKind::Dense { w, h, tc_min, pc_min } => {
+                let (tc_lo, tc_hi) = ((tc_lo - tc_min).max(0), (tc_hi - tc_min).min(w - 1));
+                let (pc_lo, pc_hi) = ((pc_lo - pc_min).max(0), (pc_hi - pc_min).min(h - 1));
+                for pc in pc_lo..=pc_hi {
+                    let row = pc * w;
+                    for tc in tc_lo..=tc_hi {
+                        let c = (row + tc) as usize;
+                        for &i in &cell_pts[cell_start[c] as usize..cell_start[c + 1] as usize] {
+                            visit(i);
+                        }
+                    }
+                }
+            }
+            GridKind::Hash(map) => {
+                for tc in tc_lo..=tc_hi {
+                    for pc in pc_lo..=pc_hi {
+                        if let Some(v) = map.get(&(tc, pc)) {
+                            for &i in v {
+                                visit(i);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        (best_i != u32::MAX).then_some(best_i)
     };
 
     for seed in 0..n as u32 {
@@ -136,33 +247,31 @@ pub fn organize_sparse_points(
             continue;
         }
         used[seed as usize] = true;
-        let sp = spherical[seed as usize];
-        let (phi_lo, phi_hi) = (sp.phi - u_phi, sp.phi + u_phi);
-        let mut line = vec![seed];
-        // Extend right.
+        let (phi_lo, phi_hi) = (phi[seed as usize] - u_phi, phi[seed as usize] + u_phi);
+        right.clear();
+        right.push(seed);
         let mut tail = seed;
-        while let Some(nx) = extend(&used, tail, 1.0, phi_lo, phi_hi) {
+        while let Some(nx) = extend(used, tail, 1.0, phi_lo, phi_hi) {
             used[nx as usize] = true;
-            line.push(nx);
+            right.push(nx);
             tail = nx;
         }
-        // Extend left (prepend).
+        left.clear();
         let mut head = seed;
-        let mut left = Vec::new();
-        while let Some(nx) = extend(&used, head, -1.0, phi_lo, phi_hi) {
+        while let Some(nx) = extend(used, head, -1.0, phi_lo, phi_hi) {
             used[nx as usize] = true;
             left.push(nx);
             head = nx;
         }
-        if !left.is_empty() {
-            left.reverse();
-            left.extend_from_slice(&line);
-            line = left;
-        }
-        if line.len() >= min_len {
+        let len = left.len() + right.len();
+        if len >= min_len {
+            let mut line = Vec::with_capacity(len);
+            line.extend(left.iter().rev());
+            line.extend_from_slice(right);
             result.polylines.push(line);
         } else {
-            result.outliers.extend(line);
+            result.outliers.extend(left.iter().rev());
+            result.outliers.extend_from_slice(right);
         }
     }
 
@@ -170,8 +279,8 @@ pub fn organize_sparse_points(
     // head index breaks exact angle ties, making the unstable sort a total
     // (and therefore deterministic) order.
     result.polylines.sort_unstable_by(|a, b| {
-        let (sa, sb) = (spherical[a[0] as usize], spherical[b[0] as usize]);
-        sa.phi.total_cmp(&sb.phi).then(sa.theta.total_cmp(&sb.theta)).then(a[0].cmp(&b[0]))
+        let (ha, hb) = (a[0] as usize, b[0] as usize);
+        phi[ha].total_cmp(&phi[hb]).then(theta[ha].total_cmp(&theta[hb])).then(a[0].cmp(&b[0]))
     });
     result
 }
@@ -273,6 +382,44 @@ mod tests {
     fn empty_input() {
         let org = organize_sparse_points(&[], &[], U_T, U_P, 3);
         assert!(org.polylines.is_empty() && org.outliers.is_empty());
+    }
+
+    /// Structural equality of two organizations.
+    fn assert_same(a: &Organized, b: &Organized) {
+        assert_eq!(a.polylines, b.polylines);
+        assert_eq!(a.outliers, b.outliers);
+    }
+
+    #[test]
+    fn reused_scratch_is_identical() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut scratch = OrganizeScratch::default();
+        for round in 0..4 {
+            let triples: Vec<(f64, f64, f64)> = (0..500 + round * 100)
+                .map(|_| {
+                    (rng.gen_range(-3.0..3.0), rng.gen_range(1.5..2.0), rng.gen_range(5.0..60.0))
+                })
+                .collect();
+            let (sph, cart) = points(&triples);
+            let fresh = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+            let reused = organize_sparse_points_with(&sph, &cart, U_T, U_P, 3, &mut scratch);
+            assert_same(&fresh, &reused);
+        }
+    }
+
+    #[test]
+    fn wide_angle_spread_falls_back_to_hash_grid() {
+        // A few points scattered over a huge θ range make a dense grid
+        // mostly empty, so the hash fallback kicks in; the organization must
+        // be the one the dense grid would produce (here: a run of three
+        // consecutive points plus two far outliers).
+        let mut triples = vec![(1e6 * U_T, 1.6, 10.0), (-1e6 * U_T, 1.6, 10.0)];
+        triples.extend((0..3).map(|i| (i as f64 * U_T, 1.6, 10.0)));
+        let (sph, cart) = points(&triples);
+        let org = organize_sparse_points(&sph, &cart, U_T, U_P, 3);
+        assert_eq!(org.polylines, vec![vec![2, 3, 4]]);
+        assert_eq!(org.outliers, vec![0, 1]);
     }
 
     #[test]

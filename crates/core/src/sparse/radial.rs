@@ -32,27 +32,111 @@ struct StarPoint {
 ///
 /// Reads `r` from channel 2 of earlier lines, which the decoder has already
 /// filled, so encoder and decoder build identical consensus lines.
-fn build_consensus(lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> Vec<StarPoint> {
+fn build_consensus_into(
+    star: &mut Vec<StarPoint>,
+    lines: &[Vec<[i64; 3]>],
+    li: usize,
+    th_phi: i64,
+) {
+    star.clear();
     let phi_head = lines[li][0][1];
-    let mut star: Vec<StarPoint> = Vec::new();
     for line in lines.iter().take(li) {
         if line.is_empty() || (line[0][1] - phi_head).abs() > th_phi {
             continue;
         }
-        let front_t = line[0][0];
-        let back_t = line[line.len() - 1][0];
-        let as_star = line.iter().map(|p| StarPoint { theta: p[0], r: p[2] });
-        match star.last() {
-            None => star.extend(as_star),
-            Some(last) if last.theta < front_t => star.extend(as_star),
-            _ => {
-                let lo = star.partition_point(|p| p.theta <= front_t);
-                let hi = star.partition_point(|p| p.theta < back_t).max(lo);
-                star.splice(lo..hi, as_star);
-            }
-        }
+        merge_line(star, line);
     }
     debug_assert!(star.windows(2).all(|w| w[0].theta <= w[1].theta), "l* stays sorted");
+}
+
+/// Merge one reference line into the consensus, replacing the span of `l*`
+/// its θ-range covers (the later line wins, per Algorithm 2).
+fn merge_line(star: &mut Vec<StarPoint>, line: &[[i64; 3]]) {
+    let front_t = line[0][0];
+    let back_t = line[line.len() - 1][0];
+    let as_star = line.iter().map(|p| StarPoint { theta: p[0], r: p[2] });
+    match star.last() {
+        None => star.extend(as_star),
+        Some(last) if last.theta < front_t => star.extend(as_star),
+        _ => {
+            let lo = star.partition_point(|p| p.theta <= front_t);
+            let hi = star.partition_point(|p| p.theta < back_t).max(lo);
+            star.splice(lo..hi, as_star);
+        }
+    }
+}
+
+/// Head-φ index enabling the windowed fast path of [`build_consensus_for`].
+///
+/// Returns the per-line head φ values when every line is non-empty and the
+/// heads are non-decreasing — both guaranteed by the organize stage, which
+/// drops short lines and sorts polylines by head (φ, θ). Under that ordering
+/// the Definition 3.4 predicate `|φ_head(j) − φ_head(li)| ≤ TH_φ` over
+/// `j < li` reduces to `φ_head(j) ≥ φ_head(li) − TH_φ`, which selects a
+/// contiguous suffix of the preceding lines: one binary search replaces the
+/// O(lines²) filter scan. Returns `None` (scan fallback) otherwise.
+fn sorted_heads(lines: &[Vec<[i64; 3]>]) -> Option<Vec<i64>> {
+    let mut heads = Vec::with_capacity(lines.len());
+    for line in lines {
+        heads.push(line.first()?[1]);
+    }
+    heads.windows(2).all(|w| w[0] <= w[1]).then_some(heads)
+}
+
+/// Incrementally maintained consensus shared by the encode and decode loops.
+///
+/// With sorted heads the window `[lo, li)` only ever gains line `li − 1` at
+/// the back, and its front `lo` is non-decreasing (the φ threshold grows with
+/// `li`). Algorithm 2's merge is a left fold over the window in index order,
+/// so a step that keeps the front can extend the previous consensus with a
+/// single [`merge_line`] instead of refolding the whole window; the fold is
+/// only rebuilt when `lo` advances (a scan-ring boundary). Every step
+/// reproduces the exact fold the quadratic scan performs, so `l*` — and the
+/// bitstream — is byte-identical.
+struct ConsensusBuilder {
+    star: Vec<StarPoint>,
+    heads: Option<Vec<i64>>,
+    win_lo: usize,
+}
+
+impl ConsensusBuilder {
+    fn new(lines: &[Vec<[i64; 3]>]) -> Self {
+        Self { star: Vec::new(), heads: sorted_heads(lines), win_lo: 0 }
+    }
+
+    /// Build `l*` for line `li`; must be called with `li = 0, 1, 2, …` in
+    /// order (both codec loops do). Decoded `r` values merged into the
+    /// retained consensus never change afterwards, so reuse is sound on the
+    /// decode side too.
+    fn advance(&mut self, lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> &[StarPoint] {
+        match self.heads.as_deref() {
+            Some(heads) => {
+                let lo = heads[..li].partition_point(|&p| p < heads[li] - th_phi);
+                if li > 0 && lo == self.win_lo {
+                    merge_line(&mut self.star, &lines[li - 1]);
+                } else {
+                    self.star.clear();
+                    for line in &lines[lo..li] {
+                        merge_line(&mut self.star, line);
+                    }
+                }
+                self.win_lo = lo;
+                debug_assert!(
+                    self.star.windows(2).all(|w| w[0].theta <= w[1].theta),
+                    "l* stays sorted"
+                );
+            }
+            None => build_consensus_into(&mut self.star, lines, li, th_phi),
+        }
+        &self.star
+    }
+}
+
+/// [`build_consensus_into`] with a fresh buffer (test convenience).
+#[cfg(test)]
+fn build_consensus(lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> Vec<StarPoint> {
+    let mut star = Vec::new();
+    build_consensus_into(&mut star, lines, li, th_phi);
     star
 }
 
@@ -60,9 +144,11 @@ fn build_consensus(lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> Vec<StarP
 enum RefChoice {
     /// Situations (1) and (2a): the reference is implied; no symbol recorded.
     Implied(i64),
-    /// Situation (2b): candidates `(symbol, r)`; the encoder picks the `r`
-    /// nearest to the coded value and records the symbol.
-    Recorded(Vec<(u8, i64)>),
+    /// Situation (2b): the first `len` entries of `cands` are the candidate
+    /// `(symbol, r)` pairs in symbol order; the encoder picks the `r` nearest
+    /// to the coded value and records the symbol. A fixed array — there are
+    /// at most four candidates, and this sits on the per-point hot path.
+    Recorded { cands: [(u8, i64); 4], len: usize },
 }
 
 /// Decide the reference for point `k` of line `li`, given the consensus line.
@@ -105,12 +191,15 @@ fn reference(
         return RefChoice::Implied(bl);
     }
     // Situation (2b).
-    let mut cands = vec![(0u8, bl), (1u8, ur)];
+    let mut cands = [(0u8, bl), (1u8, ur), (0, 0), (0, 0)];
+    let mut len = 2;
     if let Some(um) = um {
-        cands.push((2, um));
+        cands[len] = (2, um);
+        len += 1;
     }
-    cands.push((3, ul));
-    RefChoice::Recorded(cands)
+    cands[len] = (3, ul);
+    len += 1;
+    RefChoice::Recorded { cands, len }
 }
 
 /// Encoded radial channel: head and tail residuals are kept in separate
@@ -146,14 +235,15 @@ pub fn encode_radial_into(
     out.head_nabla.clear();
     out.tail_nabla.clear();
     out.refs.clear();
+    let mut consensus = ConsensusBuilder::new(lines);
     for li in 0..lines.len() {
-        let star = build_consensus(lines, li, th_phi);
+        let star = consensus.advance(lines, li, th_phi);
         for k in 0..lines[li].len() {
             let r = lines[li][k][2];
-            let nabla = match reference(lines, li, k, &star, th_r) {
+            let nabla = match reference(lines, li, k, star, th_r) {
                 RefChoice::Implied(ref_r) => r - ref_r,
-                RefChoice::Recorded(cands) => {
-                    let &(sym, ref_r) = cands
+                RefChoice::Recorded { cands, len } => {
+                    let &(sym, ref_r) = cands[..len]
                         .iter()
                         .min_by_key(|&&(sym, cr)| ((r - cr).abs(), sym))
                         .expect("candidates are non-empty");
@@ -181,8 +271,9 @@ pub fn decode_radial(
     let mut hi = 0usize;
     let mut ti = 0usize;
     let mut ri = 0usize;
+    let mut consensus = ConsensusBuilder::new(lines);
     for li in 0..lines.len() {
-        let star = build_consensus(lines, li, th_phi);
+        let star = consensus.advance(lines, li, th_phi);
         for k in 0..lines[li].len() {
             let d = if k == 0 {
                 let d = *streams
@@ -199,13 +290,13 @@ pub fn decode_radial(
                 ti += 1;
                 d
             };
-            let ref_r = match reference(lines, li, k, &star, th_r) {
+            let ref_r = match reference(lines, li, k, star, th_r) {
                 RefChoice::Implied(r) => r,
-                RefChoice::Recorded(cands) => {
+                RefChoice::Recorded { cands, len } => {
                     let sym =
                         *streams.refs.get(ri).ok_or(CodecError::CorruptStream("L_ref underrun"))?;
                     ri += 1;
-                    cands
+                    cands[..len]
                         .iter()
                         .find(|&&(s, _)| s == sym)
                         .ok_or(CodecError::CorruptStream("invalid L_ref symbol"))?
@@ -345,6 +436,45 @@ mod tests {
         extra_refs.refs.push(0);
         let mut wiped = lines.clone();
         assert!(decode_radial(&mut wiped, &extra_refs, 4, 50).is_err());
+    }
+
+    /// The windowed consensus fast path must agree with the quadratic scan
+    /// line-for-line on sorted input (the organize-stage invariant).
+    #[test]
+    fn windowed_consensus_matches_scan() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let mut lines: Vec<Vec<[i64; 3]>> = Vec::new();
+        let mut phi = 0i64;
+        for _ in 0..60 {
+            phi += rng.gen_range(0..4);
+            let len = rng.gen_range(1..30);
+            let mut theta = rng.gen_range(0..400);
+            lines.push(
+                (0..len)
+                    .map(|_| {
+                        theta += rng.gen_range(1..12);
+                        [theta, phi, rng.gen_range(0..3000)]
+                    })
+                    .collect(),
+            );
+        }
+        let mut fast = ConsensusBuilder::new(&lines);
+        assert!(fast.heads.is_some(), "generated heads are sorted");
+        for li in 0..lines.len() {
+            let star = fast.advance(&lines, li, 5).to_vec();
+            assert_eq!(star, build_consensus(&lines, li, 5), "line {li}");
+        }
+    }
+
+    /// Unsorted heads must disable the window and still round-trip.
+    #[test]
+    fn unsorted_heads_fall_back_to_scan() {
+        let l0: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 50, 700]).collect();
+        let l1: Vec<[i64; 3]> = (0..10).map(|i| [i * 10, 48, 300]).collect();
+        let lines = vec![l0, l1];
+        assert!(sorted_heads(&lines).is_none());
+        roundtrip(&lines, 4, 50);
     }
 
     #[test]

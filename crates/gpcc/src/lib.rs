@@ -19,7 +19,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashSet;
+use dbgc_geom::FxHashSet;
 
 use dbgc_codec::intseq;
 use dbgc_codec::varint::{write_f64, write_uvarint, ByteReader};
@@ -63,7 +63,7 @@ const OCC_CONTEXTS: usize = 256 * 2;
 
 /// Count occupied face neighbours of `prefix` among `level_cells` (cells at
 /// the same level), clamped to the level's grid bounds.
-fn neighbor_context(prefix: u64, level: u32, level_cells: &HashSet<u64>) -> usize {
+fn neighbor_context(prefix: u64, level: u32, level_cells: &FxHashSet<u64>) -> usize {
     if level == 0 {
         return 0;
     }
@@ -134,11 +134,14 @@ impl GpccCodec {
             // BFS level by level; each entry covers leaf_keys[start..end]
             // and carries the node's Morton prefix at the current level.
             let mut current: Vec<(usize, usize, u64, u8)> = vec![(0, tree.leaf_keys.len(), 0, 0)];
+            let mut next: Vec<(usize, usize, u64, u8)> = Vec::new();
+            let mut level_cells = FxHashSet::default();
             for level in 0..tree.depth {
                 let remaining = tree.depth - level;
                 let shift = 3 * (remaining - 1);
-                let level_cells: HashSet<u64> = current.iter().map(|&(_, _, p, _)| p).collect();
-                let mut next = Vec::new();
+                level_cells.clear();
+                level_cells.extend(current.iter().map(|&(_, _, p, _)| p));
+                next.clear();
                 for &(start, end, prefix, parent_code) in &current {
                     let neighbors = neighbor_context(prefix, level, &level_cells);
                     let ctx = parent_code as usize * 2 + usize::from(neighbors > 0);
@@ -186,7 +189,7 @@ impl GpccCodec {
                         }
                     }
                 }
-                current = next;
+                std::mem::swap(&mut current, &mut next);
             }
         }
         let occ = enc.finish();
@@ -247,6 +250,8 @@ impl GpccCodec {
             leaves.push(0);
         } else {
             let mut current: Vec<(u64, u8)> = vec![(0, 0)];
+            let mut next: Vec<(u64, u8)> = Vec::new();
+            let mut level_cells = FxHashSet::default();
             for level in 0..depth {
                 // Leaves emitted so far plus nodes still expanding can only
                 // grow; past the declared count the stream is provably
@@ -255,8 +260,9 @@ impl GpccCodec {
                     return Err(CodecError::CorruptStream("gpcc leaf budget exceeded"));
                 }
                 let remaining = depth - level;
-                let level_cells: HashSet<u64> = current.iter().map(|&(p, _)| p).collect();
-                let mut next = Vec::new();
+                level_cells.clear();
+                level_cells.extend(current.iter().map(|&(p, _)| p));
+                next.clear();
                 for &(prefix, parent_code) in &current {
                     let neighbors = neighbor_context(prefix, level, &level_cells);
                     let ctx = parent_code as usize * 2 + usize::from(neighbors > 0);
@@ -293,7 +299,7 @@ impl GpccCodec {
                         }
                     }
                 }
-                current = next;
+                std::mem::swap(&mut current, &mut next);
             }
         }
         leaves.sort_unstable();
