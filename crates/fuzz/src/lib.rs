@@ -34,13 +34,16 @@ pub enum Target {
     Kdtree,
     /// The G-PCC-style octree coder.
     Gpcc,
-    /// The wire protocol reader (`read_frame_resync` loop).
+    /// The wire protocol reader (resynchronizing `FrameReader` drain).
     Wire,
+    /// The chaos transport: bytes are a [`dbgc_net::FaultSchedule`] driving a
+    /// full client/server session, held to the safety invariant.
+    WireFault,
 }
 
 impl Target {
     /// Every fuzzed decoder.
-    pub const ALL: [Target; 7] = [
+    pub const ALL: [Target; 8] = [
         Target::Dbgc,
         Target::OctreeBaseline,
         Target::OctreeParent,
@@ -48,6 +51,7 @@ impl Target {
         Target::Kdtree,
         Target::Gpcc,
         Target::Wire,
+        Target::WireFault,
     ];
 
     /// Stable name used in corpus file names and CLI output.
@@ -60,6 +64,7 @@ impl Target {
             Target::Kdtree => "kdtree",
             Target::Gpcc => "gpcc",
             Target::Wire => "wire",
+            Target::WireFault => "wirefault",
         }
     }
 
@@ -114,9 +119,20 @@ pub fn decode_target(target: Target, bytes: &[u8]) -> Result<(), String> {
         Target::Wire => {
             // Drain the whole byte stream through the resynchronizing
             // reader; any outcome short of a panic/hang is acceptable.
-            let mut r = bytes;
-            while dbgc_net::read_frame_resync(&mut r).is_ok() {}
+            let mut reader = dbgc_net::FrameReader::new(bytes);
+            while reader.next_frame().is_ok() {}
             Ok(())
+        }
+        Target::WireFault => {
+            // The input is a serialized fault schedule. Decoding is total
+            // (hostile bytes clamp to a valid schedule), and the schedule
+            // then drives a real client/server session over a faulty link.
+            // The contract is the chaos safety invariant: whatever the
+            // schedule destroyed, the store holds an exactly-once in-order
+            // prefix with intact payloads and partitioned counters.
+            let schedule = dbgc_net::FaultSchedule::from_bytes(bytes);
+            let config = dbgc_net::chaos::ChaosConfig::fuzz(0);
+            dbgc_net::chaos::run_chaos_with_schedule(&config, schedule).verify_safety()
         }
     }
 }
@@ -183,6 +199,10 @@ pub fn build_seed_inputs_sized(seed: u64, h_samples: u32) -> Vec<SeedInput> {
         },
         SeedInput { target: Target::Gpcc, bytes: dbgc_gpcc::GpccCodec.encode(&points, q).bytes },
         SeedInput { target: Target::Wire, bytes: wire },
+        SeedInput {
+            target: Target::WireFault,
+            bytes: dbgc_net::chaos::ChaosConfig::fuzz(seed).schedule().to_bytes(),
+        },
     ]
 }
 

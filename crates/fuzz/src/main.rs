@@ -65,6 +65,7 @@ struct Options {
     time_budget: Duration,
     mem_budget: u64,
     targets: Vec<Target>,
+    wire_faults: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +76,7 @@ fn parse_args() -> Result<Options, String> {
         time_budget: Duration::from_secs(5),
         mem_budget: 256 << 20,
         targets: Target::ALL.to_vec(),
+        wire_faults: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -106,6 +108,7 @@ fn parse_args() -> Result<Options, String> {
                 println!("regression corpus written to {}", dir.display());
                 std::process::exit(0);
             }
+            "--wire-faults" => opts.wire_faults = true,
             "--target" => {
                 let name = value("--target")?;
                 let t = Target::from_name(&name).ok_or(format!("unknown target {name}"))?;
@@ -114,7 +117,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "fuzz --seed N --iters M [--corpus DIR] [--target NAME] \
-                     [--time-budget-ms T] [--mem-budget-mb B]"
+                     [--time-budget-ms T] [--mem-budget-mb B] [--wire-faults]"
                 );
                 std::process::exit(0);
             }
@@ -170,6 +173,89 @@ fn run_case(target: Target, input: Vec<u8>, time_budget: Duration, mem_budget: u
     }
 }
 
+/// Minimize a failing input, write it to the regression corpus, and exit
+/// nonzero. Shared by the mutation loop and the wire-fault mode.
+fn fail_and_minimize(opts: &Options, target: Target, input: &[u8], reason: &str) -> ! {
+    let time_budget = opts.time_budget;
+    let mem_budget = opts.mem_budget;
+    // Hangs pay the full timeout per probe; keep those cheap. Wire-fault
+    // probes each run a full chaos session, so cap them harder too.
+    let probes = if reason.contains("budget") {
+        64
+    } else if target == Target::WireFault {
+        256
+    } else {
+        2048
+    };
+    eprintln!("minimizing ({probes} probes max)...");
+    let minimized = minimize(
+        input,
+        &mut |candidate: &[u8]| {
+            matches!(
+                run_case(target, candidate.to_vec(), time_budget, mem_budget),
+                CaseResult::Fail(_)
+            )
+        },
+        probes,
+    );
+    std::fs::create_dir_all(&opts.corpus).expect("create corpus dir");
+    let path =
+        opts.corpus.join(format!("crash-{}-{:016x}.bin", target.name(), content_hash(&minimized)));
+    std::fs::write(&path, &minimized).expect("write corpus file");
+    eprintln!(
+        "minimized {} -> {} bytes; regression input written to {}",
+        input.len(),
+        minimized.len(),
+        path.display()
+    );
+    std::process::exit(1);
+}
+
+/// Wire-fault mode: drive seeded and mutated fault schedules through the
+/// chaos harness under the same watchdog and budgets as the decoders. Even
+/// iterations replay the generated schedule for `seed + iter` verbatim;
+/// odd ones mutate it, so both the generator's envelope and arbitrary
+/// schedule bytes get coverage.
+fn run_wire_faults(opts: &Options) {
+    let mut mutator = Mutator::new(opts.seed);
+    let started = Instant::now();
+    for iter in 0..opts.iters {
+        let seed = opts.seed + iter;
+        let generated = dbgc_net::chaos::ChaosConfig::fuzz(seed).schedule().to_bytes();
+        let (input, kind) = if iter % 2 == 0 {
+            (generated, "generated")
+        } else {
+            let donor = dbgc_net::chaos::ChaosConfig::fuzz(seed ^ 0x5EED).schedule().to_bytes();
+            mutator.mutate(&generated, &donor)
+        };
+        if let CaseResult::Fail(reason) =
+            run_case(Target::WireFault, input.clone(), opts.time_budget, opts.mem_budget)
+        {
+            // Drop the silencer installed by main; take_hook resets to the
+            // default printing hook for the minimization phase.
+            drop(std::panic::take_hook());
+            eprintln!("FAILURE at iter {iter} (schedule seed {seed}, {kind}): {reason}");
+            fail_and_minimize(opts, Target::WireFault, &input, &reason);
+        }
+        if (iter + 1) % 100 == 0 {
+            eprintln!(
+                "{}/{} schedules, {:.1}s elapsed",
+                iter + 1,
+                opts.iters,
+                started.elapsed().as_secs_f64()
+            );
+        }
+    }
+    drop(std::panic::take_hook());
+    println!(
+        "OK: {} fault schedules (seeds {}..{}) survived in {:.1}s with zero violations",
+        opts.iters,
+        opts.seed,
+        opts.seed + opts.iters,
+        started.elapsed().as_secs_f64()
+    );
+}
+
 fn main() {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -182,6 +268,11 @@ fn main() {
     // hook silent and report through the harness instead.
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
+
+    if opts.wire_faults {
+        run_wire_faults(&opts);
+        return;
+    }
 
     let seeds = build_seed_inputs(opts.seed);
     let seeds: Vec<_> = seeds.into_iter().filter(|s| opts.targets.contains(&s.target)).collect();
@@ -206,36 +297,7 @@ fn main() {
                 opts.seed,
                 base.target.name()
             );
-            let target = base.target;
-            let time_budget = opts.time_budget;
-            let mem_budget = opts.mem_budget;
-            // Hangs pay the full timeout per probe; keep those cheap.
-            let probes = if reason.contains("budget") { 64 } else { 2048 };
-            eprintln!("minimizing ({probes} probes max)...");
-            let minimized = minimize(
-                &mutated,
-                &mut |candidate: &[u8]| {
-                    matches!(
-                        run_case(target, candidate.to_vec(), time_budget, mem_budget),
-                        CaseResult::Fail(_)
-                    )
-                },
-                probes,
-            );
-            std::fs::create_dir_all(&opts.corpus).expect("create corpus dir");
-            let path = opts.corpus.join(format!(
-                "crash-{}-{:016x}.bin",
-                target.name(),
-                content_hash(&minimized)
-            ));
-            std::fs::write(&path, &minimized).expect("write corpus file");
-            eprintln!(
-                "minimized {} -> {} bytes; regression input written to {}",
-                mutated.len(),
-                minimized.len(),
-                path.display()
-            );
-            std::process::exit(1);
+            fail_and_minimize(&opts, base.target, &mutated, &reason);
         }
         if (iter + 1) % 1000 == 0 {
             eprintln!(

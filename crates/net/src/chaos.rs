@@ -1,0 +1,382 @@
+//! The end-to-end chaos harness: a full client → faulty link → server run,
+//! replayable from a seed, with an invariant checker.
+//!
+//! One [`run_chaos`] call wires a [`crate::session::ResilientClient`] through
+//! a [`crate::fault::FaultyLink`] (whose schedule persists across the
+//! client's reconnects) into a [`crate::server::SessionServer`] guarded by a
+//! [`crate::link::TimedReader`] watchdog, then drives a fixed number of
+//! frames through the wreckage and reports what happened.
+//!
+//! The delivery invariant ([`ChaosReport::verify`]): whatever the schedule
+//! destroyed in flight, every frame is eventually stored **exactly once, in
+//! order, with intact bytes** — retransmission must repair all damage — and
+//! the server's intact-frame counters must partition exactly
+//! (`frames_intact == frames_stored + frames_deduped + frames_gap_dropped +
+//! decode_failures`).
+//!
+//! Schedules serialize to bytes, so the same engine backs the fuzzer's
+//! wire-fault mode: a mutated corpus file becomes a schedule via
+//! [`FaultSchedule::from_bytes`], and a failing seed minimizes like any
+//! other fuzz input.
+
+use std::io;
+use std::sync::mpsc::channel;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::fault::{FaultProfile, FaultSchedule, SplitMix64};
+use crate::link::{throttled_pipe, PipeReader, PipeWriter, TimedReader};
+use crate::protocol::NetError;
+use crate::retry::RetryPolicy;
+use crate::server::SessionServer;
+use crate::session::{ResilientClient, SessionConfig, SessionStats};
+
+/// Parameters of one chaos run. Everything observable is a pure function of
+/// this config (plus the schedule, itself derived from `seed` unless
+/// explicitly supplied).
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule, payload contents, and backoff jitter.
+    pub seed: u64,
+    /// Data frames the client sends.
+    pub frames: usize,
+    /// Bytes per synthetic payload.
+    pub payload_len: usize,
+    /// Fault intensity used when no explicit schedule is given.
+    pub profile: FaultProfile,
+    /// Ack-progress deadline before the client reconnects.
+    pub send_timeout: Duration,
+    /// Server-side stall watchdog per connection.
+    pub watchdog: Duration,
+    /// Client retry/backoff policy.
+    pub retry: RetryPolicy,
+}
+
+impl ChaosConfig {
+    /// The standard smoke configuration: 16 frames over a lossy 4G link.
+    pub fn smoke(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            frames: 16,
+            payload_len: 512,
+            profile: FaultProfile::lossy_4g(),
+            send_timeout: Duration::from_millis(200),
+            watchdog: Duration::from_millis(500),
+            retry: RetryPolicy::fast_test(),
+        }
+    }
+
+    /// Heavy corruption and repeated disconnects.
+    pub fn hostile(seed: u64) -> ChaosConfig {
+        ChaosConfig { profile: FaultProfile::hostile(), ..ChaosConfig::smoke(seed) }
+    }
+
+    /// Tight-deadline configuration for the fuzzer's wire-fault mode, where
+    /// arbitrary mutated schedules must complete (or give up) in a few
+    /// seconds under the case watchdog. Pair with
+    /// [`ChaosReport::verify_safety`]: hostile schedules may legitimately
+    /// exhaust the retry budget.
+    pub fn fuzz(seed: u64) -> ChaosConfig {
+        let mut retry = RetryPolicy::fast_test();
+        retry.max_retries = 6;
+        ChaosConfig {
+            seed,
+            frames: 6,
+            payload_len: 160,
+            profile: FaultProfile::hostile(),
+            send_timeout: Duration::from_millis(40),
+            watchdog: Duration::from_millis(150),
+            retry,
+        }
+    }
+
+    /// The schedule this config derives when none is supplied explicitly.
+    pub fn schedule(&self) -> FaultSchedule {
+        // Spread events over the first clean transmission; retransmitted
+        // bytes past this length flow fault-free (the schedule is finite).
+        let stream_len = (self.frames * (self.payload_len + 20) + 64) as u64;
+        FaultSchedule::generate(self.seed, &self.profile, stream_len)
+    }
+}
+
+/// What one chaos run did; see [`ChaosReport::verify`] for the invariant.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// The driving seed.
+    pub seed: u64,
+    /// Frames the client attempted to deliver.
+    pub frames_sent: usize,
+    /// Sequences stored server-side, in arrival order.
+    pub stored_sequences: Vec<u32>,
+    /// `true` when every stored payload is byte-identical to what was sent.
+    pub payloads_intact: bool,
+    /// Client outcome: session stats, or the typed error it gave up with.
+    pub client: Result<SessionStats, String>,
+    /// Replayed frames the server deduplicated.
+    pub frames_deduped: usize,
+    /// Out-of-order arrivals the server dropped for go-back-N to re-deliver.
+    pub frames_gap_dropped: usize,
+    /// Corrupt wire regions the server resynchronized past.
+    pub resyncs: usize,
+    /// Connections the server drained (first connect + reconnects).
+    pub connections: usize,
+    /// Fault events the schedule actually applied.
+    pub faults_applied: u64,
+    /// Per-kind applied counts, in [`crate::fault::FaultEvent`] declaration
+    /// order (bit-flip, drop, disconnect, stall, duplicate, reorder,
+    /// collapse).
+    pub faults_by_kind: [u64; 7],
+    /// `net.*` counters from the run's collector (empty without the
+    /// `metrics` feature).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ChaosReport {
+    /// Look up a captured counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Check the delivery and accounting invariants; `Err` describes the
+    /// first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        if let Err(e) = &self.client {
+            return Err(format!("seed {}: client failed: {e}", self.seed));
+        }
+        let expected: Vec<u32> = (0..self.frames_sent as u32).collect();
+        if self.stored_sequences != expected {
+            return Err(format!(
+                "seed {}: stored {:?} (wanted 0..{} exactly once, in order)",
+                self.seed, self.stored_sequences, self.frames_sent
+            ));
+        }
+        self.verify_safety()
+    }
+
+    /// The safety subset of [`ChaosReport::verify`]: whatever the client
+    /// managed (it may have exhausted its retry budget against a sufficiently
+    /// hostile schedule), the server's store must be an exact in-order prefix
+    /// `0..k` with intact bytes, and the counters must partition. This is the
+    /// contract the fuzzer's arbitrary mutated schedules are held to.
+    pub fn verify_safety(&self) -> Result<(), String> {
+        let prefix: Vec<u32> = (0..self.stored_sequences.len() as u32).collect();
+        if self.stored_sequences != prefix {
+            return Err(format!(
+                "seed {}: stored {:?} is not an exactly-once in-order prefix",
+                self.seed, self.stored_sequences
+            ));
+        }
+        if self.stored_sequences.len() > self.frames_sent {
+            return Err(format!(
+                "seed {}: stored {} frames but only {} were ever sent",
+                self.seed,
+                self.stored_sequences.len(),
+                self.frames_sent
+            ));
+        }
+        if !self.payloads_intact {
+            return Err(format!("seed {}: a stored payload differs from what was sent", self.seed));
+        }
+        // Counter partition (when the metrics feature captured counters):
+        // every intact data frame is stored, deduplicated, gap-dropped, or a
+        // decode failure — nothing vanishes.
+        if !self.counters.is_empty() {
+            let intact = self.counter("net.frames_intact");
+            let parts = self.counter("net.frames_stored")
+                + self.counter("net.frames_deduped")
+                + self.counter("net.frames_gap_dropped")
+                + self.counter("net.decode_failures");
+            if intact != parts {
+                return Err(format!(
+                    "seed {}: counter partition broken: frames_intact {} != \
+                     stored+deduped+gap_dropped+decode_failures {}",
+                    self.seed, intact, parts
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// One-line human summary for recovery reports.
+    pub fn summary(&self) -> String {
+        let client = match &self.client {
+            Ok(stats) => format!(
+                "retries {} reconnects {} retransmits {} timeouts {}",
+                stats.retries, stats.reconnects, stats.retransmits, stats.timeouts
+            ),
+            Err(e) => format!("FAILED: {e}"),
+        };
+        format!(
+            "seed {}: {}/{} frames stored, {} faults applied, {} resyncs, {} deduped, \
+             {} gap-dropped, {} connections; client: {}",
+            self.seed,
+            self.stored_sequences.len(),
+            self.frames_sent,
+            self.faults_applied,
+            self.resyncs,
+            self.frames_deduped,
+            self.frames_gap_dropped,
+            self.connections,
+            client
+        )
+    }
+}
+
+/// Deterministic payload for frame `index` of a run: content is a function
+/// of (seed, index) so the server side can be checked byte-for-byte.
+pub fn chaos_payload(seed: u64, index: usize, len: usize) -> Vec<u8> {
+    let mut rng = SplitMix64(seed ^ 0xC0DE_0000_0000_0000 ^ (index as u64).wrapping_mul(0x9E37));
+    let mut out = Vec::with_capacity(len.max(4));
+    out.extend_from_slice(&(index as u32).to_le_bytes());
+    while out.len() < len.max(4) {
+        out.extend_from_slice(&rng.next().to_le_bytes());
+    }
+    out.truncate(len.max(4));
+    out
+}
+
+/// [`run_chaos`] with the schedule derived from the config's seed.
+pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    run_chaos_with_schedule(config, config.schedule())
+}
+
+/// Drive one full client/server run through `schedule`; never panics on any
+/// schedule (hostile ones are clamped by the fault layer's budgets).
+pub fn run_chaos_with_schedule(config: &ChaosConfig, schedule: FaultSchedule) -> ChaosReport {
+    let state = schedule.into_state();
+
+    #[cfg(feature = "metrics")]
+    let collector = dbgc_metrics::Collector::new();
+
+    // Acceptor: the connector ships each new connection's server-side halves
+    // (data reader, ack writer) to the server thread.
+    let (accept_tx, accept_rx) = channel::<(PipeReader, PipeWriter)>();
+    let watchdog = config.watchdog;
+    #[cfg(feature = "metrics")]
+    let server_collector = collector.clone();
+    let server = std::thread::Builder::new()
+        .name("dbgc-chaos-server".into())
+        .spawn(move || {
+            let mut core = SessionServer::new(false);
+            #[cfg(feature = "metrics")]
+            {
+                core = core.with_metrics(&server_collector);
+            }
+            let mut connections = 0usize;
+            while let Ok((rx, ack)) = accept_rx.recv() {
+                connections += 1;
+                // A timed-out or broken connection ends; the session state
+                // survives for the client's next attempt.
+                let _ = core.serve_connection(TimedReader::new(rx, watchdog), Some(ack));
+            }
+            (core, connections)
+        })
+        .expect("spawn chaos server");
+
+    let link_state = Arc::clone(&state);
+    let connector = move || -> io::Result<(crate::fault::FaultyLink<PipeWriter>, PipeReader)> {
+        let (data_tx, data_rx) = throttled_pipe(None);
+        let (ack_tx, ack_rx) = throttled_pipe(None);
+        accept_tx
+            .send((data_rx, ack_tx))
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "server gone"))?;
+        Ok((crate::fault::FaultyLink::new(data_tx, Arc::clone(&link_state)), ack_rx))
+    };
+
+    let mut session = SessionConfig::fast_test(config.seed);
+    session.send_timeout = config.send_timeout;
+    session.retry = config.retry;
+    let mut client = ResilientClient::new(connector, session);
+    #[cfg(feature = "metrics")]
+    {
+        client = client.with_metrics(&collector);
+    }
+
+    let mut client_result: Result<SessionStats, NetError> = Ok(SessionStats::default());
+    for index in 0..config.frames {
+        let payload = chaos_payload(config.seed, index, config.payload_len);
+        if let Err(e) = client.send_payload(payload) {
+            client_result = Err(e);
+            break;
+        }
+    }
+    if client_result.is_ok() {
+        client_result = client.finish();
+    } else {
+        drop(client); // close the acceptor so the server thread exits
+    }
+
+    let (core, connections) = server.join().expect("chaos server thread");
+    let stored_sequences: Vec<u32> = core.frames().iter().map(|f| f.sequence).collect();
+    let payloads_intact = core
+        .frames()
+        .iter()
+        .all(|f| f.bytes == chaos_payload(config.seed, f.sequence as usize, config.payload_len));
+    let (mut deduped, mut gap_dropped) = (0usize, 0usize);
+    for a in core.anomalies() {
+        match a.kind {
+            crate::server::AnomalyKind::Duplicate => deduped += 1,
+            crate::server::AnomalyKind::Gap => gap_dropped += 1,
+        }
+    }
+    let resyncs = core.dropped().iter().filter(|d| d.bytes_skipped > 0).count();
+    let (faults_applied, faults_by_kind) = {
+        let st = state.lock().expect("fault state");
+        (st.events_applied(), st.applied_by_kind())
+    };
+
+    #[cfg(feature = "metrics")]
+    let counters: Vec<(String, u64)> = collector.snapshot().counters.into_iter().collect();
+    #[cfg(not(feature = "metrics"))]
+    let counters: Vec<(String, u64)> = Vec::new();
+
+    ChaosReport {
+        seed: config.seed,
+        frames_sent: config.frames,
+        stored_sequences,
+        payloads_intact,
+        client: client_result.map_err(|e| e.to_string()),
+        frames_deduped: deduped,
+        frames_gap_dropped: gap_dropped,
+        resyncs,
+        connections,
+        faults_applied,
+        faults_by_kind,
+        counters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_schedule_delivers_everything_first_try() {
+        let config = ChaosConfig::smoke(1);
+        let report = run_chaos_with_schedule(&config, FaultSchedule::empty());
+        report.verify().unwrap();
+        assert_eq!(report.connections, 1);
+        assert_eq!(report.faults_applied, 0);
+        assert_eq!(report.resyncs, 0);
+        let stats = report.client.as_ref().unwrap();
+        assert_eq!(stats.reconnects, 0);
+        assert_eq!(stats.retransmits, 0);
+    }
+
+    #[test]
+    fn lossy_schedule_recovers_every_frame() {
+        // Seed 3 applies a representative mix of faults; recovery must be
+        // total. (The full sweep lives in tests/chaos.rs.)
+        let report = run_chaos(&ChaosConfig::smoke(3));
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        assert!(report.faults_applied > 0, "schedule was not a no-op");
+    }
+
+    #[test]
+    fn payload_generator_is_deterministic_and_distinct() {
+        assert_eq!(chaos_payload(5, 2, 100), chaos_payload(5, 2, 100));
+        assert_ne!(chaos_payload(5, 2, 100), chaos_payload(5, 3, 100));
+        assert_ne!(chaos_payload(6, 2, 100), chaos_payload(5, 2, 100));
+        assert_eq!(chaos_payload(1, 0, 0).len(), 4, "sequence prefix always present");
+    }
+}

@@ -4,28 +4,51 @@
 //! compresses them, and ships the bitstreams over a constrained mobile uplink
 //! to a *server* that decompresses and stores them. This crate provides:
 //!
-//! * [`protocol`] — length-prefixed frame protocol over any `Read`/`Write`;
+//! * [`protocol`] — length-prefixed frame protocol over any `Read`/`Write`,
+//!   including the stateful [`protocol::FrameReader`] resynchronizer and
+//!   wire-v3 session control frames;
 //! * [`link`] — a bandwidth model ([`link::LinkModel`]) for computing
-//!   transfer times (4G uplink ≈ 8.2 Mbps, paper §4.4) and a throttled
-//!   in-memory pipe for live simulation;
-//! * [`client`] — compresses frames and sends them;
+//!   transfer times (4G uplink ≈ 8.2 Mbps, paper §4.4), a throttled
+//!   in-memory pipe for live simulation, and a stall watchdog
+//!   ([`link::TimedReader`]);
+//! * [`fault`] — deterministic, seed-replayable fault injection
+//!   ([`fault::FaultyLink`]) for chaos testing the whole stack;
+//! * [`retry`] — typed retry policies with exponential backoff and jitter;
+//! * [`client`] — compresses frames and sends them (fire-and-forget v2);
+//! * [`session`] — the resilient client: acked delivery, reconnect,
+//!   retransmission from a bounded in-flight window;
 //! * [`server`] — receives frames, optionally decompresses, and stores them
-//!   (in memory or on disk, standing in for the paper's ODBC sink);
+//!   (in memory or on disk, standing in for the paper's ODBC sink), with
+//!   duplicate/gap accounting that persists across reconnects;
 //! * [`pipeline`] — a frame-ordered worker pool so compression keeps up with
-//!   a 10 fps sensor (§4.4's online-processing claim).
+//!   a 10 fps sensor (§4.4's online-processing claim), with bounded queues
+//!   and overload policies (block / drop-oldest / degrade);
+//! * [`chaos`] — the seeded end-to-end chaos harness used by tests, the
+//!   fuzzer's wire-fault mode, and CI smoke jobs.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
+pub mod fault;
 pub mod link;
 pub mod pipeline;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod session;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::Client;
-pub use link::LinkModel;
-pub use pipeline::PipelinedCompressor;
+pub use fault::{FaultEvent, FaultProfile, FaultSchedule, FaultyLink};
+pub use link::{LinkModel, TimedReader};
+pub use pipeline::{OverloadPolicy, PipelinedCompressor};
 pub use protocol::{
-    frame_checksum, read_frame, read_frame_resync, write_frame, NetError, WireFrame,
+    frame_checksum, read_frame, read_frame_resync, write_frame, Control, FrameReader, NetError,
+    WireFrame, DEFAULT_MAX_PAYLOAD,
 };
-pub use server::{DroppedFrame, Server, StoredFrame};
+pub use retry::{Backoff, RetryPolicy};
+pub use server::{
+    AnomalyKind, DroppedFrame, NoAck, SeqAnomaly, Server, SessionServer, StoredFrame,
+};
+pub use session::{ResilientClient, SessionConfig, SessionStats};

@@ -19,9 +19,30 @@
 //! latency; intra-frame helpers cut per-frame latency; both draw from the
 //! same fixed set of OS threads. Compression output is byte-identical
 //! whatever the thread placement (see `Dbgc::compress`).
+//!
+//! ## Backpressure and graceful degradation
+//!
+//! The submission queue is *bounded* ([`PipelinedCompressor::with_queue_capacity`]);
+//! what happens when a burst outruns the workers is the [`OverloadPolicy`]:
+//!
+//! * [`OverloadPolicy::Block`] (default) — `submit` blocks until a worker
+//!   frees a slot. Latency grows, nothing is lost; exactly the old unbounded
+//!   behaviour whenever the queue never fills.
+//! * [`OverloadPolicy::DropOldest`] — the oldest *queued* (not yet started)
+//!   frame is discarded to admit the new one; sensible for live streams
+//!   where a fresher frame beats a stale one. Drops surface as
+//!   [`PipelineEvent::Dropped`] and in [`PipelinedCompressor::overload_dropped`].
+//! * [`OverloadPolicy::Degrade`] — under sustained pressure the compressor
+//!   coarsens the error bound `q_xyz` one notch (×2) at a time, making each
+//!   frame cheaper and smaller until the queue drains, then restores it.
+//!   The level active at submission is recorded per frame in
+//!   [`PipelineEvent::Frame`]. `submit` still blocks at the bound, but the
+//!   degraded frames clear it quickly — bounded latency at reduced fidelity
+//!   instead of unbounded latency at full fidelity.
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use dbgc::{CompressedFrame, Dbgc, DbgcError};
@@ -33,16 +54,89 @@ type MetricsSink = Option<dbgc_metrics::Collector>;
 #[cfg(not(feature = "metrics"))]
 type MetricsSink = Option<std::convert::Infallible>;
 
-/// A frame-ordered, multi-threaded DBGC compressor.
+/// What `submit` does when the bounded queue is full; see the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Block the submitter until a slot frees (lossless, unbounded latency).
+    #[default]
+    Block,
+    /// Discard the oldest still-queued frame to admit the new one.
+    DropOldest,
+    /// Coarsen `q_xyz` one notch (×2) under sustained pressure; restore on
+    /// recovery.
+    Degrade,
+}
+
+/// Consecutive pressured (resp. relieved) submissions before the degrade
+/// level moves. Hysteresis: a single burst or a single idle gap does not
+/// flap the quantization.
+const DEGRADE_SUSTAIN: u32 = 3;
+/// Maximum degrade notches: `q_xyz` is never coarsened beyond ×2⁴.
+const MAX_DEGRADE_LEVEL: u8 = 4;
+
+/// One in-order pipeline outcome (the detailed API; [`PipelinedCompressor::next_ordered`]
+/// is the compatible frames-only view).
+// Events are yielded one at a time and immediately consumed, never stored in
+// bulk, so the Frame/Dropped size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
+pub enum PipelineEvent {
+    /// A frame finished (or failed) compression.
+    Frame {
+        /// Submission sequence number.
+        sequence: u64,
+        /// Degrade level active when the frame was admitted (0 = configured
+        /// fidelity; level `n` means `q_xyz × 2ⁿ`).
+        degrade_level: u8,
+        /// The compression outcome.
+        result: Result<CompressedFrame, DbgcError>,
+    },
+    /// A frame was discarded unstarted by [`OverloadPolicy::DropOldest`].
+    Dropped {
+        /// Submission sequence number.
+        sequence: u64,
+    },
+}
+
+// One item in flight per worker; boxing the result would add a hot-path
+// allocation to save bytes that are never held in aggregate.
+#[allow(clippy::large_enum_variant)]
+enum WorkItem {
+    Done { level: u8, result: Result<CompressedFrame, DbgcError> },
+    Dropped,
+}
+
+struct QueueState {
+    jobs: std::collections::VecDeque<(u64, PointCloud, u8)>,
+    closed: bool,
+    high_water: u64,
+}
+
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A frame-ordered, multi-threaded DBGC compressor with bounded queues.
 pub struct PipelinedCompressor {
-    submit: Option<Sender<(u64, PointCloud)>>,
-    results: Receiver<(u64, Result<CompressedFrame, DbgcError>)>,
+    queue: Arc<SharedQueue>,
+    results: Receiver<(u64, WorkItem)>,
+    /// Kept so the submitter can report drops through the same channel.
+    result_tx: Sender<(u64, WorkItem)>,
     workers: Vec<JoinHandle<()>>,
+    capacity: usize,
+    policy: OverloadPolicy,
     next_submit: u64,
     next_yield: u64,
     /// Out-of-order results parked until their turn.
-    parked: HashMap<u64, Result<CompressedFrame, DbgcError>>,
+    parked: HashMap<u64, WorkItem>,
+    /// Degrade controller.
+    degrade_level: u8,
+    pressure: u32,
+    relief: u32,
+    degrade_transitions: u64,
+    overload_dropped: u64,
     #[cfg_attr(not(feature = "metrics"), allow(dead_code))]
     metrics: MetricsSink,
 }
@@ -55,10 +149,11 @@ impl PipelinedCompressor {
 
     /// [`PipelinedCompressor::new`], recording observability data into
     /// `collector`: `net.frames_submitted` / `net.frames_yielded` counters, a
-    /// `net.queue_depth` histogram sampled at each submission, and each
-    /// worker's `compress` span tree (workers share the collector, so spans
-    /// from concurrent frames interleave; span parentage keeps them
-    /// separable).
+    /// `net.queue_depth` histogram sampled at each submission, the
+    /// `net.queue_depth_high_water` gauge, `net.degrade_transitions` /
+    /// `net.frames_dropped_overload` counters, and each worker's `compress`
+    /// span tree (workers share the collector, so spans from concurrent
+    /// frames interleave; span parentage keeps them separable).
     #[cfg(feature = "metrics")]
     pub fn with_metrics(
         compressor: Dbgc,
@@ -70,54 +165,177 @@ impl PipelinedCompressor {
 
     fn new_impl(compressor: Dbgc, workers: usize, metrics: MetricsSink) -> PipelinedCompressor {
         assert!(workers >= 1, "need at least one worker");
-        let (submit_tx, submit_rx) = channel::<(u64, PointCloud)>();
-        let submit_rx = std::sync::Arc::new(std::sync::Mutex::new(submit_rx));
+        let queue = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState {
+                jobs: std::collections::VecDeque::new(),
+                closed: false,
+                high_water: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
         let (result_tx, results) = channel();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
-            let rx = std::sync::Arc::clone(&submit_rx);
+            let queue = Arc::clone(&queue);
             let tx = result_tx.clone();
             let dbgc = compressor.clone();
             #[cfg(feature = "metrics")]
             let worker_metrics = metrics.clone();
-            handles.push(std::thread::spawn(move || loop {
-                // Hold the lock only while receiving, not while compressing.
-                let job = { rx.lock().expect("worker lock").recv() };
-                let Ok((seq, cloud)) = job else { return };
-                let result = {
-                    #[cfg(feature = "metrics")]
-                    match &worker_metrics {
-                        Some(c) => dbgc.compress_with_metrics(&cloud, c),
-                        None => dbgc.compress(&cloud),
+            handles.push(std::thread::spawn(move || {
+                // Degraded variants built lazily: level n doubles q_xyz n
+                // times over the configured bound.
+                let mut variants: HashMap<u8, Dbgc> = HashMap::new();
+                loop {
+                    let job = {
+                        let mut state = queue.state.lock().expect("queue lock");
+                        loop {
+                            if let Some(job) = state.jobs.pop_front() {
+                                queue.not_full.notify_one();
+                                break Some(job);
+                            }
+                            if state.closed {
+                                break None;
+                            }
+                            state = queue.not_empty.wait(state).expect("queue lock");
+                        }
+                    };
+                    let Some((seq, cloud, level)) = job else { return };
+                    let active = variants.entry(level).or_insert_with(|| {
+                        let mut config = dbgc.config.clone();
+                        config.q_xyz *= f64::from(1u32 << u32::from(level));
+                        Dbgc::new(config)
+                    });
+                    let result = {
+                        #[cfg(feature = "metrics")]
+                        match &worker_metrics {
+                            Some(c) => active.compress_with_metrics(&cloud, c),
+                            None => active.compress(&cloud),
+                        }
+                        #[cfg(not(feature = "metrics"))]
+                        active.compress(&cloud)
+                    };
+                    if tx.send((seq, WorkItem::Done { level, result })).is_err() {
+                        return;
                     }
-                    #[cfg(not(feature = "metrics"))]
-                    dbgc.compress(&cloud)
-                };
-                if tx.send((seq, result)).is_err() {
-                    return;
                 }
             }));
         }
         PipelinedCompressor {
-            submit: Some(submit_tx),
+            queue,
             results,
+            result_tx,
             workers: handles,
+            capacity: 64,
+            policy: OverloadPolicy::Block,
             next_submit: 0,
             next_yield: 0,
             parked: HashMap::new(),
+            degrade_level: 0,
+            pressure: 0,
+            relief: 0,
+            degrade_transitions: 0,
+            overload_dropped: 0,
             metrics,
         }
     }
 
+    /// Bound the submission queue at `capacity` frames (default 64).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> PipelinedCompressor {
+        assert!(capacity >= 1, "queue capacity must be positive");
+        self.capacity = capacity;
+        self
+    }
+
+    /// Choose what `submit` does at the bound (default [`OverloadPolicy::Block`]).
+    pub fn with_overload_policy(mut self, policy: OverloadPolicy) -> PipelinedCompressor {
+        self.policy = policy;
+        self
+    }
+
+    fn incr(&self, _name: &str, _n: u64) {
+        #[cfg(feature = "metrics")]
+        if let Some(c) = &self.metrics {
+            c.incr(_name, _n);
+        }
+    }
+
+    /// Advance the degrade hysteresis given the queue depth seen at this
+    /// submission. High watermark: ¾ capacity; low watermark: ¼ capacity.
+    fn update_degrade(&mut self, depth: usize) {
+        if self.policy != OverloadPolicy::Degrade {
+            return;
+        }
+        let high = (self.capacity * 3 / 4).max(1);
+        let low = self.capacity / 4;
+        if depth >= high {
+            self.pressure += 1;
+            self.relief = 0;
+            if self.pressure >= DEGRADE_SUSTAIN && self.degrade_level < MAX_DEGRADE_LEVEL {
+                self.degrade_level += 1;
+                self.pressure = 0;
+                self.degrade_transitions += 1;
+                self.incr("net.degrade_transitions", 1);
+                #[cfg(feature = "metrics")]
+                if let Some(c) = &self.metrics {
+                    c.set_gauge("net.degrade_level", f64::from(self.degrade_level));
+                }
+            }
+        } else if depth <= low {
+            self.relief += 1;
+            self.pressure = 0;
+            if self.relief >= DEGRADE_SUSTAIN && self.degrade_level > 0 {
+                self.degrade_level -= 1;
+                self.relief = 0;
+                self.degrade_transitions += 1;
+                self.incr("net.degrade_transitions", 1);
+                #[cfg(feature = "metrics")]
+                if let Some(c) = &self.metrics {
+                    c.set_gauge("net.degrade_level", f64::from(self.degrade_level));
+                }
+            }
+        } else {
+            self.pressure = 0;
+            self.relief = 0;
+        }
+    }
+
     /// Queue a frame for compression; returns its sequence number.
+    ///
+    /// At the queue bound the [`OverloadPolicy`] decides whether this blocks,
+    /// drops the oldest queued frame, or (Degrade) blocks while pressure
+    /// coarsens subsequent frames.
     pub fn submit(&mut self, cloud: PointCloud) -> u64 {
         let seq = self.next_submit;
         self.next_submit += 1;
-        self.submit
-            .as_ref()
-            .expect("submit after finish")
-            .send((seq, cloud))
-            .expect("workers alive");
+        let depth;
+        {
+            let mut state = self.queue.state.lock().expect("queue lock");
+            assert!(!state.closed, "submit after shutdown");
+            if self.policy == OverloadPolicy::DropOldest {
+                while state.jobs.len() >= self.capacity {
+                    let (dropped_seq, _, _) =
+                        state.jobs.pop_front().expect("non-empty at capacity");
+                    self.overload_dropped += 1;
+                    self.result_tx
+                        .send((dropped_seq, WorkItem::Dropped))
+                        .expect("results receiver alive");
+                }
+            } else {
+                while state.jobs.len() >= self.capacity {
+                    state = self.queue.not_full.wait(state).expect("queue lock");
+                }
+            }
+            depth = state.jobs.len() + 1;
+            state.jobs.push_back((seq, cloud, self.degrade_level));
+            state.high_water = state.high_water.max(depth as u64);
+            #[cfg(feature = "metrics")]
+            if let Some(c) = &self.metrics {
+                c.set_gauge("net.queue_depth_high_water", state.high_water as f64);
+            }
+        }
+        self.queue.not_empty.notify_one();
+        self.update_degrade(depth);
         #[cfg(feature = "metrics")]
         if let Some(c) = &self.metrics {
             c.incr("net.frames_submitted", 1);
@@ -131,33 +349,89 @@ impl PipelinedCompressor {
         self.next_submit - self.next_yield
     }
 
-    /// Block until the next frame *in submission order* is ready.
-    /// Returns `None` when all submitted frames have been yielded.
-    pub fn next_ordered(&mut self) -> Option<Result<CompressedFrame, DbgcError>> {
+    /// The degrade notch new submissions are admitted at (0 = full fidelity).
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade_level
+    }
+
+    /// Level transitions (up or down) the degrade controller has made.
+    pub fn degrade_transitions(&self) -> u64 {
+        self.degrade_transitions
+    }
+
+    /// Frames discarded unstarted by [`OverloadPolicy::DropOldest`].
+    pub fn overload_dropped(&self) -> u64 {
+        self.overload_dropped
+    }
+
+    /// Deepest the submission queue has been.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue.state.lock().expect("queue lock").high_water
+    }
+
+    /// Block until the next outcome *in submission order* is ready; `None`
+    /// when every submitted frame has been yielded.
+    pub fn next_event(&mut self) -> Option<PipelineEvent> {
         if self.next_yield == self.next_submit {
             return None;
         }
         loop {
-            if let Some(result) = self.parked.remove(&self.next_yield) {
+            if let Some(item) = self.parked.remove(&self.next_yield) {
+                let sequence = self.next_yield;
                 self.next_yield += 1;
-                #[cfg(feature = "metrics")]
-                if let Some(c) = &self.metrics {
-                    c.incr("net.frames_yielded", 1);
-                }
-                return Some(result);
+                return Some(match item {
+                    WorkItem::Done { level, result } => {
+                        self.incr("net.frames_yielded", 1);
+                        PipelineEvent::Frame { sequence, degrade_level: level, result }
+                    }
+                    WorkItem::Dropped => {
+                        self.incr("net.frames_dropped_overload", 1);
+                        PipelineEvent::Dropped { sequence }
+                    }
+                });
             }
-            let (seq, result) = self.results.recv().expect("workers alive");
-            self.parked.insert(seq, result);
+            let (seq, item) = self.results.recv().expect("workers alive");
+            self.parked.insert(seq, item);
+        }
+    }
+
+    /// Block until the next *frame* in submission order is ready, skipping
+    /// overload drops. Returns `None` when all submitted frames have been
+    /// yielded.
+    pub fn next_ordered(&mut self) -> Option<Result<CompressedFrame, DbgcError>> {
+        loop {
+            match self.next_event()? {
+                PipelineEvent::Frame { result, .. } => return Some(result),
+                PipelineEvent::Dropped { .. } => continue,
+            }
         }
     }
 
     /// Drop the submission side and join all workers; remaining results are
     /// discarded. Called automatically on drop.
     pub fn shutdown(&mut self) {
-        self.submit = None; // closes the channel; workers exit
+        {
+            let mut state = self.queue.state.lock().expect("queue lock");
+            state.closed = true;
+            state.jobs.clear();
+        }
+        self.queue.not_empty.notify_all();
+        self.queue.not_full.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+impl std::fmt::Debug for PipelinedCompressor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedCompressor")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .field("in_flight", &self.in_flight())
+            .field("degrade_level", &self.degrade_level)
+            .finish()
     }
 }
 
@@ -258,5 +532,111 @@ mod tests {
         assert_eq!(pipe.in_flight(), 1);
         // Dropping with one frame still in flight must not hang.
         drop(pipe);
+    }
+
+    #[test]
+    fn block_policy_bounds_the_queue_without_losing_frames() {
+        let mut pipe = PipelinedCompressor::new(Dbgc::with_error_bound(0.05), 1)
+            .with_queue_capacity(2)
+            .with_overload_policy(OverloadPolicy::Block);
+        // 8 frames through a 2-slot queue: submit blocks, nothing is lost.
+        for s in 0..8 {
+            pipe.submit(cloud(s, 400));
+        }
+        let mut yielded = 0;
+        while let Some(r) = pipe.next_ordered() {
+            r.unwrap();
+            yielded += 1;
+        }
+        assert_eq!(yielded, 8);
+        assert!(pipe.queue_high_water() <= 2, "bounded: {}", pipe.queue_high_water());
+        assert_eq!(pipe.overload_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_queued_frames_and_reports_them() {
+        let mut pipe = PipelinedCompressor::new(Dbgc::with_error_bound(0.05), 1)
+            .with_queue_capacity(1)
+            .with_overload_policy(OverloadPolicy::DropOldest);
+        // Burst far ahead of one worker with a single queue slot: later
+        // submissions evict earlier queued frames.
+        for s in 0..10 {
+            pipe.submit(cloud(s, 1500));
+        }
+        let mut frames = 0;
+        let mut dropped = Vec::new();
+        while let Some(event) = pipe.next_event() {
+            match event {
+                PipelineEvent::Frame { result, .. } => {
+                    result.unwrap();
+                    frames += 1;
+                }
+                PipelineEvent::Dropped { sequence } => dropped.push(sequence),
+            }
+        }
+        assert_eq!(frames + dropped.len(), 10, "every submission accounted for");
+        assert_eq!(dropped.len() as u64, pipe.overload_dropped());
+        assert!(!dropped.is_empty(), "1-slot queue under a 10-frame burst must shed");
+        // The most recent frame is never the one shed.
+        assert!(!dropped.contains(&9));
+    }
+
+    #[test]
+    fn degrade_coarsens_under_pressure_and_recovers() {
+        let mut pipe = PipelinedCompressor::new(Dbgc::with_error_bound(0.02), 1)
+            .with_queue_capacity(4)
+            .with_overload_policy(OverloadPolicy::Degrade);
+        // Saturate: one slow worker, rapid submissions. The controller must
+        // step the level up after sustained pressure.
+        let mut levels = Vec::new();
+        for s in 0..16 {
+            pipe.submit(cloud(s, 1200));
+            levels.push(pipe.degrade_level());
+        }
+        assert!(*levels.last().unwrap() > 0, "sustained pressure coarsens: {levels:?}");
+        assert!(pipe.degrade_transitions() > 0);
+        // Drain; per-frame levels are recorded and degraded frames decode.
+        let mut seen_levels = Vec::new();
+        while let Some(event) = pipe.next_event() {
+            match event {
+                PipelineEvent::Frame { degrade_level, result, .. } => {
+                    let frame = result.unwrap();
+                    dbgc::decompress(&frame.bytes).unwrap();
+                    seen_levels.push(degrade_level);
+                }
+                PipelineEvent::Dropped { .. } => panic!("Degrade never drops"),
+            }
+        }
+        assert_eq!(seen_levels.len(), 16);
+        assert!(seen_levels.iter().any(|&l| l > 0), "some frames shipped degraded");
+        assert_eq!(seen_levels[0], 0, "first frame at full fidelity");
+        // Recovery: with the queue idle, relief steps the level back down.
+        let before = pipe.degrade_level();
+        assert!(before > 0);
+        for s in 0..40 {
+            pipe.submit(cloud(s, 30));
+            while pipe.next_ordered().is_some() {}
+            if pipe.degrade_level() == 0 {
+                break;
+            }
+        }
+        assert_eq!(pipe.degrade_level(), 0, "level restored after pressure clears");
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn overload_counters_flow_through_metrics() {
+        let collector = dbgc_metrics::Collector::new();
+        let mut pipe =
+            PipelinedCompressor::with_metrics(Dbgc::with_error_bound(0.05), 1, &collector)
+                .with_queue_capacity(1)
+                .with_overload_policy(OverloadPolicy::DropOldest);
+        for s in 0..6 {
+            pipe.submit(cloud(s, 1200));
+        }
+        while pipe.next_event().is_some() {}
+        let snap = collector.snapshot();
+        assert!(snap.counters["net.frames_dropped_overload"] > 0);
+        assert!(snap.gauges["net.queue_depth_high_water"] >= 1.0);
     }
 }

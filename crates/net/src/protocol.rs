@@ -14,13 +14,21 @@
 //! so a stream survives one corrupt frame instead of desyncing — the damaged
 //! frame is dropped and the skipped byte count reported to the caller.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::io::{self, Read, Write};
 
 const WIRE_MAGIC: [u8; 4] = *b"DBGF";
-/// Upper bound on a frame payload (a compressed LiDAR frame is < 1 MiB; this
-/// guards against corrupt length fields).
-const MAX_PAYLOAD: u64 = 1 << 30;
+/// Default upper bound on a frame payload. A compressed LiDAR frame is
+/// < 1 MiB even at fine bounds; 8 MiB leaves generous headroom while keeping
+/// a corrupt length field from driving a gigabyte-sized read. Tune per
+/// deployment with [`FrameReader::with_max_payload`].
+pub const DEFAULT_MAX_PAYLOAD: u64 = 8 << 20;
+
+/// Sequence number reserved for wire-v3 control frames ([`Control`]). Data
+/// frames never use it; v2 peers that ignore control frames simply see an
+/// odd sequence number and keep decoding.
+pub const CONTROL_SEQUENCE: u32 = u32::MAX;
 
 /// A framed message: a compressed point cloud plus its sequence number.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +55,18 @@ pub enum NetError {
     },
     /// Clean end of stream between frames.
     Closed,
+    /// A stalled peer exceeded its deadline: no bytes (or no acknowledgement
+    /// progress) within the configured budget. Raised by watchdogs like
+    /// [`crate::link::TimedReader`] and the resilient client instead of
+    /// hanging forever.
+    Timeout,
+    /// A retry budget was exhausted without the operation succeeding.
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The terminal failure, rendered for logs.
+        last_error: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -59,6 +79,10 @@ impl fmt::Display for NetError {
                 write!(f, "checksum mismatch on frame {sequence}")
             }
             NetError::Closed => write!(f, "connection closed"),
+            NetError::Timeout => write!(f, "peer stalled past its deadline"),
+            NetError::RetriesExhausted { attempts, last_error } => {
+                write!(f, "gave up after {attempts} attempts: {last_error}")
+            }
         }
     }
 }
@@ -67,7 +91,93 @@ impl std::error::Error for NetError {}
 
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
-        NetError::Io(e)
+        // Watchdog wrappers surface stalls as `TimedOut`; give every reader
+        // the typed variant for free.
+        if e.kind() == io::ErrorKind::TimedOut {
+            NetError::Timeout
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+/// Wire-v3 control frames, carried as ordinary checksummed frames with the
+/// reserved sequence [`CONTROL_SEQUENCE`] and a one-byte tag prefix.
+///
+/// v3 is negotiated, never required: a client that sends no [`Control::Hello`]
+/// speaks plain v2 and the server behaves exactly as before. Once a hello is
+/// seen the connection is a *session*: the server deduplicates replayed
+/// sequences, drops out-of-order arrivals (the client retransmits them in
+/// order), and acknowledges progress so the client can bound its in-flight
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// Client → server, first frame after (re)connecting.
+    Hello {
+        /// Random per-stream id; reconnects reuse it so the server keeps its
+        /// dedup state instead of treating the client as new.
+        session_id: u64,
+        /// The client's acknowledgement floor: every sequence below this is
+        /// known stored. The server answers with its own view.
+        last_acked: u32,
+    },
+    /// Server → client: everything below `next_expected` is stored durably.
+    Ack {
+        /// Session this acknowledgement belongs to.
+        session_id: u64,
+        /// The next sequence the server will store.
+        next_expected: u32,
+    },
+}
+
+const CONTROL_TAG_HELLO: u8 = 0x01;
+const CONTROL_TAG_ACK: u8 = 0x02;
+
+impl Control {
+    /// Encode as a control-frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(13);
+        match self {
+            Control::Hello { session_id, last_acked } => {
+                out.push(CONTROL_TAG_HELLO);
+                out.extend_from_slice(&session_id.to_le_bytes());
+                out.extend_from_slice(&last_acked.to_le_bytes());
+            }
+            Control::Ack { session_id, next_expected } => {
+                out.push(CONTROL_TAG_ACK);
+                out.extend_from_slice(&session_id.to_le_bytes());
+                out.extend_from_slice(&next_expected.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a control-frame payload; `None` if it is not a valid control
+    /// message (the caller should then treat the frame as data).
+    pub fn decode(payload: &[u8]) -> Option<Control> {
+        if payload.len() != 13 {
+            return None;
+        }
+        let session_id = u64::from_le_bytes(payload[1..9].try_into().ok()?);
+        let low = u32::from_le_bytes(payload[9..13].try_into().ok()?);
+        match payload[0] {
+            CONTROL_TAG_HELLO => Some(Control::Hello { session_id, last_acked: low }),
+            CONTROL_TAG_ACK => Some(Control::Ack { session_id, next_expected: low }),
+            _ => None,
+        }
+    }
+
+    /// Wrap into a wire frame (reserved sequence + encoded payload).
+    pub fn to_frame(&self) -> WireFrame {
+        WireFrame { sequence: CONTROL_SEQUENCE, payload: self.encode() }
+    }
+
+    /// Interpret `frame` as a control message, if it is one.
+    pub fn from_frame(frame: &WireFrame) -> Option<Control> {
+        if frame.sequence != CONTROL_SEQUENCE {
+            return None;
+        }
+        Control::decode(&frame.payload)
     }
 }
 
@@ -117,7 +227,7 @@ pub fn write_frame(w: &mut impl Write, frame: &WireFrame) -> Result<(), NetError
 }
 
 /// Read and verify the frame body after the magic: header fields + payload.
-fn read_frame_body(r: &mut impl Read) -> Result<WireFrame, NetError> {
+fn read_frame_body(r: &mut impl Read, max_payload: u64) -> Result<WireFrame, NetError> {
     let mut buf4 = [0u8; 4];
     r.read_exact(&mut buf4)?;
     let sequence = u32::from_le_bytes(buf4);
@@ -126,7 +236,7 @@ fn read_frame_body(r: &mut impl Read) -> Result<WireFrame, NetError> {
     let len = u64::from_le_bytes(buf8);
     r.read_exact(&mut buf4)?;
     let checksum = u32::from_le_bytes(buf4);
-    if len > MAX_PAYLOAD {
+    if len > max_payload {
         return Err(NetError::OversizedFrame(len));
     }
     // Reservation is clamped; a corrupt length field only costs as many
@@ -149,6 +259,11 @@ fn read_frame_body(r: &mut impl Read) -> Result<WireFrame, NetError> {
 /// boundary. Fails fast on corruption — see [`read_frame_resync`] for the
 /// skip-and-continue variant.
 pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
+    read_frame_with_limit(r, DEFAULT_MAX_PAYLOAD)
+}
+
+/// [`read_frame`] with an explicit payload sanity bound.
+pub fn read_frame_with_limit(r: &mut impl Read, max_payload: u64) -> Result<WireFrame, NetError> {
     let mut magic = [0u8; 4];
     match r.read_exact(&mut magic) {
         Ok(()) => {}
@@ -158,7 +273,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
     if magic != WIRE_MAGIC {
         return Err(NetError::BadMagic);
     }
-    read_frame_body(r)
+    read_frame_body(r, max_payload)
 }
 
 /// Read the next verifiable frame, resynchronizing past corruption.
@@ -168,6 +283,12 @@ pub fn read_frame(r: &mut impl Read) -> Result<WireFrame, NetError> {
 /// scan continues. Returns the frame plus the number of corrupt bytes skipped
 /// over (0 on a clean stream). Returns [`NetError::Closed`] once the stream
 /// ends, even if trailing corrupt bytes were discarded first.
+///
+/// **Limitation:** a failed candidate's body bytes are consumed, so a real
+/// frame whose magic sits *inside* that body is lost — the function survives
+/// one corrupt region, not arbitrary damage. [`FrameReader`] keeps a pushback
+/// buffer and rescans discarded candidate bytes, recovering every verifiable
+/// frame; prefer it for anything long-running.
 pub fn read_frame_resync(r: &mut impl Read) -> Result<(WireFrame, u64), NetError> {
     let mut skipped = 0u64;
     let mut window = [0u8; 4];
@@ -186,7 +307,7 @@ pub fn read_frame_resync(r: &mut impl Read) -> Result<(WireFrame, u64), NetError
             }
         }
         if window == WIRE_MAGIC {
-            match read_frame_body(r) {
+            match read_frame_body(r, DEFAULT_MAX_PAYLOAD) {
                 Ok(frame) => return Ok((frame, skipped)),
                 Err(NetError::ChecksumMismatch { .. }) | Err(NetError::OversizedFrame(_)) => {
                     // Discard the candidate (its body bytes are already
@@ -203,6 +324,168 @@ pub fn read_frame_resync(r: &mut impl Read) -> Result<(WireFrame, u64), NetError
             window.rotate_left(1);
             have = 3;
             skipped += 1;
+        }
+    }
+}
+
+/// A stateful, resynchronizing frame reader with bounded memory.
+///
+/// Unlike the free [`read_frame_resync`], discarded candidate bytes are kept
+/// in a pushback buffer and rescanned, so the reader recovers every
+/// verifiable frame in the stream no matter how corruption falls: magics
+/// split across transport chunk boundaries, real frames hiding inside a
+/// corrupt candidate's payload, and arbitrarily many back-to-back corrupt
+/// regions. Peak buffering is bounded by `max_payload` + header size.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    max_payload: u64,
+    /// Bytes fetched from `inner` but not yet consumed by a verified frame.
+    pending: VecDeque<u8>,
+    /// `inner` reached end of stream; only `pending` remains.
+    eof: bool,
+    /// Scratch for bulk reads from `inner`.
+    chunk: Vec<u8>,
+    /// Lifetime total of corrupt bytes discarded (includes trailing garbage
+    /// that precedes end-of-stream, which no per-frame count can report).
+    total_skipped: u64,
+}
+
+const WIRE_HEADER_LEN: usize = 20; // magic + sequence + length + crc
+
+impl<R: Read> FrameReader<R> {
+    /// Wrap `inner` with the [`DEFAULT_MAX_PAYLOAD`] sanity bound.
+    pub fn new(inner: R) -> FrameReader<R> {
+        FrameReader {
+            inner,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            pending: VecDeque::new(),
+            eof: false,
+            chunk: vec![0u8; 16 << 10],
+            total_skipped: 0,
+        }
+    }
+
+    /// Override the payload sanity bound (also bounds the pushback buffer).
+    pub fn with_max_payload(mut self, max_payload: u64) -> FrameReader<R> {
+        self.max_payload = max_payload;
+        self
+    }
+
+    /// The configured payload bound.
+    pub fn max_payload(&self) -> u64 {
+        self.max_payload
+    }
+
+    /// Lifetime total of corrupt bytes this reader has discarded, including
+    /// trailing garbage counted when the stream closed.
+    pub fn bytes_skipped(&self) -> u64 {
+        self.total_skipped
+    }
+
+    /// Consume the reader, returning the transport. Unscanned pushback bytes
+    /// are dropped.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    /// Pull more bytes from the transport into `pending`; `Ok(false)` on EOF.
+    fn fill(&mut self) -> Result<bool, NetError> {
+        if self.eof {
+            return Ok(false);
+        }
+        loop {
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    return Ok(false);
+                }
+                Ok(n) => {
+                    self.pending.extend(&self.chunk[..n]);
+                    return Ok(true);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Ensure at least `n` bytes are pending; `Ok(false)` if the stream ended
+    /// first.
+    fn want(&mut self, n: usize) -> Result<bool, NetError> {
+        while self.pending.len() < n {
+            if !self.fill()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Drop one leading byte (established garbage).
+    fn skip_front(&mut self, skipped: &mut u64) {
+        self.pending.pop_front();
+        *skipped += 1;
+        self.total_skipped += 1;
+    }
+
+    fn pending_at(&self, i: usize) -> u8 {
+        *self.pending.get(i).expect("index within pending")
+    }
+
+    /// Read the next verifiable frame, scanning past any corruption.
+    ///
+    /// Returns the frame plus the number of corrupt bytes discarded before
+    /// it; [`NetError::Closed`] once the stream ends (possibly after
+    /// discarding trailing garbage). I/O errors other than EOF propagate.
+    pub fn next_frame(&mut self) -> Result<(WireFrame, u64), NetError> {
+        let mut skipped = 0u64;
+        loop {
+            // Align the front of `pending` on the wire magic.
+            if !self.want(4)? {
+                // Trailing garbage: the per-frame count dies with `Closed`,
+                // but the lifetime total still records it.
+                self.total_skipped += self.pending.len() as u64;
+                self.pending.clear();
+                return Err(NetError::Closed);
+            }
+            if (0..4).any(|i| self.pending_at(i) != WIRE_MAGIC[i]) {
+                self.skip_front(&mut skipped);
+                continue;
+            }
+            // Parse the fixed header.
+            if !self.want(WIRE_HEADER_LEN)? {
+                self.skip_front(&mut skipped);
+                continue;
+            }
+            let field = |me: &Self, at: usize, n: usize| -> u64 {
+                (0..n).fold(0u64, |acc, i| acc | (me.pending_at(at + i) as u64) << (8 * i))
+            };
+            let sequence = field(self, 4, 4) as u32;
+            let len = field(self, 8, 8);
+            let checksum = field(self, 16, 4) as u32;
+            if len > self.max_payload {
+                // Hostile length: the magic itself is garbage, rescan from
+                // the next byte.
+                self.skip_front(&mut skipped);
+                continue;
+            }
+            let total = WIRE_HEADER_LEN + len as usize;
+            if !self.want(total)? {
+                // Stream ended mid-candidate; the magic byte is garbage but
+                // the tail may still hide a smaller intact frame.
+                self.skip_front(&mut skipped);
+                continue;
+            }
+            let payload: Vec<u8> =
+                self.pending.iter().skip(WIRE_HEADER_LEN).take(len as usize).copied().collect();
+            if frame_checksum(sequence, &payload) == checksum {
+                self.pending.drain(..total);
+                return Ok((WireFrame { sequence, payload }, skipped));
+            }
+            // Bad checksum: discard only the first byte of the bogus magic
+            // and rescan — a real frame may start anywhere inside this
+            // candidate's bytes.
+            self.skip_front(&mut skipped);
         }
     }
 }
@@ -338,6 +621,166 @@ mod tests {
         write_frame(&mut buf, &WireFrame { sequence: 1, payload: vec![7; 100] }).unwrap();
         buf.truncate(buf.len() - 10);
         assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::Io(_))));
+    }
+
+    fn encode(frames: &[WireFrame]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for f in frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        buf
+    }
+
+    fn drain_reader(r: impl io::Read) -> (Vec<(u32, usize)>, u64) {
+        let mut reader = FrameReader::new(r);
+        let mut got = Vec::new();
+        loop {
+            match reader.next_frame() {
+                Ok((f, _)) => got.push((f.sequence, f.payload.len())),
+                Err(NetError::Closed) => return (got, reader.bytes_skipped()),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+    }
+
+    /// A reader delivering fixed-size chunks, so the wire magic can straddle
+    /// a transport read boundary.
+    struct Chunked<'a> {
+        data: &'a [u8],
+        chunk: usize,
+    }
+    impl io::Read for Chunked<'_> {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = self.data.len().min(self.chunk).min(out.len());
+            out[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_clean_stream() {
+        let frames: Vec<WireFrame> = (0..4)
+            .map(|i| WireFrame { sequence: i, payload: vec![i as u8; 64 + i as usize] })
+            .collect();
+        let buf = encode(&frames);
+        let (got, skipped) = drain_reader(&buf[..]);
+        assert_eq!(got, vec![(0, 64), (1, 65), (2, 66), (3, 67)]);
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn frame_reader_magic_split_across_chunk_boundary() {
+        // Regression: deliver the stream in chunk sizes that split "DBGF"
+        // at every possible offset, with leading garbage shifting alignment.
+        let frame = WireFrame { sequence: 5, payload: vec![0x5A; 97] };
+        for garbage in 0..5usize {
+            let mut buf = vec![0xEE; garbage];
+            buf.extend(encode(std::slice::from_ref(&frame)));
+            for chunk in 1..8usize {
+                let (got, skipped) = drain_reader(Chunked { data: &buf, chunk });
+                assert_eq!(got, vec![(5, 97)], "garbage {garbage}, chunk {chunk}");
+                assert_eq!(skipped, garbage as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_recovers_frame_hidden_in_corrupt_candidate_payload() {
+        // Regression: frame 0's length field is inflated so the legacy
+        // resync reader swallows frame 1 inside the bogus candidate body.
+        // The buffered reader must rescan and recover frame 1.
+        let f0 = WireFrame { sequence: 0, payload: vec![9; 50] };
+        let f1 = WireFrame { sequence: 1, payload: vec![8; 50] };
+        let mut buf = encode(&[f0, f1.clone()]);
+        buf[8] += 60; // frame 0 now claims its payload covers frame 1 too
+        let (got, skipped) = drain_reader(&buf[..]);
+        assert_eq!(got, vec![(1, 50)], "frame 1 must survive");
+        assert!(skipped > 0);
+
+        // The legacy one-region reader documents the weaker behaviour: it
+        // consumes the candidate body, losing frame 1.
+        let mut r = &buf[..];
+        assert!(matches!(read_frame_resync(&mut r), Err(NetError::Closed)));
+    }
+
+    #[test]
+    fn frame_reader_back_to_back_corrupt_frames() {
+        // Two adjacent corrupt frames, then an intact one: the reader must
+        // cross both corrupt regions (the legacy API only survives one).
+        let frames: Vec<WireFrame> =
+            (0..4).map(|i| WireFrame { sequence: i, payload: vec![i as u8 + 1; 120] }).collect();
+        let mut buf = encode(&frames);
+        let stride = buf.len() / 4;
+        buf[stride + 30] ^= 0xFF; // corrupt frame 1 payload
+        buf[2 * stride + 30] ^= 0xFF; // corrupt frame 2 payload
+        let (got, skipped) = drain_reader(&buf[..]);
+        assert_eq!(got, vec![(0, 120), (3, 120)]);
+        assert!(skipped > 0);
+    }
+
+    #[test]
+    fn frame_reader_every_frame_corrupt_reports_closed() {
+        let frames: Vec<WireFrame> =
+            (0..3).map(|i| WireFrame { sequence: i, payload: vec![7; 80] }).collect();
+        let mut buf = encode(&frames);
+        let stride = buf.len() / 3;
+        for k in 0..3 {
+            buf[k * stride + 40] ^= 0x01;
+        }
+        let (got, skipped) = drain_reader(&buf[..]);
+        assert!(got.is_empty());
+        assert_eq!(skipped, buf.len() as u64, "every byte accounted as skipped");
+    }
+
+    #[test]
+    fn frame_reader_max_payload_knob() {
+        let frame = WireFrame { sequence: 1, payload: vec![3; 2000] };
+        let buf = encode(std::slice::from_ref(&frame));
+        // Under the default bound the frame reads fine.
+        let mut ok = FrameReader::new(&buf[..]);
+        assert_eq!(ok.next_frame().unwrap().0, frame);
+        // With a 1 KiB knob the 2 KB frame is treated as hostile garbage.
+        let mut tight = FrameReader::new(&buf[..]).with_max_payload(1 << 10);
+        assert!(matches!(tight.next_frame(), Err(NetError::Closed)));
+    }
+
+    // The doc comment promises "< 1 MiB" typical frames; the guard must
+    // be within an order of magnitude, not a 1 GiB barn door.
+    const _: () = assert!(DEFAULT_MAX_PAYLOAD <= 16 << 20);
+    const _: () = assert!(DEFAULT_MAX_PAYLOAD >= 1 << 20);
+
+    #[test]
+    fn default_payload_bound_is_sane() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"DBGF");
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(DEFAULT_MAX_PAYLOAD + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(read_frame(&mut &buf[..]), Err(NetError::OversizedFrame(_))));
+    }
+
+    #[test]
+    fn control_frames_roundtrip_and_reject_garbage() {
+        for c in [
+            Control::Hello { session_id: 0xDEAD_BEEF_0123, last_acked: 42 },
+            Control::Ack { session_id: 7, next_expected: 0 },
+        ] {
+            let frame = c.to_frame();
+            assert_eq!(frame.sequence, CONTROL_SEQUENCE);
+            assert_eq!(Control::from_frame(&frame), Some(c));
+            // Survives the wire.
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &frame).unwrap();
+            let back = read_frame(&mut &buf[..]).unwrap();
+            assert_eq!(Control::from_frame(&back), Some(c));
+        }
+        assert_eq!(Control::decode(&[]), None);
+        assert_eq!(Control::decode(&[0x03; 13]), None);
+        assert_eq!(Control::decode(&[0x01; 12]), None);
+        // A data frame is never mistaken for control.
+        let data = WireFrame { sequence: 3, payload: vec![CONTROL_TAG_HELLO; 13] };
+        assert_eq!(Control::from_frame(&data), None);
     }
 
     #[test]

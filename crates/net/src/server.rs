@@ -3,13 +3,27 @@
 //! The paper's server either decompresses `B` into `PC'` for processing or
 //! "bypasses the decompression procedure and directly stores B" (§3.1). Both
 //! modes are supported; the in-memory store stands in for the ODBC sink.
+//!
+//! Two layers:
+//!
+//! * [`SessionServer`] — the transport-free state machine: frame dedup and
+//!   gap detection, wire-v3 session handling (hello/ack), the frame store,
+//!   and all observability counters. It outlives any single connection, so a
+//!   reconnecting client resumes against the same state.
+//! * [`Server`] — the classic single-transport wrapper (wire-v2 compatible):
+//!   owns a [`FrameReader`] over one `Read` and delegates to the state
+//!   machine. Unchanged behaviour for clean v2 streams.
+//!
+//! Corruption never kills a stream (resynchronization via [`FrameReader`]);
+//! a stalled stream is failed with [`NetError::Timeout`] when the transport
+//! is wrapped in [`crate::link::TimedReader`].
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::path::PathBuf;
 
 use dbgc_geom::PointCloud;
 
-use crate::protocol::{read_frame_resync, NetError};
+use crate::protocol::{write_frame, Control, FrameReader, NetError};
 
 /// A received frame: the raw bitstream plus, when decompression is enabled,
 /// the restored point cloud.
@@ -37,19 +51,67 @@ pub struct DroppedFrame {
     pub reason: String,
 }
 
+/// A sequence-number anomaly on an intact (checksummed) frame: silent frame
+/// loss and replay become observable instead of vanishing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqAnomaly {
+    /// What went wrong.
+    pub kind: AnomalyKind,
+    /// Sequence number carried by the frame.
+    pub sequence: u32,
+    /// Sequence the server expected at that point.
+    pub expected: u32,
+}
+
+/// Classification of a [`SeqAnomaly`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnomalyKind {
+    /// The sequence was already stored (a replayed/duplicated frame).
+    Duplicate,
+    /// The sequence jumped forward: frames in between never arrived.
+    Gap,
+}
+
 /// Optional metrics sink (always `None` with the `metrics` feature off).
 #[cfg(feature = "metrics")]
 type MetricsSink = Option<dbgc_metrics::Collector>;
 #[cfg(not(feature = "metrics"))]
 type MetricsSink = Option<std::convert::Infallible>;
 
-/// Receives and stores compressed point-cloud frames.
+/// Transport-free server state machine; see the module docs.
+///
+/// ### Modes
+///
+/// *Wire v2* (no hello seen): every intact frame is stored in arrival order,
+/// exactly as the original server behaved; sequence anomalies are *recorded*
+/// (counters + [`SessionServer::anomalies`]) but frames are never dropped
+/// for ordering reasons.
+///
+/// *Wire v3 session* (after a [`Control::Hello`]): strict in-order delivery.
+/// Replayed sequences are deduplicated, out-of-order arrivals are dropped
+/// (the client's go-back-N retransmit resends them in order), and every
+/// accepted or deduplicated frame is acknowledged so the client can advance
+/// its bounded in-flight window.
+///
+/// ### Counter invariant
+///
+/// For every connection mix, intact data frames partition exactly:
+/// `net.frames_intact == net.frames_stored + net.frames_deduped +
+/// net.frames_gap_dropped + net.decode_failures` — the chaos suite asserts
+/// this for every seed.
 #[derive(Debug)]
-pub struct Server<R: Read> {
-    transport: R,
+pub struct SessionServer {
     decompress: bool,
     store: Vec<StoredFrame>,
     dropped: Vec<DroppedFrame>,
+    anomalies: Vec<SeqAnomaly>,
+    /// Active wire-v3 session, once a hello arrives.
+    session: Option<u64>,
+    /// Strict-mode cursor: next sequence the session will store.
+    next_expected: u32,
+    /// v2 observability cursor: sequence expected next, once any data frame
+    /// has arrived.
+    v2_expected: Option<u32>,
     /// Optional on-disk sink: every received bitstream is also written as
     /// `frame-<seq>.dbgc` here (stands in for the paper's ODBC storage).
     disk_store: Option<PathBuf>,
@@ -57,38 +119,366 @@ pub struct Server<R: Read> {
     metrics: MetricsSink,
 }
 
-impl<R: Read> Server<R> {
+impl SessionServer {
     /// `decompress = false` reproduces the "store B directly" mode.
-    pub fn new(transport: R, decompress: bool) -> Server<R> {
-        Server {
-            transport,
+    pub fn new(decompress: bool) -> SessionServer {
+        SessionServer {
             decompress,
             store: Vec::new(),
             dropped: Vec::new(),
+            anomalies: Vec::new(),
+            session: None,
+            next_expected: 0,
+            v2_expected: None,
             disk_store: None,
             metrics: None,
         }
     }
 
-    /// Record per-connection observability data into `collector`:
-    /// `net.frames_received` / `net.bytes_received` for stored frames,
-    /// `net.frames_dropped` / `net.decode_failures` for discarded ones,
-    /// `net.resyncs` / `net.bytes_skipped` for wire-level recovery, and a
-    /// `net.frame_bytes` size histogram. When decompression is enabled the
-    /// decoder also records its stage spans into the same collector.
+    /// Record per-connection observability data into `collector`; see
+    /// [`Server::with_metrics`] for the counter inventory.
     #[cfg(feature = "metrics")]
-    pub fn with_metrics(mut self, collector: &dbgc_metrics::Collector) -> Server<R> {
+    pub fn with_metrics(mut self, collector: &dbgc_metrics::Collector) -> SessionServer {
         self.metrics = Some(collector.clone());
         self
     }
 
     /// Additionally persist every received bitstream into `dir` as
     /// `frame-<seq>.dbgc`. The directory is created if missing.
-    pub fn with_disk_store(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Server<R>> {
+    pub fn with_disk_store(mut self, dir: impl Into<PathBuf>) -> std::io::Result<SessionServer> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         self.disk_store = Some(dir);
         Ok(self)
+    }
+
+    fn incr(&self, _name: &str, _n: u64) {
+        #[cfg(feature = "metrics")]
+        if let Some(c) = &self.metrics {
+            c.incr(_name, _n);
+        }
+    }
+
+    fn record_hist(&self, _name: &str, _v: u64) {
+        #[cfg(feature = "metrics")]
+        if let Some(c) = &self.metrics {
+            c.record(_name, _v);
+        }
+    }
+
+    /// Send (or resend) the session acknowledgement. Ack-path failures are
+    /// soft: the data path keeps working, the client recovers via timeout.
+    fn send_ack(&mut self, ack: &mut Option<impl Write>) {
+        let Some(session) = self.session else { return };
+        let Some(w) = ack.as_mut() else { return };
+        let frame =
+            Control::Ack { session_id: session, next_expected: self.next_expected }.to_frame();
+        if write_frame(w, &frame).is_ok() {
+            self.incr("net.acks_sent", 1);
+        } else {
+            self.incr("net.ack_errors", 1);
+        }
+    }
+
+    /// Process one wire frame against the session state. Returns `true` when
+    /// a data frame was *stored* (control frames, duplicates, gaps and
+    /// decode failures all return `false` and the caller keeps reading).
+    fn process_frame(
+        &mut self,
+        wire: crate::protocol::WireFrame,
+        ack: &mut Option<impl Write>,
+    ) -> Result<bool, NetError> {
+        if let Some(control) = Control::from_frame(&wire) {
+            match control {
+                Control::Hello { session_id, last_acked } => {
+                    self.incr("net.hellos", 1);
+                    match self.session {
+                        Some(current) if current == session_id => {
+                            // Reconnect within the session: keep dedup state.
+                            self.incr("net.reconnect_hellos", 1);
+                        }
+                        _ => {
+                            // New session (or first hello): strict mode from
+                            // a fresh cursor.
+                            self.session = Some(session_id);
+                            self.next_expected = 0;
+                        }
+                    }
+                    // The client's ack floor trailing our cursor is expected
+                    // (lost acks); it running *ahead* would mean we lost
+                    // stored frames and is worth a gap record.
+                    if last_acked > self.next_expected {
+                        self.incr("net.seq_gaps", 1);
+                        self.anomalies.push(SeqAnomaly {
+                            kind: AnomalyKind::Gap,
+                            sequence: last_acked,
+                            expected: self.next_expected,
+                        });
+                    }
+                    self.send_ack(ack);
+                }
+                Control::Ack { .. } => {
+                    // Acks flow server → client; one arriving here is noise
+                    // (e.g. a fuzzed stream). Ignore.
+                }
+            }
+            return Ok(false);
+        }
+
+        self.incr("net.frames_intact", 1);
+        self.record_hist("net.frame_bytes", wire.payload.len() as u64);
+
+        if self.session.is_some() {
+            // Strict session ordering.
+            if wire.sequence < self.next_expected {
+                self.incr("net.frames_deduped", 1);
+                self.anomalies.push(SeqAnomaly {
+                    kind: AnomalyKind::Duplicate,
+                    sequence: wire.sequence,
+                    expected: self.next_expected,
+                });
+                // Re-ack so a client that missed the original ack advances.
+                self.send_ack(ack);
+                return Ok(false);
+            }
+            if wire.sequence > self.next_expected {
+                self.incr("net.seq_gaps", 1);
+                self.incr("net.frames_gap_dropped", 1);
+                self.anomalies.push(SeqAnomaly {
+                    kind: AnomalyKind::Gap,
+                    sequence: wire.sequence,
+                    expected: self.next_expected,
+                });
+                // Tell the client where we are; go-back-N fills the hole.
+                self.send_ack(ack);
+                return Ok(false);
+            }
+        } else {
+            // v2: observability only, store everything like the original
+            // server did.
+            if let Some(expected) = self.v2_expected {
+                if wire.sequence > expected {
+                    self.incr("net.seq_gaps", 1);
+                    self.anomalies.push(SeqAnomaly {
+                        kind: AnomalyKind::Gap,
+                        sequence: wire.sequence,
+                        expected,
+                    });
+                } else if wire.sequence < expected {
+                    self.incr("net.seq_dups_observed", 1);
+                    self.anomalies.push(SeqAnomaly {
+                        kind: AnomalyKind::Duplicate,
+                        sequence: wire.sequence,
+                        expected,
+                    });
+                }
+            }
+            self.v2_expected = Some(wire.sequence.wrapping_add(1));
+        }
+
+        let cloud = if self.decompress {
+            let decoded = {
+                #[cfg(feature = "metrics")]
+                match &self.metrics {
+                    Some(c) => dbgc::decompress_with_metrics(&wire.payload, c),
+                    None => dbgc::decompress(&wire.payload),
+                }
+                #[cfg(not(feature = "metrics"))]
+                dbgc::decompress(&wire.payload)
+            };
+            match decoded {
+                Ok((cloud, _)) => Some(cloud),
+                Err(e) => {
+                    self.incr("net.decode_failures", 1);
+                    self.incr("net.frames_dropped", 1);
+                    self.dropped.push(DroppedFrame {
+                        sequence: Some(wire.sequence),
+                        bytes_skipped: 0,
+                        reason: format!("frame {} failed to decode: {e}", wire.sequence),
+                    });
+                    if self.session.is_some() {
+                        // The payload passed its CRC, so retransmission
+                        // would resend the same poisoned bytes: advance and
+                        // ack to keep the session moving.
+                        self.next_expected = self.next_expected.wrapping_add(1);
+                        self.send_ack(ack);
+                    }
+                    return Ok(false);
+                }
+            }
+        } else {
+            None
+        };
+        if let Some(dir) = &self.disk_store {
+            std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
+        }
+        self.incr("net.frames_received", 1);
+        self.incr("net.frames_stored", 1);
+        self.incr("net.bytes_received", wire.payload.len() as u64);
+        self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
+        if self.session.is_some() {
+            self.next_expected = self.next_expected.wrapping_add(1);
+            self.send_ack(ack);
+        }
+        Ok(true)
+    }
+
+    /// Receive frames from `reader` until one is stored; `Ok(false)` on a
+    /// clean end of stream. See [`Server::receive_one`].
+    pub fn receive_one<R: Read>(
+        &mut self,
+        reader: &mut FrameReader<R>,
+        ack: &mut Option<impl Write>,
+    ) -> Result<bool, NetError> {
+        loop {
+            let (wire, skipped) = match reader.next_frame() {
+                Ok(x) => x,
+                Err(NetError::Closed) => return Ok(false),
+                Err(e) => return Err(e),
+            };
+            if skipped > 0 {
+                self.incr("net.resyncs", 1);
+                self.incr("net.bytes_skipped", skipped);
+                self.incr("net.frames_dropped", 1);
+                self.dropped.push(DroppedFrame {
+                    sequence: None,
+                    bytes_skipped: skipped,
+                    reason: format!("resynchronized past {skipped} corrupt wire bytes"),
+                });
+            }
+            if self.process_frame(wire, ack)? {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Drain one connection: read frames until the stream closes or fails.
+    /// Returns the number of frames *stored* from this connection. Session
+    /// state persists across calls, so the next connection resumes where
+    /// this one left off.
+    pub fn serve_connection<R: Read, A: Write>(
+        &mut self,
+        transport: R,
+        ack: Option<A>,
+    ) -> Result<usize, NetError> {
+        let mut reader = FrameReader::new(transport);
+        let mut ack = ack;
+        let mut stored = 0usize;
+        loop {
+            match self.receive_one(&mut reader, &mut ack) {
+                Ok(true) => stored += 1,
+                Ok(false) => return Ok(stored),
+                Err(NetError::Timeout) => {
+                    self.incr("net.timeouts", 1);
+                    return Err(NetError::Timeout);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// All frames stored so far (across every connection).
+    pub fn frames(&self) -> &[StoredFrame] {
+        &self.store
+    }
+
+    /// Frames and wire regions discarded due to corruption.
+    pub fn dropped(&self) -> &[DroppedFrame] {
+        &self.dropped
+    }
+
+    /// Sequence anomalies observed on intact frames (duplicates, gaps).
+    pub fn anomalies(&self) -> &[SeqAnomaly] {
+        &self.anomalies
+    }
+
+    /// The active wire-v3 session id, if a hello has been received.
+    pub fn session_id(&self) -> Option<u64> {
+        self.session
+    }
+
+    /// Strict-mode cursor: the next sequence the session will store.
+    pub fn next_expected(&self) -> u32 {
+        self.next_expected
+    }
+
+    /// Consume the state machine, returning its stored frames.
+    pub fn into_frames(self) -> Vec<StoredFrame> {
+        self.store
+    }
+}
+
+/// Discard-everything ack sink for servers on unidirectional transports.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoAck;
+
+impl Write for NoAck {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        Ok(data.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Receives and stores compressed point-cloud frames over one transport.
+///
+/// The classic wire-v2 entry point; session behaviour (dedup, acks) engages
+/// only if the peer sends a wire-v3 hello *and* an ack writer is attached
+/// via [`Server::with_ack_writer`]. For multi-connection sessions use
+/// [`SessionServer`] directly.
+#[derive(Debug)]
+pub struct Server<R, A: Write = NoAck> {
+    reader: FrameReader<R>,
+    ack: Option<A>,
+    core: SessionServer,
+}
+
+impl<R: Read> Server<R> {
+    /// `decompress = false` reproduces the "store B directly" mode.
+    pub fn new(transport: R, decompress: bool) -> Server<R> {
+        Server {
+            reader: FrameReader::new(transport),
+            ack: None,
+            core: SessionServer::new(decompress),
+        }
+    }
+}
+
+impl<R: Read, A: Write> Server<R, A> {
+    /// Record per-connection observability data into `collector`:
+    /// `net.frames_received` / `net.bytes_received` for stored frames,
+    /// `net.frames_dropped` / `net.decode_failures` for discarded ones,
+    /// `net.resyncs` / `net.bytes_skipped` for wire-level recovery,
+    /// `net.frames_intact` / `net.frames_stored` / `net.frames_deduped` /
+    /// `net.frames_gap_dropped` / `net.seq_gaps` for sequence accounting,
+    /// `net.hellos` / `net.acks_sent` / `net.timeouts` for session health,
+    /// and a `net.frame_bytes` size histogram. When decompression is enabled
+    /// the decoder also records its stage spans into the same collector.
+    #[cfg(feature = "metrics")]
+    pub fn with_metrics(mut self, collector: &dbgc_metrics::Collector) -> Server<R, A> {
+        self.core = self.core.with_metrics(collector);
+        self
+    }
+
+    /// Additionally persist every received bitstream into `dir` as
+    /// `frame-<seq>.dbgc`. The directory is created if missing.
+    pub fn with_disk_store(mut self, dir: impl Into<PathBuf>) -> std::io::Result<Server<R, A>> {
+        self.core = self.core.with_disk_store(dir)?;
+        Ok(self)
+    }
+
+    /// Cap header-declared payload sizes at `max_payload` bytes (defaults to
+    /// [`crate::protocol::DEFAULT_MAX_PAYLOAD`]).
+    pub fn with_max_payload(mut self, max_payload: u64) -> Server<R, A> {
+        self.reader = self.reader.with_max_payload(max_payload);
+        self
+    }
+
+    /// Attach the write half of the transport so wire-v3 sessions can be
+    /// acknowledged.
+    pub fn with_ack_writer<A2: Write>(self, ack: A2) -> Server<R, A2> {
+        Server { reader: self.reader, ack: Some(ack), core: self.core }
     }
 
     /// Receive one frame; `Ok(false)` on clean end of stream.
@@ -99,66 +489,7 @@ impl<R: Read> Server<R> {
     /// decompress is discarded. Both are recorded in [`Server::dropped`] and
     /// reception continues with the next frame.
     pub fn receive_one(&mut self) -> Result<bool, NetError> {
-        loop {
-            let (wire, skipped) = match read_frame_resync(&mut self.transport) {
-                Ok(x) => x,
-                Err(NetError::Closed) => return Ok(false),
-                Err(e) => return Err(e),
-            };
-            if skipped > 0 {
-                #[cfg(feature = "metrics")]
-                if let Some(c) = &self.metrics {
-                    c.incr("net.resyncs", 1);
-                    c.incr("net.bytes_skipped", skipped);
-                    c.incr("net.frames_dropped", 1);
-                }
-                self.dropped.push(DroppedFrame {
-                    sequence: None,
-                    bytes_skipped: skipped,
-                    reason: format!("resynchronized past {skipped} corrupt wire bytes"),
-                });
-            }
-            let cloud = if self.decompress {
-                let decoded = {
-                    #[cfg(feature = "metrics")]
-                    match &self.metrics {
-                        Some(c) => dbgc::decompress_with_metrics(&wire.payload, c),
-                        None => dbgc::decompress(&wire.payload),
-                    }
-                    #[cfg(not(feature = "metrics"))]
-                    dbgc::decompress(&wire.payload)
-                };
-                match decoded {
-                    Ok((cloud, _)) => Some(cloud),
-                    Err(e) => {
-                        #[cfg(feature = "metrics")]
-                        if let Some(c) = &self.metrics {
-                            c.incr("net.decode_failures", 1);
-                            c.incr("net.frames_dropped", 1);
-                        }
-                        self.dropped.push(DroppedFrame {
-                            sequence: Some(wire.sequence),
-                            bytes_skipped: 0,
-                            reason: format!("frame {} failed to decode: {e}", wire.sequence),
-                        });
-                        continue;
-                    }
-                }
-            } else {
-                None
-            };
-            if let Some(dir) = &self.disk_store {
-                std::fs::write(dir.join(format!("frame-{}.dbgc", wire.sequence)), &wire.payload)?;
-            }
-            #[cfg(feature = "metrics")]
-            if let Some(c) = &self.metrics {
-                c.incr("net.frames_received", 1);
-                c.incr("net.bytes_received", wire.payload.len() as u64);
-                c.record("net.frame_bytes", wire.payload.len() as u64);
-            }
-            self.store.push(StoredFrame { sequence: wire.sequence, bytes: wire.payload, cloud });
-            return Ok(true);
-        }
+        self.core.receive_one(&mut self.reader, &mut self.ack)
     }
 
     /// Receive until the stream closes; returns the number of frames.
@@ -172,17 +503,23 @@ impl<R: Read> Server<R> {
 
     /// All frames received so far.
     pub fn frames(&self) -> &[StoredFrame] {
-        &self.store
+        self.core.frames()
     }
 
     /// Frames and wire regions discarded due to corruption.
     pub fn dropped(&self) -> &[DroppedFrame] {
-        &self.dropped
+        self.core.dropped()
+    }
+
+    /// Sequence anomalies observed on intact frames (duplicates, gaps) —
+    /// silent frame loss on a lossy link made visible.
+    pub fn anomalies(&self) -> &[SeqAnomaly] {
+        self.core.anomalies()
     }
 
     /// Consume the server, returning its stored frames.
     pub fn into_frames(self) -> Vec<StoredFrame> {
-        self.store
+        self.core.into_frames()
     }
 }
 
@@ -191,6 +528,7 @@ mod tests {
     use super::*;
     use crate::client::Client;
     use crate::link::throttled_pipe;
+    use crate::protocol::{write_frame, WireFrame};
     use dbgc::Dbgc;
     use dbgc_geom::Point3;
 
@@ -225,6 +563,7 @@ mod tests {
             assert_eq!(cloud.len(), clouds[i].len());
             dbgc::verify_roundtrip(&clouds[i], cloud, &frames[i], 0.02).unwrap();
         }
+        assert!(server.anomalies().is_empty(), "clean in-order stream");
     }
 
     #[test]
@@ -267,7 +606,6 @@ mod tests {
     fn corrupt_frame_dropped_stream_continues() {
         // Build a 3-frame byte stream, flip bytes in the middle frame, and
         // check the server stores frames 0 and 2 while recording the drop.
-        use crate::protocol::{write_frame, WireFrame};
         let clouds: Vec<PointCloud> = (1..4).map(|k| toy_cloud(k * 300)).collect();
         let mut buf = Vec::new();
         let mut offsets = vec![0usize];
@@ -288,6 +626,11 @@ mod tests {
         assert_eq!(server.frames()[1].cloud.as_ref().unwrap().len(), clouds[2].len());
         assert_eq!(server.dropped().len(), 1, "the corrupt frame is recorded");
         assert!(server.dropped()[0].bytes_skipped > 0);
+        // The skipped frame also surfaces as a sequence gap (0 -> 2).
+        assert_eq!(
+            server.anomalies(),
+            &[SeqAnomaly { kind: AnomalyKind::Gap, sequence: 2, expected: 1 }]
+        );
     }
 
     #[test]
@@ -307,5 +650,118 @@ mod tests {
         assert_eq!(server.receive_all().unwrap(), 1);
         client.join().unwrap();
         assert_eq!(server.frames()[0].cloud.as_ref().unwrap().len(), cloud.len());
+    }
+
+    fn data_frame(seq: u32) -> WireFrame {
+        WireFrame { sequence: seq, payload: vec![seq as u8; 40] }
+    }
+
+    #[test]
+    fn v2_gap_and_duplicate_detection_is_observability_only() {
+        // Sequences 0, 3, 3, 1: one gap, one duplicate, one rewind — all
+        // stored (v2 semantics), all recorded.
+        let mut buf = Vec::new();
+        for seq in [0u32, 3, 3, 1] {
+            write_frame(&mut buf, &data_frame(seq)).unwrap();
+        }
+        let mut server = Server::new(&buf[..], false);
+        assert_eq!(server.receive_all().unwrap(), 4, "v2 stores everything");
+        let kinds: Vec<AnomalyKind> = server.anomalies().iter().map(|a| a.kind).collect();
+        assert_eq!(kinds, vec![AnomalyKind::Gap, AnomalyKind::Duplicate, AnomalyKind::Duplicate]);
+        assert_eq!(
+            server.anomalies()[0],
+            SeqAnomaly { kind: AnomalyKind::Gap, sequence: 3, expected: 1 }
+        );
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn v2_anomaly_counters_flow_through_metrics() {
+        let mut buf = Vec::new();
+        for seq in [0u32, 2, 2] {
+            write_frame(&mut buf, &data_frame(seq)).unwrap();
+        }
+        let collector = dbgc_metrics::Collector::new();
+        let mut server = Server::new(&buf[..], false).with_metrics(&collector);
+        server.receive_all().unwrap();
+        let snap = collector.snapshot();
+        assert_eq!(snap.counters["net.seq_gaps"], 1);
+        assert_eq!(snap.counters["net.seq_dups_observed"], 1);
+        assert_eq!(snap.counters["net.frames_intact"], 3);
+        assert_eq!(snap.counters["net.frames_stored"], 3);
+    }
+
+    #[test]
+    fn session_mode_dedups_and_acks() {
+        // hello, 0, 1, 1 (replay), 3 (gap) — strict mode stores 0 and 1,
+        // dedups the replay, drops the gap, and acks each step.
+        let session = 0x5E55_0001;
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Control::Hello { session_id: session, last_acked: 0 }.to_frame())
+            .unwrap();
+        for seq in [0u32, 1, 1, 3] {
+            write_frame(&mut buf, &data_frame(seq)).unwrap();
+        }
+        let mut acks = Vec::new();
+        let mut core = SessionServer::new(false);
+        let stored = core.serve_connection(&buf[..], Some(&mut acks)).unwrap();
+        assert_eq!(stored, 2);
+        assert_eq!(core.session_id(), Some(session));
+        assert_eq!(core.next_expected(), 2);
+        let seqs: Vec<u32> = core.frames().iter().map(|f| f.sequence).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        let kinds: Vec<AnomalyKind> = core.anomalies().iter().map(|a| a.kind).collect();
+        assert_eq!(kinds, vec![AnomalyKind::Duplicate, AnomalyKind::Gap]);
+        // The ack stream is parseable and ends at next_expected = 2.
+        let mut r = &acks[..];
+        let mut last = None;
+        while let Ok(frame) = crate::protocol::read_frame(&mut r) {
+            match Control::from_frame(&frame) {
+                Some(Control::Ack { session_id, next_expected }) => {
+                    assert_eq!(session_id, session);
+                    last = Some(next_expected);
+                }
+                other => panic!("unexpected control {other:?}"),
+            }
+        }
+        assert_eq!(last, Some(2));
+    }
+
+    #[test]
+    fn session_state_survives_reconnect() {
+        let session = 77;
+        let mut core = SessionServer::new(false);
+        // Connection 1: hello + frames 0, 1.
+        let mut conn1 = Vec::new();
+        write_frame(&mut conn1, &Control::Hello { session_id: session, last_acked: 0 }.to_frame())
+            .unwrap();
+        write_frame(&mut conn1, &data_frame(0)).unwrap();
+        write_frame(&mut conn1, &data_frame(1)).unwrap();
+        core.serve_connection(&conn1[..], Some(NoAck)).unwrap();
+        // Connection 2 (reconnect): hello + replayed 1, then 2.
+        let mut conn2 = Vec::new();
+        write_frame(&mut conn2, &Control::Hello { session_id: session, last_acked: 1 }.to_frame())
+            .unwrap();
+        write_frame(&mut conn2, &data_frame(1)).unwrap();
+        write_frame(&mut conn2, &data_frame(2)).unwrap();
+        core.serve_connection(&conn2[..], Some(NoAck)).unwrap();
+        let seqs: Vec<u32> = core.frames().iter().map(|f| f.sequence).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "replay deduplicated across reconnect");
+        assert_eq!(
+            core.anomalies(),
+            &[SeqAnomaly { kind: AnomalyKind::Duplicate, sequence: 1, expected: 2 }]
+        );
+    }
+
+    #[test]
+    fn stalled_stream_fails_with_typed_timeout() {
+        use crate::link::TimedReader;
+        use std::time::Duration;
+        let (writer, reader) = throttled_pipe(None);
+        let mut server = Server::new(TimedReader::new(reader, Duration::from_millis(40)), false);
+        // No bytes ever arrive; the watchdog must fire instead of hanging.
+        let err = server.receive_all().unwrap_err();
+        assert!(matches!(err, NetError::Timeout), "got {err}");
+        drop(writer);
     }
 }

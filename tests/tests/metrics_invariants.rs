@@ -141,6 +141,33 @@ fn net_server_counters_match_corrupt_frame_recovery() {
 }
 
 #[test]
+fn chaos_counters_partition_intact_frames() {
+    use dbgc_net::chaos::{run_chaos, ChaosConfig};
+
+    // For every chaos smoke seed: each frame the link delivered intact was
+    // either stored, deduplicated, dropped as an out-of-order gap arrival,
+    // or failed decompression — exactly one of the four, so the counters
+    // must partition `net.frames_intact` with nothing left over.
+    for seed in 1..=8u64 {
+        let report = run_chaos(&ChaosConfig::smoke(seed));
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        let intact = report.counter("net.frames_intact");
+        let partition = report.counter("net.frames_stored")
+            + report.counter("net.frames_deduped")
+            + report.counter("net.frames_gap_dropped")
+            + report.counter("net.decode_failures");
+        assert!(intact > 0, "seed {seed}: no intact frames counted\n{}", report.summary());
+        assert_eq!(
+            intact,
+            partition,
+            "seed {seed}: counters must partition intact frames\n{}",
+            report.summary()
+        );
+        assert_eq!(report.counter("net.frames_stored"), report.frames_sent as u64);
+    }
+}
+
+#[test]
 fn pipelined_compressor_records_queue_depth() {
     let (cloud, meta) = small_frame(ScenePreset::KittiCampus, 3);
     let dbgc = Dbgc::new(small_config(Q, meta));
