@@ -11,7 +11,10 @@ use std::time::Instant;
 use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use dbgc::sparse::organize::{organize_sparse_points_with, OrganizeScratch};
 use dbgc::sparse::radial::{encode_radial_into, RadialStreams};
-use dbgc_codec::{AdaptiveModel, ContextModel, RangeDecoder, RangeEncoder};
+use dbgc_codec::{
+    bitpack_decode, bitpack_encode, AdaptiveModel, ContextModel, DualRangeDecoder,
+    DualRangeEncoder, RangeDecoder, RangeEncoder,
+};
 use dbgc_geom::{Point3, Spherical};
 
 /// Skewed symbol stream over `alphabet` symbols (residual-like statistics).
@@ -45,6 +48,40 @@ fn model_decode(bytes: &[u8], n: usize, alphabet: usize) -> usize {
         acc ^= m.decode(&mut dec).expect("valid stream");
     }
     acc
+}
+
+fn dual_encode(syms: &[usize], alphabet: usize) -> Vec<u8> {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut enc = DualRangeEncoder::new();
+    for &s in syms {
+        m.encode(&mut enc, s);
+    }
+    enc.finish()
+}
+
+fn dual_decode(bytes: &[u8], n: usize, alphabet: usize) -> usize {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut dec = DualRangeDecoder::new(bytes).expect("valid frame");
+    let mut acc = 0usize;
+    for _ in 0..n {
+        acc ^= m.decode(&mut dec).expect("valid stream");
+    }
+    acc
+}
+
+/// Delta-like residual payload for the bit-packing kernel (small magnitudes
+/// with occasional spikes, the width pattern the OR-fold scan sees).
+fn residuals(n: usize) -> Vec<i64> {
+    (0..n as u32)
+        .map(|i| {
+            let r = (i.wrapping_mul(2654435761) >> 18) as i64;
+            if i % 97 == 0 {
+                r * 5 - 8000
+            } else {
+                (r % 37) - 18
+            }
+        })
+        .collect()
 }
 
 fn context_encode(stream: &[(usize, usize)], contexts: usize, alphabet: usize) -> Vec<u8> {
@@ -129,6 +166,24 @@ fn bench_model(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("context_encode", "16x64"), &stream, |b, stream| {
         b.iter(|| context_encode(stream, 16, alphabet));
     });
+    let dual_bytes = dual_encode(&syms, alphabet);
+    g.bench_with_input(BenchmarkId::new("dual_decode", alphabet), &dual_bytes, |b, bytes| {
+        b.iter(|| dual_decode(bytes, syms.len(), alphabet));
+    });
+    g.finish();
+}
+
+fn bench_bitpack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bitpack");
+    let vals = residuals(MODEL_SYMS);
+    g.throughput(Throughput::Elements(vals.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| bitpack_encode(&vals));
+    });
+    let packed = bitpack_encode(&vals);
+    g.bench_function("decode", |b| {
+        b.iter(|| bitpack_decode(&packed).expect("valid"));
+    });
     g.finish();
 }
 
@@ -197,6 +252,22 @@ fn write_snapshot() {
         black_box(model_decode(&bytes, syms.len(), alphabet));
     });
     collector.set_gauge("model.decode.melem_per_s", n / s / 1e6);
+    let dual_bytes = dual_encode(&syms, alphabet);
+    let s = secs_per_call(|| {
+        black_box(dual_decode(&dual_bytes, syms.len(), alphabet));
+    });
+    collector.set_gauge("model.dual_decode.melem_per_s", n / s / 1e6);
+
+    let resid = residuals(MODEL_SYMS);
+    let s = secs_per_call(|| {
+        black_box(bitpack_encode(&resid));
+    });
+    collector.set_gauge("bitpack.encode.melem_per_s", resid.len() as f64 / s / 1e6);
+    let packed = bitpack_encode(&resid);
+    let s = secs_per_call(|| {
+        black_box(bitpack_decode(&packed).expect("valid"));
+    });
+    collector.set_gauge("bitpack.decode.melem_per_s", resid.len() as f64 / s / 1e6);
 
     let vals: Vec<u16> =
         (0..RENORM_VALS as u32).map(|i| (i.wrapping_mul(40503) >> 8) as u16).collect();
@@ -236,6 +307,7 @@ fn main() {
     let mut c = Criterion::default();
     bench_model(&mut c);
     bench_range(&mut c);
+    bench_bitpack(&mut c);
     bench_sparse(&mut c);
     write_snapshot();
 }

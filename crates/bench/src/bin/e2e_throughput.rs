@@ -11,27 +11,60 @@
 //! to the frame latency. Besides the console report it writes:
 //!
 //! - `BENCH_e2e.json` (repo root): a `dbgc-metrics` v1 snapshot — frames/s
-//!   serial vs parallel, per-stage timing gauges, span trees and per-section
-//!   byte accounting from the instrumented runs — for CI trend tracking;
-//! - `results/e2e_throughput.txt`: the human-readable report.
+//!   serial vs parallel, per-stage timing and parallel-efficiency gauges,
+//!   the speedup-vs-threads scaling curve, span trees and per-section byte
+//!   accounting from the instrumented runs — for CI trend tracking;
+//! - `results/e2e_throughput.txt`: the human-readable report;
+//! - `results/scaling_curve.txt`: the speedup-vs-cores curve on its own, the
+//!   artifact the CI perf-smoke job uploads.
+//!
+//! Worker and thread counts are derived from `available_parallelism()` —
+//! never hardcoded — so a single-core runner reports a truthful 1-point
+//! curve instead of a fabricated multi-core one.
 //!
 //! ```text
 //! cargo run --release -p dbgc-bench --bin e2e_throughput [-- --self-check]
 //! ```
 //!
-//! `--self-check` instead measures the overhead of recording: best-of-N
-//! compression with a collector attached must be within 2% of the
-//! uninstrumented path (and byte-identical), then exits.
+//! `--self-check` instead runs two release gates and exits nonzero on
+//! failure: (1) metrics recording overhead — best-of-N compression with a
+//! collector attached must be within 2% of the uninstrumented path and
+//! byte-identical; (2) on multi-core hosts, pipelined compression with the
+//! derived worker count must not be slower than serial (a regression in the
+//! handoff path would make added workers a net loss).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
+use dbgc::metrics::StageEfficiency;
 use dbgc::{Dbgc, DbgcConfig, TimingBreakdown};
 use dbgc_bench::{bench_collector, scene_frame, scene_frames, timed, Q_TYPICAL};
+use dbgc_geom::PointCloud;
 use dbgc_lidar_sim::ScenePreset;
 use dbgc_net::LinkModel;
 
 const FPS: f64 = 10.0;
+
+/// Worker counts for the frame-pipelined runs, derived from the cores this
+/// process actually has: {2, 4, cores} clipped to the machine, deduplicated,
+/// ascending. A single-core host measures [1] — truthfully.
+fn derived_worker_counts(cores: usize) -> Vec<usize> {
+    let mut counts: Vec<usize> = [2, 4, cores].iter().map(|&w| w.min(cores)).collect();
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Thread counts for the intra-frame scaling curve: 1 plus the derived
+/// worker counts (so the serial anchor is always measured).
+fn curve_thread_counts(cores: usize) -> Vec<usize> {
+    let mut counts = derived_worker_counts(cores);
+    if counts.first() != Some(&1) {
+        counts.insert(0, 1);
+    }
+    counts
+}
 
 /// Stage sums accumulated over the measured frames, reported as mean ms.
 #[derive(Default)]
@@ -132,6 +165,51 @@ fn self_check() {
         MAX_OVERHEAD * 100.0
     );
     println!("OK (budget {:.0}%)", MAX_OVERHEAD * 100.0);
+
+    // Gate 2: adding frame workers must never make compression *slower* than
+    // the serial loop — that is the regression mode of a broken handoff
+    // (deep-copy submission, lock convoy, serial merge). Only meaningful
+    // with real cores to add.
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    if cores < 2 {
+        println!("pipelined-vs-serial self-check: skipped ({cores} core exposed)");
+        return;
+    }
+    let workers = *derived_worker_counts(cores).last().expect("non-empty");
+    let frames: Vec<Arc<PointCloud>> =
+        scene_frames(ScenePreset::KittiCity, 3).into_iter().map(Arc::new).collect();
+    let serial = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(1));
+    const PIPE_REPS: usize = 3;
+    let (_, t_serial) = timed(|| {
+        for _ in 0..PIPE_REPS {
+            for cloud in &frames {
+                serial.compress(cloud).expect("compress");
+            }
+        }
+    });
+    let mut pipe = dbgc_net::PipelinedCompressor::new(serial.clone(), workers);
+    let (_, t_pipe) = timed(|| {
+        for _ in 0..PIPE_REPS {
+            for cloud in &frames {
+                pipe.submit_shared(Arc::clone(cloud));
+            }
+        }
+        while pipe.next_ordered().is_some() {}
+    });
+    let serial_fps = (PIPE_REPS * frames.len()) as f64 / t_serial.as_secs_f64();
+    let pipe_fps = (PIPE_REPS * frames.len()) as f64 / t_pipe.as_secs_f64();
+    println!(
+        "pipelined-vs-serial self-check ({cores} cores, {workers} workers): \
+         serial {serial_fps:.1} fps, pipelined {pipe_fps:.1} fps"
+    );
+    if pipe_fps < serial_fps {
+        eprintln!(
+            "FAIL: pipelined compression ({pipe_fps:.1} fps) is slower than \
+             serial ({serial_fps:.1} fps) with {workers} workers on {cores} cores"
+        );
+        std::process::exit(1);
+    }
+    println!("OK (pipelined {:.2}x serial)", pipe_fps / serial_fps);
 }
 
 fn main() {
@@ -139,7 +217,8 @@ fn main() {
         self_check();
         return;
     }
-    let frames = scene_frames(ScenePreset::KittiCity, 3);
+    let frames: Vec<Arc<PointCloud>> =
+        scene_frames(ScenePreset::KittiCity, 3).into_iter().map(Arc::new).collect();
     let serial = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(1));
     let parallel = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(0));
     let ethernet = LinkModel::ethernet_100base_tx();
@@ -228,17 +307,68 @@ fn main() {
     );
     say!("    serial stage ms/frame:   {}", stage_line(&serial_stages, frames.len()));
     say!("    parallel stage ms/frame: {}", stage_line(&parallel_stages, frames.len()));
-    // Pipelined compression (frame-ordered worker pool). Scaling requires
-    // actual cores; report the parallelism available so single-CPU runs are
-    // interpretable.
+
+    // Per-stage parallel efficiency: serial vs parallel wall time over the
+    // pool the `threads = 0` runs actually used. On a single core every
+    // stage reports speedup ~1.0 and the gauges are still meaningful.
+    let pool_threads = dbgc_parallel::ThreadPool::global().threads();
+    let serial_ms = serial_stages.mean_ms(frames.len());
+    let parallel_ms = parallel_stages.mean_ms(frames.len());
+    say!("    per-stage speedup ({pool_threads} pool threads):");
+    for ((label, s_ms), (_, p_ms)) in serial_ms.iter().zip(parallel_ms.iter()) {
+        let eff = StageEfficiency::new(*s_ms, *p_ms, pool_threads);
+        eff.record(&collector, &format!("stage.{label}"));
+        say!(
+            "      {}: {:.2}x ({:.0}% efficient, {:.0}% idle)",
+            label.to_uppercase(),
+            eff.speedup(),
+            eff.efficiency() * 100.0,
+            eff.idle_fraction() * 100.0
+        );
+    }
+
+    // Intra-frame scaling curve: frames/s at each thread count the machine
+    // can actually provide, anchored at threads = 1. This is the curve the
+    // CI perf-smoke job gates on and uploads.
+    let mut curve: Vec<(usize, f64)> = Vec::new();
+    for &t in &curve_thread_counts(cores) {
+        let dbgc = Dbgc::new(DbgcConfig::with_error_bound(Q_TYPICAL).with_threads(t));
+        let reps = 2;
+        let (_, wall) = timed(|| {
+            for _ in 0..reps {
+                for cloud in &frames {
+                    dbgc.compress(cloud).expect("compress");
+                }
+            }
+        });
+        curve.push((t, (reps * frames.len()) as f64 / wall.as_secs_f64()));
+    }
+    let curve_base = curve[0].1;
+    say!("\nscaling curve (intra-frame threads, {cores} core(s)):");
+    let mut curve_txt = format!(
+        "speedup-vs-threads, {} @ q={Q_TYPICAL} m, {cores} core(s) exposed\n\
+         threads\tframes_per_s\tspeedup\n",
+        ScenePreset::KittiCity.name()
+    );
+    for &(t, fps) in &curve {
+        let speedup = fps / curve_base;
+        say!("  threads={t}: {fps:.1} frames/s, {speedup:.2}x");
+        let _ = writeln!(curve_txt, "{t}\t{fps:.2}\t{speedup:.3}");
+        collector.set_gauge(&format!("scaling.threads_{t}.frames_per_s"), fps);
+        collector.set_gauge(&format!("scaling.threads_{t}.speedup"), speedup);
+    }
+
+    // Pipelined compression (frame-ordered worker pool), worker counts
+    // derived from the cores this process has. Frames are submitted shared,
+    // so the handoff is a refcount bump, not a cloud copy.
     let mut pipelined = Vec::new();
-    for workers in [2usize, 4] {
+    for workers in derived_worker_counts(cores) {
         let mut pipe = dbgc_net::PipelinedCompressor::new(serial.clone(), workers);
         let reps = 4;
         let (_, t) = timed(|| {
             for _ in 0..reps {
                 for cloud in &frames {
-                    pipe.submit(cloud.clone());
+                    pipe.submit_shared(Arc::clone(cloud));
                 }
             }
             while pipe.next_ordered().is_some() {}
@@ -299,5 +429,8 @@ fn main() {
     let _ = std::fs::create_dir_all(&results);
     if let Err(e) = std::fs::write(results.join("e2e_throughput.txt"), &report) {
         eprintln!("warning: could not write results/e2e_throughput.txt: {e}");
+    }
+    if let Err(e) = std::fs::write(results.join("scaling_curve.txt"), &curve_txt) {
+        eprintln!("warning: could not write results/scaling_curve.txt: {e}");
     }
 }

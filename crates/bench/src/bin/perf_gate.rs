@@ -1,0 +1,159 @@
+//! CI perf gate: scaling-curve and kernel-regression checks over the
+//! dbgc-metrics snapshots the benches emit.
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin perf_gate -- \
+//!     [--e2e BENCH_e2e.json] \
+//!     [--kernels BENCH_kernels.json] \
+//!     [--baseline-kernels <snapshot to diff against>]
+//! ```
+//!
+//! Two gates, each failing the process (exit 1) with a named reason:
+//!
+//! 1. **Scaling** — from the e2e snapshot's `scaling.threads_N.speedup`
+//!    gauges: on a host with ≥ 4 cores, the 4-thread intra-frame speedup
+//!    must be at least 1.5×. On smaller hosts the gate reports the curve and
+//!    skips (a 1-core runner cannot measure scaling, and pretending
+//!    otherwise would gate on fiction).
+//! 2. **Kernel regression** — every throughput gauge present in both the
+//!    current and baseline kernel snapshots must be within 10% of the
+//!    baseline. Gauges only present on one side are reported but never fail
+//!    (new kernels appear, retired ones disappear).
+//!
+//! The snapshots are read with `Snapshot::gauges_from_json`, the focused
+//! reader for the one schema every workspace producer emits.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use dbgc::metrics::Snapshot;
+
+/// Minimum 4-thread intra-frame speedup on hosts with at least 4 cores.
+const MIN_SPEEDUP_4: f64 = 1.5;
+/// Cores required before the scaling gate is binding.
+const SCALING_GATE_CORES: f64 = 4.0;
+/// Allowed fractional throughput drop per kernel gauge.
+const MAX_KERNEL_REGRESSION: f64 = 0.10;
+
+fn load_gauges(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Snapshot::gauges_from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Gate 1: the scaling curve from the e2e snapshot.
+fn check_scaling(e2e: &BTreeMap<String, f64>) -> Result<(), String> {
+    let cores = *e2e.get("cores").ok_or("e2e snapshot has no `cores` gauge")?;
+    let mut curve: Vec<(&str, f64)> = e2e
+        .iter()
+        .filter_map(|(k, &v)| {
+            k.strip_prefix("scaling.")
+                .and_then(|k| k.strip_suffix(".speedup"))
+                .map(|threads| (threads, v))
+        })
+        .collect();
+    if curve.is_empty() {
+        return Err("e2e snapshot has no scaling.threads_N.speedup gauges".into());
+    }
+    curve.sort_by_key(|(t, _)| t.trim_start_matches("threads_").parse::<usize>().unwrap_or(0));
+    println!("scaling curve ({cores} core(s) at measurement time):");
+    for (threads, speedup) in &curve {
+        println!("  {threads}: {speedup:.2}x");
+    }
+    if cores < SCALING_GATE_CORES {
+        println!(
+            "scaling gate: SKIPPED — {cores} core(s) < {SCALING_GATE_CORES} \
+             (cannot measure multi-core scaling on this host)"
+        );
+        return Ok(());
+    }
+    let speedup4 = *e2e
+        .get("scaling.threads_4.speedup")
+        .ok_or("host has >= 4 cores but no scaling.threads_4.speedup gauge")?;
+    if speedup4 < MIN_SPEEDUP_4 {
+        return Err(format!("4-thread speedup {speedup4:.2}x is below the {MIN_SPEEDUP_4}x floor"));
+    }
+    println!("scaling gate: OK (threads_4 speedup {speedup4:.2}x >= {MIN_SPEEDUP_4}x)");
+    Ok(())
+}
+
+/// Gate 2: per-kernel throughput vs the baseline snapshot.
+fn check_kernels(
+    current: &BTreeMap<String, f64>,
+    baseline: &BTreeMap<String, f64>,
+) -> Result<(), String> {
+    let mut failures = Vec::new();
+    for (name, &base) in baseline {
+        let Some(&now) = current.get(name) else {
+            println!("kernel {name}: retired (in baseline only)");
+            continue;
+        };
+        if base <= 0.0 {
+            continue;
+        }
+        let ratio = now / base;
+        let verdict = if ratio < 1.0 - MAX_KERNEL_REGRESSION { "REGRESSED" } else { "ok" };
+        println!("kernel {name}: {base:.2} -> {now:.2} ({:+.1}%) {verdict}", (ratio - 1.0) * 100.0);
+        if ratio < 1.0 - MAX_KERNEL_REGRESSION {
+            failures.push(format!("{name} dropped {:.1}%", (1.0 - ratio) * 100.0));
+        }
+    }
+    for name in current.keys().filter(|k| !baseline.contains_key(*k)) {
+        println!("kernel {name}: new (no baseline)");
+    }
+    if failures.is_empty() {
+        println!(
+            "kernel gate: OK ({} gauge(s) within {:.0}%)",
+            baseline.len(),
+            MAX_KERNEL_REGRESSION * 100.0
+        );
+        Ok(())
+    } else {
+        Err(format!("kernel throughput regressed >10%: {}", failures.join("; ")))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut e2e_path = "BENCH_e2e.json".to_string();
+    let mut kernels_path = "BENCH_kernels.json".to_string();
+    let mut baseline_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a path"));
+        match arg.as_str() {
+            "--e2e" => e2e_path = value("--e2e"),
+            "--kernels" => kernels_path = value("--kernels"),
+            "--baseline-kernels" => baseline_path = Some(value("--baseline-kernels")),
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    match load_gauges(&e2e_path).and_then(|g| check_scaling(&g)) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("FAIL scaling gate: {e}");
+            failed = true;
+        }
+    }
+    match baseline_path {
+        None => println!("kernel gate: SKIPPED (no --baseline-kernels given)"),
+        Some(base) => {
+            let diff = load_gauges(&kernels_path)
+                .and_then(|cur| load_gauges(&base).map(|b| (cur, b)))
+                .and_then(|(cur, b)| check_kernels(&cur, &b));
+            if let Err(e) = diff {
+                eprintln!("FAIL kernel gate: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("perf gate: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

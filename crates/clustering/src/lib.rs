@@ -32,23 +32,37 @@ pub mod dbscan;
 pub mod grid;
 pub mod params;
 
-pub use approx::approx_cluster;
+pub use approx::{approx_cluster, approx_cluster_threads};
 pub use cell_based::cell_based_cluster;
 pub use dbscan::{dbscan, DbscanResult};
 pub use grid::UniformGrid;
 pub use params::ClusterParams;
 
-/// Ordered map over `items`, parallel when the `parallel` feature is on and
-/// the workspace pool has more than one thread. `out[i] = f(i, &items[i])`
-/// in both modes, so callers are byte-deterministic either way.
+/// Ordered map over `items` with explicit thread semantics matching
+/// `DbgcConfig::threads`:
+/// `0` = use the current pool, `1` = inline serial (no pool touch), `n > 1` =
+/// grow the pool to at least `n` workers first. Output is identical for every
+/// setting.
 #[cfg(feature = "parallel")]
-pub(crate) fn par_map<T: Sync, R: Send>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R> {
-    dbgc_parallel::ThreadPool::global().map(items, f)
+pub(crate) fn par_map_t<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(usize, &T) -> R + Sync,
+) -> Vec<R> {
+    if threads != 1 {
+        let pool = dbgc_parallel::ThreadPool::global();
+        if threads > 1 {
+            pool.ensure_total(threads);
+        }
+        return pool.map(items, f);
+    }
+    items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
 }
 
-/// Serial fallback of [`par_map`] when the `parallel` feature is disabled.
+/// Serial fallback of [`par_map_t`] when the `parallel` feature is disabled.
 #[cfg(not(feature = "parallel"))]
-pub(crate) fn par_map<T, R>(items: &[T], f: impl Fn(usize, &T) -> R) -> Vec<R> {
+pub(crate) fn par_map_t<T, R>(items: &[T], threads: usize, f: impl Fn(usize, &T) -> R) -> Vec<R> {
+    let _ = threads;
     items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
 }
 

@@ -3,12 +3,16 @@
 use crate::error::CodecError;
 
 /// Writes bits MSB-first into a growable byte buffer.
+///
+/// Bits accumulate in a u64 so a multi-bit write is one shift/or plus at
+/// most eight byte pushes, instead of a per-bit loop.
 #[derive(Debug, Default, Clone)]
 pub struct BitWriter {
     buf: Vec<u8>,
-    /// Bits accumulated in `cur`, 0..8.
+    /// Pending bits: the low `nbits` bits of `acc`, MSB-first. Bits above
+    /// `nbits` are stale and masked out on flush. `nbits < 8` between calls.
+    acc: u64,
     nbits: u32,
-    cur: u8,
 }
 
 impl BitWriter {
@@ -20,11 +24,10 @@ impl BitWriter {
     /// Write a single bit (any nonzero `bit` writes 1).
     #[inline]
     pub fn write_bit(&mut self, bit: bool) {
-        self.cur = (self.cur << 1) | bit as u8;
+        self.acc = (self.acc << 1) | bit as u64;
         self.nbits += 1;
         if self.nbits == 8 {
-            self.buf.push(self.cur);
-            self.cur = 0;
+            self.buf.push(self.acc as u8);
             self.nbits = 0;
         }
     }
@@ -32,8 +35,22 @@ impl BitWriter {
     /// Write the low `n` bits of `value`, MSB first. `n <= 64`.
     pub fn write_bits(&mut self, value: u64, n: u32) {
         debug_assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 != 0);
+        if n == 0 {
+            return;
+        }
+        if self.nbits + n > 63 {
+            // Rare: the field cannot join the pending bits in one u64.
+            // Split MSB-half first; each half is <= 32 bits and fits.
+            let lo = n / 2;
+            self.write_bits(value >> lo, n - lo);
+            self.write_bits(value, lo);
+            return;
+        }
+        self.acc = (self.acc << n) | (value & ((1u64 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.nbits -= 8;
+            self.buf.push((self.acc >> self.nbits) as u8);
         }
     }
 
@@ -45,8 +62,7 @@ impl BitWriter {
     /// Pad with zero bits to a byte boundary and return the buffer.
     pub fn finish(mut self) -> Vec<u8> {
         if self.nbits > 0 {
-            self.cur <<= 8 - self.nbits;
-            self.buf.push(self.cur);
+            self.buf.push((self.acc << (8 - self.nbits)) as u8);
         }
         self.buf
     }
@@ -81,9 +97,39 @@ impl<'a> BitReader<'a> {
     /// Read `n` bits MSB-first into the low bits of the result. `n <= 64`.
     pub fn read_bits(&mut self, n: u32) -> Result<u64, CodecError> {
         debug_assert!(n <= 64);
+        if n == 0 {
+            return Ok(0);
+        }
+        let n = n as usize;
+        let total = self.buf.len() * 8;
+        if self.pos + n > total {
+            // Match the bit-at-a-time loop: every available bit is consumed
+            // before the failing read, leaving the cursor at end-of-buffer.
+            self.pos = total;
+            return Err(CodecError::UnexpectedEof);
+        }
+        let mut byte = self.pos / 8;
+        let bit_off = self.pos % 8;
+        self.pos += n;
+        let mut need = n;
         let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u64;
+        if bit_off != 0 {
+            let avail = 8 - bit_off;
+            let chunk = (self.buf[byte] & (0xFF >> bit_off)) as u64;
+            if need <= avail {
+                return Ok(chunk >> (avail - need));
+            }
+            v = chunk;
+            need -= avail;
+            byte += 1;
+        }
+        while need >= 8 {
+            v = (v << 8) | self.buf[byte] as u64;
+            byte += 1;
+            need -= 8;
+        }
+        if need > 0 {
+            v = (v << need) | (self.buf[byte] >> (8 - need)) as u64;
         }
         Ok(v)
     }

@@ -31,11 +31,20 @@ pub fn bitpack_encode(vals: &[i64]) -> Vec<u8> {
     let mut out = Vec::new();
     write_uvarint(&mut out, vals.len() as u64);
     let mut bits = BitWriter::new();
+    let mut zz = [0u64; BLOCK];
     for block in vals.chunks(BLOCK) {
-        let zz: Vec<u64> = block.iter().map(|&v| zigzag_encode(v)).collect();
-        let width = zz.iter().copied().map(width_of).max().unwrap_or(0);
+        // OR-folding the zigzagged values gives the block width with a single
+        // leading_zeros: width(a | b) == max(width(a), width(b)).
+        let zz = &mut zz[..block.len()];
+        let mut folded = 0u64;
+        for (dst, &v) in zz.iter_mut().zip(block) {
+            let z = zigzag_encode(v);
+            *dst = z;
+            folded |= z;
+        }
+        let width = width_of(folded);
         bits.write_bits(width as u64, 7);
-        for v in zz {
+        for &v in zz.iter() {
             bits.write_bits(v, width);
         }
     }
@@ -77,15 +86,22 @@ pub fn for_encode(vals: &[i64]) -> Vec<u8> {
     // Per-block minima first (varint), then one packed bitstream.
     let mut bits = BitWriter::new();
     let mut header = Vec::new();
+    let mut offsets = [0u64; BLOCK];
     for block in vals.chunks(BLOCK) {
         let min = block.iter().copied().min().expect("chunks are non-empty");
         crate::varint::write_ivarint(&mut header, min);
         // Wrapping subtraction is exact here: the true offset is < 2^64 and
         // two's-complement wrap-around reproduces it bit-for-bit.
-        let offsets: Vec<u64> = block.iter().map(|&v| v.wrapping_sub(min) as u64).collect();
-        let width = offsets.iter().copied().map(width_of).max().unwrap_or(0);
+        let offsets = &mut offsets[..block.len()];
+        let mut folded = 0u64;
+        for (dst, &v) in offsets.iter_mut().zip(block) {
+            let off = v.wrapping_sub(min) as u64;
+            *dst = off;
+            folded |= off;
+        }
+        let width = width_of(folded);
         bits.write_bits(width as u64, 7);
-        for v in offsets {
+        for &v in offsets.iter() {
             bits.write_bits(v, width);
         }
     }

@@ -1,0 +1,208 @@
+//! Interleaved two-lane range coding.
+//!
+//! A range decoder is a serial dependency chain: each symbol's divide →
+//! compare → renormalize must retire before the next symbol can start.
+//! Splitting a symbol stream across two *independent* coder lanes — even
+//! symbols through lane A, odd through lane B — breaks the interval-state
+//! chain: the CPU can overlap lane B's divide with lane A's renormalize,
+//! which is where the remaining decode time lives once the models are cheap
+//! (the shape batched/vectorized coders like RIDDLE exploit).
+//!
+//! The *model* is still updated in stream order by the caller, so symbol
+//! probabilities — and compression ratio — are identical to the single-lane
+//! coder; only the interval state is duplicated. The cost is one extra
+//! 8-byte flush tail and a varint frame header per stream.
+//!
+//! Framing: `uvarint len(lane A) | lane A bytes | lane B bytes`.
+
+use crate::error::CodecError;
+use crate::range::{RangeDecoder, RangeEncoder};
+use crate::varint::{write_uvarint, ByteReader};
+
+/// Abstraction over range-coder encode targets, so one model implementation
+/// drives both the single-lane [`RangeEncoder`] and [`DualRangeEncoder`].
+pub trait RangeSink {
+    /// Encode a symbol occupying `[cum, cum + freq)` out of `total`.
+    fn put(&mut self, cum: u64, freq: u64, total: u64);
+}
+
+/// Abstraction over range-coder decode sources (mirror of [`RangeSink`]).
+pub trait RangeSource {
+    /// Slot of the next symbol under a model with the given `total`.
+    fn peek_freq(&mut self, total: u64) -> Result<u64, CodecError>;
+    /// Consume the symbol occupying `[cum, cum + freq)` out of `total`.
+    fn consume(&mut self, cum: u64, freq: u64, total: u64);
+}
+
+impl RangeSink for RangeEncoder {
+    #[inline]
+    fn put(&mut self, cum: u64, freq: u64, total: u64) {
+        self.encode(cum, freq, total);
+    }
+}
+
+impl RangeSource for RangeDecoder<'_> {
+    #[inline]
+    fn peek_freq(&mut self, total: u64) -> Result<u64, CodecError> {
+        self.decode_freq(total)
+    }
+
+    #[inline]
+    fn consume(&mut self, cum: u64, freq: u64, total: u64) {
+        self.decode(cum, freq, total);
+    }
+}
+
+/// Two-lane range encoder: symbols alternate lanes, starting with lane A.
+#[derive(Debug, Default)]
+pub struct DualRangeEncoder {
+    lanes: [RangeEncoder; 2],
+    turn: usize,
+}
+
+impl DualRangeEncoder {
+    /// A fresh encoder; the first symbol goes to lane A.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode a symbol on the current lane and advance the turn.
+    #[inline]
+    pub fn encode(&mut self, cum: u64, freq: u64, total: u64) {
+        self.lanes[self.turn].encode(cum, freq, total);
+        self.turn ^= 1;
+    }
+
+    /// Flush both lanes and return the framed stream.
+    pub fn finish(self) -> Vec<u8> {
+        let [a, b] = self.lanes;
+        let a = a.finish();
+        let b = b.finish();
+        let mut out = Vec::with_capacity(a.len() + b.len() + 5);
+        write_uvarint(&mut out, a.len() as u64);
+        out.extend_from_slice(&a);
+        out.extend_from_slice(&b);
+        out
+    }
+}
+
+impl RangeSink for DualRangeEncoder {
+    #[inline]
+    fn put(&mut self, cum: u64, freq: u64, total: u64) {
+        self.encode(cum, freq, total);
+    }
+}
+
+/// Two-lane range decoder over a [`DualRangeEncoder`] frame.
+#[derive(Debug)]
+pub struct DualRangeDecoder<'a> {
+    lanes: [RangeDecoder<'a>; 2],
+    turn: usize,
+}
+
+impl<'a> DualRangeDecoder<'a> {
+    /// Parse the lane frame and start both decoders.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(buf);
+        let len_a = r.read_uvarint()? as usize;
+        if len_a > r.remaining() {
+            return Err(CodecError::CorruptStream("dual-lane frame shorter than lane A length"));
+        }
+        let a = r.read_slice(len_a)?;
+        let b = r.read_slice(r.remaining())?;
+        Ok(DualRangeDecoder { lanes: [RangeDecoder::new(a), RangeDecoder::new(b)], turn: 0 })
+    }
+
+    /// Slot of the next symbol on the current lane.
+    #[inline]
+    pub fn decode_freq(&mut self, total: u64) -> Result<u64, CodecError> {
+        self.lanes[self.turn].decode_freq(total)
+    }
+
+    /// Consume the symbol on the current lane and advance the turn.
+    #[inline]
+    pub fn decode(&mut self, cum: u64, freq: u64, total: u64) {
+        self.lanes[self.turn].decode(cum, freq, total);
+        self.turn ^= 1;
+    }
+}
+
+impl RangeSource for DualRangeDecoder<'_> {
+    #[inline]
+    fn peek_freq(&mut self, total: u64) -> Result<u64, CodecError> {
+        self.decode_freq(total)
+    }
+
+    #[inline]
+    fn consume(&mut self, cum: u64, freq: u64, total: u64) {
+        self.decode(cum, freq, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AdaptiveModel;
+
+    #[test]
+    fn dual_roundtrip_adaptive_bytes() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i.wrapping_mul(0x9E37) >> 9) as u8).collect();
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = DualRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let buf = enc.finish();
+        let mut model = AdaptiveModel::new(256);
+        let mut dec = DualRangeDecoder::new(&buf).unwrap();
+        for &b in &data {
+            assert_eq!(model.decode(&mut dec).unwrap(), b as usize);
+        }
+    }
+
+    #[test]
+    fn dual_empty_stream() {
+        let buf = DualRangeEncoder::new().finish();
+        // Both lanes flush their 8-byte tails even with no symbols.
+        assert_eq!(buf.len(), 1 + 16);
+        assert!(DualRangeDecoder::new(&buf).is_ok());
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let mut model = AdaptiveModel::new(16);
+        let mut enc = DualRangeEncoder::new();
+        for i in 0..100 {
+            model.encode(&mut enc, i % 16);
+        }
+        let buf = enc.finish();
+        // A frame whose declared lane A exceeds the payload is corrupt.
+        assert!(DualRangeDecoder::new(&buf[..1]).is_err());
+        // Cutting lane B starves the odd lane: decode must error, not loop.
+        let mut model = AdaptiveModel::new(16);
+        let mut dec = DualRangeDecoder::new(&buf[..buf.len() - 12]).unwrap();
+        let mut failed = false;
+        for _ in 0..100 {
+            if model.decode(&mut dec).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "truncated lane must surface an error");
+    }
+
+    #[test]
+    fn compression_matches_single_lane_closely() {
+        // Splitting the interval state costs one extra flush tail + header,
+        // not ratio: the shared model sees the identical symbol sequence.
+        let data: Vec<u8> = (0..40_000).map(|i| u8::from(i % 19 == 0)).collect();
+        let single = crate::range::rc_compress_bytes(&data);
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = DualRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let dual = enc.finish();
+        assert!(dual.len() <= single.len() + 32, "dual {} vs single {}", dual.len(), single.len());
+    }
+}

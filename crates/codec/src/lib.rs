@@ -12,6 +12,8 @@
 //! * [`entropy`] — Shannon entropy of a symbol sequence (paper §2.1);
 //! * [`range`] — a carryless range coder (drop-in replacement for the
 //!   arithmetic coder \[58\] the paper uses);
+//! * [`dual`] — interleaved two-lane range coding, which breaks the decoder's
+//!   serial interval-state dependency chain for dense symbol streams;
 //! * [`model`] — adaptive frequency models (order-0 and contextual) backed by
 //!   Fenwick trees;
 //! * [`huffman`] — canonical Huffman coding;
@@ -31,6 +33,7 @@ pub mod bitio;
 pub mod bitpack;
 pub mod deflate;
 pub mod delta;
+pub mod dual;
 pub mod entropy;
 pub mod error;
 pub mod huffman;
@@ -45,6 +48,7 @@ pub use bitio::{BitReader, BitWriter};
 pub use bitpack::{bitpack_decode, bitpack_encode, for_decode, for_encode};
 pub use deflate::{deflate_compress, deflate_decompress};
 pub use delta::{delta_decode, delta_decode_in_place, delta_encode, delta_encode_in_place};
+pub use dual::{DualRangeDecoder, DualRangeEncoder, RangeSink, RangeSource};
 pub use entropy::shannon_entropy;
 pub use error::CodecError;
 pub use huffman::{HuffmanDecoder, HuffmanEncoder};

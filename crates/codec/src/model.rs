@@ -15,8 +15,8 @@
 //! bytes are identical to the naive formulation — only the traversal count
 //! changes (see `DESIGN.md` §10).
 
+use crate::dual::{RangeSink, RangeSource};
 use crate::error::CodecError;
-use crate::range::{RangeDecoder, RangeEncoder};
 
 /// Frequency increment per observed symbol.
 const INCREMENT: u64 = 32;
@@ -29,19 +29,25 @@ const MAX_TOTAL: u64 = 1 << 16;
 // Free functions over a raw tree slice (1-indexed, slot 0 unused, alphabet
 // size `tree.len() - 1`) so the owned [`AdaptiveModel`] and the arena-backed
 // [`ContextModel`] share one implementation.
+//
+// Nodes are stored as `u32`: every node holds at most the model total, which
+// `MAX_TOTAL` keeps below `2^16 + INCREMENT`, so `u32` is exact while halving
+// the tree's cache footprint (a 256-symbol table is 1 KiB instead of 2 KiB,
+// and a 256-context family drops from ~526 KiB to ~263 KiB). Rescale packs
+// two nodes per `u64` lane (see `fw_rescale`).
 
 /// Reset `tree` to the all-ones frequency state in place: the node at `i`
 /// covers `lowbit(i)` symbols of frequency 1, so it holds exactly `lowbit(i)`.
 #[inline]
-fn fw_init_uniform(tree: &mut [u64]) {
+fn fw_init_uniform(tree: &mut [u32]) {
     for (i, node) in tree.iter_mut().enumerate() {
-        *node = (i & i.wrapping_neg()) as u64;
+        *node = (i & i.wrapping_neg()) as u32;
     }
 }
 
 /// Add `delta` to `sym`'s frequency (ascending update chain).
 #[inline]
-fn fw_add(tree: &mut [u64], sym: usize, delta: u64) {
+fn fw_add(tree: &mut [u32], sym: usize, delta: u32) {
     let n = tree.len() - 1;
     let mut i = sym + 1;
     while i <= n {
@@ -57,11 +63,11 @@ fn fw_add(tree: &mut [u64], sym: usize, delta: u64) {
 /// `pos - lowbit(pos)`, so one walk serves both the frequency correction and
 /// the cumulative sum.
 #[inline]
-fn fw_cum_freq(tree: &[u64], sym: usize) -> (u64, u64) {
+fn fw_cum_freq(tree: &[u32], sym: usize) -> (u64, u64) {
     let pos = sym + 1;
     let mut freq = tree[pos];
     let stop = pos - (pos & pos.wrapping_neg());
-    let mut cum = 0u64;
+    let mut cum = 0u32;
     let mut i = sym; // == pos - 1
     while i > stop {
         freq -= tree[i];
@@ -72,12 +78,12 @@ fn fw_cum_freq(tree: &[u64], sym: usize) -> (u64, u64) {
         cum += tree[i];
         i &= i - 1;
     }
-    (cum, freq)
+    (cum as u64, freq as u64)
 }
 
 /// Frequency of `sym` alone (short descending chain from `sym + 1`).
 #[inline]
-fn fw_freq(tree: &[u64], sym: usize) -> u64 {
+fn fw_freq(tree: &[u32], sym: usize) -> u64 {
     let pos = sym + 1;
     let mut freq = tree[pos];
     let stop = pos - (pos & pos.wrapping_neg());
@@ -86,7 +92,7 @@ fn fw_freq(tree: &[u64], sym: usize) -> u64 {
         freq -= tree[i];
         i &= i - 1;
     }
-    freq
+    freq as u64
 }
 
 /// Fenwick lower-bound search: the largest `sym` with `cum(sym) <= slot`,
@@ -96,15 +102,15 @@ fn fw_freq(tree: &[u64], sym: usize) -> u64 {
 /// valid symbol; `sym == alphabet` signals a broken invariant (an
 /// out-of-range slot) and must be surfaced by the caller, never clamped.
 #[inline]
-fn fw_find(tree: &[u64], slot: u64) -> (usize, u64) {
+fn fw_find(tree: &[u32], slot: u64) -> (usize, u64) {
     let n = tree.len() - 1;
     let mut idx = 0usize;
     let mut rem = slot;
     let mut mask = n.next_power_of_two();
     while mask > 0 {
         let next = idx + mask;
-        if next <= n && tree[next] <= rem {
-            rem -= tree[next];
+        if next <= n && tree[next] as u64 <= rem {
+            rem -= tree[next] as u64;
             idx = next;
         }
         mask >>= 1;
@@ -116,7 +122,7 @@ fn fw_find(tree: &[u64], slot: u64) -> (usize, u64) {
 /// total. Allocation-free: the tree is unfolded to plain frequencies
 /// (descending, so lower nodes are still in Fenwick form when read), halved,
 /// and refolded (ascending).
-fn fw_rescale(tree: &mut [u64]) -> u64 {
+fn fw_rescale(tree: &mut [u32]) -> u64 {
     let n = tree.len() - 1;
     for i in (1..=n).rev() {
         let lb = i & i.wrapping_neg();
@@ -129,10 +135,24 @@ fn fw_rescale(tree: &mut [u64]) -> u64 {
             }
         }
     }
+    // Halve two frequencies per iteration with u64 lane arithmetic:
+    // `(x >> 1) + (x & 1)` is `ceil(x / 2)` per 32-bit lane, and every
+    // frequency is >= 1 on entry so the result stays >= 1 (the invariant the
+    // old `.max(1)` guarded; a lane can only reach 0 from 0, which the
+    // all-ones init and additive updates rule out).
     let mut total = 0u64;
-    for f in tree[1..].iter_mut() {
-        *f = (*f).div_ceil(2).max(1);
-        total += *f;
+    let mut chunks = tree[1..].chunks_exact_mut(2);
+    for pair in &mut chunks {
+        let v = (pair[0] as u64) | ((pair[1] as u64) << 32);
+        let h = ((v >> 1) & 0x7FFF_FFFF_7FFF_FFFF) + (v & 0x0000_0001_0000_0001);
+        pair[0] = h as u32;
+        pair[1] = (h >> 32) as u32;
+        total += (h & 0xFFFF_FFFF) + (h >> 32);
+    }
+    for f in chunks.into_remainder() {
+        let h = (*f >> 1) + (*f & 1);
+        *f = h;
+        total += h as u64;
     }
     for i in 1..=n {
         let j = i + (i & i.wrapping_neg());
@@ -145,10 +165,10 @@ fn fw_rescale(tree: &mut [u64]) -> u64 {
 
 /// Encode one symbol against `(tree, total)` and adapt; returns the new total.
 #[inline]
-fn fw_encode_step(tree: &mut [u64], total: u64, enc: &mut RangeEncoder, sym: usize) -> u64 {
+fn fw_encode_step<S: RangeSink>(tree: &mut [u32], total: u64, enc: &mut S, sym: usize) -> u64 {
     let (cum, freq) = fw_cum_freq(tree, sym);
-    enc.encode(cum, freq, total);
-    fw_add(tree, sym, INCREMENT);
+    enc.put(cum, freq, total);
+    fw_add(tree, sym, INCREMENT as u32);
     let total = total + INCREMENT;
     if total >= MAX_TOTAL {
         fw_rescale(tree)
@@ -160,13 +180,13 @@ fn fw_encode_step(tree: &mut [u64], total: u64, enc: &mut RangeEncoder, sym: usi
 /// Decode one symbol against `(tree, total)` and adapt; returns
 /// `(sym, new_total)`.
 #[inline]
-fn fw_decode_step(
-    tree: &mut [u64],
+fn fw_decode_step<S: RangeSource>(
+    tree: &mut [u32],
     total: u64,
-    dec: &mut RangeDecoder<'_>,
+    dec: &mut S,
 ) -> Result<(usize, u64), CodecError> {
     let n = tree.len() - 1;
-    let slot = dec.decode_freq(total)?;
+    let slot = dec.peek_freq(total)?;
     let (sym, cum) = fw_find(tree, slot);
     if sym >= n {
         // The Fenwick search ran off the end of the alphabet: an
@@ -174,8 +194,8 @@ fn fw_decode_step(
         return Err(CodecError::SymbolOutOfRange { symbol: sym, alphabet: n });
     }
     let freq = fw_freq(tree, sym);
-    dec.decode(cum, freq, total);
-    fw_add(tree, sym, INCREMENT);
+    dec.consume(cum, freq, total);
+    fw_add(tree, sym, INCREMENT as u32);
     let total = total + INCREMENT;
     let total = if total >= MAX_TOTAL { fw_rescale(tree) } else { total };
     Ok((sym, total))
@@ -185,7 +205,7 @@ fn fw_decode_step(
 #[derive(Debug, Clone)]
 pub struct AdaptiveModel {
     /// Fenwick tree over symbol frequencies, 1-indexed.
-    tree: Vec<u64>,
+    tree: Vec<u32>,
     n: usize,
     total: u64,
 }
@@ -212,18 +232,18 @@ impl AdaptiveModel {
     }
 
     #[cfg(test)]
-    fn add(&mut self, sym: usize, delta: u64) {
+    fn add(&mut self, sym: usize, delta: u32) {
         fw_add(&mut self.tree, sym, delta);
-        self.total += delta;
+        self.total += delta as u64;
     }
 
     /// Cumulative frequency of symbols `< sym`.
     #[cfg(test)]
     fn cum(&self, sym: usize) -> u64 {
         let mut i = sym;
-        let mut s = 0;
+        let mut s = 0u64;
         while i > 0 {
-            s += self.tree[i];
+            s += self.tree[i] as u64;
             i &= i - 1;
         }
         s
@@ -234,14 +254,15 @@ impl AdaptiveModel {
         fw_freq(&self.tree, sym)
     }
 
-    /// Encode `sym` and adapt.
-    pub fn encode(&mut self, enc: &mut RangeEncoder, sym: usize) {
+    /// Encode `sym` and adapt. Generic over the sink so the same model
+    /// drives single- and dual-lane coders.
+    pub fn encode<S: RangeSink>(&mut self, enc: &mut S, sym: usize) {
         assert!(sym < self.n, "symbol {sym} outside alphabet of {}", self.n);
         self.total = fw_encode_step(&mut self.tree, self.total, enc, sym);
     }
 
     /// Decode one symbol and adapt (mirror of [`AdaptiveModel::encode`]).
-    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>) -> Result<usize, CodecError> {
+    pub fn decode<S: RangeSource>(&mut self, dec: &mut S) -> Result<usize, CodecError> {
         let (sym, total) = fw_decode_step(&mut self.tree, self.total, dec)?;
         self.total = total;
         Ok(sym)
@@ -260,7 +281,7 @@ impl AdaptiveModel {
 #[derive(Debug, Clone)]
 pub struct ContextModel {
     /// Flat arena: context `c` owns `arena[c * stride .. (c + 1) * stride]`.
-    arena: Vec<u64>,
+    arena: Vec<u32>,
     /// Per-context totals; 0 marks a context whose table is untouched.
     totals: Vec<u64>,
     alphabet: usize,
@@ -289,7 +310,7 @@ impl ContextModel {
     /// The context's tree slice and total, initializing the table on first
     /// use.
     #[inline]
-    fn slot(&mut self, ctx: usize) -> (&mut [u64], &mut u64) {
+    fn slot(&mut self, ctx: usize) -> (&mut [u32], &mut u64) {
         let tree = &mut self.arena[ctx * self.stride..][..self.stride];
         let total = &mut self.totals[ctx];
         if *total == 0 {
@@ -300,14 +321,14 @@ impl ContextModel {
     }
 
     /// Encode `sym` under context `ctx` and adapt that context's model.
-    pub fn encode(&mut self, enc: &mut RangeEncoder, ctx: usize, sym: usize) {
+    pub fn encode<S: RangeSink>(&mut self, enc: &mut S, ctx: usize, sym: usize) {
         assert!(sym < self.alphabet, "symbol {sym} outside alphabet of {}", self.alphabet);
         let (tree, total) = self.slot(ctx);
         *total = fw_encode_step(tree, *total, enc, sym);
     }
 
     /// Decode one symbol under context `ctx` (mirror of `encode`).
-    pub fn decode(&mut self, dec: &mut RangeDecoder<'_>, ctx: usize) -> Result<usize, CodecError> {
+    pub fn decode<S: RangeSource>(&mut self, dec: &mut S, ctx: usize) -> Result<usize, CodecError> {
         let (tree, total) = self.slot(ctx);
         let (sym, new_total) = fw_decode_step(tree, *total, dec)?;
         *total = new_total;

@@ -11,7 +11,7 @@
 //! identical symbols out of the decoders — including streams long enough to
 //! cross the `MAX_TOTAL` rescale boundary several times.
 
-use dbgc_codec::{AdaptiveModel, ContextModel, RangeDecoder, RangeEncoder};
+use dbgc_codec::{AdaptiveModel, BitReader, BitWriter, ContextModel, RangeDecoder, RangeEncoder};
 use proptest::prelude::*;
 
 /// Naive reference implementations (see module docs). Kept self-contained so
@@ -187,6 +187,69 @@ mod reference {
         }
     }
 
+    /// Bit-at-a-time writer: the pre-optimization `write_bits` loop.
+    #[derive(Default)]
+    pub struct NaiveBitWriter {
+        buf: Vec<u8>,
+        cur: u8,
+        nbits: u32,
+    }
+
+    impl NaiveBitWriter {
+        pub fn write_bit(&mut self, bit: bool) {
+            self.cur = (self.cur << 1) | bit as u8;
+            self.nbits += 1;
+            if self.nbits == 8 {
+                self.buf.push(self.cur);
+                self.cur = 0;
+                self.nbits = 0;
+            }
+        }
+
+        pub fn write_bits(&mut self, value: u64, n: u32) {
+            for i in (0..n).rev() {
+                self.write_bit((value >> i) & 1 != 0);
+            }
+        }
+
+        pub fn finish(mut self) -> Vec<u8> {
+            if self.nbits > 0 {
+                self.buf.push(self.cur << (8 - self.nbits));
+            }
+            self.buf
+        }
+    }
+
+    /// Bit-at-a-time reader: the pre-optimization `read_bits` loop.
+    pub struct NaiveBitReader<'a> {
+        buf: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> NaiveBitReader<'a> {
+        pub fn new(buf: &'a [u8]) -> Self {
+            NaiveBitReader { buf, pos: 0 }
+        }
+
+        pub fn read_bit(&mut self) -> Option<bool> {
+            let byte = self.pos / 8;
+            if byte >= self.buf.len() {
+                return None;
+            }
+            let bit = (self.buf[byte] >> (7 - (self.pos % 8))) & 1;
+            self.pos += 1;
+            Some(bit != 0)
+        }
+
+        pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+            let mut v = 0u64;
+            for _ in 0..n {
+                v = (v << 1) | self.read_bit()? as u64;
+            }
+            Some(v)
+        }
+    }
+
     /// Context family as a bank of whole models (the pre-arena layout).
     pub struct RefContextModel {
         models: Vec<Option<RefModel>>,
@@ -316,6 +379,67 @@ proptest! {
         for &(c, s) in &stream {
             prop_assert_eq!(opt_model.decode(&mut opt_dec, c).expect("valid stream"), s);
             prop_assert_eq!(ref_model.decode(&mut ref_dec, c), s);
+        }
+    }
+
+    /// Multi-bit `BitWriter`/`BitReader` fast paths vs the bit-at-a-time
+    /// loops they replaced: identical bytes out, identical values back, for
+    /// arbitrary interleavings of single-bit and 0–64-bit fields (including
+    /// the `nbits + n > 63` split path and reads straddling byte seams).
+    #[test]
+    fn bitio_is_byte_equivalent(
+        ops in proptest::collection::vec((any::<u64>(), 0u32..=64, any::<bool>()), 0..300),
+    ) {
+        let mut fast = BitWriter::new();
+        let mut naive = reference::NaiveBitWriter::default();
+        for &(value, width, single) in &ops {
+            if single {
+                fast.write_bit(value & 1 != 0);
+                naive.write_bit(value & 1 != 0);
+            } else {
+                fast.write_bits(value, width);
+                naive.write_bits(value, width);
+            }
+        }
+        let fast_bytes = fast.finish();
+        prop_assert_eq!(&fast_bytes, &naive.finish(), "writer bytes diverge");
+
+        let mut fast_r = BitReader::new(&fast_bytes);
+        let mut naive_r = reference::NaiveBitReader::new(&fast_bytes);
+        for &(value, width, single) in &ops {
+            if single {
+                prop_assert_eq!(fast_r.read_bit().unwrap() as u64, value & 1);
+                let _ = naive_r.read_bit();
+            } else {
+                let got = fast_r.read_bits(width).unwrap();
+                prop_assert_eq!(Some(got), naive_r.read_bits(width), "reader values diverge");
+                let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+                prop_assert_eq!(got, value & mask, "read_bits lost payload bits");
+            }
+        }
+    }
+
+    /// A reader driven past end-of-buffer fails identically on both paths:
+    /// `UnexpectedEof` from the fast reader exactly when the naive loop runs
+    /// out of bits, with the cursor parked at end-of-buffer afterwards.
+    #[test]
+    fn bitio_eof_behavior_matches(
+        payload in proptest::collection::vec(any::<u8>(), 0..20),
+        widths in proptest::collection::vec(1u32..=64, 1..40),
+    ) {
+        let mut fast_r = BitReader::new(&payload);
+        let mut naive_r = reference::NaiveBitReader::new(&payload);
+        for &w in &widths {
+            let fast = fast_r.read_bits(w);
+            let naive = naive_r.read_bits(w);
+            match (fast, naive) {
+                (Ok(a), Some(b)) => prop_assert_eq!(a, b),
+                (Err(_), None) => {
+                    prop_assert_eq!(fast_r.remaining_bits(), 0, "cursor not at EOF after error");
+                    break;
+                }
+                (f, n) => prop_assert!(false, "EOF divergence: fast {f:?} vs naive {n:?}"),
+            }
         }
     }
 }

@@ -13,6 +13,7 @@ use dbgc_codec::{
     HuffmanDecoder, HuffmanEncoder,
 };
 use dbgc_codec::{intseq, lz77, range};
+use dbgc_codec::{AdaptiveModel, DualRangeDecoder, DualRangeEncoder};
 use proptest::prelude::*;
 
 fn arb_ints() -> impl Strategy<Value = Vec<i64>> {
@@ -151,6 +152,59 @@ proptest! {
     #[test]
     fn range_arbitrary_bytes_never_panic(bytes in arb_bytes(200), n in 0usize..4096) {
         let _ = range::rc_decompress_bytes(&bytes, n);
+    }
+
+    // ---- dual-lane range coder -------------------------------------------
+    #[test]
+    fn dual_roundtrip_and_truncation(data in arb_bytes(500), cut_frac in 0u32..100) {
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = DualRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let comp = enc.finish();
+        let mut model = AdaptiveModel::new(256);
+        let mut dec = DualRangeDecoder::new(&comp).unwrap();
+        for &b in &data {
+            prop_assert_eq!(model.decode(&mut dec).unwrap(), b as usize);
+        }
+        // Any proper prefix: frame rejection, or a decode error on the
+        // starved lane. Symbols decoded before the error only ever consumed
+        // genuine bytes, so they must still be the originals; a full decode
+        // is possible only for cuts inside the two 8-byte flush tails.
+        let cut = (comp.len().saturating_sub(1)) * cut_frac as usize / 100;
+        if let Ok(mut dec) = DualRangeDecoder::new(&comp[..cut]) {
+            let mut model = AdaptiveModel::new(256);
+            let mut completed = true;
+            for &b in &data {
+                match model.decode(&mut dec) {
+                    Err(_) => {
+                        completed = false;
+                        break;
+                    }
+                    Ok(sym) => {
+                        prop_assert_eq!(sym, b as usize, "truncated stream decoded wrong symbol");
+                    }
+                }
+            }
+            prop_assert!(
+                !completed || cut + 16 >= comp.len(),
+                "early cut at {cut}/{} decoded fully",
+                comp.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn dual_arbitrary_bytes_never_panic(bytes in arb_bytes(300), n in 0usize..512) {
+        if let Ok(mut dec) = DualRangeDecoder::new(&bytes) {
+            let mut model = AdaptiveModel::new(64);
+            for _ in 0..n {
+                if model.decode(&mut dec).is_err() {
+                    break;
+                }
+            }
+        }
     }
 
     // ---- intseq ----------------------------------------------------------

@@ -80,6 +80,12 @@ pub struct DbgcConfig {
     /// inline on the calling thread; `n > 1` = grow the shared pool to at
     /// least `n` threads. The bitstream is byte-identical for every setting.
     pub threads: usize,
+    /// Code the dense occupancy bytes through the interleaved two-lane range
+    /// coder (same probabilities, split interval state — see
+    /// `dbgc_codec::dual`). Changes the stream format: frames are written
+    /// with stream version 2 and only version-2-aware decoders accept them.
+    /// The default (false) keeps the version-1 format byte-identical.
+    pub dense_dual_lane: bool,
 }
 
 impl Default for DbgcConfig {
@@ -104,7 +110,15 @@ impl DbgcConfig {
             outlier_mode: OutlierMode::Quadtree,
             sensor: SensorMeta::velodyne_hdl64e(),
             threads: 0,
+            dense_dual_lane: false,
         }
+    }
+
+    /// Builder-style override of
+    /// [`dense_dual_lane`](DbgcConfig::dense_dual_lane).
+    pub fn with_dense_dual_lane(mut self, on: bool) -> Self {
+        self.dense_dual_lane = on;
+        self
     }
 
     /// Builder-style override of [`threads`](DbgcConfig::threads).

@@ -13,7 +13,7 @@ use dbgc_geom::{Point3, PointCloud};
 use dbgc_octree::OctreeCodec;
 
 use crate::outlier::decode_outliers;
-use crate::pipeline::{FLAG_RADIAL, FLAG_SPHERICAL, MAGIC, VERSION};
+use crate::pipeline::{FLAG_RADIAL, FLAG_SPHERICAL, MAGIC, VERSION, VERSION_DUAL};
 use crate::sparse::codec::{decode_group, GroupCodecConfig};
 use crate::DbgcError;
 
@@ -73,9 +73,11 @@ fn decompress_impl(
     if magic != MAGIC {
         return Err(DbgcError::BadHeader("wrong magic"));
     }
-    if r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))? != VERSION {
+    let version = r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))?;
+    if version != VERSION && version != VERSION_DUAL {
         return Err(DbgcError::BadHeader("unsupported version"));
     }
+    let dual_lane = version == VERSION_DUAL;
     let q_xyz = r.read_f64().map_err(DbgcError::from)?;
     // The upper cap (a billion-kilometre error bound) keeps every derived
     // quantization step small enough that dequantized coordinates stay
@@ -108,7 +110,9 @@ fn decompress_impl(
     let t = Instant::now();
     let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
     let dense_bytes = r.read_slice(dense_len).map_err(DbgcError::from)?;
-    let dense = OctreeCodec::baseline().decode_with_limit(dense_bytes, declared_points)?;
+    let dense = OctreeCodec::baseline()
+        .with_dual_lane(dual_lane)
+        .decode_with_limit(dense_bytes, declared_points)?;
     for p in dense.points {
         cloud.push(p);
     }
@@ -256,7 +260,8 @@ pub fn inspect(bytes: &[u8]) -> Result<StreamInfo, DbgcError> {
     if magic != MAGIC {
         return Err(DbgcError::BadHeader("wrong magic"));
     }
-    if r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))? != VERSION {
+    let version = r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))?;
+    if version != VERSION && version != VERSION_DUAL {
         return Err(DbgcError::BadHeader("unsupported version"));
     }
     let q_xyz = r.read_f64().map_err(DbgcError::from)?;
@@ -334,6 +339,22 @@ mod tests {
         assert_eq!(info.groups, 3);
         assert!((info.q_xyz - 0.02).abs() < 1e-15);
         assert!((info.compression_ratio() - frame.compression_ratio()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_lane_stream_roundtrips_under_version_2() {
+        let cloud = ring_cloud(3000);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02).with_dense_dual_lane(true);
+        let frame = Dbgc::new(cfg.clone()).compress(&cloud).unwrap();
+        assert_eq!(frame.bytes[4], 2, "dual-lane frames carry stream version 2");
+        let (decoded, _) = decompress(&frame.bytes).unwrap();
+        crate::verify::verify_roundtrip(&cloud, &decoded, &frame, cfg.q_xyz).unwrap();
+        // Everything outside the dense section is shared with version 1, so
+        // the size difference is bounded by the dual frame overhead.
+        let v1 = Dbgc::with_error_bound(0.02).compress(&cloud).unwrap();
+        assert_eq!(v1.bytes[4], 1);
+        assert!(frame.bytes.len() <= v1.bytes.len() + 32);
+        assert!(inspect(&frame.bytes).is_ok());
     }
 
     #[test]

@@ -45,3 +45,47 @@ pub(crate) fn map<T, R>(
     let _ = (threads, grain);
     items.iter().enumerate().map(|(i, t)| f(i, t)).collect()
 }
+
+/// Ordered slot-reuse map into a caller-owned arena (same `threads`
+/// semantics as [`map`]): `f(i, &items[i], &mut out[i])` refills each slot in
+/// place so slot-internal allocations persist across calls. `out` is resized
+/// with `R::default()` first.
+#[cfg(feature = "parallel")]
+pub(crate) fn map_reuse<T: Sync, R: Default + Send>(
+    threads: usize,
+    grain: usize,
+    items: &[T],
+    out: &mut Vec<R>,
+    f: impl Fn(usize, &T, &mut R) + Sync,
+) {
+    if threads != 1 {
+        let pool = dbgc_parallel::ThreadPool::global();
+        if threads > 1 {
+            pool.ensure_total(threads);
+        }
+        if pool.threads() > 1 {
+            pool.map_into(items, grain, out, f);
+            return;
+        }
+    }
+    out.resize_with(items.len(), R::default);
+    for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+        f(i, item, slot);
+    }
+}
+
+/// Serial fallback when the `parallel` feature is disabled.
+#[cfg(not(feature = "parallel"))]
+pub(crate) fn map_reuse<T, R: Default>(
+    threads: usize,
+    grain: usize,
+    items: &[T],
+    out: &mut Vec<R>,
+    f: impl Fn(usize, &T, &mut R),
+) {
+    let _ = (threads, grain);
+    out.resize_with(items.len(), R::default);
+    for (i, (item, slot)) in items.iter().zip(out.iter_mut()).enumerate() {
+        f(i, item, slot);
+    }
+}

@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use dbgc_clustering::{approx_cluster, cell_based_cluster, dbscan, DensitySplit};
+use dbgc_clustering::{approx_cluster_threads, cell_based_cluster, dbscan, DensitySplit};
 use dbgc_codec::varint::{write_f64, write_uvarint};
 use dbgc_geom::quant::{quantize, QuantParams, SphericalQuant};
 use dbgc_geom::{Point3, PointCloud, Spherical};
@@ -14,7 +14,7 @@ use crate::config::{ClusteringAlgorithm, DbgcConfig, SplitStrategy};
 use crate::outlier::encode_outliers;
 use crate::par;
 use crate::sparse::codec::{encode_group_to_buf, GroupCodecConfig, ScratchBuffers};
-use crate::sparse::organize::{organize_sparse_points_with, OrganizeScratch};
+use crate::sparse::organize::{organize_sparse_points_into, OrganizeScratch, Organized};
 use crate::stats::{CompressionStats, SectionSizes, TimingBreakdown};
 use crate::DbgcError;
 
@@ -58,6 +58,9 @@ std::thread_local! {
 /// Stream magic and version.
 pub(crate) const MAGIC: [u8; 4] = *b"DBGC";
 pub(crate) const VERSION: u8 = 1;
+/// Stream version for frames whose dense section uses the two-lane
+/// occupancy coder; everything else is identical to version 1.
+pub(crate) const VERSION_DUAL: u8 = 2;
 
 pub(crate) const FLAG_SPHERICAL: u8 = 0b01;
 pub(crate) const FLAG_RADIAL: u8 = 0b10;
@@ -83,19 +86,30 @@ impl CompressedFrame {
 
 /// Outcome of ORG + SPA on one radial group, produced on any thread and
 /// consumed by the deterministic in-order post-pass.
+///
+/// Slots live in a per-thread arena ([`GROUP_ARENA`]) and are refilled in
+/// place frame after frame, so a warm compressor encodes its groups without
+/// per-group allocation.
+#[derive(Default)]
 struct GroupResult {
     /// The group's stream section: `r_max` (f64) + encoded group.
     bytes: Vec<u8>,
-    /// Polyline point indices, local to the group's point array.
-    polylines: Vec<Vec<u32>>,
-    /// Outlier indices, local to the group's point array.
-    outliers: Vec<u32>,
+    /// Polylines and outliers, indices local to the group's point array.
+    organized: Organized,
     /// Time this worker spent in organization. Worker times overlap under
     /// `threads > 1`; they are only used to split the fan-out's wall-clock
     /// interval between ORG and SPA pro rata.
     org: std::time::Duration,
     /// Time this worker spent in coordinate compression (see `org`).
     spa: std::time::Duration,
+}
+
+std::thread_local! {
+    /// Per-thread arena of group-result slots, reused across frames on the
+    /// thread driving `compress` (workers fill the slots through disjoint
+    /// `&mut` borrows handed out by the slot-reuse fan-out).
+    static GROUP_ARENA: std::cell::RefCell<Vec<GroupResult>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// The DBGC compressor.
@@ -170,7 +184,9 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let stage = root.as_ref().map(|s| s.child("oct"));
         let t = Instant::now();
-        let dense_enc = OctreeCodec::baseline().encode(&dense_pts, cfg.q_xyz);
+        let dense_enc = OctreeCodec::baseline()
+            .with_dual_lane(cfg.dense_dual_lane)
+            .encode(&dense_pts, cfg.q_xyz);
         timing.oct = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(stage);
@@ -208,7 +224,7 @@ impl Dbgc {
         // ---- header ------------------------------------------------------
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
+        out.push(if cfg.dense_dual_lane { VERSION_DUAL } else { VERSION });
         write_f64(&mut out, cfg.q_xyz);
         write_f64(&mut out, cfg.sensor.u_theta());
         write_f64(&mut out, cfg.sensor.u_phi());
@@ -242,9 +258,12 @@ impl Dbgc {
         let sparse_mark = out.len();
 
         // ORG + SPA per group, fanned out over the pool (grain 1: groups are
-        // few and expensive). Each group encodes into its own buffer; buffers
-        // are spliced into the stream in group order below, so the bitstream
-        // is byte-identical to the serial in-place loop.
+        // few and expensive, so the work-stealing counter hands them out one
+        // at a time). Each group encodes into a persistent arena slot — the
+        // slot's buffers are refilled in place, so a warm compressor runs
+        // this fan-out without per-group allocation. Buffers are spliced
+        // into the stream in group order below, so the bitstream is
+        // byte-identical to the serial in-place loop.
         #[cfg(feature = "metrics")]
         let group_stage = root.as_ref().map(|s| s.child("sparse_groups"));
         #[cfg(feature = "metrics")]
@@ -252,40 +271,54 @@ impl Dbgc {
         #[cfg(not(feature = "metrics"))]
         let group_span: SpanOpt = None;
         let group_wall = Instant::now();
-        let group_results: Vec<GroupResult> =
-            par::map(cfg.threads, Some(1), &groups, |_, group| {
+        let mut org_cpu = std::time::Duration::ZERO;
+        let mut spa_cpu = std::time::Duration::ZERO;
+        let sparse_wall = GROUP_ARENA.with(|arena| {
+            let arena = &mut *arena.borrow_mut();
+            par::map_reuse(cfg.threads, 1, &groups, arena, |_, group, slot| {
                 SCRATCH.with(|scratch| {
-                    self.encode_one_group(
+                    self.encode_group_into(
                         group,
                         &sparse_sph,
                         &sparse_pts,
                         &mut scratch.borrow_mut(),
                         group_span,
+                        slot,
                     )
                 })
             });
-        let sparse_wall = group_wall.elapsed();
+            let sparse_wall = group_wall.elapsed();
+
+            // Deterministic post-pass: splice the buffers and replay the
+            // bookkeeping (mapping cursor, outlier list) in group order,
+            // exactly as the serial loop interleaved it. Its duration is the
+            // serial merge cost the fan-out pays — the `compress.splice_us`
+            // histogram makes that overhead visible next to the stage
+            // speedup gauges.
+            #[cfg(feature = "metrics")]
+            let splice_start = Instant::now();
+            for (group, result) in groups.iter().zip(arena.iter()) {
+                out.extend_from_slice(&result.bytes);
+                for line in &result.organized.polylines {
+                    for &local in line {
+                        mapping[sparse_idx[group[local as usize] as usize]] = cursor;
+                        cursor += 1;
+                    }
+                }
+                polyline_count += result.organized.polylines.len();
+                outliers_global
+                    .extend(result.organized.outliers.iter().map(|&l| group[l as usize]));
+                org_cpu += result.org;
+                spa_cpu += result.spa;
+            }
+            #[cfg(feature = "metrics")]
+            if let Some(c) = m {
+                c.record("compress.splice_us", splice_start.elapsed().as_micros() as u64);
+            }
+            sparse_wall
+        });
         #[cfg(feature = "metrics")]
         drop(group_stage);
-
-        // Deterministic post-pass: splice the buffers and replay the
-        // bookkeeping (mapping cursor, outlier list) in group order, exactly
-        // as the serial loop interleaved it.
-        let mut org_cpu = std::time::Duration::ZERO;
-        let mut spa_cpu = std::time::Duration::ZERO;
-        for (group, result) in groups.iter().zip(&group_results) {
-            out.extend_from_slice(&result.bytes);
-            for line in &result.polylines {
-                for &local in line {
-                    mapping[sparse_idx[group[local as usize] as usize]] = cursor;
-                    cursor += 1;
-                }
-            }
-            polyline_count += result.polylines.len();
-            outliers_global.extend(result.outliers.iter().map(|&l| group[l as usize]));
-            org_cpu += result.org;
-            spa_cpu += result.spa;
-        }
         // Wall-clock stage attribution: under `threads > 1` the per-worker
         // ORG and SPA measurements overlap in time, so their sum overstates
         // the stage cost. Report the fan-out's wall-clock interval instead,
@@ -347,19 +380,22 @@ impl Dbgc {
         Ok(CompressedFrame { bytes: out, mapping, stats })
     }
 
-    /// ORG + SPA for one radial group, into a group-local buffer.
+    /// ORG + SPA for one radial group, refilling an arena slot in place.
     ///
-    /// `bytes` holds the group's complete stream section (`r_max` followed by
-    /// the encoded group), so buffers computed on any thread can be spliced
-    /// into the frame in group order without re-encoding.
-    fn encode_one_group(
+    /// `result.bytes` holds the group's complete stream section (`r_max`
+    /// followed by the encoded group), so slots filled on any thread can be
+    /// spliced into the frame in group order without re-encoding. The slot's
+    /// previous contents are recycled (polyline vectors through the scratch
+    /// line pool), so a warm slot encodes without allocating.
+    fn encode_group_into(
         &self,
         group: &[u32],
         sparse_sph: &[Spherical],
         sparse_pts: &[Point3],
         scratch: &mut GroupScratch,
         span: SpanOpt,
-    ) -> GroupResult {
+        result: &mut GroupResult,
+    ) {
         #[cfg(not(feature = "metrics"))]
         let _ = span;
         let cfg = &self.config;
@@ -375,15 +411,16 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let phase = span.map(|s| s.child("org"));
         let t = Instant::now();
-        let organized = organize_sparse_points_with(
+        organize_sparse_points_into(
             &scratch.g_sph,
             &scratch.g_cart,
             cfg.sensor.u_theta(),
             cfg.sensor.u_phi(),
             cfg.min_polyline_len,
             &mut scratch.org,
+            &mut result.organized,
         );
-        let org = t.elapsed();
+        result.org = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(phase);
 
@@ -391,21 +428,13 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let phase = span.map(|s| s.child("spa"));
         let t = Instant::now();
-        let codec_cfg = self.quantize_lines_into(&organized.polylines, r_max, scratch);
-        let mut bytes = Vec::new();
-        write_f64(&mut bytes, r_max);
-        encode_group_to_buf(&mut bytes, &scratch.lines_q, &codec_cfg, &mut scratch.codec);
-        let spa = t.elapsed();
+        let codec_cfg = self.quantize_lines_into(&result.organized.polylines, r_max, scratch);
+        result.bytes.clear();
+        write_f64(&mut result.bytes, r_max);
+        encode_group_to_buf(&mut result.bytes, &scratch.lines_q, &codec_cfg, &mut scratch.codec);
+        result.spa = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(phase);
-
-        GroupResult {
-            bytes,
-            polylines: organized.polylines,
-            outliers: organized.outliers,
-            org,
-            spa,
-        }
     }
 
     /// Dense/sparse classification.
@@ -414,7 +443,9 @@ impl Dbgc {
             SplitStrategy::Density(alg) => {
                 let params = self.config.cluster_params();
                 match alg {
-                    ClusteringAlgorithm::Approximate => approx_cluster(points, params),
+                    ClusteringAlgorithm::Approximate => {
+                        approx_cluster_threads(points, params, self.config.threads)
+                    }
                     ClusteringAlgorithm::CellBased => cell_based_cluster(points, params),
                     ClusteringAlgorithm::Dbscan => dbscan(points, params).split(),
                 }

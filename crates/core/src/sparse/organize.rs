@@ -52,6 +52,9 @@ pub struct OrganizeScratch {
     /// Rightward / leftward extension staging for the current polyline.
     right: Vec<u32>,
     left: Vec<u32>,
+    /// Spare polyline vectors recycled from previous outputs, so a warm
+    /// organize emits lines without allocating.
+    line_pool: Vec<Vec<u32>>,
 }
 
 /// Candidate index over the angle grid: a dense CSR grid when the angle span
@@ -164,6 +167,24 @@ pub fn organize_sparse_points_with(
     min_len: usize,
     scratch: &mut OrganizeScratch,
 ) -> Organized {
+    let mut out = Organized::default();
+    organize_sparse_points_into(spherical, cartesian, u_theta, u_phi, min_len, scratch, &mut out);
+    out
+}
+
+/// [`organize_sparse_points_with`] writing into a caller-owned [`Organized`]:
+/// `out`'s previous polyline vectors are recycled through the scratch's line
+/// pool, so a warm (scratch, out) pair organizes a group without allocating.
+/// The result is identical for any prior `out`/scratch state.
+pub fn organize_sparse_points_into(
+    spherical: &[Spherical],
+    cartesian: &[Point3],
+    u_theta: f64,
+    u_phi: f64,
+    min_len: usize,
+    scratch: &mut OrganizeScratch,
+    out: &mut Organized,
+) {
     assert_eq!(spherical.len(), cartesian.len());
     assert!(u_theta > 0.0 && u_phi > 0.0, "sample spacings must be positive");
     let n = spherical.len();
@@ -172,12 +193,19 @@ pub fn organize_sparse_points_with(
     scratch.phi.clear();
     scratch.phi.extend(spherical.iter().map(|s| s.phi));
     let grid = build_grid(scratch, u_theta, u_phi);
-    let OrganizeScratch { theta, phi, cell_start, cell_pts, used, right, left } = scratch;
+    let OrganizeScratch { theta, phi, cell_start, cell_pts, used, right, left, line_pool } =
+        scratch;
     let (theta, phi) = (theta.as_slice(), phi.as_slice());
     let (cell_start, cell_pts) = (cell_start.as_slice(), cell_pts.as_slice());
     used.clear();
     used.resize(n, false);
-    let mut result = Organized::default();
+    // Recycle the previous output's line vectors instead of dropping them.
+    line_pool.extend(out.polylines.drain(..).map(|mut line| {
+        line.clear();
+        line
+    }));
+    out.outliers.clear();
+    let result = out;
     let two_ut = 2.0 * u_theta;
 
     // Extend from `from` in direction `dir` (+1 right, -1 left); returns the
@@ -265,7 +293,8 @@ pub fn organize_sparse_points_with(
         }
         let len = left.len() + right.len();
         if len >= min_len {
-            let mut line = Vec::with_capacity(len);
+            let mut line = line_pool.pop().unwrap_or_default();
+            line.reserve(len);
             line.extend(left.iter().rev());
             line.extend_from_slice(right);
             result.polylines.push(line);
@@ -282,7 +311,6 @@ pub fn organize_sparse_points_with(
         let (ha, hb) = (a[0] as usize, b[0] as usize);
         phi[ha].total_cmp(&phi[hb]).then(theta[ha].total_cmp(&theta[hb])).then(a[0].cmp(&b[0]))
     });
-    result
 }
 
 #[cfg(test)]

@@ -140,6 +140,49 @@ fn build_consensus(lines: &[Vec<[i64; 3]>], li: usize, th_phi: i64) -> Vec<StarP
     star
 }
 
+/// Monotone cursor over the sorted consensus line.
+///
+/// Polyline points arrive in ascending θ (an organize-stage invariant), so
+/// the two lower-bound positions [`reference`] needs per point only ever
+/// advance; tracking them turns two `O(log n)` binary searches per point
+/// into an amortized `O(1)` walk. Out-of-order θ (never produced by
+/// organize, but accepted) falls back to `partition_point`, so the positions
+/// — and the bitstream — are identical either way.
+struct StarCursor {
+    idx_l: usize,
+    idx_r: usize,
+    last_theta: i64,
+    primed: bool,
+}
+
+impl StarCursor {
+    fn new() -> Self {
+        Self { idx_l: 0, idx_r: 0, last_theta: 0, primed: false }
+    }
+
+    /// `(partition_point(θ_s < θ), partition_point(θ_s <= θ))` over `star`.
+    #[inline]
+    fn seek(&mut self, star: &[StarPoint], theta_p: i64) -> (usize, usize) {
+        if !self.primed || theta_p < self.last_theta {
+            self.idx_l = star.partition_point(|s| s.theta < theta_p);
+            self.idx_r = self.idx_l;
+            self.primed = true;
+        } else {
+            while self.idx_l < star.len() && star[self.idx_l].theta < theta_p {
+                self.idx_l += 1;
+            }
+            if self.idx_r < self.idx_l {
+                self.idx_r = self.idx_l;
+            }
+        }
+        while self.idx_r < star.len() && star[self.idx_r].theta <= theta_p {
+            self.idx_r += 1;
+        }
+        self.last_theta = theta_p;
+        (self.idx_l, self.idx_r)
+    }
+}
+
 /// The reference decision for one point.
 enum RefChoice {
     /// Situations (1) and (2a): the reference is implied; no symbol recorded.
@@ -157,9 +200,11 @@ fn reference(
     li: usize,
     k: usize,
     star: &[StarPoint],
+    cursor: &mut StarCursor,
     th_r: i64,
 ) -> RefChoice {
     let theta_p = lines[li][k][0];
+    let (idx_l, idx_r) = cursor.seek(star, theta_p);
     // The "previous point" reference: the preceding point on the same line
     // for tails; for a head (situation 1) the head of the preceding polyline
     // plays that role — polylines are sorted by (φ, θ), so the previous head
@@ -167,9 +212,8 @@ fn reference(
     let bl = if k == 0 {
         if li == 0 {
             // Very first value of the group: only l* (if any) can help.
-            let idx = star.partition_point(|s| s.theta < theta_p);
-            if idx > 0 {
-                return RefChoice::Implied(star[idx - 1].r);
+            if idx_l > 0 {
+                return RefChoice::Implied(star[idx_l - 1].r);
             }
             return RefChoice::Implied(0);
         }
@@ -177,8 +221,6 @@ fn reference(
     } else {
         lines[li][k - 1][2]
     };
-    let idx_l = star.partition_point(|s| s.theta < theta_p);
-    let idx_r = star.partition_point(|s| s.theta <= theta_p);
     let ul = (idx_l > 0).then(|| star[idx_l - 1].r);
     let ur = (idx_r < star.len()).then(|| star[idx_r].r);
     let um = (idx_r > idx_l).then(|| star[idx_r - 1].r);
@@ -238,9 +280,10 @@ pub fn encode_radial_into(
     let mut consensus = ConsensusBuilder::new(lines);
     for li in 0..lines.len() {
         let star = consensus.advance(lines, li, th_phi);
+        let mut cursor = StarCursor::new();
         for k in 0..lines[li].len() {
             let r = lines[li][k][2];
-            let nabla = match reference(lines, li, k, star, th_r) {
+            let nabla = match reference(lines, li, k, star, &mut cursor, th_r) {
                 RefChoice::Implied(ref_r) => r - ref_r,
                 RefChoice::Recorded { cands, len } => {
                     let &(sym, ref_r) = cands[..len]
@@ -274,6 +317,7 @@ pub fn decode_radial(
     let mut consensus = ConsensusBuilder::new(lines);
     for li in 0..lines.len() {
         let star = consensus.advance(lines, li, th_phi);
+        let mut cursor = StarCursor::new();
         for k in 0..lines[li].len() {
             let d = if k == 0 {
                 let d = *streams
@@ -290,7 +334,7 @@ pub fn decode_radial(
                 ti += 1;
                 d
             };
-            let ref_r = match reference(lines, li, k, star, th_r) {
+            let ref_r = match reference(lines, li, k, star, &mut cursor, th_r) {
                 RefChoice::Implied(r) => r,
                 RefChoice::Recorded { cands, len } => {
                     let sym =
@@ -464,6 +508,44 @@ mod tests {
         for li in 0..lines.len() {
             let star = fast.advance(&lines, li, 5).to_vec();
             assert_eq!(star, build_consensus(&lines, li, 5), "line {li}");
+        }
+    }
+
+    /// The monotone [`StarCursor`] must return exactly the two
+    /// `partition_point` lower bounds for every query — ascending runs
+    /// (the organize invariant, amortized O(1)), repeats, and out-of-order
+    /// regressions (the binary-search fallback) alike.
+    #[test]
+    fn star_cursor_matches_binary_search() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(47);
+        for _ in 0..200 {
+            // A sorted star with duplicate θ plateaus (splice boundaries).
+            let mut theta = 0i64;
+            let star: Vec<StarPoint> = (0..rng.gen_range(0..40))
+                .map(|_| {
+                    theta += rng.gen_range(0..6);
+                    StarPoint { theta, r: rng.gen_range(0..3000) }
+                })
+                .collect();
+            let mut cursor = StarCursor::new();
+            let mut q = rng.gen_range(-5..5i64);
+            for _ in 0..60 {
+                // Mostly ascending, occasionally jumping backwards.
+                q = if rng.gen_range(0..8) == 0 {
+                    rng.gen_range(-5..theta.max(1) + 5)
+                } else {
+                    q + rng.gen_range(0..4)
+                };
+                let expect_l = star.partition_point(|s| s.theta < q);
+                let expect_r = star.partition_point(|s| s.theta <= q);
+                assert_eq!(
+                    cursor.seek(&star, q),
+                    (expect_l, expect_r),
+                    "cursor diverged at θ={q} over {} star points",
+                    star.len()
+                );
+            }
         }
     }
 

@@ -1,0 +1,115 @@
+//! Parallel-efficiency arithmetic for stage timings.
+//!
+//! A parallelized stage is characterized by three numbers derived from its
+//! serial and parallel wall-clock times and the worker count:
+//!
+//! * **speedup** `S = t_serial / t_parallel` — how many times faster the
+//!   parallel run retired the stage;
+//! * **efficiency** `E = S / workers` — the fraction of the added hardware
+//!   that did useful work (1.0 = perfect linear scaling);
+//! * **idle fraction** `1 − E` — the share of worker-seconds spent waiting
+//!   (serial sections, barrier skew, splice/merge overhead).
+//!
+//! [`StageEfficiency`] computes them once and [`StageEfficiency::record`]
+//! publishes them as `<prefix>.speedup` / `<prefix>.efficiency` /
+//! `<prefix>.idle_frac` gauges, so every harness reports scaling in the same
+//! vocabulary and CI gates can compare runs structurally.
+
+use crate::Collector;
+
+/// Speedup/efficiency/idle summary of one parallelized stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageEfficiency {
+    /// Serial wall-clock seconds.
+    pub serial_s: f64,
+    /// Parallel wall-clock seconds.
+    pub parallel_s: f64,
+    /// Total parallelism of the parallel run (workers incl. the caller).
+    pub workers: usize,
+}
+
+impl StageEfficiency {
+    /// Summary of a stage that took `serial_s` alone and `parallel_s` on
+    /// `workers` threads.
+    pub fn new(serial_s: f64, parallel_s: f64, workers: usize) -> StageEfficiency {
+        StageEfficiency { serial_s, parallel_s, workers }
+    }
+
+    /// `t_serial / t_parallel`; 0.0 when the parallel time is degenerate.
+    pub fn speedup(&self) -> f64 {
+        if self.parallel_s > 0.0 && self.serial_s.is_finite() {
+            self.serial_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Speedup per worker, clamped to `[0, ∞)`; 1.0 is perfect scaling.
+    /// (Super-linear values are possible — cache effects — and reported
+    /// as-is rather than clamped to 1.)
+    pub fn efficiency(&self) -> f64 {
+        if self.workers == 0 {
+            return 0.0;
+        }
+        self.speedup() / self.workers as f64
+    }
+
+    /// Fraction of worker-seconds that bought nothing: `1 − efficiency`,
+    /// clamped at 0 for super-linear stages.
+    pub fn idle_fraction(&self) -> f64 {
+        (1.0 - self.efficiency()).max(0.0)
+    }
+
+    /// Publish the three derived gauges under `prefix`
+    /// (`<prefix>.speedup`, `<prefix>.efficiency`, `<prefix>.idle_frac`).
+    pub fn record(&self, collector: &Collector, prefix: &str) {
+        collector.set_gauge(&format!("{prefix}.speedup"), self.speedup());
+        collector.set_gauge(&format!("{prefix}.efficiency"), self.efficiency());
+        collector.set_gauge(&format!("{prefix}.idle_frac"), self.idle_fraction());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_scaling() {
+        let e = StageEfficiency::new(4.0, 1.0, 4);
+        assert_eq!(e.speedup(), 4.0);
+        assert_eq!(e.efficiency(), 1.0);
+        assert_eq!(e.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn half_efficiency_half_idle() {
+        let e = StageEfficiency::new(2.0, 1.0, 4);
+        assert_eq!(e.speedup(), 2.0);
+        assert_eq!(e.efficiency(), 0.5);
+        assert_eq!(e.idle_fraction(), 0.5);
+    }
+
+    #[test]
+    fn superlinear_reports_zero_idle() {
+        let e = StageEfficiency::new(5.0, 1.0, 4);
+        assert!(e.efficiency() > 1.0);
+        assert_eq!(e.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_times_are_safe() {
+        assert_eq!(StageEfficiency::new(1.0, 0.0, 4).speedup(), 0.0);
+        assert_eq!(StageEfficiency::new(f64::INFINITY, 1.0, 4).speedup(), 0.0);
+        assert_eq!(StageEfficiency::new(1.0, 1.0, 0).efficiency(), 0.0);
+    }
+
+    #[test]
+    fn record_publishes_the_three_gauges() {
+        let c = Collector::new();
+        StageEfficiency::new(3.0, 1.0, 4).record(&c, "den");
+        let snap = c.snapshot();
+        assert_eq!(snap.gauges["den.speedup"], 3.0);
+        assert_eq!(snap.gauges["den.efficiency"], 0.75);
+        assert_eq!(snap.gauges["den.idle_frac"], 0.25);
+    }
+}

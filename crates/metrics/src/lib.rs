@@ -33,10 +33,12 @@
 
 #![warn(missing_docs)]
 
+mod efficiency;
 mod hist;
 mod snapshot;
 mod span;
 
+pub use efficiency::StageEfficiency;
 pub use hist::{Histogram, HistogramSnapshot};
 pub use snapshot::{json_escape, Snapshot};
 pub use span::{Span, SpanRecord};

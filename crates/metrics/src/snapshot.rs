@@ -160,6 +160,74 @@ impl Snapshot {
         out.push_str("]\n}\n");
         out
     }
+
+    /// Parse the `"gauges"` object out of a document produced by
+    /// [`Snapshot::to_json`]. The workspace carries no JSON library, so CI
+    /// gates that diff two benchmark snapshots use this focused reader
+    /// instead; it relies on the writer's layout (the `"gauges"` key at the
+    /// start of its own line), which the round-trip test below pins.
+    /// Non-finite gauges were written as `null` and are skipped.
+    pub fn gauges_from_json(json: &str) -> Result<BTreeMap<String, f64>, String> {
+        // The writer puts each top-level key at the start of a line and
+        // escapes newlines inside strings, so this anchor cannot match
+        // inside a label value.
+        let anchor = "\n  \"gauges\": ";
+        let idx = json.find(anchor).ok_or("no top-level \"gauges\" key")?;
+        let mut s = json[idx + anchor.len()..].trim_start();
+        s = s.strip_prefix('{').ok_or("gauges value is not an object")?;
+        let mut out = BTreeMap::new();
+        loop {
+            s = s.trim_start_matches([' ', '\n', '\t', ',']);
+            if s.starts_with('}') {
+                return Ok(out);
+            }
+            let (key, rest) = parse_json_string(s)?;
+            s = rest.trim_start();
+            s = s.strip_prefix(':').ok_or_else(|| format!("missing ':' after \"{key}\""))?;
+            s = s.trim_start();
+            if let Some(rest) = s.strip_prefix("null") {
+                s = rest;
+                continue;
+            }
+            let end = s
+                .find(|c: char| !matches!(c, '0'..='9' | '+' | '-' | '.' | 'e' | 'E'))
+                .unwrap_or(s.len());
+            let v: f64 = s[..end].parse().map_err(|e| format!("bad number for \"{key}\": {e}"))?;
+            out.insert(key, v);
+            s = &s[end..];
+        }
+    }
+}
+
+/// Parse a JSON string literal at the start of `s`; returns the unescaped
+/// value and the remainder after the closing quote.
+fn parse_json_string(s: &str) -> Result<(String, &str), String> {
+    let s = s.strip_prefix('"').ok_or("expected string")?;
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => match chars.next().map(|(_, e)| e) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                        code = code * 16 + h.to_digit(16).ok_or("bad \\u escape")?;
+                    }
+                    out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                }
+                other => return Err(format!("unknown escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
 }
 
 /// Write a `{ "k": v, ... }` object using `value` for each payload.
@@ -253,6 +321,30 @@ mod tests {
     fn escaping() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn gauges_round_trip_through_json() {
+        let c = Collector::new();
+        c.set_gauge("serial.frames_per_s", 12.81);
+        c.set_gauge("speedup", 1.0);
+        c.set_gauge("neg", -3.5e-2);
+        c.set_gauge("skip.nan", f64::NAN);
+        c.set_label("weird \"label\"", "has \"gauges\": inside");
+        let json = c.snapshot().to_json();
+        let gauges = Snapshot::gauges_from_json(&json).unwrap();
+        assert_eq!(gauges["serial.frames_per_s"], 12.81);
+        assert_eq!(gauges["speedup"], 1.0);
+        assert_eq!(gauges["neg"], -3.5e-2);
+        assert!(!gauges.contains_key("skip.nan"), "null gauges are skipped");
+        assert_eq!(gauges.len(), 3);
+    }
+
+    #[test]
+    fn gauges_parser_rejects_garbage() {
+        assert!(Snapshot::gauges_from_json("{}").is_err());
+        assert!(Snapshot::gauges_from_json("\n  \"gauges\": [1]").is_err());
+        assert!(Snapshot::gauges_from_json("\n  \"gauges\": { \"a\": x }").is_err());
     }
 
     #[test]

@@ -107,7 +107,12 @@ enum WorkItem {
 }
 
 struct QueueState {
-    jobs: std::collections::VecDeque<(u64, PointCloud, u8)>,
+    /// Frames are queued as `Arc` so submission never deep-copies point
+    /// buffers: the submitter keeps (or drops) its handle and workers borrow
+    /// the same allocation. A multi-megabyte cloud costs one refcount bump to
+    /// hand off instead of a copy on the producer thread — which is exactly
+    /// the serial section Amdahl charges against every worker added.
+    jobs: std::collections::VecDeque<(u64, Arc<PointCloud>, u8)>,
     closed: bool,
     high_water: u64,
 }
@@ -306,6 +311,15 @@ impl PipelinedCompressor {
     /// drops the oldest queued frame, or (Degrade) blocks while pressure
     /// coarsens subsequent frames.
     pub fn submit(&mut self, cloud: PointCloud) -> u64 {
+        self.submit_shared(Arc::new(cloud))
+    }
+
+    /// [`submit`](PipelinedCompressor::submit) without the handoff copy: the
+    /// caller keeps its `Arc` handle (e.g. to replay or archive the frame)
+    /// and the pipeline shares the same point buffer. Submitting an
+    /// already-shared cloud is the fast path for sensor loops that fan one
+    /// capture out to several consumers.
+    pub fn submit_shared(&mut self, cloud: Arc<PointCloud>) -> u64 {
         let seq = self.next_submit;
         self.next_submit += 1;
         let depth;
@@ -508,6 +522,19 @@ mod tests {
             assert_eq!(got.bytes, expected.bytes);
             assert_eq!(got.mapping, expected.mapping);
         }
+    }
+
+    #[test]
+    fn submit_shared_avoids_the_handoff_copy() {
+        let dbgc = Dbgc::with_error_bound(0.02);
+        let c = Arc::new(cloud(5, 3000));
+        let direct = dbgc.compress(&c).unwrap();
+        let mut pipe = PipelinedCompressor::new(dbgc, 2);
+        // The submitter keeps its handle; the pipeline shares the buffer.
+        pipe.submit_shared(Arc::clone(&c));
+        let piped = pipe.next_ordered().unwrap().unwrap();
+        assert_eq!(piped.bytes, direct.bytes);
+        assert_eq!(c.len(), 3000, "caller's handle still valid");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 
 use dbgc_codec::intseq;
 use dbgc_codec::varint::{write_f64, write_uvarint, ByteReader};
-use dbgc_codec::{AdaptiveModel, CodecError, ContextModel, RangeDecoder, RangeEncoder};
+use dbgc_codec::{
+    AdaptiveModel, CodecError, ContextModel, DualRangeDecoder, DualRangeEncoder, RangeDecoder,
+    RangeEncoder, RangeSink, RangeSource,
+};
 use dbgc_geom::{BoundingCube, Point3};
 
 use crate::builder::{demorton3, Octree, MAX_DEPTH};
@@ -56,17 +59,28 @@ pub struct OctreeDecodeResult {
 pub struct OctreeCodec {
     /// Occupancy-byte modelling strategy.
     pub context: OccupancyContext,
+    /// Code occupancy bytes through the interleaved two-lane range coder
+    /// (see [`dbgc_codec::dual`]): symbol probabilities are unchanged, but
+    /// the decoder's interval-state dependency chain is split across two
+    /// lanes. Changes the occupancy framing — both ends must agree.
+    pub dual_lane: bool,
 }
 
 impl OctreeCodec {
     /// The baseline coder of Botsch et al. \[7\].
     pub fn baseline() -> Self {
-        OctreeCodec { context: OccupancyContext::None }
+        OctreeCodec { context: OccupancyContext::None, dual_lane: false }
     }
 
     /// The Octree_i variant \[21\].
     pub fn parent_context() -> Self {
-        OctreeCodec { context: OccupancyContext::ParentCode }
+        OctreeCodec { context: OccupancyContext::ParentCode, dual_lane: false }
+    }
+
+    /// The same codec with the two-lane occupancy path switched on or off.
+    pub fn with_dual_lane(mut self, dual_lane: bool) -> Self {
+        self.dual_lane = dual_lane;
+        self
     }
 
     /// Compress `points` with leaf side `2·q_xyz` (per-axis error `<= q_xyz`).
@@ -88,24 +102,15 @@ impl OctreeCodec {
         write_uvarint(&mut out, tree.leaf_count() as u64);
 
         // Occupancy bytes, range-coded.
-        let mut enc = RangeEncoder::new();
-        match self.context {
-            OccupancyContext::None => {
-                // Alphabet 255: code 0 (no children) never occurs; shift by 1.
-                let mut model = AdaptiveModel::new(255);
-                for (_, code) in tree.occupancy_codes() {
-                    debug_assert!(code != 0);
-                    model.encode(&mut enc, code as usize - 1);
-                }
-            }
-            OccupancyContext::ParentCode => {
-                let mut model = ContextModel::new(256, 255);
-                for (parent, code) in tree.occupancy_codes() {
-                    model.encode(&mut enc, parent as usize, code as usize - 1);
-                }
-            }
-        }
-        let occ = enc.finish();
+        let occ = if self.dual_lane {
+            let mut enc = DualRangeEncoder::new();
+            self.encode_occupancy(tree, &mut enc);
+            enc.finish()
+        } else {
+            let mut enc = RangeEncoder::new();
+            self.encode_occupancy(tree, &mut enc);
+            enc.finish()
+        };
         write_uvarint(&mut out, occ.len() as u64);
         out.extend_from_slice(&occ);
 
@@ -114,6 +119,47 @@ impl OctreeCodec {
         intseq::compress_ints_rc(&mut out, &extras);
 
         OctreeEncodeResult { bytes: out, mapping: tree.decode_mapping(), leaves: tree.leaf_count() }
+    }
+
+    fn encode_occupancy<S: RangeSink>(&self, tree: &Octree, enc: &mut S) {
+        match self.context {
+            OccupancyContext::None => {
+                // Alphabet 255: code 0 (no children) never occurs; shift by 1.
+                let mut model = AdaptiveModel::new(255);
+                for (_, code) in tree.occupancy_codes() {
+                    debug_assert!(code != 0);
+                    model.encode(enc, code as usize - 1);
+                }
+            }
+            OccupancyContext::ParentCode => {
+                let mut model = ContextModel::new(256, 255);
+                for (parent, code) in tree.occupancy_codes() {
+                    model.encode(enc, parent as usize, code as usize - 1);
+                }
+            }
+        }
+    }
+
+    fn decode_occupancy<S: RangeSource>(
+        &self,
+        depth: u32,
+        leaf_count: usize,
+        dec: &mut S,
+    ) -> Result<Option<Vec<u64>>, CodecError> {
+        match self.context {
+            OccupancyContext::None => {
+                let mut model = AdaptiveModel::new(255);
+                Octree::leaves_from_codes(depth, leaf_count, |_parent| {
+                    model.decode(dec).map(|s| s as u8 + 1)
+                })
+            }
+            OccupancyContext::ParentCode => {
+                let mut model = ContextModel::new(256, 255);
+                Octree::leaves_from_codes(depth, leaf_count, |parent| {
+                    model.decode(dec, parent as usize).map(|s| s as u8 + 1)
+                })
+            }
+        }
     }
 
     /// Decompress a stream produced by [`OctreeCodec::encode`]. The `context`
@@ -159,20 +205,12 @@ impl OctreeCodec {
         let occ_len = r.read_uvarint()? as usize;
         let occ = r.read_slice(occ_len)?;
 
-        let mut dec = RangeDecoder::new(occ);
-        let leaves = match self.context {
-            OccupancyContext::None => {
-                let mut model = AdaptiveModel::new(255);
-                Octree::leaves_from_codes(depth, leaf_count, |_parent| {
-                    model.decode(&mut dec).map(|s| s as u8 + 1)
-                })?
-            }
-            OccupancyContext::ParentCode => {
-                let mut model = ContextModel::new(256, 255);
-                Octree::leaves_from_codes(depth, leaf_count, |parent| {
-                    model.decode(&mut dec, parent as usize).map(|s| s as u8 + 1)
-                })?
-            }
+        let leaves = if self.dual_lane {
+            let mut dec = DualRangeDecoder::new(occ)?;
+            self.decode_occupancy(depth, leaf_count, &mut dec)?
+        } else {
+            let mut dec = RangeDecoder::new(occ);
+            self.decode_occupancy(depth, leaf_count, &mut dec)?
         };
         let leaves = leaves.ok_or(CodecError::CorruptStream("octree leaf budget exceeded"))?;
         if leaves.len() != leaf_count {
@@ -267,6 +305,31 @@ mod tests {
         let dense_size = check_roundtrip(OctreeCodec::baseline(), &dense, q);
         let sparse_size = check_roundtrip(OctreeCodec::baseline(), &sparse, q);
         assert!(dense_size < sparse_size, "dense {dense_size} should beat sparse {sparse_size}");
+    }
+
+    #[test]
+    fn dual_lane_roundtrip_both_contexts() {
+        let pts = random_cloud(8000, 16, 30.0);
+        check_roundtrip(OctreeCodec::baseline().with_dual_lane(true), &pts, 0.02);
+        check_roundtrip(OctreeCodec::parent_context().with_dual_lane(true), &pts, 0.02);
+    }
+
+    #[test]
+    fn dual_lane_size_overhead_is_bounded() {
+        // Same models, same symbols: only the frame header and one extra
+        // flush tail separate the two streams.
+        let pts = random_cloud(8000, 17, 30.0);
+        let single = OctreeCodec::baseline().encode(&pts, 0.02).bytes.len();
+        let dual = OctreeCodec::baseline().with_dual_lane(true).encode(&pts, 0.02).bytes.len();
+        assert!(dual <= single + 32, "dual {dual} vs single {single}");
+    }
+
+    #[test]
+    fn dual_lane_stream_is_not_single_lane_compatible() {
+        let pts = random_cloud(2000, 18, 20.0);
+        let enc = OctreeCodec::baseline().with_dual_lane(true).encode(&pts, 0.02);
+        // The plain decoder must reject or mis-frame it, never panic.
+        let _ = OctreeCodec::baseline().decode(&enc.bytes);
     }
 
     #[test]

@@ -232,6 +232,32 @@ impl ThreadPool {
         unsafe { out.set_len(n) };
         out
     }
+
+    /// Parallel map into a caller-owned arena: `f(i, &items[i], &mut out[i])`
+    /// refills each slot in place, so slot-internal allocations (buffers,
+    /// nested vecs) survive across calls instead of being reallocated per
+    /// item. `out` is resized with `R::default()` first; as with
+    /// [`map`](ThreadPool::map), slots are written in input order semantics
+    /// regardless of which thread ran them.
+    pub fn map_into<T: Sync, R: Default + Send>(
+        &self,
+        items: &[T],
+        grain: usize,
+        out: &mut Vec<R>,
+        f: impl Fn(usize, &T, &mut R) + Sync,
+    ) {
+        let n = items.len();
+        out.resize_with(n, R::default);
+        let ptr = SendPtr(out.as_mut_ptr());
+        self.for_each_block(n, grain, |range| {
+            for i in range {
+                // SAFETY: blocks are disjoint, so each slot is borrowed
+                // exclusively by exactly one worker; all slots were
+                // initialized by `resize_with` above.
+                f(i, &items[i], unsafe { &mut *ptr.get().add(i) });
+            }
+        });
+    }
 }
 
 impl Drop for ThreadPool {
@@ -380,6 +406,29 @@ mod tests {
         assert_eq!(pool.threads(), 3);
         pool.ensure_total(2);
         assert_eq!(pool.threads(), 3);
+    }
+
+    #[test]
+    fn map_into_reuses_slot_allocations() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..500).collect();
+        let mut arena: Vec<Vec<u8>> = Vec::new();
+        pool.map_into(&items, 7, &mut arena, |i, &x, slot| {
+            slot.clear();
+            slot.extend(std::iter::repeat(i as u8).take(x % 13));
+        });
+        let caps: Vec<usize> = arena.iter().map(|s| s.capacity()).collect();
+        assert_eq!(arena.len(), 500);
+        for (i, slot) in arena.iter().enumerate() {
+            assert_eq!(slot.len(), i % 13);
+            assert!(slot.iter().all(|&b| b == i as u8));
+        }
+        // A second run must refill the same slots without growing them.
+        pool.map_into(&items, 7, &mut arena, |_, &x, slot| {
+            slot.clear();
+            slot.extend(std::iter::repeat(9u8).take(x % 13));
+        });
+        assert_eq!(caps, arena.iter().map(|s| s.capacity()).collect::<Vec<_>>());
     }
 
     #[test]

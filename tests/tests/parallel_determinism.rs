@@ -71,6 +71,47 @@ fn edge_cases_match() {
 }
 
 #[test]
+fn den_stage_shards_merge_deterministically() {
+    // The packed-grid den stage builds its cell-count map in parallel shards
+    // of 2^14 points and sum-merges them; the verdict must not depend on the
+    // shard schedule. 48k points guarantee several shards per worker, and the
+    // blob/scatter mix exercises both dense and sparse verdicts across shard
+    // boundaries.
+    use dbgc_clustering::{approx_cluster_threads, ClusterParams};
+
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut cloud = PointCloud::new();
+    for b in 0..24 {
+        // A tight blob (dense) plus a halo of scatter (sparse) per block.
+        let (cx, cy) = (10.0 * (b % 6) as f64, 10.0 * (b / 6) as f64);
+        for _ in 0..1500 {
+            cloud.push(Point3::new(cx + 0.3 * next(), cy + 0.3 * next(), next()));
+        }
+        for _ in 0..500 {
+            cloud.push(Point3::new(cx + 8.0 * next(), cy + 8.0 * next(), 4.0 * next()));
+        }
+    }
+    assert!(cloud.len() > (1 << 15), "cloud must span multiple count shards");
+
+    let params = ClusterParams { eps: 0.5, min_pts: 40 };
+    let serial = approx_cluster_threads(cloud.points(), params, 1);
+    for threads in [2, 4] {
+        let parallel = approx_cluster_threads(cloud.points(), params, threads);
+        assert_eq!(serial.dense, parallel.dense, "den split diverged at {threads} threads");
+    }
+    // Sanity: the mix actually produces both classes, so the equality above
+    // is not comparing degenerate all-true/all-false vectors.
+    let dense = serial.dense_count();
+    assert!(dense > 0 && dense < cloud.len(), "degenerate split: {dense}/{}", cloud.len());
+}
+
+#[test]
 fn many_groups_match() {
     // More groups than pool threads exercises the work-stealing queue.
     let (cloud, meta) = small_frame(ScenePreset::ApolloUrban, 73);
