@@ -1,0 +1,67 @@
+//! Criterion benches for the queryable archive: partial decode vs full
+//! decode, with bytes-touched reporting.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbgc::{Dbgc, DbgcConfig};
+use dbgc_geom::{Aabb, Point3};
+use dbgc_lidar_sim::{frame, ScenePreset};
+use dbgc_store::{decode_annotated, DensityClass, FrameStore, Query};
+
+/// A selective box over one street-side region of the scene.
+fn selective_box() -> Query {
+    Query::Aabb(Aabb { min: Point3::new(10.0, -8.0, -3.0), max: Point3::new(30.0, 8.0, 2.0) })
+}
+
+fn bench_store_query(c: &mut Criterion) {
+    let cloud = frame(ScenePreset::KittiCity, 1, 0);
+    let dbgc = Dbgc::new(DbgcConfig::with_error_bound(0.02).with_spatial_index(true));
+    let bytes = dbgc.compress(&cloud).unwrap().bytes;
+
+    let mut store = FrameStore::new();
+    store.ingest(bytes.clone(), 0).unwrap();
+
+    // Report the pruning effect once, outside the timing loops: how many of
+    // the archive's compressed bytes a selective query actually reads.
+    let res = store.query(&selective_box()).unwrap();
+    eprintln!(
+        "store_query: selective AABB touches {} of {} bytes ({:.1}%), {} of {} points",
+        res.bytes_touched,
+        res.bytes_total,
+        100.0 * res.bytes_touched as f64 / res.bytes_total as f64,
+        res.points.len(),
+        cloud.len()
+    );
+
+    let mut g = c.benchmark_group("store_query");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.sample_size(10);
+
+    let queries: [(&str, Query); 4] = [
+        ("aabb_selective", selective_box()),
+        ("aabb_all", Query::All),
+        ("dense_only", Query::DensityClass(DensityClass::Dense)),
+        (
+            "composite",
+            Query::and(selective_box(), Query::not(Query::DensityClass(DensityClass::Outlier))),
+        ),
+    ];
+    for (name, q) in &queries {
+        g.bench_with_input(BenchmarkId::new("partial", name), q, |b, q| {
+            b.iter(|| store.query(q).unwrap());
+        });
+    }
+    // The oracle: decode everything, filter per point — what every query
+    // would cost without the spatial directory.
+    for (name, q) in &queries {
+        g.bench_with_input(BenchmarkId::new("full_decode", name), q, |b, q| {
+            b.iter(|| {
+                let ann = decode_annotated(&bytes).unwrap();
+                ann.points.iter().filter(|p| q.matches(p, 0)).count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_store_query);
+criterion_main!(benches);

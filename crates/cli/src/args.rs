@@ -17,6 +17,7 @@ USAGE:
     dbgc-cli roundtrip  <in.{bin,ply,pcd}> [compression options]
     dbgc-cli convert    <in.{bin,ply,pcd}> <out.{bin,ply,pcd}>
     dbgc-cli simulate   <scene> <out.{bin,ply,pcd}> [--seed N] [--frame K]
+    dbgc-cli query      <in.dbgc> [query options] [--out <out.{bin,ply,pcd}>]
 
 Point-cloud formats are chosen by file extension: KITTI .bin, PLY .ply
 (binary little-endian), PCD .pcd (binary).
@@ -33,6 +34,15 @@ COMPRESSION OPTIONS:
                              for every setting
     --metrics-out <path>     write a JSON metrics snapshot (spans, counters,
                              per-section byte accounting) after the run
+    --index                  append a spatial directory to the stream so
+                             archives can answer queries by partial decode
+
+QUERY OPTIONS (combined with AND; no options selects every point):
+    --aabb <x0,y0,z0,x1,y1,z1>   points inside the axis-aligned box
+    --class <dense|sparse|outlier>  points from that stream section
+    --lod <min..max>             dense-octree LOD depth range (inclusive)
+    --invert                     negate the combined query
+    --out <path>                 write matching points to a point-cloud file
 
 SCENES:
     kitti-campus kitti-city kitti-residential kitti-road apollo-urban ford-campus";
@@ -78,6 +88,15 @@ pub enum Command {
         input: PathBuf,
         /// Destination point-cloud file (format from extension).
         output: PathBuf,
+    },
+    /// `query <in.dbgc>`: filter an archived stream without full decode.
+    Query {
+        /// The .dbgc stream to query.
+        input: PathBuf,
+        /// The assembled query (AND of the given predicates).
+        query: dbgc_store::Query,
+        /// Optional point-cloud file to write the matches to.
+        output: Option<PathBuf>,
     },
     /// `simulate <scene> <out>`: generate a synthetic frame.
     Simulate {
@@ -204,10 +223,84 @@ fn parse_config(args: &[String]) -> Result<(DbgcConfig, Option<PathBuf>), ParseE
                 metrics_out = Some(PathBuf::from(v));
                 i += 2;
             }
+            "--index" => {
+                config.spatial_index = true;
+                i += 1;
+            }
             other => return Err(ParseError::UnknownFlag(other.to_string())),
         }
     }
     Ok((config, metrics_out))
+}
+
+/// Parse the `query` flags into an AND-combined [`dbgc_store::Query`] plus
+/// an optional output path.
+fn parse_query(args: &[String]) -> Result<(dbgc_store::Query, Option<PathBuf>), ParseError> {
+    use dbgc_store::{DensityClass, Query};
+    let mut predicates: Vec<Query> = Vec::new();
+    let mut invert = false;
+    let mut output = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--aabb" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--aabb"))?;
+                let nums: Vec<f64> =
+                    v.split(',').filter_map(|s| s.trim().parse::<f64>().ok()).collect();
+                let bad = || ParseError::BadValue { flag: "--aabb", value: v.clone() };
+                if nums.len() != 6 || nums.iter().any(|n| !n.is_finite()) {
+                    return Err(bad());
+                }
+                let (min, max) = (
+                    dbgc_geom::Point3::new(nums[0], nums[1], nums[2]),
+                    dbgc_geom::Point3::new(nums[3], nums[4], nums[5]),
+                );
+                if min.x > max.x || min.y > max.y || min.z > max.z {
+                    return Err(bad());
+                }
+                predicates.push(Query::Aabb(dbgc_geom::Aabb { min, max }));
+                i += 2;
+            }
+            "--class" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--class"))?;
+                let class = match v.as_str() {
+                    "dense" => DensityClass::Dense,
+                    "sparse" => DensityClass::Sparse,
+                    "outlier" => DensityClass::Outlier,
+                    _ => return Err(ParseError::BadValue { flag: "--class", value: v.clone() }),
+                };
+                predicates.push(Query::DensityClass(class));
+                i += 2;
+            }
+            "--lod" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--lod"))?;
+                let bad = || ParseError::BadValue { flag: "--lod", value: v.clone() };
+                let (lo, hi) = v.split_once("..").ok_or_else(bad)?;
+                let min: u32 = lo.parse().map_err(|_| bad())?;
+                let max: u32 = hi.parse().map_err(|_| bad())?;
+                if min > max {
+                    return Err(bad());
+                }
+                predicates.push(Query::Lod { min, max });
+                i += 2;
+            }
+            "--invert" => {
+                invert = true;
+                i += 1;
+            }
+            "--out" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--out"))?;
+                output = Some(PathBuf::from(v));
+                i += 2;
+            }
+            other => return Err(ParseError::UnknownFlag(other.to_string())),
+        }
+    }
+    let mut query = predicates.into_iter().reduce(dbgc_store::Query::and).unwrap_or(Query::All);
+    if invert {
+        query = Query::not(query);
+    }
+    Ok((query, output))
 }
 
 /// Parse an argument vector (without `argv\[0\]`).
@@ -246,6 +339,11 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let input = args.get(1).ok_or(ParseError::MissingArgument("<in>"))?;
             let output = args.get(2).ok_or(ParseError::MissingArgument("<out>"))?;
             Ok(Command::Convert { input: input.into(), output: output.into() })
+        }
+        "query" => {
+            let input = args.get(1).ok_or(ParseError::MissingArgument("<in.dbgc>"))?;
+            let (query, output) = parse_query(&args[2..])?;
+            Ok(Command::Query { input: input.into(), query, output })
         }
         "simulate" => {
             let scene_name = args.get(1).ok_or(ParseError::MissingArgument("<scene>"))?;
@@ -391,6 +489,53 @@ mod tests {
         assert!(matches!(
             parse(&argv("compress a b --frobnicate")),
             Err(ParseError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn parse_index_flag() {
+        let cmd = parse(&argv("compress a b --index")).unwrap();
+        let Command::Compress { config, .. } = cmd else { panic!("wrong command") };
+        assert!(config.spatial_index);
+    }
+
+    #[test]
+    fn parse_query() {
+        use dbgc_store::{DensityClass, Query};
+        let cmd =
+            parse(&argv("query in.dbgc --aabb -1,-2,-3,4,5,6 --class sparse --out m.ply")).unwrap();
+        let Command::Query { input, query, output } = cmd else { panic!("wrong command") };
+        assert_eq!(input, PathBuf::from("in.dbgc"));
+        assert_eq!(output, Some(PathBuf::from("m.ply")));
+        let Query::And(a, b) = query else { panic!("expected AND") };
+        assert!(matches!(*a, Query::Aabb(bb) if bb.min.x == -1.0 && bb.max.z == 6.0));
+        assert_eq!(*b, Query::DensityClass(DensityClass::Sparse));
+
+        assert_eq!(
+            parse(&argv("query in.dbgc")).unwrap(),
+            Command::Query { input: "in.dbgc".into(), query: Query::All, output: None }
+        );
+        let Command::Query { query, .. } = parse(&argv("query f --lod 2..5 --invert")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(query, Query::not(Query::Lod { min: 2, max: 5 }));
+
+        assert!(matches!(
+            parse(&argv("query f --aabb 1,2,3")),
+            Err(ParseError::BadValue { flag: "--aabb", .. })
+        ));
+        assert!(matches!(
+            parse(&argv("query f --aabb 9,0,0,1,1,1")),
+            Err(ParseError::BadValue { flag: "--aabb", .. })
+        ));
+        assert!(matches!(
+            parse(&argv("query f --lod 5..2")),
+            Err(ParseError::BadValue { flag: "--lod", .. })
+        ));
+        assert!(matches!(
+            parse(&argv("query f --class medium")),
+            Err(ParseError::BadValue { flag: "--class", .. })
         ));
     }
 

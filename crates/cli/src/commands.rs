@@ -128,7 +128,37 @@ pub fn execute(command: Command, out: &mut impl Write) -> Result<(), CliError> {
             writeln!(out, "    dense       {}", info.dense_bytes)?;
             writeln!(out, "    sparse      {}", info.sparse_bytes)?;
             writeln!(out, "    outliers    {}", info.outlier_bytes)?;
+            if info.index_bytes > 0 {
+                writeln!(out, "    index       {}", info.index_bytes)?;
+            }
             writeln!(out, "  ratio         {:.2}x", info.compression_ratio())?;
+            Ok(())
+        }
+        Command::Query { input, query, output } => {
+            let bytes = std::fs::read(&input)?;
+            let mut store = dbgc_store::FrameStore::new();
+            store.ingest(bytes, 0).map_err(|e| CliError::Invalid(e.to_string()))?;
+            let indexed = store.frames()[0].has_index();
+            let res = store.query(&query).map_err(|e| CliError::Invalid(e.to_string()))?;
+            writeln!(
+                out,
+                "{}: {} matching points ({})",
+                input.display(),
+                res.points.len(),
+                if indexed { "partial decode" } else { "full decode, no index" }
+            )?;
+            writeln!(
+                out,
+                "  bytes touched {} / {} ({:.1}%)",
+                res.bytes_touched,
+                res.bytes_total,
+                100.0 * res.bytes_touched as f64 / res.bytes_total.max(1) as f64
+            )?;
+            if let Some(path) = output {
+                let cloud: PointCloud = res.points.iter().map(|r| r.point.pos).collect();
+                write_cloud(&path, &cloud)?;
+                writeln!(out, "  matches -> {}", path.display())?;
+            }
             Ok(())
         }
         Command::Roundtrip { input, config, metrics_out } => {
@@ -316,6 +346,45 @@ mod tests {
         assert!(report.contains("kitti-road"), "{report}");
         let cloud = kitti::read_bin(&out_path).unwrap();
         assert!(cloud.len() > 50_000);
+    }
+
+    #[test]
+    fn query_flow_partial_and_full() {
+        let bin = ring_bin("query.bin", 5000);
+        let indexed = tmp("query.dbgc");
+        let plain = tmp("query_plain.dbgc");
+        run_str(&format!("compress {} {} --index", bin.display(), indexed.display()));
+        run_str(&format!("compress {} {}", bin.display(), plain.display()));
+
+        let report = run_str(&format!("info {}", indexed.display()));
+        assert!(report.contains("index"), "{report}");
+
+        // A selective box over the +x rim: the indexed stream answers it by
+        // partial decode without reading most section bytes.
+        let matches_out = tmp("query_hits.bin");
+        let report = run_str(&format!(
+            "query {} --aabb 20,-9,-3,26,9,0 --out {}",
+            indexed.display(),
+            matches_out.display()
+        ));
+        assert!(report.contains("partial decode"), "{report}");
+        let hits = kitti::read_bin(&matches_out).unwrap();
+        assert!(!hits.is_empty() && hits.len() < 5000, "{} hits", hits.len());
+
+        // Same query on the index-less stream: same points, full decode.
+        let report_plain = run_str(&format!("query {} --aabb 20,-9,-3,26,9,0", plain.display()));
+        assert!(report_plain.contains("full decode, no index"), "{report_plain}");
+        let n: usize = report_plain
+            .split(": ")
+            .nth(1)
+            .and_then(|s| s.split(' ').next())
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        assert_eq!(n, hits.len());
+
+        // `query` with no predicates returns everything.
+        let report_all = run_str(&format!("query {}", indexed.display()));
+        assert!(report_all.contains("5000 matching points"), "{report_all}");
     }
 
     #[test]

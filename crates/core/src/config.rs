@@ -86,6 +86,13 @@ pub struct DbgcConfig {
     /// with stream version 2 and only version-2-aware decoders accept them.
     /// The default (false) keeps the version-1 format byte-identical.
     pub dense_dual_lane: bool,
+    /// Emit a spatial directory (per-section AABBs, point counts and byte
+    /// offsets) as a CRC-guarded trailer after the stream body, enabling
+    /// archive queries with partial decode (see `dbgc-store`). Decoders
+    /// unaware of the trailer strip it before the sequential walk, so the
+    /// decoded cloud is identical either way. The default (false) leaves the
+    /// stream bytes exactly as before.
+    pub spatial_index: bool,
 }
 
 impl Default for DbgcConfig {
@@ -111,6 +118,7 @@ impl DbgcConfig {
             sensor: SensorMeta::velodyne_hdl64e(),
             threads: 0,
             dense_dual_lane: false,
+            spatial_index: false,
         }
     }
 
@@ -124,6 +132,13 @@ impl DbgcConfig {
     /// Builder-style override of [`threads`](DbgcConfig::threads).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Builder-style override of
+    /// [`spatial_index`](DbgcConfig::spatial_index).
+    pub fn with_spatial_index(mut self, on: bool) -> Self {
+        self.spatial_index = on;
         self
     }
 

@@ -8,13 +8,14 @@
 use std::time::{Duration, Instant};
 
 use dbgc_codec::varint::ByteReader;
-use dbgc_geom::quant::SphericalQuant;
-use dbgc_geom::{Point3, PointCloud};
-use dbgc_octree::OctreeCodec;
+use dbgc_geom::PointCloud;
 
+use crate::index::{split_index_trailer, IndexTrailer};
+use crate::layout::{
+    group_codec_cfg, parse_header, push_dequantized, read_dense, read_group_r_max,
+};
 use crate::outlier::decode_outliers;
-use crate::pipeline::{FLAG_RADIAL, FLAG_SPHERICAL, MAGIC, VERSION, VERSION_DUAL};
-use crate::sparse::codec::{decode_group, GroupCodecConfig};
+use crate::sparse::codec::decode_group_with_limit;
 use crate::DbgcError;
 
 /// Decompression timing, mirroring the compression breakdown of Fig. 13.
@@ -68,37 +69,18 @@ fn decompress_impl(
     let _ = m;
     #[cfg(feature = "metrics")]
     let root = m.map(|c| c.span("decompress"));
-    let mut r = ByteReader::new(bytes);
-    let magic = r.read_slice(4).map_err(|_| DbgcError::BadHeader("missing magic"))?;
-    if magic != MAGIC {
-        return Err(DbgcError::BadHeader("wrong magic"));
-    }
-    let version = r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))?;
-    if version != VERSION && version != VERSION_DUAL {
-        return Err(DbgcError::BadHeader("unsupported version"));
-    }
-    let dual_lane = version == VERSION_DUAL;
-    let q_xyz = r.read_f64().map_err(DbgcError::from)?;
-    // The upper cap (a billion-kilometre error bound) keeps every derived
-    // quantization step small enough that dequantized coordinates stay
-    // finite for any i64 quantized value.
-    if q_xyz.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || q_xyz > 1e12 {
-        return Err(DbgcError::BadHeader("invalid error bound"));
-    }
-    let _u_theta = r.read_f64().map_err(DbgcError::from)?;
-    let u_phi = r.read_f64().map_err(DbgcError::from)?;
-    let th_r = r.read_f64().map_err(DbgcError::from)?;
-    let flags = r.read_u8().map_err(DbgcError::from)?;
-    let spherical = flags & FLAG_SPHERICAL != 0;
-    let radial = flags & FLAG_RADIAL != 0;
-    let n_groups = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    let declared_points = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    // Every group carries at least its 8-byte r_max, and every point costs
-    // coded payload, so both counts are bounded by the input size. The
-    // absolute point ceiling is far above any real LiDAR frame.
-    if n_groups > r.remaining() / 8 || declared_points > point_budget(bytes.len()) {
-        return Err(DbgcError::BadHeader("implausible header counts"));
-    }
+    // A CRC-valid index trailer is metadata for archive queries, not point
+    // data: strip it before the sequential walk so index-aware streams
+    // decode to exactly the cloud their index-less body encodes. Corrupt or
+    // absent trailers leave the input untouched (a genuinely index-less
+    // stream must not lose tail bytes to a magic coincidence).
+    let body = match split_index_trailer(bytes) {
+        IndexTrailer::Valid { body, .. } => body,
+        _ => bytes,
+    };
+    let h = parse_header(body)?;
+    let mut r = ByteReader::new(&body[h.header_len..]);
+    let declared_points = h.declared_points;
 
     let mut stats = DecompressStats::default();
     // Reservation is clamped; growth beyond it is paced by actual decode.
@@ -108,11 +90,7 @@ fn decompress_impl(
     #[cfg(feature = "metrics")]
     let stage = root.as_ref().map(|s| s.child("oct"));
     let t = Instant::now();
-    let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    let dense_bytes = r.read_slice(dense_len).map_err(DbgcError::from)?;
-    let dense = OctreeCodec::baseline()
-        .with_dual_lane(dual_lane)
-        .decode_with_limit(dense_bytes, declared_points)?;
+    let dense = read_dense(&mut r, &h, declared_points)?;
     for p in dense.points {
         cloud.push(p);
     }
@@ -121,28 +99,15 @@ fn decompress_impl(
     drop(stage);
 
     // ---- sparse groups ------------------------------------------------------
-    for _ in 0..n_groups {
-        let r_max = r.read_f64().map_err(DbgcError::from)?;
-        if !r_max.is_finite() || !(0.0..=1e12).contains(&r_max) {
-            return Err(DbgcError::BadHeader("invalid group r_max"));
-        }
+    for _ in 0..h.n_groups {
+        let r_max = read_group_r_max(&mut r)?;
         #[cfg(feature = "metrics")]
         let stage = root.as_ref().map(|s| s.child("spa"));
         let t = Instant::now();
-        let (codec_cfg, sq) = if spherical {
-            let sq = SphericalQuant::from_error_bound(q_xyz, r_max);
-            (
-                GroupCodecConfig {
-                    radial,
-                    th_phi: (2.0 * u_phi / sq.angle_step()).round() as i64,
-                    th_r: (th_r / sq.r_step()).round() as i64,
-                },
-                Some(sq),
-            )
-        } else {
-            (GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 }, None)
-        };
-        let lines = decode_group(&mut r, &codec_cfg)?;
+        let (codec_cfg, sq) = group_codec_cfg(&h, r_max);
+        // Per-group budget: whatever the frame has left, so a group whose
+        // declared lengths exceed the remainder fails before materializing.
+        let lines = decode_group_with_limit(&mut r, &codec_cfg, declared_points - cloud.len())?;
         stats.spa += t.elapsed();
         #[cfg(feature = "metrics")]
         drop(stage);
@@ -150,40 +115,17 @@ fn decompress_impl(
         #[cfg(feature = "metrics")]
         let stage = root.as_ref().map(|s| s.child("cor"));
         let t = Instant::now();
-        match sq {
-            Some(sq) => {
-                for line in &lines {
-                    for &p in line {
-                        cloud.push(sq.dequantize(p).to_cartesian());
-                    }
-                }
-            }
-            None => {
-                let step = 2.0 * q_xyz;
-                for line in &lines {
-                    for &p in line {
-                        cloud.push(Point3::new(
-                            p[0] as f64 * step,
-                            p[1] as f64 * step,
-                            p[2] as f64 * step,
-                        ));
-                    }
-                }
-            }
-        }
+        push_dequantized(&lines, sq.as_ref(), h.q_xyz, &mut cloud);
         stats.cor += t.elapsed();
         #[cfg(feature = "metrics")]
         drop(stage);
-        if cloud.len() > declared_points {
-            return Err(DbgcError::BadHeader("decoded point count mismatch"));
-        }
     }
 
     // ---- outliers --------------------------------------------------------------
     #[cfg(feature = "metrics")]
     let stage = root.as_ref().map(|s| s.child("out"));
     let t = Instant::now();
-    for p in decode_outliers(&mut r, q_xyz, declared_points - cloud.len())? {
+    for p in decode_outliers(&mut r, h.q_xyz, declared_points - cloud.len())? {
         cloud.push(p);
     }
     stats.out = t.elapsed();
@@ -203,16 +145,6 @@ fn decompress_impl(
         c.record("decompress.bytes_per_frame", bytes.len() as u64);
     }
     Ok((cloud, stats))
-}
-
-/// Decoded-point budget for a stream of `len` bytes.
-///
-/// Every coded point costs payload (range-coded symbols are bounded by
-/// [`dbgc_codec::intseq`]'s entropy floor), so a generous per-byte ratio plus
-/// an absolute ceiling rejects hostile headers without touching any stream a
-/// real compressor can produce.
-fn point_budget(len: usize) -> usize {
-    len.saturating_mul(2048).min(dbgc_octree::DEFAULT_MAX_POINTS)
 }
 
 /// Structural information about a DBGC stream, read from headers and frame
@@ -235,6 +167,9 @@ pub struct StreamInfo {
     pub sparse_bytes: usize,
     /// Size of the outlier section in bytes.
     pub outlier_bytes: usize,
+    /// Size of the (CRC-valid) spatial-index trailer in bytes, including its
+    /// framing; 0 for index-less streams.
+    pub index_bytes: usize,
     /// Total stream size.
     pub total_bytes: usize,
 }
@@ -255,57 +190,22 @@ impl StreamInfo {
 /// Walks the section framing only; cheap (microseconds) even for large
 /// frames. Fails on the same malformed headers [`decompress`] would reject.
 pub fn inspect(bytes: &[u8]) -> Result<StreamInfo, DbgcError> {
-    let mut r = ByteReader::new(bytes);
-    let magic = r.read_slice(4).map_err(|_| DbgcError::BadHeader("missing magic"))?;
-    if magic != MAGIC {
-        return Err(DbgcError::BadHeader("wrong magic"));
-    }
-    let version = r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))?;
-    if version != VERSION && version != VERSION_DUAL {
-        return Err(DbgcError::BadHeader("unsupported version"));
-    }
-    let q_xyz = r.read_f64().map_err(DbgcError::from)?;
-    let _u_theta = r.read_f64().map_err(DbgcError::from)?;
-    let _u_phi = r.read_f64().map_err(DbgcError::from)?;
-    let _th_r = r.read_f64().map_err(DbgcError::from)?;
-    let flags = r.read_u8().map_err(DbgcError::from)?;
-    let n_groups = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    let points = r.read_uvarint().map_err(DbgcError::from)? as usize;
-
-    let dense_mark = r.position();
-    let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
-    r.read_slice(dense_len).map_err(DbgcError::from)?;
-    let dense_bytes = r.position() - dense_mark;
-
-    // Sparse groups: r_max + frames. Frames are self-delimiting
-    // (count | raw_len | coded_len | payload); skip by reading lengths.
-    let sparse_mark = r.position();
-    let spherical = flags & FLAG_SPHERICAL != 0;
-    let radial = flags & FLAG_RADIAL != 0;
-    // Frame counts per group: lengths, c1 heads/tails, c2 heads/tails,
-    // radial: head/tail nabla + refs (3) or plain heads/tails (2).
-    let frames_per_group = 5 + if radial { 3 } else { 2 };
-    for _ in 0..n_groups {
-        let _r_max = r.read_f64().map_err(DbgcError::from)?;
-        for _ in 0..frames_per_group {
-            let _count = r.read_uvarint().map_err(DbgcError::from)?;
-            let _raw = r.read_uvarint().map_err(DbgcError::from)?;
-            let coded = r.read_uvarint().map_err(DbgcError::from)? as usize;
-            r.read_slice(coded).map_err(DbgcError::from)?;
-        }
-    }
-    let sparse_bytes = r.position() - sparse_mark;
-    let outlier_bytes = r.remaining();
-
+    let body = match split_index_trailer(bytes) {
+        IndexTrailer::Valid { body, .. } => body,
+        _ => bytes,
+    };
+    let h = parse_header(body)?;
+    let spans = crate::layout::section_spans(body, &h)?;
     Ok(StreamInfo {
-        q_xyz,
-        spherical,
-        radial,
-        groups: n_groups,
-        points,
-        dense_bytes,
-        sparse_bytes,
-        outlier_bytes,
+        q_xyz: h.q_xyz,
+        spherical: h.spherical,
+        radial: h.radial,
+        groups: h.n_groups,
+        points: h.declared_points,
+        dense_bytes: spans.dense.len(),
+        sparse_bytes: spans.groups.iter().map(|g| g.len()).sum(),
+        outlier_bytes: spans.outlier.len(),
+        index_bytes: bytes.len() - body.len(),
         total_bytes: bytes.len(),
     })
 }
@@ -391,5 +291,79 @@ mod tests {
     fn inspect_rejects_garbage() {
         assert!(inspect(b"not a dbgc stream").is_err());
         assert!(inspect(&[]).is_err());
+    }
+
+    #[test]
+    fn indexed_stream_decodes_identically() {
+        let cloud = ring_cloud(4000);
+        let plain = Dbgc::with_error_bound(0.02).compress(&cloud).unwrap();
+        let cfg = crate::DbgcConfig::with_error_bound(0.02).with_spatial_index(true);
+        let indexed = Dbgc::new(cfg).compress(&cloud).unwrap();
+        // The body is the plain stream byte-for-byte; only the trailer is new.
+        assert!(indexed.bytes.len() > plain.bytes.len());
+        assert_eq!(&indexed.bytes[..plain.bytes.len()], &plain.bytes[..]);
+        assert_eq!(indexed.stats.sections.index, indexed.bytes.len() - plain.bytes.len());
+        let (a, _) = decompress(&plain.bytes).unwrap();
+        let (b, _) = decompress(&indexed.bytes).unwrap();
+        assert_eq!(a.points(), b.points());
+        // The carried directory matches what the trailer parses back to.
+        let dir = indexed.directory.expect("directory present");
+        match crate::index::split_index_trailer(&indexed.bytes) {
+            crate::index::IndexTrailer::Valid { body, payload } => {
+                let parsed = crate::SpatialDirectory::parse(payload, body.len()).unwrap();
+                assert_eq!(parsed, dir);
+                assert_eq!(body, &plain.bytes[..]);
+            }
+            other => panic!("expected valid trailer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directory_bounds_every_decoded_point() {
+        let cloud = ring_cloud(5000);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02).with_spatial_index(true);
+        let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+        let dir = frame.directory.as_ref().unwrap();
+        let (dec, _) = decompress(&frame.bytes).unwrap();
+        let frame_bb = dir.frame_aabb().unwrap();
+        for &p in dec.points() {
+            assert!(frame_bb.contains(p), "decoded point {p:?} outside frame AABB");
+        }
+        assert_eq!(dir.points, dec.len());
+        let section_sum = dir.dense.points
+            + dir.groups.iter().map(|g| g.section.points).sum::<usize>()
+            + dir.outlier.points;
+        assert_eq!(section_sum, dec.len());
+    }
+
+    #[test]
+    fn inspect_reports_index_bytes() {
+        let cloud = ring_cloud(2000);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02).with_spatial_index(true);
+        let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+        let info = inspect(&frame.bytes).unwrap();
+        assert_eq!(info.index_bytes, frame.stats.sections.index);
+        assert!(info.index_bytes > 0);
+        assert_eq!(
+            info.dense_bytes
+                + info.sparse_bytes
+                + info.outlier_bytes
+                + info.index_bytes
+                + frame.stats.sections.header,
+            info.total_bytes
+        );
+    }
+
+    #[test]
+    fn corrupt_index_trailer_fails_strict_decode() {
+        // Core is strict: a structurally-framed trailer with a bad CRC is
+        // not silently skipped (the lenient fallback lives in dbgc-store).
+        let cloud = ring_cloud(1000);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02).with_spatial_index(true);
+        let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+        let mut bytes = frame.bytes.clone();
+        let payload_start = bytes.len() - frame.stats.sections.index;
+        bytes[payload_start + 2] ^= 0x10;
+        assert!(decompress(&bytes).is_err());
     }
 }

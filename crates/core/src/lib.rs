@@ -52,6 +52,8 @@
 pub mod config;
 pub mod decompress;
 pub mod error;
+pub mod index;
+pub mod layout;
 pub mod outlier;
 pub(crate) mod par;
 pub mod pipeline;
@@ -64,6 +66,8 @@ pub use config::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
 pub use decompress::decompress_with_metrics;
 pub use decompress::{decompress, inspect, DecompressStats, StreamInfo};
 pub use error::DbgcError;
+pub use index::{split_index_trailer, IndexTrailer, SpatialDirectory};
+pub use layout::{SectionSpans, StreamHeader};
 pub use pipeline::{CompressedFrame, Dbgc};
 pub use stats::{CompressionStats, SectionSizes, TimingBreakdown};
 pub use verify::verify_roundtrip;

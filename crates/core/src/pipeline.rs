@@ -7,10 +7,11 @@ use std::time::Instant;
 use dbgc_clustering::{approx_cluster_threads, cell_based_cluster, dbscan, DensitySplit};
 use dbgc_codec::varint::{write_f64, write_uvarint};
 use dbgc_geom::quant::{quantize, QuantParams, SphericalQuant};
-use dbgc_geom::{Point3, PointCloud, Spherical};
+use dbgc_geom::{Aabb, Point3, PointCloud, Spherical};
 use dbgc_octree::OctreeCodec;
 
-use crate::config::{ClusteringAlgorithm, DbgcConfig, SplitStrategy};
+use crate::config::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
+use crate::index::{append_index_trailer, GroupEntry, SectionEntry, SpatialDirectory};
 use crate::outlier::encode_outliers;
 use crate::par;
 use crate::sparse::codec::{encode_group_to_buf, GroupCodecConfig, ScratchBuffers};
@@ -75,6 +76,9 @@ pub struct CompressedFrame {
     pub mapping: Vec<usize>,
     /// Sizes, counts and timing breakdown.
     pub stats: CompressionStats,
+    /// The spatial directory carried in the stream's index trailer
+    /// (`Some` iff [`DbgcConfig::spatial_index`] was on).
+    pub directory: Option<SpatialDirectory>,
 }
 
 impl CompressedFrame {
@@ -102,6 +106,20 @@ struct GroupResult {
     org: std::time::Duration,
     /// Time this worker spent in coordinate compression (see `org`).
     spa: std::time::Duration,
+    /// Directory metadata over the group's *decoded* points (`Some` iff
+    /// `spatial_index` is on): exact AABB and radial interval of the values
+    /// the decoder will reconstruct, plus the decoded point count.
+    meta: Option<GroupMeta>,
+}
+
+/// Decoded-point bounds of one sparse group, computed at encode time by
+/// dequantizing the quantized polylines with the decoder's exact arithmetic.
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupMeta {
+    points: usize,
+    aabb: Option<Aabb>,
+    r_min: f64,
+    r_max: f64,
 }
 
 std::thread_local! {
@@ -110,6 +128,30 @@ std::thread_local! {
     /// `&mut` borrows handed out by the slot-reuse fan-out).
     static GROUP_ARENA: std::cell::RefCell<Vec<GroupResult>> =
         const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Inflate an AABB by `d` on every axis (identity on `None`).
+fn inflate(bb: Option<Aabb>, d: f64) -> Option<Aabb> {
+    let pad = Point3::new(d, d, d);
+    bb.map(|bb| Aabb { min: bb.min - pad, max: bb.max + pad })
+}
+
+/// Conservative AABB of the *decoded* outlier section.
+///
+/// Quadtree/octree modes reconstruct each coordinate within `q_xyz` of its
+/// input, so the input AABB inflated by `q_xyz` bounds them. `None` mode
+/// stores `f32` casts — bounded exactly by the AABB of the casted values.
+fn outlier_aabb(points: &[Point3], q_xyz: f64, mode: OutlierMode) -> Option<Aabb> {
+    match mode {
+        OutlierMode::Quadtree | OutlierMode::Octree => inflate(Aabb::from_points(points), q_xyz),
+        OutlierMode::None => {
+            let cast: Vec<Point3> = points
+                .iter()
+                .map(|p| Point3::new(p.x as f32 as f64, p.y as f32 as f64, p.z as f32 as f64))
+                .collect();
+            Aabb::from_points(&cast)
+        }
+    }
 }
 
 /// The DBGC compressor.
@@ -255,6 +297,7 @@ impl Dbgc {
         let mut cursor = dense_pts.len();
         let mut outliers_global: Vec<u32> = Vec::new(); // indices into sparse_pts
         let mut polyline_count = 0usize;
+        let mut group_entries: Vec<GroupEntry> = Vec::new();
         let sparse_mark = out.len();
 
         // ORG + SPA per group, fanned out over the pool (grain 1: groups are
@@ -298,6 +341,18 @@ impl Dbgc {
             #[cfg(feature = "metrics")]
             let splice_start = Instant::now();
             for (group, result) in groups.iter().zip(arena.iter()) {
+                if let Some(meta) = &result.meta {
+                    group_entries.push(GroupEntry {
+                        section: SectionEntry {
+                            offset: out.len(),
+                            len: result.bytes.len(),
+                            points: meta.points,
+                            aabb: meta.aabb,
+                        },
+                        r_min: meta.r_min,
+                        r_max: meta.r_max,
+                    });
+                }
                 out.extend_from_slice(&result.bytes);
                 for line in &result.organized.polylines {
                     for &local in line {
@@ -347,6 +402,39 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         drop(stage);
 
+        // ---- spatial-index trailer (opt-in) --------------------------------
+        // Appended after the complete body, so the bytes up to this point are
+        // identical with the index on or off.
+        let directory = if cfg.spatial_index {
+            let dir = SpatialDirectory {
+                points: points.len(),
+                header_len: sections.header,
+                dense: SectionEntry {
+                    offset: dense_mark,
+                    len: sections.dense,
+                    points: dense_pts.len(),
+                    // Decoded leaf centres are within q_xyz (L∞) of some
+                    // input point, so the input AABB inflated by q_xyz
+                    // bounds every decoded dense point.
+                    aabb: inflate(Aabb::from_points(&dense_pts), cfg.q_xyz),
+                },
+                dense_depth: dense_enc.depth,
+                groups: group_entries,
+                outlier: SectionEntry {
+                    offset: outlier_mark,
+                    len: sections.outlier,
+                    points: outlier_pts.len(),
+                    aabb: outlier_aabb(&outlier_pts, cfg.q_xyz, cfg.outlier_mode),
+                },
+            };
+            let index_mark = out.len();
+            append_index_trailer(&mut out, &dir.serialize());
+            sections.index = out.len() - index_mark;
+            Some(dir)
+        } else {
+            None
+        };
+
         debug_assert!(
             mapping.iter().all(|&mapped| mapped != usize::MAX),
             "every input point must be mapped"
@@ -369,6 +457,9 @@ impl Dbgc {
             c.add_bytes("dense", sections.dense as u64);
             c.add_bytes("sparse", sections.sparse as u64);
             c.add_bytes("outlier", sections.outlier as u64);
+            if sections.index > 0 {
+                c.add_bytes("index", sections.index as u64);
+            }
             c.incr("compress.frames", 1);
             c.incr("compress.points_in", stats.total_points as u64);
             c.incr("compress.points_dense", stats.dense_points as u64);
@@ -377,7 +468,7 @@ impl Dbgc {
             c.incr("compress.polylines", stats.polylines as u64);
             c.record("compress.bytes_per_frame", out.len() as u64);
         }
-        Ok(CompressedFrame { bytes: out, mapping, stats })
+        Ok(CompressedFrame { bytes: out, mapping, stats, directory })
     }
 
     /// ORG + SPA for one radial group, refilling an arena slot in place.
@@ -435,6 +526,38 @@ impl Dbgc {
         result.spa = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(phase);
+
+        result.meta =
+            if cfg.spatial_index { Some(self.group_meta(&scratch.lines_q, r_max)) } else { None };
+    }
+
+    /// Directory metadata for one group: bounds of the points the *decoder*
+    /// will reconstruct, obtained by running the decoder's own dequantization
+    /// over the quantized polylines (bit-identical `f64` values), so pruning
+    /// on these bounds can never drop a matching point.
+    fn group_meta(&self, lines_q: &[Vec<[i64; 3]>], r_max: f64) -> GroupMeta {
+        let cfg = &self.config;
+        let sq =
+            cfg.spherical_conversion.then(|| SphericalQuant::from_error_bound(cfg.q_xyz, r_max));
+        let step = 2.0 * cfg.q_xyz;
+        let mut meta = GroupMeta { points: 0, aabb: None, r_min: f64::INFINITY, r_max: 0.0 };
+        for line in lines_q {
+            for &q in line {
+                let p = match &sq {
+                    Some(sq) => sq.dequantize(q).to_cartesian(),
+                    None => Point3::new(q[0] as f64 * step, q[1] as f64 * step, q[2] as f64 * step),
+                };
+                meta.points += 1;
+                meta.aabb = Some(match meta.aabb {
+                    Some(bb) => Aabb { min: bb.min.min(p), max: bb.max.max(p) },
+                    None => Aabb { min: p, max: p },
+                });
+                let n = p.norm();
+                meta.r_min = meta.r_min.min(n);
+                meta.r_max = meta.r_max.max(n);
+            }
+        }
+        meta
     }
 
     /// Dense/sparse classification.

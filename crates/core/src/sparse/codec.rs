@@ -124,9 +124,30 @@ pub fn encode_group_to_buf(
 }
 
 /// Decode one group of quantized polylines.
+///
+/// Equivalent to [`decode_group_with_limit`] with an unbounded point budget;
+/// decoders entering a stream mid-way should pass the budget they actually
+/// have left instead.
 pub fn decode_group(
     r: &mut ByteReader<'_>,
     cfg: &GroupCodecConfig,
+) -> Result<Vec<Vec<[i64; 3]>>, CodecError> {
+    decode_group_with_limit(r, cfg, usize::MAX)
+}
+
+/// Decode one group of quantized polylines, budgeting the decoded point
+/// count.
+///
+/// `max_points` bounds the group's total decoded points (sum of polyline
+/// lengths). The check runs against the *declared* lengths before any line
+/// is materialized, so a stream whose recorded count disagrees with its
+/// header fails with a typed error instead of allocating past the budget —
+/// the guarantee partial decodes rely on when they enter mid-stream with a
+/// per-group (not whole-frame) budget.
+pub fn decode_group_with_limit(
+    r: &mut ByteReader<'_>,
+    cfg: &GroupCodecConfig,
+    max_points: usize,
 ) -> Result<Vec<Vec<[i64; 3]>>, CodecError> {
     let lengths = intseq::decompress_ints_rc(r)?;
     let n_lines = lengths.len();
@@ -139,6 +160,10 @@ pub fn decode_group(
         acc.checked_add(l as usize - 1)
             .ok_or(CodecError::CorruptStream("polyline lengths overflow"))
     })?;
+    match n_lines.checked_add(total_tail) {
+        Some(total) if total <= max_points => {}
+        _ => return Err(CodecError::CorruptStream("group point count exceeds limit")),
+    }
 
     let heads_c1 = dbgc_codec::delta_decode(&intseq::decompress_ints_deflate(r)?);
     let tails_c1 = intseq::decompress_ints_deflate(r)?;

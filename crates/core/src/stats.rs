@@ -13,12 +13,15 @@ pub struct SectionSizes {
     pub sparse: usize,
     /// `B_outlier`: the outlier section.
     pub outlier: usize,
+    /// The spatial-index trailer (0 unless
+    /// [`spatial_index`](crate::DbgcConfig::spatial_index) is on).
+    pub index: usize,
 }
 
 impl SectionSizes {
     /// `|B|`: total stream size in bytes.
     pub fn total(&self) -> usize {
-        self.header + self.dense + self.sparse + self.outlier
+        self.header + self.dense + self.sparse + self.outlier + self.index
     }
 }
 
@@ -134,7 +137,7 @@ mod tests {
     fn ratio_math() {
         let stats = CompressionStats {
             total_points: 1000,
-            sections: SectionSizes { header: 20, dense: 400, sparse: 500, outlier: 80 },
+            sections: SectionSizes { header: 20, dense: 400, sparse: 500, outlier: 80, index: 0 },
             ..Default::default()
         };
         assert!((stats.compression_ratio() - 12.0).abs() < 1e-12);

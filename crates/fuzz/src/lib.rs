@@ -39,11 +39,15 @@ pub enum Target {
     /// The chaos transport: bytes are a [`dbgc_net::FaultSchedule`] driving a
     /// full client/server session, held to the safety invariant.
     WireFault,
+    /// The queryable archive: bytes are ingested into a
+    /// [`dbgc_store::FrameStore`] and queried; mutated index trailers must
+    /// degrade to the full-decode fallback, never desync query results.
+    StoreIndex,
 }
 
 impl Target {
     /// Every fuzzed decoder.
-    pub const ALL: [Target; 8] = [
+    pub const ALL: [Target; 9] = [
         Target::Dbgc,
         Target::OctreeBaseline,
         Target::OctreeParent,
@@ -52,6 +56,7 @@ impl Target {
         Target::Gpcc,
         Target::Wire,
         Target::WireFault,
+        Target::StoreIndex,
     ];
 
     /// Stable name used in corpus file names and CLI output.
@@ -65,6 +70,7 @@ impl Target {
             Target::Gpcc => "gpcc",
             Target::Wire => "wire",
             Target::WireFault => "wirefault",
+            Target::StoreIndex => "store-index",
         }
     }
 
@@ -134,6 +140,62 @@ pub fn decode_target(target: Target, bytes: &[u8]) -> Result<(), String> {
             let config = dbgc_net::chaos::ChaosConfig::fuzz(0);
             dbgc_net::chaos::run_chaos_with_schedule(&config, schedule).verify_safety()
         }
+        Target::StoreIndex => {
+            // Contract: ingest+query never panic or overallocate, and
+            // whenever the archive answers at all, its answer equals the
+            // full-decode oracle — a tampered index may only cost
+            // performance (fallback), never correctness.
+            use dbgc_store::{decode_annotated, DensityClass, FrameStore, Query};
+            let mut store = FrameStore::new();
+            if store.ingest(bytes.to_vec(), 0).is_err() {
+                return Ok(());
+            }
+            let queries = [
+                Query::All,
+                Query::Aabb(dbgc_geom::Aabb {
+                    min: Point3::new(-12.0, -12.0, -4.0),
+                    max: Point3::new(12.0, 12.0, 4.0),
+                }),
+                Query::not(Query::DensityClass(DensityClass::Dense)),
+            ];
+            let oracle = decode_annotated(bytes);
+            for q in queries {
+                match (store.query(&q), &oracle) {
+                    // On any fully decodable stream the partial path must
+                    // answer, and answer identically.
+                    (Ok(res), Ok(oracle)) => {
+                        let want: Vec<Point3> = oracle
+                            .points
+                            .iter()
+                            .filter(|p| q.matches(p, 0))
+                            .map(|p| p.pos)
+                            .collect();
+                        let got: Vec<Point3> = res.points.iter().map(|r| r.point.pos).collect();
+                        if got != want {
+                            return Err(format!(
+                                "query {q:?} returned {} points, oracle {}",
+                                got.len(),
+                                want.len()
+                            ));
+                        }
+                        finite(&got)?;
+                    }
+                    (Err(e), Ok(_)) => {
+                        return Err(format!("oracle succeeded but query failed: {e}"))
+                    }
+                    // Oracle can't decode the whole stream. A query may
+                    // still answer from the sections that are intact (a
+                    // skipped section's corruption is invisible to a
+                    // partial read, by design) — any finite answer or a
+                    // clean error is acceptable.
+                    (Ok(res), Err(_)) => {
+                        finite(&res.points.iter().map(|r| r.point.pos).collect::<Vec<_>>())?;
+                    }
+                    (Err(_), Err(_)) => {}
+                }
+            }
+            Ok(())
+        }
     }
 }
 
@@ -167,6 +229,10 @@ pub fn build_seed_inputs_sized(seed: u64, h_samples: u32) -> Vec<SeedInput> {
 
     let mut cfg = dbgc::DbgcConfig::with_error_bound(q);
     cfg.sensor = meta;
+    let indexed_bytes = dbgc::Dbgc::new(cfg.clone().with_spatial_index(true))
+        .compress(&cloud)
+        .expect("seed frame compresses")
+        .bytes;
     let dbgc_bytes = dbgc::Dbgc::new(cfg).compress(&cloud).expect("seed frame compresses").bytes;
 
     let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.x, p.y)).collect();
@@ -203,6 +269,7 @@ pub fn build_seed_inputs_sized(seed: u64, h_samples: u32) -> Vec<SeedInput> {
             target: Target::WireFault,
             bytes: dbgc_net::chaos::ChaosConfig::fuzz(seed).schedule().to_bytes(),
         },
+        SeedInput { target: Target::StoreIndex, bytes: indexed_bytes },
     ]
 }
 

@@ -406,6 +406,13 @@ impl SessionServer {
     pub fn into_frames(self) -> Vec<StoredFrame> {
         self.store
     }
+
+    /// Take every stored frame, leaving the server running and empty — the
+    /// hand-off point for archival (e.g. `dbgc-store`'s `FrameStore`) on a
+    /// live session: drain periodically, keep receiving.
+    pub fn drain_frames(&mut self) -> Vec<StoredFrame> {
+        std::mem::take(&mut self.store)
+    }
 }
 
 /// Discard-everything ack sink for servers on unidirectional transports.
@@ -520,6 +527,12 @@ impl<R: Read, A: Write> Server<R, A> {
     /// Consume the server, returning its stored frames.
     pub fn into_frames(self) -> Vec<StoredFrame> {
         self.core.into_frames()
+    }
+
+    /// Take every stored frame, leaving the server connected and empty; see
+    /// [`SessionServer::drain_frames`].
+    pub fn drain_frames(&mut self) -> Vec<StoredFrame> {
+        self.core.drain_frames()
     }
 }
 

@@ -41,6 +41,9 @@ pub struct OctreeEncodeResult {
     pub mapping: Vec<usize>,
     /// Number of occupied leaves (for stats).
     pub leaves: usize,
+    /// Tree depth written into the stream header (0 for an empty cloud).
+    /// Spatial directories record it as the section's LOD depth.
+    pub depth: u32,
 }
 
 /// Result of decoding.
@@ -87,7 +90,12 @@ impl OctreeCodec {
     pub fn encode(&self, points: &[Point3], q_xyz: f64) -> OctreeEncodeResult {
         match Octree::build(points, q_xyz) {
             Some(tree) => self.encode_tree(&tree),
-            None => OctreeEncodeResult { bytes: encode_empty(), mapping: Vec::new(), leaves: 0 },
+            None => OctreeEncodeResult {
+                bytes: encode_empty(),
+                mapping: Vec::new(),
+                leaves: 0,
+                depth: 0,
+            },
         }
     }
 
@@ -118,7 +126,12 @@ impl OctreeCodec {
         let extras: Vec<i64> = tree.leaf_counts.iter().map(|&c| c as i64 - 1).collect();
         intseq::compress_ints_rc(&mut out, &extras);
 
-        OctreeEncodeResult { bytes: out, mapping: tree.decode_mapping(), leaves: tree.leaf_count() }
+        OctreeEncodeResult {
+            bytes: out,
+            mapping: tree.decode_mapping(),
+            leaves: tree.leaf_count(),
+            depth: tree.depth,
+        }
     }
 
     fn encode_occupancy<S: RangeSink>(&self, tree: &Octree, enc: &mut S) {

@@ -1,0 +1,158 @@
+//! Annotated full decode — the differential oracle.
+//!
+//! [`decode_annotated`] decodes a complete stream exactly like
+//! [`dbgc::decompress`] (same section order, same budgets, same strictness)
+//! but tags every point with its provenance: density class, LOD depth and
+//! sparse-group index. Queries answered by brute-force filtering this output
+//! are the ground truth the planner/partial-decode path is tested against —
+//! and the store's runtime fallback when a frame has no usable index.
+
+use dbgc::layout::{decode_dense_span, decode_group_span, decode_outlier_span, section_spans};
+use dbgc::{split_index_trailer, IndexTrailer, StreamHeader};
+use dbgc_geom::Point3;
+
+use crate::query::DensityClass;
+use crate::StoreError;
+
+/// One decoded point plus the provenance a [`crate::Query`] can see.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnotatedPoint {
+    /// Decoded position (bit-identical to `dbgc::decompress` output).
+    pub pos: Point3,
+    /// Stream section the point came from.
+    pub class: DensityClass,
+    /// LOD depth: the dense octree's depth for dense points, 0 otherwise.
+    pub lod_depth: u32,
+    /// Sparse-group index for [`DensityClass::Sparse`] points.
+    pub group: Option<u32>,
+}
+
+/// A fully decoded, annotated frame in canonical decode order.
+#[derive(Debug, Clone, Default)]
+pub struct AnnotatedCloud {
+    /// Points in the exact order `dbgc::decompress` emits them.
+    pub points: Vec<AnnotatedPoint>,
+}
+
+/// Decode `bytes` completely, annotating each point with its provenance.
+///
+/// Accepts index-less v1 streams, indexed streams (the CRC-valid trailer is
+/// skipped) and streams whose trailer is corrupt (the recoverable body is
+/// decoded — this leniency is what makes the oracle usable as the corrupt-
+/// index fallback). Point positions and order are bit-identical to
+/// [`dbgc::decompress`] on the same input.
+pub fn decode_annotated(bytes: &[u8]) -> Result<AnnotatedCloud, StoreError> {
+    let body = match split_index_trailer(bytes) {
+        IndexTrailer::Valid { body, .. } | IndexTrailer::Corrupt { body } => body,
+        IndexTrailer::None => bytes,
+    };
+    let header = dbgc::layout::parse_header(body)?;
+    decode_annotated_body(body, &header)
+}
+
+/// Annotated decode of a trailer-stripped body with a parsed header.
+pub(crate) fn decode_annotated_body(
+    body: &[u8],
+    header: &StreamHeader,
+) -> Result<AnnotatedCloud, StoreError> {
+    let spans = section_spans(body, header)?;
+    let declared = header.declared_points;
+    let mut points = Vec::with_capacity(declared.min(body.len()));
+
+    let (dense_pts, dense_depth) = decode_dense_span(&body[spans.dense], header, declared)?;
+    points.extend(dense_pts.into_iter().map(|pos| AnnotatedPoint {
+        pos,
+        class: DensityClass::Dense,
+        lod_depth: dense_depth,
+        group: None,
+    }));
+
+    for (g, span) in spans.groups.iter().enumerate() {
+        let budget = declared.saturating_sub(points.len());
+        let group_pts = decode_group_span(&body[span.clone()], header, budget)?;
+        points.extend(group_pts.into_iter().map(|pos| AnnotatedPoint {
+            pos,
+            class: DensityClass::Sparse,
+            lod_depth: 0,
+            group: Some(g as u32),
+        }));
+    }
+
+    let budget = declared.saturating_sub(points.len());
+    let outlier_pts = decode_outlier_span(&body[spans.outlier], header, budget)?;
+    points.extend(outlier_pts.into_iter().map(|pos| AnnotatedPoint {
+        pos,
+        class: DensityClass::Outlier,
+        lod_depth: 0,
+        group: None,
+    }));
+
+    if points.len() != declared {
+        return Err(StoreError::BadFrame("decoded point count disagrees with header"));
+    }
+    Ok(AnnotatedCloud { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbgc::{decompress, Dbgc, DbgcConfig};
+    use dbgc_geom::{Point3, PointCloud};
+    use rand::{Rng, SeedableRng};
+
+    fn cloud(seed: u64, n: usize) -> PointCloud {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let th = rng.gen_range(0.0..std::f64::consts::TAU);
+                let r = rng.gen_range(2.0..40.0);
+                Point3::new(r * th.cos(), r * th.sin(), rng.gen_range(-2.0..6.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn annotations_match_sequential_decode() {
+        let cloud = cloud(41, 4000);
+        for indexed in [false, true] {
+            let cfg = DbgcConfig::with_error_bound(0.02).with_spatial_index(indexed);
+            let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+            let (plain, _) = decompress(&frame.bytes).unwrap();
+            let ann = decode_annotated(&frame.bytes).unwrap();
+            assert_eq!(ann.points.len(), plain.len());
+            for (a, p) in ann.points.iter().zip(plain.points()) {
+                assert_eq!(a.pos, *p, "annotated decode must be bit-identical");
+            }
+            let stats = &frame.stats;
+            let dense = ann.points.iter().filter(|p| p.class == DensityClass::Dense).count();
+            let sparse = ann.points.iter().filter(|p| p.class == DensityClass::Sparse).count();
+            let outlier = ann.points.iter().filter(|p| p.class == DensityClass::Outlier).count();
+            assert_eq!(dense, stats.dense_points);
+            assert_eq!(sparse, stats.sparse_points);
+            assert_eq!(outlier, stats.outlier_points);
+        }
+    }
+
+    #[test]
+    fn corrupt_trailer_still_decodes_body() {
+        let cloud = cloud(42, 1500);
+        let cfg = DbgcConfig::with_error_bound(0.02).with_spatial_index(true);
+        let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+        let mut bytes = frame.bytes.clone();
+        let info = dbgc::inspect(&bytes).unwrap();
+        assert!(info.index_bytes > 0);
+        // Flip a bit inside the trailer payload: strict decompress refuses,
+        // the oracle recovers the body.
+        let at = bytes.len() - info.index_bytes + 6;
+        bytes[at] ^= 0x40;
+        assert!(decompress(&bytes).is_err());
+        let ann = decode_annotated(&bytes).unwrap();
+        assert_eq!(ann.points.len(), cloud.len());
+    }
+
+    #[test]
+    fn garbage_is_rejected_without_panic() {
+        assert!(decode_annotated(b"not a stream").is_err());
+        assert!(decode_annotated(&[]).is_err());
+    }
+}

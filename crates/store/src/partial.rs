@@ -1,0 +1,202 @@
+//! Partial decode: seek to the sections a query's plan could not rule out.
+//!
+//! Each DBGC section is independently decodable from its byte span (the
+//! entropy coder is re-initialised per section), so a query whose plan skips
+//! a section never touches its bytes. Everything decoded is cross-checked
+//! against the directory (exact point counts, strict span framing); any
+//! disagreement aborts with [`StoreError::IndexMismatch`] so the caller can
+//! fall back to a trusted full decode.
+
+use dbgc::index::{SectionEntry, SpatialDirectory};
+use dbgc::layout::{decode_dense_span, decode_group_span, decode_outlier_span};
+use dbgc::StreamHeader;
+
+use crate::oracle::AnnotatedPoint;
+use crate::plan::{plan, SectionMeta, Verdict};
+use crate::query::{DensityClass, Query};
+use crate::StoreError;
+
+/// Result of a partial decode of one frame.
+#[derive(Debug, Default)]
+pub(crate) struct PartialOutcome {
+    /// Matching points, in stream order, annotated with provenance.
+    pub points: Vec<AnnotatedPoint>,
+    /// Section payload bytes actually read and decoded.
+    pub section_bytes: u64,
+    /// Sections decoded (verdict `Take` or `Test`).
+    pub sections_decoded: usize,
+    /// Sections skipped outright.
+    pub sections_skipped: usize,
+}
+
+/// Check that a parsed directory actually describes `body`: the layout
+/// invariants below hold for every stream the encoder emits, so any
+/// violation means the index does not belong to this body.
+pub(crate) fn validate_directory(
+    dir: &SpatialDirectory,
+    header: &StreamHeader,
+    body_len: usize,
+) -> Result<(), StoreError> {
+    if dir.header_len != header.header_len {
+        return Err(StoreError::IndexMismatch("header length disagrees"));
+    }
+    if dir.points != header.declared_points {
+        return Err(StoreError::IndexMismatch("point count disagrees with header"));
+    }
+    if dir.groups.len() != header.n_groups {
+        return Err(StoreError::IndexMismatch("group count disagrees with header"));
+    }
+    // Sections tile the body exactly: dense starts right after the header,
+    // each section starts where the previous one ended, and the outlier
+    // section ends at the body's end.
+    if dir.dense.offset != header.header_len {
+        return Err(StoreError::IndexMismatch("dense section misplaced"));
+    }
+    let mut cursor = dir.dense.offset + dir.dense.len;
+    for g in &dir.groups {
+        if g.section.offset != cursor {
+            return Err(StoreError::IndexMismatch("group sections not contiguous"));
+        }
+        cursor += g.section.len;
+    }
+    if dir.outlier.offset != cursor || dir.outlier.offset + dir.outlier.len != body_len {
+        return Err(StoreError::IndexMismatch("outlier section misplaced"));
+    }
+    let recorded: usize = [dir.dense.points, dir.outlier.points]
+        .into_iter()
+        .chain(dir.groups.iter().map(|g| g.section.points))
+        .sum();
+    if recorded != dir.points {
+        return Err(StoreError::IndexMismatch("section point counts do not sum"));
+    }
+    Ok(())
+}
+
+fn section_span<'a>(body: &'a [u8], entry: &SectionEntry) -> &'a [u8] {
+    // Bounds were established by `SpatialDirectory::parse` + tiling checks.
+    &body[entry.offset..entry.offset + entry.len]
+}
+
+/// Decode only the sections of `body` that `query` might match, per the
+/// directory `dir` (which must have passed [`validate_directory`]).
+pub(crate) fn partial_decode_frame(
+    body: &[u8],
+    header: &StreamHeader,
+    dir: &SpatialDirectory,
+    query: &Query,
+    time_us: u64,
+) -> Result<PartialOutcome, StoreError> {
+    let mut out = PartialOutcome::default();
+
+    let dense_meta = SectionMeta {
+        aabb: dir.dense.aabb,
+        empty: dir.dense.points == 0,
+        class: Some(DensityClass::Dense),
+        lod_depth: Some(dir.dense_depth),
+        time_us: Some(time_us),
+        r_interval: None,
+    };
+    match plan(query, &dense_meta) {
+        Verdict::Skip => out.sections_skipped += 1,
+        verdict => {
+            let span = section_span(body, &dir.dense);
+            let (pts, depth) = decode_dense_span(span, header, dir.dense.points)?;
+            if pts.len() != dir.dense.points {
+                return Err(StoreError::IndexMismatch("dense point count lied"));
+            }
+            if depth != dir.dense_depth {
+                return Err(StoreError::IndexMismatch("dense depth lied"));
+            }
+            out.section_bytes += span.len() as u64;
+            out.sections_decoded += 1;
+            emit(
+                &mut out.points,
+                pts,
+                DensityClass::Dense,
+                dir.dense_depth,
+                None,
+                verdict,
+                query,
+                time_us,
+            );
+        }
+    }
+
+    for (g, entry) in dir.groups.iter().enumerate() {
+        let meta = SectionMeta {
+            aabb: entry.section.aabb,
+            empty: entry.section.points == 0,
+            class: Some(DensityClass::Sparse),
+            lod_depth: Some(0),
+            time_us: Some(time_us),
+            r_interval: Some((entry.r_min, entry.r_max)),
+        };
+        match plan(query, &meta) {
+            Verdict::Skip => out.sections_skipped += 1,
+            verdict => {
+                let span = section_span(body, &entry.section);
+                let pts = decode_group_span(span, header, entry.section.points)?;
+                if pts.len() != entry.section.points {
+                    return Err(StoreError::IndexMismatch("group point count lied"));
+                }
+                out.section_bytes += span.len() as u64;
+                out.sections_decoded += 1;
+                emit(
+                    &mut out.points,
+                    pts,
+                    DensityClass::Sparse,
+                    0,
+                    Some(g as u32),
+                    verdict,
+                    query,
+                    time_us,
+                );
+            }
+        }
+    }
+
+    let outlier_meta = SectionMeta {
+        aabb: dir.outlier.aabb,
+        empty: dir.outlier.points == 0,
+        class: Some(DensityClass::Outlier),
+        lod_depth: Some(0),
+        time_us: Some(time_us),
+        r_interval: None,
+    };
+    match plan(query, &outlier_meta) {
+        Verdict::Skip => out.sections_skipped += 1,
+        verdict => {
+            let span = section_span(body, &dir.outlier);
+            let pts = decode_outlier_span(span, header, dir.outlier.points)?;
+            if pts.len() != dir.outlier.points {
+                return Err(StoreError::IndexMismatch("outlier point count lied"));
+            }
+            out.section_bytes += span.len() as u64;
+            out.sections_decoded += 1;
+            emit(&mut out.points, pts, DensityClass::Outlier, 0, None, verdict, query, time_us);
+        }
+    }
+
+    Ok(out)
+}
+
+/// Append decoded points, filtering per point only when the verdict demands
+/// it (`Take` keeps everything without re-testing).
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    out: &mut Vec<AnnotatedPoint>,
+    pts: Vec<dbgc_geom::Point3>,
+    class: DensityClass,
+    lod_depth: u32,
+    group: Option<u32>,
+    verdict: Verdict,
+    query: &Query,
+    time_us: u64,
+) {
+    for pos in pts {
+        let ap = AnnotatedPoint { pos, class, lod_depth, group };
+        if verdict == Verdict::Take || query.matches(&ap, time_us) {
+            out.push(ap);
+        }
+    }
+}

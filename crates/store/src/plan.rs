@@ -1,0 +1,330 @@
+//! Conservative three-valued query planner over spatial-directory metadata.
+//!
+//! For every stream section (dense octree, each sparse group, outliers) the
+//! directory records an AABB, a point count, a density class, an LOD depth
+//! and — for groups — the decoded-norm interval. [`plan`] folds a [`Query`]
+//! over that metadata into a [`Verdict`]:
+//!
+//! * [`Verdict::Take`] — **every** point of the section matches: decode it,
+//!   keep everything, no per-point filtering;
+//! * [`Verdict::Skip`] — **no** point can match: never touch its bytes;
+//! * [`Verdict::Test`] — undecided: decode and filter per point with
+//!   [`Query::matches`].
+//!
+//! Soundness discipline: `Take`/`Skip` are only produced by *exact*
+//! comparisons (AABB containment/disjointness use pure `>=`/`<=` on the same
+//! floats the oracle compares) or by comparisons slackened with an explicit
+//! margin wherever derived arithmetic (norms, plane dot products) could
+//! round. Anything marginal degrades to `Test`, which is always correct.
+
+use dbgc_geom::{Aabb, Point3};
+
+use crate::query::{DensityClass, Frustum, Query};
+
+/// Planner decision for one stream section (or a whole frame).
+///
+/// Ordered `Skip < Test < Take` so `And` folds with `min` and `Or` with
+/// `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verdict {
+    /// No point of the section can match; skip its bytes entirely.
+    Skip,
+    /// Some points may match; decode and filter per point.
+    Test,
+    /// Every point of the section matches; decode and keep all.
+    Take,
+}
+
+impl Verdict {
+    fn not(self) -> Verdict {
+        match self {
+            Verdict::Skip => Verdict::Take,
+            Verdict::Test => Verdict::Test,
+            Verdict::Take => Verdict::Skip,
+        }
+    }
+
+    fn and(self, other: Verdict) -> Verdict {
+        // Ordering Skip < Test < Take makes `and` = min, `or` = max.
+        self.min(other)
+    }
+
+    fn or(self, other: Verdict) -> Verdict {
+        self.max(other)
+    }
+}
+
+/// What the planner knows about one section (or one whole frame).
+///
+/// `None` fields mean "unknown" and force [`Verdict::Test`] for predicates
+/// that need them; known fields allow exact `Take`/`Skip` decisions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SectionMeta {
+    /// Recorded bounds of every decoded point, or `None` when unknown.
+    pub aabb: Option<Aabb>,
+    /// Section is known to decode to zero points.
+    pub empty: bool,
+    /// Density class when the unit is a single section; `None` for frames.
+    pub class: Option<DensityClass>,
+    /// LOD depth when section-constant (`None` for mixed/unknown).
+    pub lod_depth: Option<u32>,
+    /// Frame capture timestamp (µs); known for archived frames.
+    pub time_us: Option<u64>,
+    /// Decoded-norm interval `[r_min, r_max]` for sparse groups.
+    pub r_interval: Option<(f64, f64)>,
+}
+
+/// Relative + absolute slack applied wherever the planner compares *derived*
+/// quantities (norms, plane evaluations) rather than raw coordinates.
+const MARGIN: f64 = 1e-9;
+
+/// Folds `query` over `meta` into a sound three-valued verdict.
+pub fn plan(query: &Query, meta: &SectionMeta) -> Verdict {
+    if meta.empty {
+        // An empty section yields no points either way; skipping is always
+        // sound and must short-circuit *before* `Not` could flip it.
+        return Verdict::Skip;
+    }
+    eval(query, meta)
+}
+
+fn eval(query: &Query, meta: &SectionMeta) -> Verdict {
+    match query {
+        Query::All => Verdict::Take,
+        Query::Aabb(q) => match meta.aabb {
+            Some(bb) => aabb_verdict(q, bb, meta.r_interval),
+            None => Verdict::Test,
+        },
+        Query::Frustum(fr) => match meta.aabb {
+            Some(bb) => frustum_verdict(fr, bb),
+            None => Verdict::Test,
+        },
+        Query::Lod { min, max } => match meta.lod_depth {
+            Some(d) if (*min..=*max).contains(&d) => Verdict::Take,
+            Some(_) => Verdict::Skip,
+            None => Verdict::Test,
+        },
+        Query::TimeRange { start_us, end_us } => match meta.time_us {
+            Some(t) if (*start_us..*end_us).contains(&t) => Verdict::Take,
+            Some(_) => Verdict::Skip,
+            None => Verdict::Test,
+        },
+        Query::DensityClass(c) => match meta.class {
+            Some(mc) if mc == *c => Verdict::Take,
+            Some(_) => Verdict::Skip,
+            None => Verdict::Test,
+        },
+        Query::And(a, b) => eval(a, meta).and(eval(b, meta)),
+        Query::Or(a, b) => eval(a, meta).or(eval(b, meta)),
+        Query::Not(q) => eval(q, meta).not(),
+    }
+}
+
+/// AABB query vs section AABB: containment and disjointness are pure float
+/// comparisons on the exact values the oracle compares, so both `Take` and
+/// `Skip` are exact. The optional radial interval adds an origin-distance
+/// prune (with margin, since norms involve sqrt rounding).
+fn aabb_verdict(q: &Aabb, bb: Aabb, r_interval: Option<(f64, f64)>) -> Verdict {
+    let contained = bb.min.x >= q.min.x
+        && bb.min.y >= q.min.y
+        && bb.min.z >= q.min.z
+        && bb.max.x <= q.max.x
+        && bb.max.y <= q.max.y
+        && bb.max.z <= q.max.z;
+    if contained {
+        return Verdict::Take;
+    }
+    let disjoint = bb.min.x > q.max.x
+        || bb.max.x < q.min.x
+        || bb.min.y > q.max.y
+        || bb.max.y < q.min.y
+        || bb.min.z > q.max.z
+        || bb.max.z < q.min.z;
+    if disjoint {
+        return Verdict::Skip;
+    }
+    if let Some((r_min, r_max)) = r_interval {
+        let (d_min, d_max) = origin_distance_interval(q);
+        // Any point inside `q` has norm in [d_min, d_max]; any group point
+        // has norm in [r_min, r_max]. Disjoint intervals (with slack for
+        // sqrt rounding) mean no group point can be inside `q`.
+        if r_max < d_min * (1.0 - MARGIN) - MARGIN || r_min > d_max * (1.0 + MARGIN) + MARGIN {
+            return Verdict::Skip;
+        }
+    }
+    Verdict::Test
+}
+
+/// `[min distance, max distance]` from the origin to points of `q`.
+fn origin_distance_interval(q: &Aabb) -> (f64, f64) {
+    let clamp_axis = |lo: f64, hi: f64| -> (f64, f64) {
+        let near = if lo > 0.0 {
+            lo
+        } else if hi < 0.0 {
+            -hi
+        } else {
+            0.0
+        };
+        (near, lo.abs().max(hi.abs()))
+    };
+    let (nx, fx) = clamp_axis(q.min.x, q.max.x);
+    let (ny, fy) = clamp_axis(q.min.y, q.max.y);
+    let (nz, fz) = clamp_axis(q.min.z, q.max.z);
+    ((nx * nx + ny * ny + nz * nz).sqrt(), (fx * fx + fy * fy + fz * fz).sqrt())
+}
+
+/// Frustum vs section AABB. Plane evaluations are derived dot products, so
+/// `Take`/`Skip` both require clearing an explicit margin; borderline boxes
+/// fall through to `Test` and get filtered per point.
+fn frustum_verdict(fr: &Frustum, bb: Aabb) -> Verdict {
+    let corners = aabb_corners(bb);
+    let scale = 1.0 + bb.min.norm().max(bb.max.norm());
+    let mut all_inside = true;
+    for plane in fr.planes() {
+        let eps = MARGIN * (scale + plane.offset.abs());
+        // Outside test: if the corner maximizing the plane evaluation is
+        // still clearly negative, the whole (convex) box is outside.
+        let best = corners.iter().map(|&c| plane.eval(c)).fold(f64::NEG_INFINITY, f64::max);
+        if best < -eps {
+            return Verdict::Skip;
+        }
+        // Inside test: every corner clearly non-negative ⇒ the whole box is
+        // inside this half-space.
+        let worst = corners.iter().map(|&c| plane.eval(c)).fold(f64::INFINITY, f64::min);
+        if worst < eps {
+            all_inside = false;
+        }
+    }
+    if all_inside {
+        Verdict::Take
+    } else {
+        Verdict::Test
+    }
+}
+
+fn aabb_corners(bb: Aabb) -> [Point3; 8] {
+    let (lo, hi) = (bb.min, bb.max);
+    [
+        Point3::new(lo.x, lo.y, lo.z),
+        Point3::new(hi.x, lo.y, lo.z),
+        Point3::new(lo.x, hi.y, lo.z),
+        Point3::new(hi.x, hi.y, lo.z),
+        Point3::new(lo.x, lo.y, hi.z),
+        Point3::new(hi.x, lo.y, hi.z),
+        Point3::new(lo.x, hi.y, hi.z),
+        Point3::new(hi.x, hi.y, hi.z),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(min: [f64; 3], max: [f64; 3]) -> Aabb {
+        Aabb { min: Point3::new(min[0], min[1], min[2]), max: Point3::new(max[0], max[1], max[2]) }
+    }
+
+    fn meta_with_aabb(bb: Aabb) -> SectionMeta {
+        SectionMeta { aabb: Some(bb), ..SectionMeta::default() }
+    }
+
+    #[test]
+    fn aabb_take_skip_test() {
+        let section = boxed([1.0, 1.0, 1.0], [2.0, 2.0, 2.0]);
+        let meta = meta_with_aabb(section);
+        assert_eq!(plan(&Query::Aabb(boxed([0.0; 3], [3.0; 3])), &meta), Verdict::Take);
+        assert_eq!(plan(&Query::Aabb(boxed([5.0; 3], [6.0; 3])), &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::Aabb(boxed([1.5; 3], [6.0; 3])), &meta), Verdict::Test);
+        // Touching boundaries share points — not disjoint.
+        assert_eq!(plan(&Query::Aabb(boxed([2.0; 3], [6.0; 3])), &meta), Verdict::Test);
+    }
+
+    #[test]
+    fn radial_interval_prunes_overlapping_box() {
+        // Section box overlaps the query box, but all its points sit on a
+        // shell far from the query region.
+        let section = boxed([-100.0, -100.0, -5.0], [100.0, 100.0, 5.0]);
+        let meta = SectionMeta {
+            aabb: Some(section),
+            r_interval: Some((80.0, 100.0)),
+            ..SectionMeta::default()
+        };
+        // Query box near the origin: max distance ~8.6 << 80.
+        let q = Query::Aabb(boxed([-5.0; 3], [5.0; 3]));
+        assert_eq!(plan(&q, &meta), Verdict::Skip);
+        // Without the interval it would be Test.
+        let meta2 = meta_with_aabb(section);
+        assert_eq!(plan(&q, &meta2), Verdict::Test);
+    }
+
+    #[test]
+    fn empty_section_skips_even_under_not() {
+        let meta = SectionMeta { empty: true, ..SectionMeta::default() };
+        assert_eq!(plan(&Query::All, &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::not(Query::All), &meta), Verdict::Skip);
+    }
+
+    #[test]
+    fn not_swaps_take_and_skip() {
+        let meta = SectionMeta { class: Some(DensityClass::Dense), ..SectionMeta::default() };
+        let q = Query::DensityClass(DensityClass::Dense);
+        assert_eq!(plan(&q, &meta), Verdict::Take);
+        assert_eq!(plan(&Query::not(q.clone()), &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::not(Query::not(q.clone())), &meta), plan(&q, &meta));
+    }
+
+    #[test]
+    fn and_or_fold_as_min_max() {
+        let meta = SectionMeta {
+            class: Some(DensityClass::Sparse),
+            lod_depth: Some(0),
+            ..SectionMeta::default()
+        };
+        let take = Query::DensityClass(DensityClass::Sparse);
+        let skip = Query::DensityClass(DensityClass::Dense);
+        let test = Query::Aabb(boxed([0.0; 3], [1.0; 3])); // aabb unknown
+        assert_eq!(plan(&Query::and(take.clone(), skip.clone()), &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::and(take.clone(), test.clone()), &meta), Verdict::Test);
+        assert_eq!(plan(&Query::or(skip.clone(), test.clone()), &meta), Verdict::Test);
+        assert_eq!(plan(&Query::or(skip.clone(), take.clone()), &meta), Verdict::Take);
+    }
+
+    #[test]
+    fn frustum_verdicts() {
+        let eye = Point3::new(0.0, 0.0, 0.0);
+        let fr = Frustum::look_at(
+            eye,
+            Point3::new(10.0, 0.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+            1.2,
+            1.0,
+            0.5,
+            100.0,
+        )
+        .unwrap();
+        // Tight box on the axis, well inside.
+        let inside = meta_with_aabb(boxed([5.0, -0.5, -0.5], [6.0, 0.5, 0.5]));
+        assert_eq!(plan(&Query::Frustum(fr.clone()), &inside), Verdict::Take);
+        // Behind the eye.
+        let behind = meta_with_aabb(boxed([-20.0, -1.0, -1.0], [-10.0, 1.0, 1.0]));
+        assert_eq!(plan(&Query::Frustum(fr.clone()), &behind), Verdict::Skip);
+        // Straddling a side plane.
+        let straddle = meta_with_aabb(boxed([5.0, -50.0, -0.5], [6.0, 50.0, 0.5]));
+        assert_eq!(plan(&Query::Frustum(fr), &straddle), Verdict::Test);
+    }
+
+    #[test]
+    fn time_and_lod_are_exact() {
+        let meta =
+            SectionMeta { time_us: Some(1_000), lod_depth: Some(9), ..SectionMeta::default() };
+        assert_eq!(plan(&Query::TimeRange { start_us: 0, end_us: 2_000 }, &meta), Verdict::Take);
+        assert_eq!(
+            plan(&Query::TimeRange { start_us: 2_000, end_us: 3_000 }, &meta),
+            Verdict::Skip
+        );
+        // End is exclusive.
+        assert_eq!(plan(&Query::TimeRange { start_us: 0, end_us: 1_000 }, &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::Lod { min: 0, max: 8 }, &meta), Verdict::Skip);
+        assert_eq!(plan(&Query::Lod { min: 9, max: 9 }, &meta), Verdict::Take);
+    }
+}

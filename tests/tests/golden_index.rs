@@ -1,0 +1,158 @@
+//! Golden spatial-directory vectors.
+//!
+//! For every scene preset this suite compresses the same deterministic frame
+//! the stream goldens use (`small_frame(preset, 7)` at q = 0.02), once with
+//! the spatial index and once without, and pins down:
+//!
+//! * **the directory bytes** — an FNV-1a hash of the serialized index payload
+//!   per preset, so any change to the directory format or to what the encoder
+//!   records is a conscious re-bless;
+//! * **v1 compatibility** — the indexed stream is exactly the committed
+//!   golden stream plus the trailer: the body is byte-identical, and a v1
+//!   decode of the indexed stream returns bit-identical coordinates.
+//!
+//! Regenerate after an intentional index-format change with:
+//!
+//! ```text
+//! DBGC_BLESS=1 cargo test -p dbgc-integration-tests --test golden_index
+//! ```
+
+mod common;
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use common::{small_config, small_frame};
+use dbgc::{split_index_trailer, IndexTrailer, SpatialDirectory};
+use dbgc_lidar_sim::ScenePreset;
+
+/// Seed for the golden frames; matches `golden_vectors.rs`.
+const SEED: u64 = 7;
+/// The paper's typical error bound: 2 cm.
+const Q: f64 = 0.02;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
+}
+
+/// FNV-1a 64-bit over a byte stream; no external hashing deps.
+fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct IndexEntry {
+    index_bytes: usize,
+    groups: usize,
+    index_fnv: u64,
+}
+
+fn parse_manifest(text: &str) -> Vec<(String, IndexEntry)> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|line| {
+            let mut fields = line.split_whitespace();
+            let name = fields.next().expect("preset name").to_string();
+            let mut entry = IndexEntry { index_bytes: 0, groups: 0, index_fnv: 0 };
+            for field in fields {
+                let (k, v) = field.split_once('=').expect("k=v field");
+                match k {
+                    "index_bytes" => entry.index_bytes = v.parse().expect("index_bytes"),
+                    "groups" => entry.groups = v.parse().expect("groups"),
+                    "index_fnv" => entry.index_fnv = u64::from_str_radix(v, 16).expect("index_fnv"),
+                    other => panic!("unknown manifest field {other}"),
+                }
+            }
+            (name, entry)
+        })
+        .collect()
+}
+
+/// Compress the golden frame with the spatial index on; returns the full
+/// stream and its split (body, index payload).
+fn compress_indexed(preset: ScenePreset) -> (Vec<u8>, Vec<u8>, Vec<u8>) {
+    let (cloud, meta) = small_frame(preset, SEED);
+    let cfg = small_config(Q, meta).with_spatial_index(true);
+    let bytes = dbgc::Dbgc::new(cfg).compress(&cloud).expect("compress").bytes;
+    let (body, payload) = match split_index_trailer(&bytes) {
+        IndexTrailer::Valid { body, payload } => (body.to_vec(), payload.to_vec()),
+        other => panic!("{}: expected valid index trailer, got {other:?}", preset.name()),
+    };
+    (bytes, body, payload)
+}
+
+#[test]
+fn golden_index_all_presets() {
+    let dir = golden_dir();
+    let bless = std::env::var_os("DBGC_BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).expect("create golden dir");
+        let mut manifest = String::from(
+            "# Golden spatial directories: small_frame(preset, 7) at q = 0.02,\n\
+             # spatial_index = true. Regenerate with DBGC_BLESS=1 (golden_index.rs).\n",
+        );
+        for preset in ScenePreset::all() {
+            let (_, body, payload) = compress_indexed(preset);
+            let parsed = SpatialDirectory::parse(&payload, body.len()).expect("own directory");
+            let _ = writeln!(
+                manifest,
+                "{} index_bytes={} groups={} index_fnv={:016x}",
+                preset.name(),
+                payload.len(),
+                parsed.groups.len(),
+                fnv1a(payload.iter().copied()),
+            );
+        }
+        std::fs::write(dir.join("index_manifest.txt"), manifest).expect("write index manifest");
+        eprintln!("blessed {} golden directories into {}", ScenePreset::all().len(), dir.display());
+        return;
+    }
+
+    let manifest_text = std::fs::read_to_string(dir.join("index_manifest.txt"))
+        .expect("index manifest missing — run with DBGC_BLESS=1 to create it");
+    let manifest = parse_manifest(&manifest_text);
+    assert_eq!(manifest.len(), ScenePreset::all().len(), "manifest covers every preset");
+
+    for preset in ScenePreset::all() {
+        let entry = &manifest
+            .iter()
+            .find(|(name, _)| name == preset.name())
+            .unwrap_or_else(|| panic!("{} missing from index manifest", preset.name()))
+            .1;
+        let (bytes, body, payload) = compress_indexed(preset);
+
+        assert_eq!(payload.len(), entry.index_bytes, "{}: directory size", preset.name());
+        assert_eq!(
+            fnv1a(payload.iter().copied()),
+            entry.index_fnv,
+            "{}: directory bytes drifted",
+            preset.name()
+        );
+        let parsed = SpatialDirectory::parse(&payload, body.len()).expect("own directory parses");
+        assert_eq!(parsed.groups.len(), entry.groups, "{}: group count", preset.name());
+
+        // The indexed stream is the committed golden stream plus a trailer:
+        // v1 decoders see byte-identical input.
+        let golden =
+            std::fs::read(dir.join(format!("{}.dbgc", preset.name()))).expect("golden stream file");
+        assert_eq!(body, golden, "{}: indexed body differs from golden stream", preset.name());
+
+        // And decoding through the trailer matches decoding the bare body.
+        let (via_trailer, _) = dbgc::decompress(&bytes).expect("indexed stream decodes");
+        let (bare, _) = dbgc::decompress(&golden).expect("golden stream decodes");
+        let same = via_trailer.points().iter().zip(bare.points().iter()).all(|(a, b)| {
+            a.x.to_bits() == b.x.to_bits()
+                && a.y.to_bits() == b.y.to_bits()
+                && a.z.to_bits() == b.z.to_bits()
+        });
+        assert!(
+            same && via_trailer.len() == bare.len(),
+            "{}: indexed decode diverges from index-less decode",
+            preset.name()
+        );
+    }
+}

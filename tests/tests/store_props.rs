@@ -1,0 +1,212 @@
+//! Property-based tests for the query AST: random trees (depth ≤ 4) answered
+//! by the archive must agree with the full-decode oracle, and the boolean
+//! algebra must hold (`Not(Not(q)) ≡ q`, `And(q, All) ≡ q`, `Or` commutes).
+
+use std::sync::OnceLock;
+
+use dbgc::{Dbgc, DbgcConfig};
+use dbgc_geom::{Aabb, Point3, PointCloud};
+use dbgc_store::{decode_annotated, AnnotatedPoint, DensityClass, FrameStore, Frustum, Query};
+use proptest::prelude::*;
+
+const Q: f64 = 0.02;
+const TIME_US: u64 = 1_000;
+
+/// One archived frame plus its oracle decode.
+struct Fixture {
+    store: FrameStore,
+    oracle: Vec<AnnotatedPoint>,
+}
+
+/// Three structurally different clouds: a spider-web ring (all sparse
+/// groups), xorshift clusters with far outliers (all three sections), and a
+/// dense ground patch.
+fn fixtures() -> &'static [Fixture; 3] {
+    static FIXTURES: OnceLock<[Fixture; 3]> = OnceLock::new();
+    FIXTURES.get_or_init(|| {
+        let ring: PointCloud = (0..3000)
+            .map(|i| {
+                let th = i as f64 / 3000.0 * std::f64::consts::TAU;
+                Point3::new(25.0 * th.cos(), 25.0 * th.sin(), -1.7)
+            })
+            .collect();
+
+        let mut x = 99u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut mixed = PointCloud::new();
+        for _ in 0..6 {
+            let (cx, cy) = ((next() - 0.5) * 70.0, (next() - 0.5) * 70.0);
+            for _ in 0..350 {
+                mixed.push(Point3::new(
+                    cx + (next() - 0.5) * 3.0,
+                    cy + (next() - 0.5) * 3.0,
+                    (next() - 0.5) * 2.0,
+                ));
+            }
+        }
+        for _ in 0..15 {
+            mixed.push(Point3::new(
+                (next() - 0.5) * 300.0,
+                (next() - 0.5) * 300.0,
+                (next() - 0.5) * 30.0,
+            ));
+        }
+
+        let patch: PointCloud = (0..2500)
+            .map(|i| {
+                let (r, c) = (i / 50, i % 50);
+                Point3::new(5.0 + r as f64 * 0.08, -2.0 + c as f64 * 0.08, -1.6)
+            })
+            .collect();
+
+        [ring, mixed, patch].map(|cloud| {
+            let cfg = DbgcConfig::with_error_bound(Q).with_spatial_index(true);
+            let bytes = Dbgc::new(cfg).compress(&cloud).unwrap().bytes;
+            let oracle = decode_annotated(&bytes).unwrap().points;
+            let mut store = FrameStore::new();
+            store.ingest(bytes, TIME_US).unwrap();
+            Fixture { store, oracle }
+        })
+    })
+}
+
+/// Deterministic xorshift64* over a seed word.
+fn next_u64(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+fn next_f64(state: &mut u64, lo: f64, hi: f64) -> f64 {
+    let u = (next_u64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    lo + u * (hi - lo)
+}
+
+/// A random query leaf: geometry sized to the fixtures' extents so boxes and
+/// frusta hit often but not always.
+fn gen_leaf(state: &mut u64) -> Query {
+    match next_u64(state) % 6 {
+        0 => Query::All,
+        1 => {
+            let cx = next_f64(state, -40.0, 40.0);
+            let cy = next_f64(state, -40.0, 40.0);
+            let (hx, hy) = (next_f64(state, 1.0, 30.0), next_f64(state, 1.0, 30.0));
+            Query::Aabb(Aabb {
+                min: Point3::new(cx - hx, cy - hy, -5.0),
+                max: Point3::new(cx + hx, cy + hy, 3.0),
+            })
+        }
+        2 => {
+            let target = Point3::new(
+                next_f64(state, -30.0, 30.0),
+                next_f64(state, -30.0, 30.0),
+                next_f64(state, -2.0, 2.0),
+            );
+            match Frustum::look_at(
+                Point3::new(0.0, 0.0, 0.0),
+                target,
+                Point3::new(0.0, 0.0, 1.0),
+                next_f64(state, 0.3, 1.4),
+                next_f64(state, 0.8, 2.0),
+                0.5,
+                next_f64(state, 30.0, 120.0),
+            ) {
+                Some(f) => Query::Frustum(f),
+                None => Query::All,
+            }
+        }
+        3 => {
+            let min = (next_u64(state) % 8) as u32;
+            Query::Lod { min, max: min + (next_u64(state) % 10) as u32 }
+        }
+        4 => {
+            let start = next_u64(state) % 2_000;
+            Query::TimeRange { start_us: start, end_us: start + next_u64(state) % 2_000 }
+        }
+        _ => Query::DensityClass(
+            [DensityClass::Dense, DensityClass::Sparse, DensityClass::Outlier]
+                [(next_u64(state) % 3) as usize],
+        ),
+    }
+}
+
+/// A random AST of the given maximum depth.
+fn gen_query(state: &mut u64, depth: u32) -> Query {
+    if depth == 0 || next_u64(state) % 3 == 0 {
+        return gen_leaf(state);
+    }
+    match next_u64(state) % 3 {
+        0 => Query::and(gen_query(state, depth - 1), gen_query(state, depth - 1)),
+        1 => Query::or(gen_query(state, depth - 1), gen_query(state, depth - 1)),
+        _ => Query::not(gen_query(state, depth - 1)),
+    }
+}
+
+/// Order-normalized positions of a store answer.
+fn norm(points: impl IntoIterator<Item = Point3>) -> Vec<[u64; 3]> {
+    let mut v: Vec<[u64; 3]> =
+        points.into_iter().map(|p| [p.x.to_bits(), p.y.to_bits(), p.z.to_bits()]).collect();
+    v.sort_unstable();
+    v
+}
+
+fn answer(fx: &Fixture, q: &Query) -> Vec<[u64; 3]> {
+    norm(fx.store.query(q).unwrap().points.iter().map(|r| r.point.pos))
+}
+
+fn oracle_answer(fx: &Fixture, q: &Query) -> Vec<[u64; 3]> {
+    norm(fx.oracle.iter().filter(|p| q.matches(p, TIME_US)).map(|p| p.pos))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(120))]
+
+    #[test]
+    fn random_ast_matches_oracle(seed in any::<u64>(), fixture in 0usize..3) {
+        let fx = &fixtures()[fixture];
+        let mut state = seed | 1;
+        let q = gen_query(&mut state, 4);
+        prop_assert_eq!(answer(fx, &q), oracle_answer(fx, &q), "query {:?}", q);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn double_negation_is_identity(seed in any::<u64>(), fixture in 0usize..3) {
+        let fx = &fixtures()[fixture];
+        let mut state = seed | 1;
+        let q = gen_query(&mut state, 3);
+        let nn = Query::not(Query::not(q.clone()));
+        prop_assert_eq!(answer(fx, &nn), answer(fx, &q), "query {:?}", q);
+    }
+
+    #[test]
+    fn and_all_is_identity(seed in any::<u64>(), fixture in 0usize..3) {
+        let fx = &fixtures()[fixture];
+        let mut state = seed | 1;
+        let q = gen_query(&mut state, 3);
+        let qa = Query::and(q.clone(), Query::All);
+        prop_assert_eq!(answer(fx, &qa), answer(fx, &q), "query {:?}", q);
+        // ... and both agree with the oracle, not just with each other.
+        prop_assert_eq!(answer(fx, &q), oracle_answer(fx, &q), "query {:?}", q);
+    }
+
+    #[test]
+    fn or_commutes(a_seed in any::<u64>(), b_seed in any::<u64>(), fixture in 0usize..3) {
+        let fx = &fixtures()[fixture];
+        let (mut sa, mut sb) = (a_seed | 1, b_seed | 1);
+        let a = gen_query(&mut sa, 2);
+        let b = gen_query(&mut sb, 2);
+        let ab = Query::or(a.clone(), b.clone());
+        let ba = Query::or(b, a);
+        prop_assert_eq!(answer(fx, &ab), answer(fx, &ba), "query {:?}", ab);
+    }
+}
