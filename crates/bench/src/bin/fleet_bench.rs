@@ -1,0 +1,232 @@
+//! Fleet ingestion benchmark: sustained frames/s and p99 frame latency for
+//! 100 and 1000 simulated 10 Hz sensors streaming into one fleet server.
+//!
+//! ```text
+//! cargo run --release -p dbgc-bench --bin fleet_bench            # full run -> BENCH_fleet.json
+//! cargo run --release -p dbgc-bench --bin fleet_bench -- --gate  # CI gate: 100 sensors >= 10 Hz each
+//! ```
+//!
+//! Every sensor is a real `ResilientClient` session (hello, acked window,
+//! reconnect machinery) over the in-process fleet transport, paced at the
+//! paper's 10 Hz frame rate with ~12 KiB synthetic compressed payloads (the
+//! measured DBGC output scale for a reduced frame). Latency is measured per
+//! frame on the client: time from "frame due" to `send_payload` returning,
+//! i.e. the backpressure the fleet pushes onto a sensor. A background
+//! drainer archives frames on a cadence like a real ingest node, so the run
+//! also exercises the `drain_frames` hand-off under load.
+//!
+//! The gate (`--gate`) requires the 100-sensor run to sustain at least
+//! `GATE_HZ_PER_SENSOR` per sensor on hosts with >= 4 cores; on smaller
+//! hosts it prints a loud SKIPPED line and exits 0 (a starved runner cannot
+//! measure fleet throughput, and gating on fiction helps nobody).
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dbgc::metrics::Collector;
+use dbgc_net::fleet::{FleetConfig, FleetServer};
+use dbgc_net::fleet_chaos::chaos_payload;
+use dbgc_net::session::{ResilientClient, SessionConfig};
+
+/// The paper's sensor frame rate.
+const SENSOR_HZ: f64 = 10.0;
+/// Synthetic compressed-frame size (measured DBGC scale for a small frame).
+const PAYLOAD_BYTES: usize = 12 * 1024;
+/// Per-sensor rate the CI gate requires at 100 sensors.
+const GATE_HZ_PER_SENSOR: f64 = 10.0;
+/// Cores below which the gate loudly skips.
+const GATE_MIN_CORES: usize = 4;
+
+struct RunResult {
+    sensors: usize,
+    frames_total: usize,
+    elapsed: Duration,
+    /// Per-frame client-side latencies (µs), all sensors pooled.
+    latencies_us: Vec<u64>,
+    /// Worst single tenant's p99 (µs).
+    worst_tenant_p99_us: u64,
+    drained_frames: usize,
+}
+
+impl RunResult {
+    fn frames_per_s(&self) -> f64 {
+        self.frames_total as f64 / self.elapsed.as_secs_f64()
+    }
+
+    fn hz_per_sensor(&self) -> f64 {
+        self.frames_per_s() / self.sensors as f64
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drive `sensors` paced 10 Hz clients for `frames_per_sensor` frames each.
+fn run_fleet(sensors: usize, frames_per_sensor: usize, shards: usize) -> RunResult {
+    let mut config = FleetConfig::new(sensors);
+    config.shards = shards;
+    let fleet = FleetServer::spawn(config);
+    let handle = fleet.handle();
+
+    // Background archival: drain on a cadence so resident memory stays
+    // bounded and the hand-off path is part of what is measured.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut drained = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                drained += handle.drain().iter().map(|(_, f)| f.len()).sum::<usize>();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            drained + handle.drain().iter().map(|(_, f)| f.len()).sum::<usize>()
+        })
+    };
+
+    let period = Duration::from_secs_f64(1.0 / SENSOR_HZ);
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..sensors as u64)
+        .map(|sensor| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let h = handle.clone();
+                let mut client =
+                    ResilientClient::new(move || h.connect(sensor), SessionConfig::new(sensor));
+                let start = Instant::now();
+                let mut lats = Vec::with_capacity(frames_per_sensor);
+                for index in 0..frames_per_sensor {
+                    // Pace to the sensor clock; latency = how far past the
+                    // frame's due time the fleet let us get it accepted.
+                    let due = period * index as u32;
+                    if let Some(wait) = due.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let payload = chaos_payload(sensor, index, PAYLOAD_BYTES);
+                    client.send_payload(payload).expect("fleet accepts in-budget sensors");
+                    lats.push(start.elapsed().saturating_sub(due).as_micros() as u64);
+                }
+                client.finish().expect("session completes");
+                lats
+            })
+        })
+        .collect();
+
+    let mut latencies_us = Vec::with_capacity(sensors * frames_per_sensor);
+    let mut worst_tenant_p99_us = 0u64;
+    for client in clients {
+        let mut lats = client.join().expect("sensor thread");
+        lats.sort_unstable();
+        worst_tenant_p99_us = worst_tenant_p99_us.max(percentile(&lats, 0.99));
+        latencies_us.append(&mut lats);
+    }
+    let elapsed = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    let drained_frames = drainer.join().expect("drainer thread");
+    let report = fleet.shutdown();
+    let durable: usize = report.tenants.iter().map(|t| t.durable.len()).sum();
+    assert_eq!(durable, sensors * frames_per_sensor, "every paced frame lands durably");
+    report.verify_partition().expect("fleet partition holds under load");
+
+    latencies_us.sort_unstable();
+    RunResult {
+        sensors,
+        frames_total: durable,
+        elapsed,
+        latencies_us,
+        worst_tenant_p99_us,
+        drained_frames,
+    }
+}
+
+fn record(collector: &Collector, result: &RunResult) {
+    let s = result.sensors;
+    collector.set_gauge(&format!("fleet.s{s}.frames_per_s"), result.frames_per_s());
+    collector.set_gauge(&format!("fleet.s{s}.hz_per_sensor"), result.hz_per_sensor());
+    collector.set_gauge(
+        &format!("fleet.s{s}.p50_send_us"),
+        percentile(&result.latencies_us, 0.50) as f64,
+    );
+    collector.set_gauge(
+        &format!("fleet.s{s}.p99_send_us"),
+        percentile(&result.latencies_us, 0.99) as f64,
+    );
+    collector.set_gauge(
+        &format!("fleet.s{s}.p99_send_us_worst_tenant"),
+        result.worst_tenant_p99_us as f64,
+    );
+    collector.set_gauge(&format!("fleet.s{s}.drained_frames"), result.drained_frames as f64);
+}
+
+fn print_run(result: &RunResult) {
+    println!(
+        "{} sensors: {:.0} frames/s ({:.2} Hz/sensor), send latency p50 {} µs / p99 {} µs \
+         (worst tenant p99 {} µs), {} of {} frames drained mid-run, {:.2}s wall",
+        result.sensors,
+        result.frames_per_s(),
+        result.hz_per_sensor(),
+        percentile(&result.latencies_us, 0.50),
+        percentile(&result.latencies_us, 0.99),
+        result.worst_tenant_p99_us,
+        result.drained_frames,
+        result.frames_total,
+        result.elapsed.as_secs_f64(),
+    );
+}
+
+fn main() -> ExitCode {
+    let gate_only = std::env::args().any(|a| a == "--gate");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shards = cores.clamp(1, 8);
+    println!("fleet bench: {cores} core(s), {shards} shard(s), {PAYLOAD_BYTES} B payloads");
+
+    if gate_only {
+        if cores < GATE_MIN_CORES {
+            println!(
+                "fleet gate: SKIPPED — {cores} core(s) < {GATE_MIN_CORES} \
+                 (cannot measure fleet throughput on this host)"
+            );
+            return ExitCode::SUCCESS;
+        }
+        let result = run_fleet(100, 30, shards);
+        print_run(&result);
+        let hz = result.hz_per_sensor();
+        if hz < GATE_HZ_PER_SENSOR * 0.95 {
+            eprintln!(
+                "fleet gate: FAIL — {hz:.2} Hz/sensor at 100 sensors is below the \
+                 {GATE_HZ_PER_SENSOR} Hz floor"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("fleet gate: OK ({hz:.2} Hz/sensor at 100 sensors >= {GATE_HZ_PER_SENSOR} Hz)");
+        return ExitCode::SUCCESS;
+    }
+
+    let collector = Collector::new();
+    collector.set_gauge("cores", cores as f64);
+    collector.set_gauge("shards", shards as f64);
+    collector.set_gauge("sensor_hz", SENSOR_HZ);
+    collector.set_gauge("payload_bytes", PAYLOAD_BYTES as f64);
+
+    let small = run_fleet(100, 30, shards);
+    print_run(&small);
+    record(&collector, &small);
+
+    let large = run_fleet(1000, 10, shards);
+    print_run(&large);
+    record(&collector, &large);
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    match std::fs::write(root.join("BENCH_fleet.json"), collector.snapshot().to_json()) {
+        Ok(()) => println!("wrote BENCH_fleet.json"),
+        Err(e) => eprintln!("warning: could not write BENCH_fleet.json: {e}"),
+    }
+    ExitCode::SUCCESS
+}

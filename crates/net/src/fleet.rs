@@ -1,0 +1,1218 @@
+//! The multi-tenant ingestion fleet: one server, many sensor streams.
+//!
+//! [`crate::server::SessionServer`] is a transport-free state machine, but
+//! everything above it so far serves *one* blocking connection at a time.
+//! This module multiplexes thousands of them behind a single façade:
+//!
+//! * **Sharded event loops.** [`FleetServer::spawn`] starts `shards` worker
+//!   threads; each owns a [`FleetCore`] — connections, per-tenant
+//!   `SessionServer`s, and budgets for its shard — and drains a bounded event
+//!   queue. Sessions route to shards by a hash of their id, so one tenant's
+//!   state never migrates and per-tenant processing stays in order.
+//! * **Push-based framing.** Connections don't get a blocking reader.
+//!   Transport bytes land in a per-connection feed buffer and a wakeup event
+//!   is queued; the shard pumps the connection's [`FrameReader`] until it
+//!   reports `WouldBlock` (feed empty). The reader keeps its full
+//!   resynchronization behaviour and its per-connection payload guard
+//!   ([`FleetConfig::max_payload`], default 8 MiB).
+//! * **Admission control.** A fleet-wide session cap enforced with a single
+//!   atomic compare-and-swap: concurrent hellos on different shards can never
+//!   overshoot. A refused session gets a typed [`Control::Reject`] frame —
+//!   never a hang or a reset — which v3.1 clients surface as
+//!   [`NetError::Rejected`] without burning their retry budget.
+//! * **Fleet-scope load shedding.** The per-pipeline
+//!   [`OverloadPolicy`] is lifted to fleet scope: per-tenant undrained-frame
+//!   caps and a global byte budget, checked after every stored frame.
+//!   `Block` pauses the offending tenant's connections (the client's bounded
+//!   window throttles it); `DropOldest` shed the tenant's oldest undrained
+//!   frame; `Degrade` decimates over-fair-share tenants to half temporal
+//!   resolution while pressure lasts. Shed frames were already
+//!   acknowledged, so the session protocol never stalls — they are counted
+//!   (`fleet.shed_frames`) and reported per tenant instead.
+//! * **Never block the loop.** Acks are forwarded over a bounded channel
+//!   with `try_send`; a full ack queue drops the (idempotent) ack and counts
+//!   `fleet.ack_drops` — the client recovers by timeout and reconnect.
+//!
+//! ### Accounting
+//!
+//! The wire-level partition from the chaos suite still holds per fleet
+//! (all tenants share one collector): `net.frames_intact ==
+//! net.frames_stored + net.frames_deduped + net.frames_gap_dropped +
+//! net.decode_failures`. Shedding happens *after* storage, adding a second
+//! exact partition: `net.frames_stored == drained + resident + shed`.
+//! Substituting gives the fleet-wide exactly-once invariant the fleet-chaos
+//! harness asserts: `frames_intact == durable + deduped + gap_dropped +
+//! decode_failures + shed`, where durable = drained + resident.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::fault::SplitMix64;
+use crate::pipeline::OverloadPolicy;
+use crate::protocol::{
+    write_frame, Control, FrameReader, NetError, WireFrame, DEFAULT_MAX_PAYLOAD, REJECT_FLEET_FULL,
+    REJECT_WRONG_SHARD,
+};
+use crate::server::{AnomalyKind, SessionServer, StoredFrame};
+
+/// Tuning for a [`FleetServer`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Event-loop shards (worker threads); sessions hash onto them by id.
+    pub shards: usize,
+    /// Fleet-wide admission cap on resident tenant sessions.
+    pub max_sessions: usize,
+    /// Per-tenant cap on stored-but-undrained frames (0 = unbounded).
+    pub max_tenant_frames: usize,
+    /// Global budget on undrained payload bytes across all tenants
+    /// (0 = unbounded).
+    pub max_fleet_bytes: u64,
+    /// What to do when a budget is exceeded; see the module docs.
+    pub policy: OverloadPolicy,
+    /// Per-connection payload guard handed to each [`FrameReader`].
+    pub max_payload: u64,
+    /// Decompress stored frames (the paper's non-bypass mode).
+    pub decompress: bool,
+    /// Bound of each shard's event queue; senders block when it fills, so
+    /// backpressure lands on clients, never on the loop.
+    pub event_queue: usize,
+    /// Per-connection feed-buffer guard: a connection whose unparsed bytes
+    /// exceed this blocks its writer (and eventually times out), bounding
+    /// memory against tenants that outrun their shard.
+    pub feed_cap: usize,
+    /// How long an in-process writer may stall on a full feed before its
+    /// write fails with `TimedOut` (the resilient client then reconnects).
+    pub write_stall: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults for `max_sessions` tenants on one shard: 8 MiB payload
+    /// guard, no shedding budgets, `Block` policy.
+    pub fn new(max_sessions: usize) -> FleetConfig {
+        FleetConfig {
+            shards: 1,
+            max_sessions,
+            max_tenant_frames: 0,
+            max_fleet_bytes: 0,
+            policy: OverloadPolicy::Block,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            decompress: false,
+            event_queue: 1024,
+            feed_cap: 4 * DEFAULT_MAX_PAYLOAD as usize + (64 << 10),
+            write_stall: Duration::from_secs(2),
+        }
+    }
+
+    /// Which shard owns `session_id`. Mixed, so sequential sensor ids still
+    /// spread evenly.
+    pub fn shard_of(&self, session_id: u64) -> usize {
+        (SplitMix64(session_id).next() % self.shards.max(1) as u64) as usize
+    }
+}
+
+/// Fleet-wide state shared by every shard: the admission gate, the global
+/// byte budget, and counters mirrored into the metrics collector.
+struct FleetShared {
+    sessions: AtomicUsize,
+    sessions_peak: AtomicUsize,
+    fleet_bytes: AtomicU64,
+    admission_rejects: AtomicU64,
+    shed_frames: AtomicU64,
+    prehello_frames: AtomicU64,
+    ack_drops: AtomicU64,
+    #[cfg(feature = "metrics")]
+    collector: dbgc_metrics::Collector,
+}
+
+impl FleetShared {
+    fn new() -> FleetShared {
+        FleetShared {
+            sessions: AtomicUsize::new(0),
+            sessions_peak: AtomicUsize::new(0),
+            fleet_bytes: AtomicU64::new(0),
+            admission_rejects: AtomicU64::new(0),
+            shed_frames: AtomicU64::new(0),
+            prehello_frames: AtomicU64::new(0),
+            ack_drops: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            collector: dbgc_metrics::Collector::new(),
+        }
+    }
+
+    fn incr(&self, _name: &str, _n: u64) {
+        #[cfg(feature = "metrics")]
+        self.collector.incr(_name, _n);
+    }
+
+    fn set_gauge(&self, _name: &str, _v: f64) {
+        #[cfg(feature = "metrics")]
+        self.collector.set_gauge(_name, _v);
+    }
+
+    /// Claim one session slot iff the fleet is under `cap`. The CAS loop is
+    /// the whole admission controller: shards race freely and the cap still
+    /// holds exactly.
+    fn try_admit(&self, cap: usize) -> bool {
+        let admitted = self
+            .sessions
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < cap).then_some(n + 1))
+            .is_ok();
+        if admitted {
+            let now = self.sessions.load(Ordering::SeqCst);
+            self.sessions_peak.fetch_max(now, Ordering::SeqCst);
+            self.set_gauge("fleet.sessions_active", now as f64);
+            self.set_gauge("fleet.sessions_peak", self.sessions_peak.load(Ordering::SeqCst) as f64);
+        }
+        admitted
+    }
+
+    fn release_session(&self) {
+        let before = self.sessions.fetch_sub(1, Ordering::SeqCst);
+        self.set_gauge("fleet.sessions_active", before.saturating_sub(1) as f64);
+    }
+}
+
+/// Transport bytes queued for a connection plus its close flags.
+#[derive(Debug, Default)]
+struct FeedShared {
+    buf: VecDeque<u8>,
+    /// The client hung up: the reader sees EOF once `buf` drains.
+    client_closed: bool,
+    /// The fleet dropped the connection: further writes fail.
+    server_closed: bool,
+}
+
+/// The read half the shard's [`FrameReader`] consumes: nonblocking — an
+/// empty, still-open feed reports `WouldBlock` so the pump yields back to
+/// the event loop with the reader's resync state intact.
+#[derive(Debug)]
+struct ByteFeed(Arc<Mutex<FeedShared>>);
+
+impl Read for ByteFeed {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        let mut feed = self.0.lock().expect("feed lock");
+        if feed.buf.is_empty() {
+            return if feed.client_closed {
+                Ok(0)
+            } else {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "feed empty"))
+            };
+        }
+        let n = out.len().min(feed.buf.len());
+        for (i, b) in feed.buf.drain(..n).enumerate() {
+            out[i] = b;
+        }
+        Ok(n)
+    }
+}
+
+/// Write half of the fleet's server → client control path. Whole frames are
+/// buffered and forwarded with `try_send`: the event loop never blocks on a
+/// slow client, and a dropped ack is harmless (acks are idempotent; the
+/// client recovers via its send timeout).
+pub struct AckSender {
+    tx: SyncSender<Vec<u8>>,
+    buf: Vec<u8>,
+    shared: Arc<FleetShared>,
+}
+
+impl Write for AckSender {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        match self.tx.try_send(std::mem::take(&mut self.buf)) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(_)) => {
+                // Shed the ack, keep the loop moving.
+                self.shared.ack_drops.fetch_add(1, Ordering::Relaxed);
+                self.shared.incr("fleet.ack_drops", 1);
+                Ok(())
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "ack receiver gone"))
+            }
+        }
+    }
+}
+
+/// Client-side read half for acks/rejects; blocks like a socket, reports
+/// EOF when the fleet drops the connection. Feed it to a [`FrameReader`]
+/// (the resilient client's ack pump already does).
+#[derive(Debug)]
+pub struct AckReceiver {
+    rx: Receiver<Vec<u8>>,
+    cur: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for AckReceiver {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        while self.pos >= self.cur.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.cur = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0),
+            }
+        }
+        let n = out.len().min(self.cur.len() - self.pos);
+        out[..n].copy_from_slice(&self.cur[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// The in-process client write half handed out by [`FleetHandle::connect`]:
+/// bytes go straight into the connection's feed buffer and a wakeup event is
+/// queued. Applies the feed-cap backpressure described on
+/// [`FleetConfig::feed_cap`]. Dropping it closes the connection cleanly.
+pub struct FleetConnTx {
+    conn: u64,
+    shard_tx: SyncSender<FleetEvent>,
+    feed: Arc<Mutex<FeedShared>>,
+    feed_cap: usize,
+    write_stall: Duration,
+}
+
+impl Write for FleetConnTx {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        let start = Instant::now();
+        loop {
+            {
+                let mut feed = self.feed.lock().expect("feed lock");
+                if feed.server_closed {
+                    return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection dropped"));
+                }
+                if feed.buf.len() + data.len() <= self.feed_cap {
+                    feed.buf.extend(data);
+                    break;
+                }
+            }
+            // Over the feed cap: backpressure. A paused (Block-policy)
+            // tenant parks here until a drain, bounded by the stall budget.
+            if start.elapsed() > self.write_stall {
+                return Err(io::Error::new(io::ErrorKind::TimedOut, "feed full past stall budget"));
+            }
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        self.shard_tx
+            .send(FleetEvent::Data { conn: self.conn })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "fleet shut down"))?;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for FleetConnTx {
+    fn drop(&mut self) {
+        if let Ok(mut feed) = self.feed.lock() {
+            feed.client_closed = true;
+        }
+        let _ = self.shard_tx.send(FleetEvent::Close { conn: self.conn });
+    }
+}
+
+/// One shard's mailbox.
+enum FleetEvent {
+    /// A new connection with its feed, ack path, and routing hint.
+    Accept { conn: u64, feed: Arc<Mutex<FeedShared>>, ack: AckSender },
+    /// Bytes landed in `conn`'s feed; pump its reader.
+    Data { conn: u64 },
+    /// The client hung up; drain the feed tail, then forget the connection.
+    Close { conn: u64 },
+    /// Hand every tenant's stored frames to the caller (the archival path).
+    Drain { reply: SyncSender<Vec<(u64, Vec<StoredFrame>)>> },
+    /// Retire one tenant, freeing its admission slot; replies with its
+    /// undrained frames (`None` if the tenant lives on another shard or
+    /// does not exist).
+    Evict { session: u64, reply: SyncSender<Option<Vec<StoredFrame>>> },
+    /// Barrier: replies once every earlier event on this shard is applied.
+    Sync { reply: SyncSender<()> },
+    /// Exit the loop even while senders remain.
+    Shutdown,
+}
+
+/// Per-connection state on a shard.
+struct Conn {
+    reader: FrameReader<ByteFeed>,
+    feed: Arc<Mutex<FeedShared>>,
+    ack: Option<AckSender>,
+    /// Bound tenant once a hello routed it; `None` drops data frames.
+    tenant: Option<u64>,
+    /// Watermark into `reader.bytes_skipped()` for resync attribution.
+    skip_mark: u64,
+}
+
+/// Per-tenant state on a shard: the session state machine plus fleet
+/// bookkeeping.
+#[derive(Debug)]
+struct Tenant {
+    server: SessionServer,
+    /// Payload bytes stored but not yet drained (the global-budget share).
+    resident_bytes: u64,
+    /// Sequences handed to [`FleetHandle::drain`] so far, in order.
+    drained_seqs: Vec<u32>,
+    /// Sequences shed under overload (acknowledged, then dropped).
+    shed_seqs: Vec<u32>,
+    /// `Block`-policy flag: stop pumping this tenant's connections until a
+    /// drain relieves the pressure.
+    paused: bool,
+    /// `Degrade` decimation phase; resets when pressure clears.
+    decim: u64,
+}
+
+/// What one shard knew at shutdown; aggregated into [`FleetReport`].
+#[derive(Debug)]
+pub struct TenantReport {
+    /// The tenant's wire-v3 session id.
+    pub session_id: u64,
+    /// Durably-held sequences: drained first, then still-resident, in
+    /// storage order.
+    pub durable: Vec<u32>,
+    /// Frames still resident (undrained) at shutdown, bytes included.
+    pub resident_frames: Vec<StoredFrame>,
+    /// Sequences shed under overload after being acknowledged.
+    pub shed: Vec<u32>,
+    /// Replayed frames deduplicated (from the session's anomaly log).
+    pub deduped: usize,
+    /// Out-of-order frames dropped for go-back-N to re-deliver.
+    pub gap_dropped: usize,
+    /// Checksummed frames whose payload failed to decode.
+    pub decode_failures: usize,
+    /// Corrupt wire regions resynchronized past on this tenant's
+    /// connections.
+    pub resyncs: usize,
+}
+
+impl TenantReport {
+    /// The tenant's share of the fleet partition: intact data frames implied
+    /// by its terminal outcomes. With every client done and the session
+    /// idle, `durable + shed` must cover `0..n` exactly once for exactly-once
+    /// delivery.
+    pub fn implied_intact(&self) -> u64 {
+        (self.durable.len() + self.shed.len() + self.deduped + self.gap_dropped) as u64
+            + self.decode_failures as u64
+    }
+}
+
+/// Aggregated outcome of a fleet run, built by [`FleetServer::shutdown`].
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Every tenant the fleet admitted, sorted by session id.
+    pub tenants: Vec<TenantReport>,
+    /// High-water mark of concurrently resident sessions.
+    pub sessions_peak: usize,
+    /// Hellos refused at the admission gate (typed `Reject` sent).
+    pub admission_rejects: u64,
+    /// Frames shed across the fleet under overload policies.
+    pub shed_frames: u64,
+    /// Data frames dropped because no hello had bound the connection.
+    pub prehello_frames: u64,
+    /// Acks dropped by the non-blocking ack path.
+    pub ack_drops: u64,
+    /// `net.*` / `fleet.*` counters (empty without the `metrics` feature).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl FleetReport {
+    /// Look up a captured counter (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(k, _)| k == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Report for one tenant, if admitted.
+    pub fn tenant(&self, session_id: u64) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.session_id == session_id)
+    }
+
+    /// Check the fleet-wide counter partition (metrics feature only; `Ok`
+    /// when counters were not captured): every intact data frame is exactly
+    /// one of durable, deduplicated, gap-dropped, a decode failure, or shed.
+    pub fn verify_partition(&self) -> Result<(), String> {
+        if self.counters.is_empty() {
+            return Ok(());
+        }
+        let intact = self.counter("net.frames_intact");
+        let stored = self.counter("net.frames_stored");
+        let parts = stored
+            + self.counter("net.frames_deduped")
+            + self.counter("net.frames_gap_dropped")
+            + self.counter("net.decode_failures");
+        if intact != parts {
+            return Err(format!(
+                "wire partition broken: frames_intact {intact} != \
+                 stored+deduped+gap_dropped+decode_failures {parts}"
+            ));
+        }
+        // Storage partition: stored == durable + shed (shed happens after
+        // storage, so `net.frames_shed` must reconcile exactly).
+        let durable: u64 = self.tenants.iter().map(|t| t.durable.len() as u64).sum();
+        let shed: u64 = self.tenants.iter().map(|t| t.shed.len() as u64).sum();
+        if stored != durable + shed {
+            return Err(format!(
+                "storage partition broken: frames_stored {stored} != durable {durable} + shed {shed}"
+            ));
+        }
+        if shed != self.counter("net.frames_shed") {
+            return Err(format!(
+                "shed accounting broken: reported {shed} != net.frames_shed {}",
+                self.counter("net.frames_shed")
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One shard's state machine. Single-threaded by construction: the owning
+/// worker applies events in mailbox order, so per-tenant outcomes are a pure
+/// function of each tenant's byte stream regardless of shard count.
+struct FleetCore {
+    index: usize,
+    config: FleetConfig,
+    shared: Arc<FleetShared>,
+    conns: HashMap<u64, Conn>,
+    tenants: HashMap<u64, Tenant>,
+}
+
+/// Outcome of one pump step, decoupling the reader borrow from routing.
+enum Pumped {
+    Frame(WireFrame, u64),
+    Yield(u64),
+    Done(u64),
+}
+
+impl FleetCore {
+    fn new(index: usize, config: FleetConfig, shared: Arc<FleetShared>) -> FleetCore {
+        FleetCore { index, config, shared, conns: HashMap::new(), tenants: HashMap::new() }
+    }
+
+    /// Apply one event; `false` ends the shard loop.
+    fn handle_event(&mut self, event: FleetEvent) -> bool {
+        match event {
+            FleetEvent::Accept { conn, feed, ack } => {
+                let reader = FrameReader::new(ByteFeed(Arc::clone(&feed)))
+                    .with_max_payload(self.config.max_payload);
+                self.conns.insert(
+                    conn,
+                    Conn { reader, feed, ack: Some(ack), tenant: None, skip_mark: 0 },
+                );
+            }
+            FleetEvent::Data { conn } | FleetEvent::Close { conn } => self.pump(conn),
+            FleetEvent::Drain { reply } => {
+                let drained = self.drain_all();
+                let _ = reply.send(drained);
+            }
+            FleetEvent::Evict { session, reply } => {
+                let _ = reply.send(self.evict(session));
+            }
+            FleetEvent::Sync { reply } => {
+                let _ = reply.send(());
+            }
+            FleetEvent::Shutdown => return false,
+        }
+        true
+    }
+
+    /// Pump one connection's reader until the feed runs dry, the connection
+    /// ends, or its tenant pauses.
+    fn pump(&mut self, conn_id: u64) {
+        loop {
+            let step = {
+                let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+                if let Some(t) = conn.tenant {
+                    if self.tenants.get(&t).is_some_and(|t| t.paused) {
+                        return;
+                    }
+                }
+                match conn.reader.next_frame() {
+                    Ok((wire, _)) => {
+                        let total = conn.reader.bytes_skipped();
+                        let delta = total - conn.skip_mark;
+                        conn.skip_mark = total;
+                        Pumped::Frame(wire, delta)
+                    }
+                    Err(NetError::Io(e)) if e.kind() == io::ErrorKind::WouldBlock => {
+                        let total = conn.reader.bytes_skipped();
+                        Pumped::Yield(total)
+                    }
+                    // `Closed` or a hard error: the connection is over either
+                    // way (session state persists for a reconnect).
+                    Err(_) => {
+                        let total = conn.reader.bytes_skipped();
+                        Pumped::Done(total)
+                    }
+                }
+            };
+            match step {
+                Pumped::Frame(wire, skip_delta) => {
+                    self.account_skip(conn_id, skip_delta);
+                    self.handle_wire(conn_id, wire);
+                }
+                Pumped::Yield(total) => {
+                    self.settle_skip(conn_id, total);
+                    return;
+                }
+                Pumped::Done(total) => {
+                    self.settle_skip(conn_id, total);
+                    self.remove_conn(conn_id);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Attribute garbage consumed since the watermark, then advance it.
+    fn settle_skip(&mut self, conn_id: u64, total: u64) {
+        let delta = match self.conns.get_mut(&conn_id) {
+            Some(conn) => {
+                let delta = total - conn.skip_mark;
+                conn.skip_mark = total;
+                delta
+            }
+            None => return,
+        };
+        self.account_skip(conn_id, delta);
+    }
+
+    fn account_skip(&mut self, conn_id: u64, skipped: u64) {
+        if skipped == 0 {
+            return;
+        }
+        let tenant = self.conns.get(&conn_id).and_then(|c| c.tenant);
+        match tenant.and_then(|t| self.tenants.get_mut(&t)) {
+            Some(tenant) => tenant.server.record_resync(skipped),
+            None => {
+                // Garbage on an unbound connection is the fleet's to count.
+                self.shared.incr("net.resyncs", 1);
+                self.shared.incr("net.bytes_skipped", skipped);
+            }
+        }
+    }
+
+    /// Route one parsed frame: hellos bind/admit, data frames go to the
+    /// bound tenant's session state machine, then budgets are enforced.
+    fn handle_wire(&mut self, conn_id: u64, wire: WireFrame) {
+        #[cfg(feature = "metrics")]
+        let t0 = Instant::now();
+        if let Some(control) = Control::from_frame(&wire) {
+            match control {
+                Control::Hello { session_id, .. } => self.handle_hello(conn_id, session_id, wire),
+                // Client-bound control arriving here is noise; ignore.
+                Control::Ack { .. } | Control::Reject { .. } => {}
+            }
+        } else {
+            match self.conns.get(&conn_id).and_then(|c| c.tenant) {
+                None => {
+                    // Data before any hello: the fleet speaks sessions only.
+                    self.shared.prehello_frames.fetch_add(1, Ordering::Relaxed);
+                    self.shared.incr("fleet.prehello_frames", 1);
+                }
+                Some(sid) => self.handle_data(conn_id, sid, wire),
+            }
+        }
+        #[cfg(feature = "metrics")]
+        self.shared.collector.record("fleet.frame_handle_us", t0.elapsed().as_micros() as u64);
+    }
+
+    fn handle_hello(&mut self, conn_id: u64, session_id: u64, wire: WireFrame) {
+        if self.config.shard_of(session_id) != self.index {
+            // The driver registered this connection on the wrong shard; a
+            // session split across shards would break dedup, so refuse.
+            self.reject(conn_id, session_id, REJECT_WRONG_SHARD);
+            return;
+        }
+        if !self.tenants.contains_key(&session_id) {
+            if !self.shared.try_admit(self.config.max_sessions) {
+                self.shared.admission_rejects.fetch_add(1, Ordering::Relaxed);
+                self.shared.incr("fleet.admission_rejects", 1);
+                self.reject(conn_id, session_id, REJECT_FLEET_FULL);
+                return;
+            }
+            let server = SessionServer::new(self.config.decompress);
+            #[cfg(feature = "metrics")]
+            let server = server.with_metrics(&self.shared.collector);
+            self.tenants.insert(
+                session_id,
+                Tenant {
+                    server,
+                    resident_bytes: 0,
+                    drained_seqs: Vec::new(),
+                    shed_seqs: Vec::new(),
+                    paused: false,
+                    decim: 0,
+                },
+            );
+        }
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        conn.tenant = Some(session_id);
+        let tenant = self.tenants.get_mut(&session_id).expect("tenant just ensured");
+        // The session machine handles the hello itself (reconnect counters,
+        // ahead-of-cursor gap records) and sends the handshake ack.
+        let _ = tenant.server.handle_frame(wire, &mut conn.ack);
+    }
+
+    fn handle_data(&mut self, conn_id: u64, session_id: u64, wire: WireFrame) {
+        let payload_len = wire.payload.len() as u64;
+        let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+        let Some(tenant) = self.tenants.get_mut(&session_id) else { return };
+        let stored = tenant.server.handle_frame(wire, &mut conn.ack).unwrap_or(false);
+        if stored {
+            tenant.resident_bytes += payload_len;
+            self.shared.fleet_bytes.fetch_add(payload_len, Ordering::SeqCst);
+            self.enforce_budgets(session_id);
+        }
+    }
+
+    /// Post-store budget check (high-watermark: budgets may overshoot by the
+    /// one frame that triggered the check). The frame is already stored and
+    /// acknowledged, so every policy below preserves session liveness.
+    fn enforce_budgets(&mut self, session_id: u64) {
+        let cap_frames = self.config.max_tenant_frames;
+        let cap_bytes = self.config.max_fleet_bytes;
+        let policy = self.config.policy;
+        let global = self.shared.fleet_bytes.load(Ordering::SeqCst);
+        let sessions = self.shared.sessions.load(Ordering::SeqCst).max(1) as u64;
+        let Some(tenant) = self.tenants.get_mut(&session_id) else { return };
+        let over_tenant = cap_frames > 0 && tenant.server.frames().len() > cap_frames;
+        let over_global = cap_bytes > 0 && global > cap_bytes;
+        match policy {
+            OverloadPolicy::Block => {
+                if over_tenant || over_global {
+                    tenant.paused = true;
+                }
+            }
+            OverloadPolicy::DropOldest => {
+                // Charge the tenant that stored: shed its oldest undrained
+                // frames until it fits (per-tenant cap) and, under global
+                // pressure, give back what it just added.
+                while cap_frames > 0 && tenant.server.frames().len() > cap_frames {
+                    if !Self::shed_one(&self.shared, tenant, true) {
+                        break;
+                    }
+                }
+                if over_global {
+                    Self::shed_one(&self.shared, tenant, true);
+                }
+            }
+            OverloadPolicy::Degrade => {
+                // Halve the over-budget tenant's temporal resolution: shed
+                // every other newly stored frame while pressure lasts. Fair
+                // share divides the global budget across live sessions.
+                let fair = if cap_bytes > 0 { cap_bytes / sessions } else { u64::MAX };
+                if over_tenant || (over_global && tenant.resident_bytes > fair) {
+                    tenant.decim += 1;
+                    if tenant.decim % 2 == 1 {
+                        Self::shed_one(&self.shared, tenant, false);
+                    }
+                } else {
+                    tenant.decim = 0;
+                }
+            }
+        }
+    }
+
+    /// Shed one stored frame from `tenant`; `true` if a frame was removed.
+    fn shed_one(shared: &FleetShared, tenant: &mut Tenant, oldest: bool) -> bool {
+        let Some(frame) = tenant.server.shed_stored(oldest) else { return false };
+        tenant.resident_bytes = tenant.resident_bytes.saturating_sub(frame.bytes.len() as u64);
+        shared.fleet_bytes.fetch_sub(frame.bytes.len() as u64, Ordering::SeqCst);
+        shared.shed_frames.fetch_add(1, Ordering::Relaxed);
+        shared.incr("fleet.shed_frames", 1);
+        tenant.shed_seqs.push(frame.sequence);
+        true
+    }
+
+    /// Send a typed refusal and drop the connection.
+    fn reject(&mut self, conn_id: u64, session_id: u64, code: u32) {
+        if let Some(conn) = self.conns.get_mut(&conn_id) {
+            if let Some(ack) = conn.ack.as_mut() {
+                let _ = write_frame(ack, &Control::Reject { session_id, code }.to_frame());
+            }
+        }
+        self.remove_conn(conn_id);
+    }
+
+    fn remove_conn(&mut self, conn_id: u64) {
+        if let Some(conn) = self.conns.remove(&conn_id) {
+            if let Ok(mut feed) = conn.feed.lock() {
+                feed.server_closed = true;
+            }
+            // Dropping `conn.ack` disconnects the client's ack pump.
+        }
+    }
+
+    /// Drain every tenant's stored frames (sorted by session id for
+    /// deterministic output), lift pauses, and re-pump parked connections.
+    fn drain_all(&mut self) -> Vec<(u64, Vec<StoredFrame>)> {
+        let mut sids: Vec<u64> = self.tenants.keys().copied().collect();
+        sids.sort_unstable();
+        let mut out = Vec::with_capacity(sids.len());
+        for sid in sids {
+            let tenant = self.tenants.get_mut(&sid).expect("listed tenant");
+            let frames = tenant.server.drain_frames();
+            tenant.drained_seqs.extend(frames.iter().map(|f| f.sequence));
+            self.shared.fleet_bytes.fetch_sub(tenant.resident_bytes, Ordering::SeqCst);
+            tenant.resident_bytes = 0;
+            tenant.paused = false;
+            self.shared.incr("fleet.frames_drained", frames.len() as u64);
+            out.push((sid, frames));
+        }
+        // Parked feeds hold bytes with no pending wakeup event; pump now.
+        let mut conn_ids: Vec<u64> = self.conns.keys().copied().collect();
+        conn_ids.sort_unstable();
+        for id in conn_ids {
+            self.pump(id);
+        }
+        out
+    }
+
+    fn evict(&mut self, session_id: u64) -> Option<Vec<StoredFrame>> {
+        let tenant = self.tenants.remove(&session_id)?;
+        self.shared.fleet_bytes.fetch_sub(tenant.resident_bytes, Ordering::SeqCst);
+        self.shared.release_session();
+        // Refuse the tenant's live connections so their clients stop cleanly.
+        let bound: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.tenant == Some(session_id))
+            .map(|(id, _)| *id)
+            .collect();
+        for conn_id in bound {
+            self.reject(conn_id, session_id, REJECT_FLEET_FULL);
+        }
+        Some(tenant.server.into_frames())
+    }
+
+    /// Fold this shard's tenants into shutdown reports.
+    fn into_reports(self) -> Vec<TenantReport> {
+        let mut out = Vec::with_capacity(self.tenants.len());
+        for (sid, tenant) in self.tenants {
+            let (mut deduped, mut gap_dropped) = (0usize, 0usize);
+            for a in tenant.server.anomalies() {
+                match a.kind {
+                    AnomalyKind::Duplicate => deduped += 1,
+                    AnomalyKind::Gap => gap_dropped += 1,
+                }
+            }
+            let decode_failures =
+                tenant.server.dropped().iter().filter(|d| d.bytes_skipped == 0).count();
+            let resyncs = tenant.server.dropped().iter().filter(|d| d.bytes_skipped > 0).count();
+            let mut durable = tenant.drained_seqs;
+            let resident_frames = tenant.server.into_frames();
+            durable.extend(resident_frames.iter().map(|f| f.sequence));
+            out.push(TenantReport {
+                session_id: sid,
+                durable,
+                resident_frames,
+                shed: tenant.shed_seqs,
+                deduped,
+                gap_dropped,
+                decode_failures,
+                resyncs,
+            });
+        }
+        out
+    }
+}
+
+/// Cloneable handle for connecting clients and driving a running fleet.
+#[derive(Clone)]
+pub struct FleetHandle {
+    config: FleetConfig,
+    txs: Arc<Vec<SyncSender<FleetEvent>>>,
+    shared: Arc<FleetShared>,
+    next_conn: Arc<AtomicU64>,
+}
+
+impl FleetHandle {
+    /// Open an in-process connection for `session_id`. The id routes the
+    /// connection to its owning shard, so the eventual hello **must** carry
+    /// the same id (a mismatch is refused with
+    /// [`REJECT_WRONG_SHARD`]).
+    ///
+    /// Returns the write half (data frames in) and the read half (acks and
+    /// rejects out) — exactly the pair [`crate::session::Connect`] wants.
+    pub fn connect(&self, session_id: u64) -> io::Result<(FleetConnTx, AckReceiver)> {
+        let shard = self.config.shard_of(session_id);
+        let conn = self.next_conn.fetch_add(1, Ordering::Relaxed);
+        let feed = Arc::new(Mutex::new(FeedShared::default()));
+        let (ack_tx, ack_rx) = sync_channel::<Vec<u8>>(64);
+        let ack = AckSender { tx: ack_tx, buf: Vec::new(), shared: Arc::clone(&self.shared) };
+        self.txs[shard]
+            .send(FleetEvent::Accept { conn, feed: Arc::clone(&feed), ack })
+            .map_err(|_| io::Error::new(io::ErrorKind::ConnectionRefused, "fleet shut down"))?;
+        let tx = FleetConnTx {
+            conn,
+            shard_tx: self.txs[shard].clone(),
+            feed,
+            feed_cap: self.config.feed_cap,
+            write_stall: self.config.write_stall,
+        };
+        Ok((tx, AckReceiver { rx: ack_rx, cur: Vec::new(), pos: 0 }))
+    }
+
+    /// Take every tenant's stored frames — the archival hand-off (feed them
+    /// to `dbgc-store`'s `FrameStore::archive_session`). Unpauses
+    /// `Block`-policy tenants. Sorted by session id.
+    pub fn drain(&self) -> Vec<(u64, Vec<StoredFrame>)> {
+        let mut out = Vec::new();
+        for tx in self.txs.iter() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx.send(FleetEvent::Drain { reply: reply_tx }).is_ok() {
+                if let Ok(mut part) = reply_rx.recv() {
+                    out.append(&mut part);
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(sid, _)| *sid);
+        out
+    }
+
+    /// Retire `session_id`, freeing its admission slot and refusing its live
+    /// connections; returns its undrained frames if it existed.
+    pub fn evict(&self, session_id: u64) -> Option<Vec<StoredFrame>> {
+        let shard = self.config.shard_of(session_id);
+        let (reply_tx, reply_rx) = sync_channel(1);
+        self.txs[shard].send(FleetEvent::Evict { session: session_id, reply: reply_tx }).ok()?;
+        reply_rx.recv().ok().flatten()
+    }
+
+    /// Barrier: returns once every shard has applied all events queued
+    /// before this call. Lets tests observe a settled fleet.
+    pub fn sync(&self) {
+        for tx in self.txs.iter() {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx.send(FleetEvent::Sync { reply: reply_tx }).is_ok() {
+                let _ = reply_rx.recv();
+            }
+        }
+    }
+
+    /// Sessions currently resident across the fleet.
+    pub fn sessions_active(&self) -> usize {
+        self.shared.sessions.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of concurrently resident sessions.
+    pub fn sessions_peak(&self) -> usize {
+        self.shared.sessions_peak.load(Ordering::SeqCst)
+    }
+
+    /// Hellos refused at the admission gate so far.
+    pub fn admission_rejects(&self) -> u64 {
+        self.shared.admission_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The fleet's metrics collector (`fleet.*` gauges/counters plus every
+    /// tenant's `net.*` counters).
+    #[cfg(feature = "metrics")]
+    pub fn metrics(&self) -> &dbgc_metrics::Collector {
+        &self.shared.collector
+    }
+}
+
+/// A running fleet: shard workers plus the [`FleetHandle`] to reach them.
+pub struct FleetServer {
+    handle: FleetHandle,
+    workers: Vec<std::thread::JoinHandle<FleetCore>>,
+}
+
+impl FleetServer {
+    /// Start `config.shards` event-loop workers.
+    pub fn spawn(config: FleetConfig) -> FleetServer {
+        let shared = Arc::new(FleetShared::new());
+        let mut txs = Vec::with_capacity(config.shards.max(1));
+        let mut workers = Vec::with_capacity(config.shards.max(1));
+        for index in 0..config.shards.max(1) {
+            let (tx, rx) = sync_channel::<FleetEvent>(config.event_queue.max(1));
+            txs.push(tx);
+            let mut core = FleetCore::new(index, config.clone(), Arc::clone(&shared));
+            let worker = std::thread::Builder::new()
+                .name(format!("dbgc-fleet-{index}"))
+                .spawn(move || {
+                    while let Ok(event) = rx.recv() {
+                        if !core.handle_event(event) {
+                            break;
+                        }
+                    }
+                    core
+                })
+                .expect("spawn fleet shard");
+            workers.push(worker);
+        }
+        let handle = FleetHandle {
+            config,
+            txs: Arc::new(txs),
+            shared,
+            next_conn: Arc::new(AtomicU64::new(0)),
+        };
+        FleetServer { handle, workers }
+    }
+
+    /// A handle for connecting clients and draining the archive path.
+    pub fn handle(&self) -> FleetHandle {
+        self.handle.clone()
+    }
+
+    /// Stop every shard and fold their state into a [`FleetReport`]. Live
+    /// in-process connections see `BrokenPipe` on their next write.
+    pub fn shutdown(self) -> FleetReport {
+        for tx in self.handle.txs.iter() {
+            let _ = tx.send(FleetEvent::Shutdown);
+        }
+        let mut tenants = Vec::new();
+        for worker in self.workers {
+            tenants.extend(worker.join().expect("fleet shard panicked").into_reports());
+        }
+        tenants.sort_unstable_by_key(|t| t.session_id);
+        let shared = &self.handle.shared;
+        #[cfg(feature = "metrics")]
+        let counters: Vec<(String, u64)> =
+            shared.collector.snapshot().counters.into_iter().collect();
+        #[cfg(not(feature = "metrics"))]
+        let counters: Vec<(String, u64)> = Vec::new();
+        FleetReport {
+            tenants,
+            sessions_peak: shared.sessions_peak.load(Ordering::SeqCst),
+            admission_rejects: shared.admission_rejects.load(Ordering::Relaxed),
+            shed_frames: shared.shed_frames.load(Ordering::Relaxed),
+            prehello_frames: shared.prehello_frames.load(Ordering::Relaxed),
+            ack_drops: shared.ack_drops.load(Ordering::Relaxed),
+            counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{ResilientClient, SessionConfig};
+
+    fn fast_client(
+        handle: &FleetHandle,
+        session_id: u64,
+    ) -> ResilientClient<impl crate::session::Connect<Tx = FleetConnTx, Rx = AckReceiver>> {
+        let h = handle.clone();
+        let connector = move || h.connect(session_id);
+        ResilientClient::new(connector, SessionConfig::fast_test(session_id))
+    }
+
+    #[test]
+    fn two_tenants_deliver_in_order() {
+        let fleet = FleetServer::spawn(FleetConfig::new(8));
+        let handle = fleet.handle();
+        let mut threads = Vec::new();
+        for sid in [3u64, 4] {
+            let handle = handle.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut client = fast_client(&handle, sid);
+                for i in 0..6u8 {
+                    client.send_payload(vec![sid as u8 ^ i; 64]).unwrap();
+                }
+                client.finish().unwrap()
+            }));
+        }
+        for t in threads {
+            t.join().unwrap();
+        }
+        let report = fleet.shutdown();
+        assert_eq!(report.tenants.len(), 2);
+        for t in &report.tenants {
+            assert_eq!(t.durable, (0..6).collect::<Vec<u32>>(), "tenant {}", t.session_id);
+            assert!(t.shed.is_empty());
+        }
+        assert_eq!(report.sessions_peak, 2);
+        assert_eq!(report.admission_rejects, 0);
+        report.verify_partition().unwrap();
+    }
+
+    #[test]
+    fn admission_cap_rejects_with_typed_error() {
+        let fleet = FleetServer::spawn(FleetConfig::new(1));
+        let handle = fleet.handle();
+        let mut first = fast_client(&handle, 10);
+        first.send_payload(vec![1; 32]).unwrap();
+        // Second tenant: the cap is 1, so the hello must be refused with the
+        // typed error, promptly (no hang, no retry storm).
+        let mut second = fast_client(&handle, 11);
+        match second.send_payload(vec![2; 32]) {
+            Err(NetError::Rejected { code }) => assert_eq!(code, REJECT_FLEET_FULL),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+        first.finish().unwrap();
+        let report = fleet.shutdown();
+        assert_eq!(report.admission_rejects, 1);
+        assert_eq!(report.sessions_peak, 1);
+        assert!(report.tenant(11).is_none());
+    }
+
+    #[test]
+    fn eviction_frees_the_slot() {
+        let fleet = FleetServer::spawn(FleetConfig::new(1));
+        let handle = fleet.handle();
+        let mut a = fast_client(&handle, 20);
+        a.send_payload(vec![1; 16]).unwrap();
+        a.finish().unwrap();
+        let frames = handle.evict(20).expect("tenant existed");
+        assert_eq!(frames.len(), 1);
+        assert_eq!(handle.sessions_active(), 0);
+        // The slot is free again.
+        let mut b = fast_client(&handle, 21);
+        b.send_payload(vec![2; 16]).unwrap();
+        b.finish().unwrap();
+        let report = fleet.shutdown();
+        assert_eq!(report.sessions_peak, 1);
+        assert!(report.tenant(21).is_some());
+    }
+
+    #[test]
+    fn drain_hands_frames_over_and_resumes_blocked_tenant() {
+        let mut config = FleetConfig::new(4);
+        config.max_tenant_frames = 2;
+        config.policy = OverloadPolicy::Block;
+        let fleet = FleetServer::spawn(config);
+        let handle = fleet.handle();
+        let sender = {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let mut client = fast_client(&handle, 30);
+                for i in 0..10u8 {
+                    client.send_payload(vec![i; 128]).unwrap();
+                }
+                client.finish().unwrap()
+            })
+        };
+        // Drain until the client is done; Block parks it between drains.
+        let mut drained = Vec::new();
+        while !sender.is_finished() {
+            for (_sid, frames) in handle.drain() {
+                drained.extend(frames.into_iter().map(|f| f.sequence));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sender.join().unwrap();
+        for (_sid, frames) in handle.drain() {
+            drained.extend(frames.into_iter().map(|f| f.sequence));
+        }
+        assert_eq!(drained, (0..10).collect::<Vec<u32>>(), "drains preserve order, lossless");
+        let report = fleet.shutdown();
+        assert_eq!(report.shed_frames, 0, "Block never sheds");
+        report.verify_partition().unwrap();
+    }
+
+    #[test]
+    fn drop_oldest_sheds_but_acks_everything() {
+        let mut config = FleetConfig::new(4);
+        config.max_tenant_frames = 3;
+        config.policy = OverloadPolicy::DropOldest;
+        let fleet = FleetServer::spawn(config);
+        let handle = fleet.handle();
+        let mut client = fast_client(&handle, 40);
+        for i in 0..12u8 {
+            client.send_payload(vec![i; 64]).unwrap();
+        }
+        client.finish().unwrap();
+        let report = fleet.shutdown();
+        let t = report.tenant(40).expect("tenant admitted");
+        assert!(report.shed_frames > 0, "cap 3 with 12 frames must shed");
+        // Exactly-once across outcomes: durable + shed covers 0..12 exactly.
+        let mut all: Vec<u32> = t.durable.iter().chain(t.shed.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..12).collect::<Vec<u32>>());
+        report.verify_partition().unwrap();
+    }
+
+    #[test]
+    fn degrade_decimates_over_budget_tenant() {
+        let mut config = FleetConfig::new(4);
+        config.max_tenant_frames = 2;
+        config.policy = OverloadPolicy::Degrade;
+        let fleet = FleetServer::spawn(config);
+        let handle = fleet.handle();
+        let mut client = fast_client(&handle, 50);
+        for i in 0..16u8 {
+            client.send_payload(vec![i; 64]).unwrap();
+        }
+        client.finish().unwrap();
+        let report = fleet.shutdown();
+        let t = report.tenant(50).expect("tenant admitted");
+        assert!(!t.shed.is_empty(), "decimation sheds under sustained pressure");
+        assert!(t.durable.len() >= 2, "degrade keeps frames flowing");
+        let mut all: Vec<u32> = t.durable.iter().chain(t.shed.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<u32>>());
+        report.verify_partition().unwrap();
+    }
+
+    #[test]
+    fn prehello_data_is_dropped_and_counted() {
+        let fleet = FleetServer::spawn(FleetConfig::new(2));
+        let handle = fleet.handle();
+        let (mut tx, _rx) = handle.connect(60).unwrap();
+        write_frame(&mut tx, &WireFrame { sequence: 0, payload: vec![1; 32] }).unwrap();
+        handle.sync();
+        drop(tx);
+        let report = fleet.shutdown();
+        assert_eq!(report.prehello_frames, 1);
+        assert!(report.tenants.is_empty());
+    }
+
+    #[test]
+    fn wrong_shard_hello_is_refused() {
+        let mut config = FleetConfig::new(8);
+        config.shards = 4;
+        let fleet = FleetServer::spawn(config.clone());
+        let handle = fleet.handle();
+        // Register under id 70, then hello as an id owned by another shard.
+        let other = (0..64u64)
+            .find(|id| config.shard_of(*id) != config.shard_of(70))
+            .expect("4 shards must split ids");
+        let (mut tx, ack_rx) = handle.connect(70).unwrap();
+        write_frame(&mut tx, &Control::Hello { session_id: other, last_acked: 0 }.to_frame())
+            .unwrap();
+        let mut reader = FrameReader::new(ack_rx);
+        let (frame, _) = reader.next_frame().unwrap();
+        match Control::from_frame(&frame) {
+            Some(Control::Reject { session_id, code }) => {
+                assert_eq!(session_id, other);
+                assert_eq!(code, REJECT_WRONG_SHARD);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        drop(tx);
+        fleet.shutdown();
+    }
+
+    #[test]
+    fn corrupt_bytes_on_a_connection_resync_per_tenant() {
+        let fleet = FleetServer::spawn(FleetConfig::new(2));
+        let handle = fleet.handle();
+        let (mut tx, ack_rx) = handle.connect(80).unwrap();
+        write_frame(&mut tx, &Control::Hello { session_id: 80, last_acked: 0 }.to_frame()).unwrap();
+        write_frame(&mut tx, &WireFrame { sequence: 0, payload: vec![7; 64] }).unwrap();
+        tx.write_all(&[0xEE; 37]).unwrap(); // garbage between frames
+        write_frame(&mut tx, &WireFrame { sequence: 1, payload: vec![8; 64] }).unwrap();
+        handle.sync();
+        drop(tx);
+        drop(ack_rx);
+        let report = fleet.shutdown();
+        let t = report.tenant(80).expect("tenant admitted");
+        assert_eq!(t.durable, vec![0, 1], "frames on both sides of the garbage stored");
+        assert_eq!(t.resyncs, 1);
+        report.verify_partition().unwrap();
+    }
+}

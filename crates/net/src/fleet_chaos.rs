@@ -1,0 +1,397 @@
+//! The fleet-scale chaos harness: N resilient clients over seeded faulty
+//! links into **one** [`FleetServer`], replayable from a single seed.
+//!
+//! [`run_fleet_chaos`] derives one sub-seed per tenant (payloads, fault
+//! schedule, and backoff jitter are all functions of it), drives every
+//! client on its own thread, optionally drains the archive path on a cadence
+//! while the storm runs, and folds the shutdown [`FleetReport`] plus every
+//! drained frame into a [`FleetChaosReport`].
+//!
+//! The fleet-wide invariant ([`FleetChaosReport::verify`]) extends the
+//! single-client chaos contract to many tenants under load shedding: for
+//! every tenant, `durable ∪ shed` covers `0..frames` **exactly once**,
+//! durable sequences are strictly in order with byte-intact payloads, and
+//! the shared counters partition twice — on the wire as `frames_intact ==
+//! stored + deduped + gap_dropped + decode_failures`, in storage as
+//! `stored == durable + shed` — which together give the headline identity
+//! `frames_intact == durable + deduped + gap_dropped + decode_failures + shed`.
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::fault::{FaultProfile, FaultSchedule, FaultyLink, SplitMix64};
+use crate::fleet::{FleetConfig, FleetConnTx, FleetReport, FleetServer};
+use crate::pipeline::OverloadPolicy;
+use crate::protocol::NetError;
+use crate::retry::RetryPolicy;
+use crate::server::StoredFrame;
+use crate::session::{ResilientClient, SessionConfig, SessionStats};
+
+pub use crate::chaos::chaos_payload;
+
+/// Parameters of one fleet-chaos run. Everything observable is a function of
+/// `seed` and the shape fields.
+#[derive(Debug, Clone)]
+pub struct FleetChaosConfig {
+    /// Master seed; per-tenant sub-seeds, schedules, and payloads derive
+    /// from it.
+    pub seed: u64,
+    /// Concurrent sensor sessions to drive.
+    pub tenants: usize,
+    /// Data frames each tenant sends.
+    pub frames_per_tenant: usize,
+    /// Bytes per synthetic payload.
+    pub payload_len: usize,
+    /// Fleet event-loop shards.
+    pub shards: usize,
+    /// Fault intensity of every tenant's link.
+    pub profile: FaultProfile,
+    /// Ack-progress deadline before a client reconnects.
+    pub send_timeout: Duration,
+    /// Client retry/backoff policy.
+    pub retry: RetryPolicy,
+    /// Per-tenant undrained-frame cap handed to the fleet (0 = unbounded).
+    pub max_tenant_frames: usize,
+    /// Global undrained-byte budget handed to the fleet (0 = unbounded).
+    pub max_fleet_bytes: u64,
+    /// Fleet overload policy under those budgets.
+    pub policy: OverloadPolicy,
+    /// Drain the archive path on this cadence while clients run (required
+    /// for `Block`-policy runs with caps, where only a drain un-pauses).
+    pub drain_period: Option<Duration>,
+}
+
+impl FleetChaosConfig {
+    /// Standard smoke shape: 4 tenants × 8 frames over lossy-4G links into
+    /// a 2-shard fleet, no shedding budgets.
+    pub fn smoke(seed: u64) -> FleetChaosConfig {
+        FleetChaosConfig {
+            seed,
+            tenants: 4,
+            frames_per_tenant: 8,
+            payload_len: 256,
+            shards: 2,
+            profile: FaultProfile::lossy_4g(),
+            send_timeout: Duration::from_millis(200),
+            retry: RetryPolicy::fast_test(),
+            max_tenant_frames: 0,
+            max_fleet_bytes: 0,
+            policy: OverloadPolicy::Block,
+            drain_period: None,
+        }
+    }
+
+    /// Tight budgets: per-tenant cap of 3 undrained frames under
+    /// `DropOldest`, so load shedding runs *during* the fault storm and the
+    /// `durable + shed` partition is exercised, not just satisfied trivially.
+    pub fn shedding(seed: u64) -> FleetChaosConfig {
+        FleetChaosConfig {
+            max_tenant_frames: 3,
+            policy: OverloadPolicy::DropOldest,
+            frames_per_tenant: 12,
+            tenants: 3,
+            ..FleetChaosConfig::smoke(seed)
+        }
+    }
+
+    /// Clean links (no faults): the shape used by the determinism test,
+    /// where per-tenant outcomes must be identical across shard counts.
+    pub fn clean(seed: u64) -> FleetChaosConfig {
+        FleetChaosConfig { profile: FaultProfile::clean(), ..FleetChaosConfig::smoke(seed) }
+    }
+
+    /// The per-tenant identities and sub-seeds this config derives: session
+    /// ids are index-tagged (collision-free by construction) yet hash-spread
+    /// across shards.
+    pub fn tenant_plan(&self) -> Vec<(u64, u64)> {
+        let mut rng = SplitMix64(self.seed ^ 0xF1EE_7000_0000_0000);
+        (0..self.tenants as u64)
+            .map(|index| {
+                let sub_seed = rng.next();
+                ((index << 32) | (sub_seed & 0xFFFF_FFFF), sub_seed)
+            })
+            .collect()
+    }
+
+    /// The fleet configuration this run drives.
+    pub fn fleet_config(&self) -> FleetConfig {
+        let mut fleet = FleetConfig::new(self.tenants.max(1));
+        fleet.shards = self.shards.max(1);
+        fleet.max_tenant_frames = self.max_tenant_frames;
+        fleet.max_fleet_bytes = self.max_fleet_bytes;
+        fleet.policy = self.policy;
+        fleet
+    }
+
+    fn schedule_for(&self, sub_seed: u64) -> FaultSchedule {
+        // Faults spread over one clean transmission of the tenant's stream
+        // (headers + hello slack); retransmitted bytes past that run clean.
+        let stream_len = (self.frames_per_tenant * (self.payload_len + 20) + 128) as u64;
+        FaultSchedule::generate(sub_seed, &self.profile, stream_len)
+    }
+}
+
+/// One tenant's client-side outcome.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant's session id (see [`FleetChaosConfig::tenant_plan`]).
+    pub session_id: u64,
+    /// The tenant's sub-seed (drives its payloads and schedule).
+    pub sub_seed: u64,
+    /// Session stats, or the typed error the client gave up with.
+    pub client: Result<SessionStats, String>,
+    /// Fault events the tenant's schedule actually applied.
+    pub faults_applied: u64,
+}
+
+/// What one fleet-chaos run did; see [`FleetChaosReport::verify`].
+#[derive(Debug)]
+pub struct FleetChaosReport {
+    /// The driving master seed.
+    pub seed: u64,
+    /// Frames each tenant attempted to deliver.
+    pub frames_per_tenant: usize,
+    /// Payload size the run used (needed to recheck bytes).
+    pub payload_len: usize,
+    /// Per-tenant client outcomes, in tenant-plan order.
+    pub outcomes: Vec<TenantOutcome>,
+    /// Frames handed over by mid-run drains, per session id.
+    pub drained: Vec<(u64, Vec<StoredFrame>)>,
+    /// The fleet's shutdown report (per-tenant durable/shed, counters).
+    pub fleet: FleetReport,
+}
+
+impl FleetChaosReport {
+    /// Check the fleet-wide exactly-once invariant; `Err` names the first
+    /// violation (prefixed with the offending seed for replay).
+    pub fn verify(&self) -> Result<(), String> {
+        let frames = self.frames_per_tenant as u32;
+        for outcome in &self.outcomes {
+            let sid = outcome.session_id;
+            if let Err(e) = &outcome.client {
+                return Err(format!("seed {}: tenant {sid} client failed: {e}", self.seed));
+            }
+            let tenant = self
+                .fleet
+                .tenant(sid)
+                .ok_or_else(|| format!("seed {}: tenant {sid} missing from fleet", self.seed))?;
+            if !tenant.durable.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!(
+                    "seed {}: tenant {sid} durable {:?} is not strictly in order",
+                    self.seed, tenant.durable
+                ));
+            }
+            let mut all: Vec<u32> =
+                tenant.durable.iter().chain(tenant.shed.iter()).copied().collect();
+            all.sort_unstable();
+            if all != (0..frames).collect::<Vec<u32>>() {
+                return Err(format!(
+                    "seed {}: tenant {sid} durable∪shed {:?} != 0..{frames} exactly once \
+                     (durable {:?}, shed {:?})",
+                    self.seed, all, tenant.durable, tenant.shed
+                ));
+            }
+            for frame in &tenant.resident_frames {
+                let want =
+                    chaos_payload(outcome.sub_seed, frame.sequence as usize, self.payload_len);
+                if frame.bytes != want {
+                    return Err(format!(
+                        "seed {}: tenant {sid} frame {} bytes differ from what was sent",
+                        self.seed, frame.sequence
+                    ));
+                }
+            }
+        }
+        for (sid, frames) in &self.drained {
+            let Some(outcome) = self.outcomes.iter().find(|o| o.session_id == *sid) else {
+                return Err(format!("seed {}: drained frames for unknown tenant {sid}", self.seed));
+            };
+            for frame in frames {
+                let want =
+                    chaos_payload(outcome.sub_seed, frame.sequence as usize, self.payload_len);
+                if frame.bytes != want {
+                    return Err(format!(
+                        "seed {}: tenant {sid} drained frame {} bytes differ",
+                        self.seed, frame.sequence
+                    ));
+                }
+            }
+        }
+        if self.fleet.tenants.len() != self.outcomes.len() {
+            return Err(format!(
+                "seed {}: fleet saw {} tenants, run drove {}",
+                self.seed,
+                self.fleet.tenants.len(),
+                self.outcomes.len()
+            ));
+        }
+        if self.fleet.admission_rejects != 0 {
+            return Err(format!(
+                "seed {}: {} admission rejects with cap == tenant count",
+                self.seed, self.fleet.admission_rejects
+            ));
+        }
+        self.fleet.verify_partition().map_err(|e| format!("seed {}: {e}", self.seed))
+    }
+
+    /// One-line human summary for recovery reports.
+    pub fn summary(&self) -> String {
+        let durable: usize = self.fleet.tenants.iter().map(|t| t.durable.len()).sum();
+        let shed: usize = self.fleet.tenants.iter().map(|t| t.shed.len()).sum();
+        let faults: u64 = self.outcomes.iter().map(|o| o.faults_applied).sum();
+        let failed = self.outcomes.iter().filter(|o| o.client.is_err()).count();
+        format!(
+            "seed {}: {} tenants × {} frames — {durable} durable, {shed} shed, \
+             {faults} faults applied, {} client failures, peak sessions {}",
+            self.seed,
+            self.outcomes.len(),
+            self.frames_per_tenant,
+            failed,
+            self.fleet.sessions_peak
+        )
+    }
+}
+
+/// Drive one full fleet-chaos run: spawn the fleet, storm it with every
+/// tenant concurrently, settle, shut down, and report.
+pub fn run_fleet_chaos(config: &FleetChaosConfig) -> FleetChaosReport {
+    let fleet = FleetServer::spawn(config.fleet_config());
+    let handle = fleet.handle();
+
+    // Optional archival cadence: keeps Block-policy tenants flowing and
+    // exercises the drain hand-off under fire.
+    let stop = Arc::new(AtomicBool::new(false));
+    let drainer = config.drain_period.map(|period| {
+        let handle = handle.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut drained: Vec<(u64, Vec<StoredFrame>)> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                merge_drained(&mut drained, handle.drain());
+                std::thread::sleep(period);
+            }
+            merge_drained(&mut drained, handle.drain());
+            drained
+        })
+    });
+
+    let clients: Vec<_> = config
+        .tenant_plan()
+        .into_iter()
+        .map(|(session_id, sub_seed)| {
+            let handle = handle.clone();
+            let state = config.schedule_for(sub_seed).into_state();
+            let frames = config.frames_per_tenant;
+            let payload_len = config.payload_len;
+            let mut session = SessionConfig::fast_test(session_id);
+            session.send_timeout = config.send_timeout;
+            session.retry = config.retry;
+            session.seed = sub_seed;
+            std::thread::spawn(move || {
+                let link_state = Arc::clone(&state);
+                let connector = move || -> io::Result<(FaultyLink<FleetConnTx>, _)> {
+                    let (tx, rx) = handle.connect(session_id)?;
+                    Ok((FaultyLink::new(tx, Arc::clone(&link_state)), rx))
+                };
+                let mut client = ResilientClient::new(connector, session);
+                let mut result: Result<SessionStats, NetError> = Ok(SessionStats::default());
+                for index in 0..frames {
+                    let payload = chaos_payload(sub_seed, index, payload_len);
+                    if let Err(e) = client.send_payload(payload) {
+                        result = Err(e);
+                        break;
+                    }
+                }
+                if result.is_ok() {
+                    result = client.finish();
+                } else {
+                    drop(client);
+                }
+                let faults_applied = state.lock().expect("fault state").events_applied();
+                TenantOutcome {
+                    session_id,
+                    sub_seed,
+                    client: result.map_err(|e| e.to_string()),
+                    faults_applied,
+                }
+            })
+        })
+        .collect();
+
+    let mut outcomes: Vec<TenantOutcome> =
+        clients.into_iter().map(|t| t.join().expect("fleet-chaos client thread")).collect();
+    outcomes.sort_by_key(|o| o.session_id);
+
+    stop.store(true, Ordering::Relaxed);
+    let drained = match drainer {
+        Some(t) => t.join().expect("fleet-chaos drainer thread"),
+        None => Vec::new(),
+    };
+
+    FleetChaosReport {
+        seed: config.seed,
+        frames_per_tenant: config.frames_per_tenant,
+        payload_len: config.payload_len,
+        outcomes,
+        drained,
+        fleet: fleet.shutdown(),
+    }
+}
+
+/// Fold a drain batch into the accumulated per-tenant frame lists.
+fn merge_drained(into: &mut Vec<(u64, Vec<StoredFrame>)>, batch: Vec<(u64, Vec<StoredFrame>)>) {
+    for (sid, mut frames) in batch {
+        if frames.is_empty() {
+            continue;
+        }
+        match into.iter_mut().find(|(s, _)| *s == sid) {
+            Some((_, existing)) => existing.append(&mut frames),
+            None => into.push((sid, frames)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fleet_delivers_every_tenant() {
+        let report = run_fleet_chaos(&FleetChaosConfig::clean(7));
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        assert_eq!(report.fleet.shed_frames, 0);
+        for outcome in &report.outcomes {
+            let stats = outcome.client.as_ref().unwrap();
+            assert_eq!(stats.reconnects, 0, "clean links never reconnect");
+        }
+    }
+
+    #[test]
+    fn lossy_fleet_recovers_every_tenant() {
+        let report = run_fleet_chaos(&FleetChaosConfig::smoke(11));
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        assert!(
+            report.outcomes.iter().map(|o| o.faults_applied).sum::<u64>() > 0,
+            "schedules were not a no-op"
+        );
+    }
+
+    #[test]
+    fn shedding_fleet_keeps_the_partition() {
+        let report = run_fleet_chaos(&FleetChaosConfig::shedding(13));
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        assert!(report.fleet.shed_frames > 0, "tight budgets must shed");
+    }
+
+    #[test]
+    fn drain_cadence_hands_frames_over_mid_run() {
+        let mut config = FleetChaosConfig::clean(17);
+        config.drain_period = Some(Duration::from_millis(2));
+        let report = run_fleet_chaos(&config);
+        report.verify().unwrap_or_else(|e| panic!("{e}\n{}", report.summary()));
+        let drained: usize = report.drained.iter().map(|(_, f)| f.len()).sum();
+        assert!(drained > 0, "the drainer ran while clients were live");
+    }
+}

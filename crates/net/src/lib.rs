@@ -31,6 +31,8 @@
 pub mod chaos;
 pub mod client;
 pub mod fault;
+pub mod fleet;
+pub mod fleet_chaos;
 pub mod link;
 pub mod pipeline;
 pub mod protocol;
@@ -41,11 +43,13 @@ pub mod session;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use client::Client;
 pub use fault::{FaultEvent, FaultProfile, FaultSchedule, FaultyLink};
+pub use fleet::{FleetConfig, FleetHandle, FleetReport, FleetServer, TenantReport};
+pub use fleet_chaos::{run_fleet_chaos, FleetChaosConfig, FleetChaosReport};
 pub use link::{LinkModel, TimedReader};
 pub use pipeline::{OverloadPolicy, PipelinedCompressor};
 pub use protocol::{
     frame_checksum, read_frame, read_frame_resync, write_frame, Control, FrameReader, NetError,
-    WireFrame, DEFAULT_MAX_PAYLOAD,
+    WireFrame, DEFAULT_MAX_PAYLOAD, REJECT_FLEET_FULL, REJECT_WRONG_SHARD,
 };
 pub use retry::{Backoff, RetryPolicy};
 pub use server::{

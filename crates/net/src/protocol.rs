@@ -67,6 +67,14 @@ pub enum NetError {
         /// The terminal failure, rendered for logs.
         last_error: String,
     },
+    /// The server refused the session with a [`Control::Reject`] frame —
+    /// e.g. the fleet admission cap is reached. Terminal: retrying the same
+    /// connection will not help, so the resilient client surfaces this
+    /// immediately instead of burning its retry budget.
+    Rejected {
+        /// Machine-readable refusal code (see the `REJECT_*` constants).
+        code: u32,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -82,6 +90,14 @@ impl fmt::Display for NetError {
             NetError::Timeout => write!(f, "peer stalled past its deadline"),
             NetError::RetriesExhausted { attempts, last_error } => {
                 write!(f, "gave up after {attempts} attempts: {last_error}")
+            }
+            NetError::Rejected { code } => {
+                let why = match *code {
+                    REJECT_FLEET_FULL => "fleet admission cap reached",
+                    REJECT_WRONG_SHARD => "session routed to the wrong shard",
+                    _ => "refused by server",
+                };
+                write!(f, "session rejected (code {code}): {why}")
             }
         }
     }
@@ -128,10 +144,28 @@ pub enum Control {
         /// The next sequence the server will store.
         next_expected: u32,
     },
+    /// Server → client: the session is refused and the connection is about
+    /// to close. Sent instead of an [`Control::Ack`] in reply to a hello the
+    /// server will not serve (fleet admission cap, shard mismatch). Old
+    /// clients that predate this tag ignore it and time out; v3.1 clients
+    /// surface [`NetError::Rejected`] immediately.
+    Reject {
+        /// Session the refusal belongs to.
+        session_id: u64,
+        /// Machine-readable reason (see the `REJECT_*` constants).
+        code: u32,
+    },
 }
+
+/// [`Control::Reject`] code: the fleet's admission cap is reached.
+pub const REJECT_FLEET_FULL: u32 = 1;
+/// [`Control::Reject`] code: the session id does not belong on the shard the
+/// connection was registered with (in-process drivers must route by id).
+pub const REJECT_WRONG_SHARD: u32 = 2;
 
 const CONTROL_TAG_HELLO: u8 = 0x01;
 const CONTROL_TAG_ACK: u8 = 0x02;
+const CONTROL_TAG_REJECT: u8 = 0x03;
 
 impl Control {
     /// Encode as a control-frame payload.
@@ -148,6 +182,11 @@ impl Control {
                 out.extend_from_slice(&session_id.to_le_bytes());
                 out.extend_from_slice(&next_expected.to_le_bytes());
             }
+            Control::Reject { session_id, code } => {
+                out.push(CONTROL_TAG_REJECT);
+                out.extend_from_slice(&session_id.to_le_bytes());
+                out.extend_from_slice(&code.to_le_bytes());
+            }
         }
         out
     }
@@ -163,6 +202,7 @@ impl Control {
         match payload[0] {
             CONTROL_TAG_HELLO => Some(Control::Hello { session_id, last_acked: low }),
             CONTROL_TAG_ACK => Some(Control::Ack { session_id, next_expected: low }),
+            CONTROL_TAG_REJECT => Some(Control::Reject { session_id, code: low }),
             _ => None,
         }
     }
@@ -765,6 +805,7 @@ mod tests {
         for c in [
             Control::Hello { session_id: 0xDEAD_BEEF_0123, last_acked: 42 },
             Control::Ack { session_id: 7, next_expected: 0 },
+            Control::Reject { session_id: 11, code: REJECT_FLEET_FULL },
         ] {
             let frame = c.to_frame();
             assert_eq!(frame.sequence, CONTROL_SEQUENCE);
@@ -776,7 +817,7 @@ mod tests {
             assert_eq!(Control::from_frame(&back), Some(c));
         }
         assert_eq!(Control::decode(&[]), None);
-        assert_eq!(Control::decode(&[0x03; 13]), None);
+        assert_eq!(Control::decode(&[0x7F; 13]), None, "unknown tags stay unrecognized");
         assert_eq!(Control::decode(&[0x01; 12]), None);
         // A data frame is never mistaken for control.
         let data = WireFrame { sequence: 3, payload: vec![CONTROL_TAG_HELLO; 13] };

@@ -217,9 +217,9 @@ impl SessionServer {
                     }
                     self.send_ack(ack);
                 }
-                Control::Ack { .. } => {
-                    // Acks flow server → client; one arriving here is noise
-                    // (e.g. a fuzzed stream). Ignore.
+                Control::Ack { .. } | Control::Reject { .. } => {
+                    // Acks and rejects flow server → client; one arriving
+                    // here is noise (e.g. a fuzzed stream). Ignore.
                 }
             }
             return Ok(false);
@@ -323,6 +323,54 @@ impl SessionServer {
         Ok(true)
     }
 
+    /// Push one already-parsed wire frame into the state machine: the entry
+    /// point for event-driven callers (the fleet server) that do their own
+    /// framing instead of handing the transport over. Same semantics as the
+    /// pull path: returns `Ok(true)` when a data frame was *stored*; control
+    /// frames, duplicates, gaps and decode failures return `Ok(false)` after
+    /// updating counters and (re-)acking as needed.
+    pub fn handle_frame(
+        &mut self,
+        wire: crate::protocol::WireFrame,
+        ack: &mut Option<impl Write>,
+    ) -> Result<bool, NetError> {
+        self.process_frame(wire, ack)
+    }
+
+    /// Record a wire-level resynchronization (corrupt bytes discarded before
+    /// an intact frame). Event-driven callers that own their [`FrameReader`]
+    /// report skips here so `net.resyncs` / `net.bytes_skipped` and the
+    /// [`SessionServer::dropped`] log stay accurate.
+    pub fn record_resync(&mut self, skipped: u64) {
+        if skipped == 0 {
+            return;
+        }
+        self.incr("net.resyncs", 1);
+        self.incr("net.bytes_skipped", skipped);
+        self.incr("net.frames_dropped", 1);
+        self.dropped.push(DroppedFrame {
+            sequence: None,
+            bytes_skipped: skipped,
+            reason: format!("resynchronized past {skipped} corrupt wire bytes"),
+        });
+    }
+
+    /// Remove one stored-but-undrained frame under fleet load shedding: the
+    /// oldest (`oldest = true`, policy `DropOldest`) or the newest (degrade /
+    /// drop-newest decimation). The frame was already acknowledged — the
+    /// client moved on — so the fleet layer owns the accounting
+    /// (`fleet.shed_frames`); this only bumps `net.frames_shed` so the
+    /// store-level partition `net.frames_stored == drained + resident + shed`
+    /// stays checkable from counters alone.
+    pub fn shed_stored(&mut self, oldest: bool) -> Option<StoredFrame> {
+        if self.store.is_empty() {
+            return None;
+        }
+        let frame = if oldest { self.store.remove(0) } else { self.store.pop()? };
+        self.incr("net.frames_shed", 1);
+        Some(frame)
+    }
+
     /// Receive frames from `reader` until one is stored; `Ok(false)` on a
     /// clean end of stream. See [`Server::receive_one`].
     pub fn receive_one<R: Read>(
@@ -336,16 +384,7 @@ impl SessionServer {
                 Err(NetError::Closed) => return Ok(false),
                 Err(e) => return Err(e),
             };
-            if skipped > 0 {
-                self.incr("net.resyncs", 1);
-                self.incr("net.bytes_skipped", skipped);
-                self.incr("net.frames_dropped", 1);
-                self.dropped.push(DroppedFrame {
-                    sequence: None,
-                    bytes_skipped: skipped,
-                    reason: format!("resynchronized past {skipped} corrupt wire bytes"),
-                });
-            }
+            self.record_resync(skipped);
             if self.process_frame(wire, ack)? {
                 return Ok(true);
             }

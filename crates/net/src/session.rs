@@ -253,6 +253,13 @@ impl<C: Connect> ResilientClient<C> {
         // Handshake: the server answers every hello with its cursor.
         let deadline_err = || NetError::Timeout;
         let control = acks.recv_timeout(self.config.send_timeout).map_err(|_| deadline_err())?;
+        if let Control::Reject { session_id, code } = control {
+            if session_id == self.config.session_id {
+                // The server refused the session outright (fleet admission).
+                // Terminal: reconnecting would only be rejected again.
+                return Err(NetError::Rejected { code });
+            }
+        }
         self.tx = Some(tx);
         self.acks = Some(acks);
         self.apply_ack(control);
@@ -283,6 +290,12 @@ impl<C: Connect> ResilientClient<C> {
                     self.backoff.reset();
                     return Ok(());
                 }
+                Err(e @ NetError::Rejected { .. }) => {
+                    // A typed refusal is final — surface it without burning
+                    // the retry budget or hammering a full fleet.
+                    self.disconnect();
+                    return Err(e);
+                }
                 Err(e) => {
                     self.disconnect();
                     self.stats.retries += 1;
@@ -306,6 +319,12 @@ impl<C: Connect> ResilientClient<C> {
             return Ok(()); // not connected; caller reconnects
         };
         match acks.recv_timeout(self.config.send_timeout) {
+            Ok(Control::Reject { session_id, code }) if session_id == self.config.session_id => {
+                // Mid-session refusal (e.g. evicted by the fleet operator):
+                // terminal for the same reason as at the handshake.
+                self.disconnect();
+                Err(NetError::Rejected { code })
+            }
             Ok(control) => {
                 self.apply_ack(control);
                 Ok(())

@@ -1,0 +1,186 @@
+//! Property tests for the fleet admission controller.
+//!
+//! Two guarantees, under any interleaving of connects, disconnects, and
+//! evictions the generator can produce:
+//!
+//! 1. the number of active sessions **never** exceeds the cap — including
+//!    under genuinely concurrent racing hellos across shards (the CAS gate);
+//! 2. a refused client gets a clean typed outcome — a [`Control::Reject`]
+//!    frame on the wire, surfaced as [`NetError::Rejected`] by the resilient
+//!    client — never a hang or a reset-by-peer.
+
+use dbgc_net::fleet::{FleetConfig, FleetHandle, FleetServer};
+use dbgc_net::protocol::{write_frame, Control, FrameReader, REJECT_FLEET_FULL};
+use dbgc_net::session::{ResilientClient, SessionConfig};
+use dbgc_net::NetError;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// One scripted step against a running fleet.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Open a connection and hello as session `id`.
+    Connect(u64),
+    /// Drop the most recent live connection (the session slot stays; the
+    /// tenant's state must survive for reconnects).
+    Disconnect,
+    /// Evict session `id`, releasing its slot if it was admitted.
+    Evict(u64),
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    (0usize..4, 0u64..12).prop_map(|(kind, id)| match kind {
+        0 | 1 => Action::Connect(id), // bias toward connects: they carry the property
+        2 => Action::Disconnect,
+        _ => Action::Evict(id),
+    })
+}
+
+/// Hello as `id` over a fresh connection and wait for the server's verdict.
+/// Returns `Ok(admitted)`; panics if the server hangs up without answering
+/// (the "no hang, no reset" half of the property).
+fn hello(handle: &FleetHandle, id: u64) -> (bool, Option<(dbgc_net::fleet::FleetConnTx, u32)>) {
+    let (mut tx, rx) = handle.connect(id).expect("fleet alive");
+    write_frame(&mut tx, &Control::Hello { session_id: id, last_acked: 0 }.to_frame())
+        .expect("hello write");
+    let mut reader = FrameReader::new(rx);
+    let (frame, _) = reader.next_frame().expect("server must answer every hello");
+    match Control::from_frame(&frame) {
+        Some(Control::Ack { session_id, next_expected }) => {
+            assert_eq!(session_id, id);
+            (true, Some((tx, next_expected)))
+        }
+        Some(Control::Reject { session_id, code }) => {
+            assert_eq!(session_id, id);
+            assert_eq!(code, REJECT_FLEET_FULL, "serialized script only refuses on the cap");
+            (false, None)
+        }
+        other => panic!("hello answered with {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Serialized interleavings: after every step, active sessions ≤ cap,
+    /// and each hello's verdict matches the model exactly (admitted iff the
+    /// session is already resident or a slot is free).
+    #[test]
+    fn sessions_never_exceed_cap(
+        cap in 1usize..5,
+        shards in 1usize..4,
+        script in proptest::collection::vec(action_strategy(), 1..40),
+    ) {
+        let mut config = FleetConfig::new(cap);
+        config.shards = shards;
+        let fleet = FleetServer::spawn(config);
+        let handle = fleet.handle();
+        let mut live: Vec<dbgc_net::fleet::FleetConnTx> = Vec::new();
+        let mut resident: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for action in script {
+            match action {
+                Action::Connect(id) => {
+                    let expect_admit = resident.contains(&id) || resident.len() < cap;
+                    let (admitted, conn) = hello(&handle, id);
+                    prop_assert_eq!(admitted, expect_admit, "hello({}) verdict", id);
+                    if admitted {
+                        resident.insert(id);
+                        live.push(conn.unwrap().0);
+                    }
+                }
+                Action::Disconnect => {
+                    live.pop(); // Drop closes the connection; slot persists.
+                }
+                Action::Evict(id) => {
+                    let evicted = handle.evict(id).is_some();
+                    prop_assert_eq!(evicted, resident.remove(&id), "evict({})", id);
+                }
+            }
+            prop_assert!(handle.sessions_active() <= cap, "cap breached mid-script");
+            prop_assert_eq!(handle.sessions_active(), resident.len(), "model drift");
+        }
+        drop(live);
+        let report = fleet.shutdown();
+        prop_assert!(report.sessions_peak <= cap, "peak {} > cap {}", report.sessions_peak, cap);
+    }
+
+    /// Genuinely concurrent racing hellos: with `k` clients storming a
+    /// cap-`c` fleet at once, exactly `c` distinct sessions are admitted,
+    /// the peak never overshoots, and every refused client gets the typed
+    /// error promptly.
+    #[test]
+    fn concurrent_hellos_admit_exactly_cap(
+        cap in 1usize..6,
+        extra in 1usize..8,
+        shards in 1usize..4,
+    ) {
+        let total = cap + extra;
+        let mut config = FleetConfig::new(cap);
+        config.shards = shards;
+        let fleet = FleetServer::spawn(config);
+        let handle = fleet.handle();
+        let clients: Vec<_> = (0..total as u64)
+            .map(|id| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    let h = handle.clone();
+                    let connector = move || h.connect(id);
+                    let mut client = ResilientClient::new(connector, SessionConfig::fast_test(id));
+                    client.send_payload(vec![id as u8; 32]).map(|_| client)
+                })
+            })
+            .collect();
+        let mut admitted = 0usize;
+        for client in clients {
+            match client.join().expect("client thread") {
+                Ok(client) => {
+                    admitted += 1;
+                    client.finish().expect("admitted client completes");
+                }
+                Err(NetError::Rejected { code }) => {
+                    prop_assert_eq!(code, REJECT_FLEET_FULL);
+                }
+                Err(other) => {
+                    return Err(TestCaseError::fail(format!(
+                        "refused client saw {other:?}, not the typed Rejected error"
+                    )));
+                }
+            }
+        }
+        prop_assert_eq!(admitted, cap, "exactly the cap admitted");
+        let report = fleet.shutdown();
+        prop_assert_eq!(report.sessions_peak, cap);
+        prop_assert_eq!(report.admission_rejects as usize, extra);
+        prop_assert_eq!(report.tenants.len(), cap);
+        report.verify_partition().map_err(TestCaseError::fail)?;
+    }
+}
+
+/// A rejected `ResilientClient` fails fast — it must not burn its retry
+/// budget reconnecting into a wall, and must not hang.
+#[test]
+fn rejection_is_prompt_not_a_hang() {
+    let fleet = FleetServer::spawn(FleetConfig::new(1));
+    let handle = fleet.handle();
+    let mut first = {
+        let h = handle.clone();
+        ResilientClient::new(move || h.connect(900), SessionConfig::fast_test(900))
+    };
+    first.send_payload(vec![1; 16]).unwrap();
+    let start = std::time::Instant::now();
+    let mut second = {
+        let h = handle.clone();
+        ResilientClient::new(move || h.connect(901), SessionConfig::fast_test(901))
+    };
+    match second.send_payload(vec![2; 16]) {
+        Err(NetError::Rejected { code }) => assert_eq!(code, REJECT_FLEET_FULL),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(2),
+        "rejection took {:?} — the client retried into the wall",
+        start.elapsed()
+    );
+    first.finish().unwrap();
+    fleet.shutdown();
+}

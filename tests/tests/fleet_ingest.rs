@@ -1,0 +1,109 @@
+//! Fleet ingestion end-to-end: many sensor clients stream *real* compressed
+//! clouds into one fleet server; the drained frames feed the PR-7 archival
+//! path (`FrameStore::archive_session`) and stay queryable and
+//! roundtrip-exact per tenant.
+
+mod common;
+
+use common::{small_config, small_frame};
+use dbgc::Dbgc;
+use dbgc_lidar_sim::ScenePreset;
+use dbgc_net::fleet::{FleetConfig, FleetServer};
+use dbgc_net::session::{ResilientClient, SessionConfig};
+use dbgc_store::{FrameStore, Query};
+
+const Q: f64 = 0.02;
+
+#[test]
+fn fleet_drain_feeds_the_archive_per_tenant() {
+    let presets = [ScenePreset::KittiCity, ScenePreset::KittiRoad, ScenePreset::ApolloUrban];
+    let frames_per_tenant = 3usize;
+
+    struct TenantStream {
+        session_id: u64,
+        payloads: Vec<Vec<u8>>,
+        clouds: Vec<dbgc_geom::PointCloud>,
+        frames: Vec<dbgc::CompressedFrame>,
+    }
+
+    // Compress each tenant's stream up front (clients ship opaque bytes; the
+    // fleet stores them without decompressing, like the archival server).
+    let mut streams: Vec<TenantStream> = Vec::new();
+    for (t, preset) in presets.iter().enumerate() {
+        let session_id = 100 + t as u64;
+        let mut payloads = Vec::new();
+        let mut clouds = Vec::new();
+        let mut frames = Vec::new();
+        for k in 0..frames_per_tenant {
+            let (cloud, meta) = small_frame(*preset, 80 + (t * 10 + k) as u64);
+            let frame =
+                Dbgc::new(small_config(Q, meta).with_spatial_index(true)).compress(&cloud).unwrap();
+            payloads.push(frame.bytes.clone());
+            clouds.push(cloud);
+            frames.push(frame);
+        }
+        streams.push(TenantStream { session_id, payloads, clouds, frames });
+    }
+
+    let mut config = FleetConfig::new(presets.len());
+    config.shards = 2;
+    let fleet = FleetServer::spawn(config);
+    let handle = fleet.handle();
+
+    let clients: Vec<_> = streams
+        .iter()
+        .map(|tenant| {
+            let handle = handle.clone();
+            let session_id = tenant.session_id;
+            let payloads = tenant.payloads.clone();
+            std::thread::spawn(move || {
+                let h = handle.clone();
+                let mut client = ResilientClient::new(
+                    move || h.connect(session_id),
+                    SessionConfig::fast_test(session_id),
+                );
+                for payload in payloads {
+                    client.send_payload(payload).unwrap();
+                }
+                client.finish().unwrap()
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().unwrap();
+    }
+
+    // The archival hand-off: one FrameStore per tenant, 10 fps timestamps.
+    let (t0, period) = (1_000_000u64, 100_000u64);
+    let drained = handle.drain();
+    assert_eq!(drained.len(), presets.len(), "every tenant drains");
+    for (sid, stored) in drained {
+        let TenantStream { payloads, clouds, frames, .. } =
+            streams.iter().find(|t| t.session_id == sid).expect("drained session was one we drove");
+        assert_eq!(stored.len(), frames_per_tenant, "tenant {sid} delivered in full");
+        assert!(
+            stored.iter().map(|f| f.sequence).eq(0..frames_per_tenant as u32),
+            "tenant {sid} frames arrive in order"
+        );
+        for (got, want) in stored.iter().zip(payloads) {
+            assert_eq!(&got.bytes, want, "tenant {sid} bytes survive the fleet verbatim");
+        }
+
+        let mut store = FrameStore::new();
+        store.archive_session(stored, t0, period).unwrap();
+        assert_eq!(store.len(), frames_per_tenant);
+
+        // The archive stays queryable and decodable per tenant.
+        let q = Query::TimeRange { start_us: t0 + period, end_us: t0 + 2 * period };
+        let res = store.query(&q).unwrap();
+        assert_eq!(res.frames_pruned, 2, "tenant {sid}: only frame 1 is in-window");
+        let (restored, _) = dbgc::decompress(&store.frames()[0].bytes).unwrap();
+        dbgc::verify_roundtrip(&clouds[0], &restored, &frames[0], Q)
+            .unwrap_or_else(|e| panic!("tenant {sid} roundtrip: {e}"));
+    }
+
+    let report = fleet.shutdown();
+    assert_eq!(report.tenants.len(), presets.len());
+    assert!(report.tenants.iter().all(|t| t.resident_frames.is_empty()), "drain emptied the fleet");
+    report.verify_partition().unwrap();
+}

@@ -114,6 +114,66 @@ fn corrupt_frame_mid_stream_is_dropped_and_stream_recovers() {
 }
 
 #[test]
+fn oversized_tenant_is_shed_alone_neighbors_stay_intact() {
+    // Fleet admission × the per-connection payload guard: one tenant
+    // declares a frame far over `max_payload`. Its reader must treat the
+    // oversized frame as garbage (resync past it) without stalling the
+    // event loop, and the *other* tenants' sessions must complete
+    // untouched.
+    use dbgc_net::fleet::{FleetConfig, FleetServer};
+    use dbgc_net::session::{ResilientClient, SessionConfig};
+    use dbgc_net::{write_frame, Control, WireFrame};
+
+    let mut config = FleetConfig::new(4);
+    config.max_payload = 4096;
+    config.shards = 2;
+    let fleet = FleetServer::spawn(config);
+    let handle = fleet.handle();
+
+    // The offender: raw wire writes, because a resilient client would keep
+    // retransmitting the never-acked oversized frame.
+    let (mut bad_tx, _bad_ack) = handle.connect(3).unwrap();
+    write_frame(&mut bad_tx, &Control::Hello { session_id: 3, last_acked: 0 }.to_frame()).unwrap();
+    write_frame(&mut bad_tx, &WireFrame { sequence: 0, payload: vec![0xAB; 512] }).unwrap();
+    write_frame(&mut bad_tx, &WireFrame { sequence: 1, payload: vec![0xCD; 16 * 1024] }).unwrap();
+    write_frame(&mut bad_tx, &WireFrame { sequence: 2, payload: vec![0xEF; 512] }).unwrap();
+    handle.sync();
+
+    // Well-behaved neighbors on both shards deliver concurrently.
+    let neighbors: Vec<_> = [1u64, 2]
+        .into_iter()
+        .map(|sid| {
+            let handle = handle.clone();
+            std::thread::spawn(move || {
+                let h = handle.clone();
+                let mut client =
+                    ResilientClient::new(move || h.connect(sid), SessionConfig::fast_test(sid));
+                for i in 0..4u8 {
+                    client.send_payload(vec![i; 1024]).unwrap();
+                }
+                client.finish().unwrap()
+            })
+        })
+        .collect();
+    for t in neighbors {
+        t.join().unwrap();
+    }
+    drop(bad_tx);
+
+    let report = fleet.shutdown();
+    let bad = report.tenant(3).expect("offender admitted");
+    assert_eq!(bad.durable, vec![0], "only the in-budget frame before the oversize is stored");
+    assert!(bad.resyncs >= 1, "the oversized frame is skipped as garbage");
+    assert!(bad.gap_dropped >= 1, "the frame after the hole is gap-dropped, not mis-ordered");
+    for sid in [1u64, 2] {
+        let t = report.tenant(sid).expect("neighbor admitted");
+        assert_eq!(t.durable, (0..4).collect::<Vec<u32>>(), "neighbor {sid} delivered in full");
+        assert_eq!(t.resyncs, 0, "neighbor {sid} saw no fallout");
+    }
+    report.verify_partition().unwrap();
+}
+
+#[test]
 fn store_mode_keeps_exact_bytes() {
     let (cloud, meta) = small_frame(ScenePreset::ApolloUrban, 32);
     let (writer, reader) = throttled_pipe(None);
