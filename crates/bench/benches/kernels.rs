@@ -12,8 +12,9 @@ use criterion::{black_box, BenchmarkId, Criterion, Throughput};
 use dbgc::sparse::organize::{organize_sparse_points_with, OrganizeScratch};
 use dbgc::sparse::radial::{encode_radial_into, RadialStreams};
 use dbgc_codec::{
-    bitpack_decode, bitpack_encode, AdaptiveModel, ContextModel, DualRangeDecoder,
-    DualRangeEncoder, RangeDecoder, RangeEncoder,
+    bitpack_decode, bitpack_encode, delta_decode, delta_encode, AdaptiveModel, ContextModel,
+    DualRangeDecoder, DualRangeEncoder, RangeDecoder, RangeEncoder, WideRangeDecoder,
+    WideRangeEncoder,
 };
 use dbgc_geom::{Point3, Spherical};
 
@@ -62,6 +63,25 @@ fn dual_encode(syms: &[usize], alphabet: usize) -> Vec<u8> {
 fn dual_decode(bytes: &[u8], n: usize, alphabet: usize) -> usize {
     let mut m = AdaptiveModel::new(alphabet);
     let mut dec = DualRangeDecoder::new(bytes).expect("valid frame");
+    let mut acc = 0usize;
+    for _ in 0..n {
+        acc ^= m.decode(&mut dec).expect("valid stream");
+    }
+    acc
+}
+
+fn wide_encode(syms: &[usize], alphabet: usize) -> Vec<u8> {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut enc = WideRangeEncoder::new();
+    for &s in syms {
+        m.encode(&mut enc, s);
+    }
+    enc.finish()
+}
+
+fn wide_decode(bytes: &[u8], n: usize, alphabet: usize) -> usize {
+    let mut m = AdaptiveModel::new(alphabet);
+    let mut dec = WideRangeDecoder::new(bytes).expect("valid frame");
     let mut acc = 0usize;
     for _ in 0..n {
         acc ^= m.decode(&mut dec).expect("valid stream");
@@ -170,6 +190,10 @@ fn bench_model(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("dual_decode", alphabet), &dual_bytes, |b, bytes| {
         b.iter(|| dual_decode(bytes, syms.len(), alphabet));
     });
+    let wide_bytes = wide_encode(&syms, alphabet);
+    g.bench_with_input(BenchmarkId::new("wide_decode", alphabet), &wide_bytes, |b, bytes| {
+        b.iter(|| wide_decode(bytes, syms.len(), alphabet));
+    });
     g.finish();
 }
 
@@ -183,6 +207,13 @@ fn bench_bitpack(c: &mut Criterion) {
     let packed = bitpack_encode(&vals);
     g.bench_function("decode", |b| {
         b.iter(|| bitpack_decode(&packed).expect("valid"));
+    });
+    g.bench_function("delta_encode", |b| {
+        b.iter(|| delta_encode(&vals));
+    });
+    let deltas = delta_encode(&vals);
+    g.bench_function("delta_decode", |b| {
+        b.iter(|| delta_decode(&deltas));
     });
     g.finish();
 }
@@ -257,6 +288,11 @@ fn write_snapshot() {
         black_box(dual_decode(&dual_bytes, syms.len(), alphabet));
     });
     collector.set_gauge("model.dual_decode.melem_per_s", n / s / 1e6);
+    let wide_bytes = wide_encode(&syms, alphabet);
+    let s = secs_per_call(|| {
+        black_box(wide_decode(&wide_bytes, syms.len(), alphabet));
+    });
+    collector.set_gauge("model.wide_decode.melem_per_s", n / s / 1e6);
 
     let resid = residuals(MODEL_SYMS);
     let s = secs_per_call(|| {
@@ -268,6 +304,15 @@ fn write_snapshot() {
         black_box(bitpack_decode(&packed).expect("valid"));
     });
     collector.set_gauge("bitpack.decode.melem_per_s", resid.len() as f64 / s / 1e6);
+    let s = secs_per_call(|| {
+        black_box(delta_encode(&resid));
+    });
+    collector.set_gauge("delta.encode.melem_per_s", resid.len() as f64 / s / 1e6);
+    let deltas = delta_encode(&resid);
+    let s = secs_per_call(|| {
+        black_box(delta_decode(&deltas));
+    });
+    collector.set_gauge("delta.decode.melem_per_s", resid.len() as f64 / s / 1e6);
 
     let vals: Vec<u16> =
         (0..RENORM_VALS as u32).map(|i| (i.wrapping_mul(40503) >> 8) as u16).collect();

@@ -241,6 +241,14 @@ fn main() {
         ScenePreset::KittiCity.name(),
         frames.len()
     );
+    if cores == 1 {
+        let warning = "WARNING: single CPU core exposed to this process — the speedup, \
+                       scaling.* and stage.* efficiency gauges below are degenerate (~1.0x) \
+                       and MUST NOT be used as a scaling baseline; regenerate BENCH_e2e.json \
+                       on a multi-core runner.";
+        eprintln!("{warning}");
+        say!("{warning}\n");
+    }
 
     let mut sum_comp = 0.0;
     let mut sum_par = 0.0;
@@ -307,6 +315,28 @@ fn main() {
     );
     say!("    serial stage ms/frame:   {}", stage_line(&serial_stages, frames.len()));
     say!("    parallel stage ms/frame: {}", stage_line(&parallel_stages, frames.len()));
+
+    // Wide entropy profile (stream version 3): serial throughput with the
+    // four-lane coder — the number the perf_gate fps/core floor reads.
+    let wide = Dbgc::new(
+        DbgcConfig::with_error_bound(Q_TYPICAL)
+            .with_threads(1)
+            .with_entropy_profile(dbgc::EntropyProfile::Wide),
+    );
+    let wide_reps = 2;
+    let (_, wide_wall) = timed(|| {
+        for _ in 0..wide_reps {
+            for cloud in &frames {
+                wide.compress(cloud).expect("compress");
+            }
+        }
+    });
+    let wide_fps = (wide_reps * frames.len()) as f64 / wide_wall.as_secs_f64();
+    say!(
+        "  compression, serial wide profile:  {wide_fps:.1} frames/s \
+         ({:+.1}% vs narrow serial)",
+        (wide_fps / serial_fps - 1.0) * 100.0
+    );
 
     // Per-stage parallel efficiency: serial vs parallel wall time over the
     // pool the `threads = 0` runs actually used. On a single core every
@@ -410,6 +440,7 @@ fn main() {
     collector.set_gauge("avg_points_per_frame", (sum_points / frames.len()) as f64);
     collector.set_gauge("avg_compressed_bytes", avg_bytes as f64);
     collector.set_gauge("serial.frames_per_s", serial_fps);
+    collector.set_gauge("serial_wide.frames_per_s", wide_fps);
     collector.set_gauge("parallel.frames_per_s", parallel_fps);
     collector.set_gauge("speedup", parallel_fps / serial_fps);
     collector.set_gauge("decompress.frames_per_s", n / sum_dec);

@@ -8,14 +8,19 @@
 //!     [--baseline-kernels <snapshot to diff against>]
 //! ```
 //!
-//! Two gates, each failing the process (exit 1) with a named reason:
+//! Three gates, each failing the process (exit 1) with a named reason:
 //!
 //! 1. **Scaling** — from the e2e snapshot's `scaling.threads_N.speedup`
 //!    gauges: on a host with ≥ 4 cores, the 4-thread intra-frame speedup
 //!    must be at least 1.5×. On smaller hosts the gate reports the curve and
 //!    skips (a 1-core runner cannot measure scaling, and pretending
-//!    otherwise would gate on fiction).
-//! 2. **Kernel regression** — every throughput gauge present in both the
+//!    otherwise would gate on fiction); a `cores: 1` snapshot is refused
+//!    outright as a scaling baseline.
+//! 2. **fps/core** — serial compression (`serial_wide.frames_per_s`, falling
+//!    back to `serial.frames_per_s`) must reach 30 frames/s per core on an
+//!    unconstrained (≥ 4-core) runner; constrained runners record the number
+//!    honestly and skip loudly.
+//! 3. **Kernel regression** — every throughput gauge present in both the
 //!    current and baseline kernel snapshots must be within 10% of the
 //!    baseline. Gauges only present on one side are reported but never fail
 //!    (new kernels appear, retired ones disappear).
@@ -34,6 +39,10 @@ const MIN_SPEEDUP_4: f64 = 1.5;
 const SCALING_GATE_CORES: f64 = 4.0;
 /// Allowed fractional throughput drop per kernel gauge.
 const MAX_KERNEL_REGRESSION: f64 = 0.10;
+/// Minimum serial (single-thread, so per-core) compress throughput on an
+/// unconstrained runner, in frames/s. Reads the wide-profile gauge when the
+/// snapshot has one, else the default profile's serial number.
+const MIN_SERIAL_FPS_PER_CORE: f64 = 30.0;
 
 fn load_gauges(path: &str) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -59,6 +68,14 @@ fn check_scaling(e2e: &BTreeMap<String, f64>) -> Result<(), String> {
     for (threads, speedup) in &curve {
         println!("  {threads}: {speedup:.2}x");
     }
+    if cores <= 1.0 {
+        println!(
+            "scaling gate: SKIPPED — snapshot was recorded on a single core; its \
+             speedup and stage-efficiency gauges are degenerate and REFUSED as a \
+             scaling baseline. Regenerate BENCH_e2e.json on a multi-core runner."
+        );
+        return Ok(());
+    }
     if cores < SCALING_GATE_CORES {
         println!(
             "scaling gate: SKIPPED — {cores} core(s) < {SCALING_GATE_CORES} \
@@ -73,6 +90,41 @@ fn check_scaling(e2e: &BTreeMap<String, f64>) -> Result<(), String> {
         return Err(format!("4-thread speedup {speedup4:.2}x is below the {MIN_SPEEDUP_4}x floor"));
     }
     println!("scaling gate: OK (threads_4 speedup {speedup4:.2}x >= {MIN_SPEEDUP_4}x)");
+    Ok(())
+}
+
+/// Gate: serial frames/s per core. Serial compression runs one thread, so
+/// `serial*.frames_per_s` *is* the per-core number; the floor binds only on
+/// unconstrained runners (shared or single-core CI boxes are throttled in
+/// ways that have nothing to do with the code under test).
+fn check_fps_per_core(e2e: &BTreeMap<String, f64>) -> Result<(), String> {
+    let cores = *e2e.get("cores").ok_or("e2e snapshot has no `cores` gauge")?;
+    let (gauge, fps) = match e2e.get("serial_wide.frames_per_s") {
+        Some(&fps) => ("serial_wide.frames_per_s", fps),
+        None => (
+            "serial.frames_per_s",
+            *e2e.get("serial.frames_per_s").ok_or("e2e snapshot has no serial fps gauge")?,
+        ),
+    };
+    println!(
+        "serial compress ({gauge}): {fps:.1} frames/s per core \
+         (floor {MIN_SERIAL_FPS_PER_CORE})"
+    );
+    if cores < SCALING_GATE_CORES {
+        println!(
+            "fps/core gate: SKIPPED — constrained runner ({cores} core(s) < \
+             {SCALING_GATE_CORES}); the measured {fps:.1} fps is recorded honestly \
+             but not gated. Regenerate BENCH_e2e.json on an unconstrained host to \
+             make this gate binding."
+        );
+        return Ok(());
+    }
+    if fps < MIN_SERIAL_FPS_PER_CORE {
+        return Err(format!(
+            "serial compress {fps:.1} fps/core is below the {MIN_SERIAL_FPS_PER_CORE} floor"
+        ));
+    }
+    println!("fps/core gate: OK ({fps:.1} >= {MIN_SERIAL_FPS_PER_CORE})");
     Ok(())
 }
 
@@ -131,8 +183,17 @@ fn main() -> ExitCode {
     }
 
     let mut failed = false;
-    match load_gauges(&e2e_path).and_then(|g| check_scaling(&g)) {
-        Ok(()) => {}
+    match load_gauges(&e2e_path) {
+        Ok(g) => {
+            if let Err(e) = check_scaling(&g) {
+                eprintln!("FAIL scaling gate: {e}");
+                failed = true;
+            }
+            if let Err(e) = check_fps_per_core(&g) {
+                eprintln!("FAIL fps/core gate: {e}");
+                failed = true;
+            }
+        }
         Err(e) => {
             eprintln!("FAIL scaling gate: {e}");
             failed = true;

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
-use dbgc::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
+use dbgc::{ClusteringAlgorithm, DbgcConfig, EntropyProfile, OutlierMode, SplitStrategy};
 use dbgc_lidar_sim::ScenePreset;
 
 /// Usage text shown on parse failures and `--help`.
@@ -32,6 +32,9 @@ COMPRESSION OPTIONS:
     --threads <n>            intra-frame worker threads: 0 = all cores
                              (default), 1 = serial; output is byte-identical
                              for every setting
+    --entropy-profile <p>    narrow | dual | wide (default narrow): how many
+                             interleaved range-coder lanes the entropy stages
+                             use; dual writes stream version 2, wide version 3
     --metrics-out <path>     write a JSON metrics snapshot (spans, counters,
                              per-section byte accounting) after the run
     --index                  append a spatial directory to the stream so
@@ -217,6 +220,21 @@ fn parse_config(args: &[String]) -> Result<(DbgcConfig, Option<PathBuf>), ParseE
                 config.spherical_conversion = false;
                 config.radial_optimized = false;
                 i += 1;
+            }
+            "--entropy-profile" => {
+                let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--entropy-profile"))?;
+                config.entropy_profile = match v.as_str() {
+                    "narrow" => EntropyProfile::Narrow,
+                    "dual" => EntropyProfile::Dual,
+                    "wide" => EntropyProfile::Wide,
+                    _ => {
+                        return Err(ParseError::BadValue {
+                            flag: "--entropy-profile",
+                            value: v.clone(),
+                        })
+                    }
+                };
+                i += 2;
             }
             "--metrics-out" => {
                 let v = args.get(i + 1).ok_or(ParseError::MissingArgument("--metrics-out"))?;
@@ -442,6 +460,28 @@ mod tests {
             parse(&argv("compress a b --threads many")),
             Err(ParseError::BadValue { flag: "--threads", .. })
         ));
+    }
+
+    #[test]
+    fn parse_entropy_profile() {
+        for (word, profile) in [
+            ("narrow", EntropyProfile::Narrow),
+            ("dual", EntropyProfile::Dual),
+            ("wide", EntropyProfile::Wide),
+        ] {
+            let cmd = parse(&argv(&format!("compress a b --entropy-profile {word}"))).unwrap();
+            let Command::Compress { config, .. } = cmd else { panic!("wrong command") };
+            assert_eq!(config.entropy_profile, profile);
+            config.validate().unwrap();
+        }
+        assert!(matches!(
+            parse(&argv("compress a b --entropy-profile turbo")),
+            Err(ParseError::BadValue { flag: "--entropy-profile", .. })
+        ));
+        assert_eq!(
+            parse(&argv("compress a b --entropy-profile")),
+            Err(ParseError::MissingArgument("--entropy-profile"))
+        );
     }
 
     #[test]

@@ -54,6 +54,40 @@ impl BitWriter {
         }
     }
 
+    /// Write a run of same-width fields (`write_bits(v, n)` for each `v`),
+    /// keeping the accumulator in registers across the whole run.
+    ///
+    /// Byte-identical to the per-value calls — between values the pending
+    /// count stays below 8 bits, so for `n <= 56` the split path of
+    /// [`BitWriter::write_bits`] can never trigger and one fused shift/flush
+    /// loop covers the batch. Wider fields fall back to the per-value path.
+    pub fn write_bits_batch(&mut self, vals: &[u64], n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        if n > 56 {
+            for &v in vals {
+                self.write_bits(v, n);
+            }
+            return;
+        }
+        let mask = (1u64 << n) - 1;
+        let mut acc = self.acc;
+        let mut nbits = self.nbits;
+        self.buf.reserve(vals.len() * (n as usize / 8 + 1));
+        for &v in vals {
+            acc = (acc << n) | (v & mask);
+            nbits += n;
+            while nbits >= 8 {
+                nbits -= 8;
+                self.buf.push((acc >> nbits) as u8);
+            }
+        }
+        self.acc = acc;
+        self.nbits = nbits;
+    }
+
     /// Number of bits written so far.
     pub fn bit_len(&self) -> usize {
         self.buf.len() * 8 + self.nbits as usize
@@ -134,6 +168,56 @@ impl<'a> BitReader<'a> {
         Ok(v)
     }
 
+    /// Read `dst.len()` same-width fields (`read_bits(n)` into each slot),
+    /// with one bounds check for the whole batch and a register-resident
+    /// byte-refill accumulator instead of per-call cursor arithmetic.
+    ///
+    /// Value-identical to the per-value calls. If the batch does not fit the
+    /// remaining buffer, no value is produced and the cursor parks at
+    /// end-of-buffer, matching the single-call EOF contract.
+    pub fn read_bits_batch(&mut self, n: u32, dst: &mut [u64]) -> Result<(), CodecError> {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            dst.fill(0);
+            return Ok(());
+        }
+        let need = n as usize * dst.len();
+        let total = self.buf.len() * 8;
+        if self.pos + need > total {
+            self.pos = total;
+            return Err(CodecError::UnexpectedEof);
+        }
+        if n > 56 {
+            for d in dst {
+                *d = self.read_bits(n)?;
+            }
+            return Ok(());
+        }
+        let mask = (1u64 << n) - 1;
+        let mut byte = self.pos / 8;
+        let mut acc = 0u64;
+        let mut have = 0u32;
+        let bit_off = (self.pos % 8) as u32;
+        if bit_off != 0 {
+            acc = (self.buf[byte] & (0xFF >> bit_off)) as u64;
+            have = 8 - bit_off;
+            byte += 1;
+        }
+        for d in dst.iter_mut() {
+            // Stale consumed bits above `have` are masked off on extraction,
+            // so the accumulator never needs clearing.
+            while have < n {
+                acc = (acc << 8) | self.buf[byte] as u64;
+                byte += 1;
+                have += 8;
+            }
+            have -= n;
+            *d = (acc >> have) & mask;
+        }
+        self.pos += need;
+        Ok(())
+    }
+
     /// Bits remaining (including any padding in the final byte).
     pub fn remaining_bits(&self) -> usize {
         self.buf.len() * 8 - self.pos
@@ -193,6 +277,42 @@ mod tests {
         assert_eq!(w.bit_len(), 0);
         w.write_bits(0, 13);
         assert_eq!(w.bit_len(), 13);
+    }
+
+    #[test]
+    fn batch_writes_and_reads_match_per_value_calls() {
+        for width in [0u32, 1, 3, 7, 8, 9, 13, 31, 32, 33, 56, 57, 63, 64] {
+            let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let vals: Vec<u64> =
+                (0..200u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask).collect();
+            let mut per_value = BitWriter::new();
+            per_value.write_bits(0b101, 3); // unaligned start
+            for &v in &vals {
+                per_value.write_bits(v, width);
+            }
+            let mut batched = BitWriter::new();
+            batched.write_bits(0b101, 3);
+            batched.write_bits_batch(&vals, width);
+            let expect = per_value.finish();
+            assert_eq!(batched.finish(), expect, "width {width}");
+
+            let mut r = BitReader::new(&expect);
+            assert_eq!(r.read_bits(3).unwrap(), 0b101);
+            let mut got = vec![0u64; vals.len()];
+            r.read_bits_batch(width, &mut got).unwrap();
+            assert_eq!(got, vals, "width {width}");
+        }
+    }
+
+    #[test]
+    fn batch_read_past_eof_errors_and_parks_cursor() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        let mut dst = [0u64; 3];
+        assert_eq!(r.read_bits_batch(7, &mut dst), Err(CodecError::UnexpectedEof));
+        assert_eq!(r.remaining_bits(), 0, "cursor must park at EOF");
     }
 
     #[test]

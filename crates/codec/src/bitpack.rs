@@ -13,7 +13,7 @@
 
 use crate::bitio::{BitReader, BitWriter};
 use crate::error::CodecError;
-use crate::varint::{write_uvarint, zigzag_decode, zigzag_encode, ByteReader};
+use crate::varint::{write_uvarint, ByteReader};
 
 /// Values per block; small enough to adapt to local ranges, large enough to
 /// amortize the per-block width byte.
@@ -34,19 +34,14 @@ pub fn bitpack_encode(vals: &[i64]) -> Vec<u8> {
     let mut zz = [0u64; BLOCK];
     for block in vals.chunks(BLOCK) {
         // OR-folding the zigzagged values gives the block width with a single
-        // leading_zeros: width(a | b) == max(width(a), width(b)).
+        // leading_zeros: width(a | b) == max(width(a), width(b)). The zigzag
+        // transform and fold run through the batch kernel (AVX2 when the
+        // `simd` feature detects it; identical bytes either way).
         let zz = &mut zz[..block.len()];
-        let mut folded = 0u64;
-        for (dst, &v) in zz.iter_mut().zip(block) {
-            let z = zigzag_encode(v);
-            *dst = z;
-            folded |= z;
-        }
+        let folded = crate::simd::zigzag_encode_block(block, zz);
         let width = width_of(folded);
         bits.write_bits(width as u64, 7);
-        for &v in zz.iter() {
-            bits.write_bits(v, width);
-        }
+        bits.write_bits_batch(zz, width);
     }
     out.extend_from_slice(&bits.finish());
     out
@@ -65,15 +60,18 @@ pub fn bitpack_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
     let payload = r.read_slice(r.remaining())?;
     let mut bits = BitReader::new(payload);
     let mut out = Vec::with_capacity(n.min(1 << 16));
+    let mut raw = [0u64; BLOCK];
     while out.len() < n {
         let width = bits.read_bits(7)? as u32;
         if width > 64 {
             return Err(CodecError::CorruptStream("bitpack width out of range"));
         }
         let in_block = BLOCK.min(n - out.len());
-        for _ in 0..in_block {
-            out.push(zigzag_decode(bits.read_bits(width)?));
-        }
+        let raw = &mut raw[..in_block];
+        bits.read_bits_batch(width, raw)?;
+        let start = out.len();
+        out.resize(start + in_block, 0);
+        crate::simd::zigzag_decode_block(raw, &mut out[start..]);
     }
     Ok(out)
 }
@@ -101,9 +99,7 @@ pub fn for_encode(vals: &[i64]) -> Vec<u8> {
         }
         let width = width_of(folded);
         bits.write_bits(width as u64, 7);
-        for &v in offsets.iter() {
-            bits.write_bits(v, width);
-        }
+        bits.write_bits_batch(offsets, width);
     }
     write_uvarint(&mut out, header.len() as u64);
     out.extend_from_slice(&header);
@@ -125,6 +121,7 @@ pub fn for_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
     let payload = r.read_slice(r.remaining())?;
     let mut bits = BitReader::new(payload);
     let mut out = Vec::with_capacity(n.min(1 << 16));
+    let mut raw = [0u64; BLOCK];
     while out.len() < n {
         let min = hr.read_ivarint()?;
         let width = bits.read_bits(7)? as u32;
@@ -132,10 +129,9 @@ pub fn for_decode(bytes: &[u8]) -> Result<Vec<i64>, CodecError> {
             return Err(CodecError::CorruptStream("FOR width out of range"));
         }
         let in_block = BLOCK.min(n - out.len());
-        for _ in 0..in_block {
-            let off = bits.read_bits(width)?;
-            out.push(min.wrapping_add(off as i64));
-        }
+        let raw = &mut raw[..in_block];
+        bits.read_bits_batch(width, raw)?;
+        out.extend(raw.iter().map(|&off| min.wrapping_add(off as i64)));
     }
     Ok(out)
 }

@@ -3,6 +3,12 @@
 //! Given `L = (v₁, …, vₙ)`, delta coding produces `ΔL = (v₁, Δv₂, …, Δvₙ)`
 //! with `Δvₘ = vₘ − vₘ₋₁`. The first element is carried unchanged so the
 //! transform is invertible without side information.
+//!
+//! Both directions route through the lane kernels in [`crate::simd`]: the
+//! backward differences are fully data-parallel (four lanes per AVX2 step
+//! when available), the prefix-sum inverse keeps its carry in a register on
+//! the scalar path and uses the in-lane shift-add scan on the SIMD path.
+//! Output is bit-identical across paths.
 
 /// Delta-encode `values` into a new vector (first element unchanged).
 pub fn delta_encode(values: &[i64]) -> Vec<i64> {
@@ -14,9 +20,7 @@ pub fn delta_encode(values: &[i64]) -> Vec<i64> {
 /// Delta-encode in place. Uses wrapping arithmetic so any `i64` input is
 /// representable; the decoder wraps symmetrically.
 pub fn delta_encode_in_place(values: &mut [i64]) {
-    for i in (1..values.len()).rev() {
-        values[i] = values[i].wrapping_sub(values[i - 1]);
-    }
+    crate::simd::diff_in_place(values);
 }
 
 /// Invert [`delta_encode`].
@@ -28,9 +32,7 @@ pub fn delta_decode(deltas: &[i64]) -> Vec<i64> {
 
 /// Invert [`delta_encode_in_place`].
 pub fn delta_decode_in_place(deltas: &mut [i64]) {
-    for i in 1..deltas.len() {
-        deltas[i] = deltas[i].wrapping_add(deltas[i - 1]);
-    }
+    crate::simd::prefix_sum_in_place(deltas);
 }
 
 #[cfg(test)]

@@ -7,10 +7,12 @@
 
 use crate::deflate::{deflate_compress, deflate_decompress};
 use crate::delta::{delta_decode_in_place, delta_encode};
+use crate::dual::{RangeSink, RangeSource};
 use crate::error::CodecError;
 use crate::model::AdaptiveModel;
 use crate::range::{RangeDecoder, RangeEncoder};
 use crate::varint::{write_uvarint, ByteReader};
+use crate::wide::{WideRangeDecoder, WideRangeEncoder};
 
 /// Serialize signed integers as zigzag LEB128 bytes.
 pub fn ints_to_bytes(vals: &[i64]) -> Vec<u8> {
@@ -116,20 +118,52 @@ pub fn compress_ints_rc_with(out: &mut Vec<u8>, vals: &[i64], scratch: &mut Ints
     ints_to_bytes_into(&mut bytes, vals);
     let mut enc = RangeEncoder::with_buf(std::mem::take(&mut scratch.payload));
     let (lead, cont) = scratch.byte_models();
-    let mut at_lead = true;
-    for &b in &bytes {
-        if at_lead {
-            lead.encode(&mut enc, b as usize);
-        } else {
-            cont.encode(&mut enc, b as usize);
-        }
-        // High bit set = the varint continues.
-        at_lead = b & 0x80 == 0;
-    }
+    code_varint_bytes(&mut enc, &bytes, lead, cont);
     let payload = enc.finish();
     write_frame(out, vals.len(), bytes.len(), &payload);
     scratch.varint = bytes;
     scratch.payload = payload;
+}
+
+/// Feed positionally-modelled varint bytes into any range-coder sink; shared
+/// by the narrow and wide int-sequence encoders so the modelling (and hence
+/// ratio) is identical across profiles.
+fn code_varint_bytes<S: RangeSink>(
+    enc: &mut S,
+    bytes: &[u8],
+    lead: &mut AdaptiveModel,
+    cont: &mut AdaptiveModel,
+) {
+    let mut at_lead = true;
+    for &b in bytes {
+        if at_lead {
+            lead.encode(enc, b as usize);
+        } else {
+            cont.encode(enc, b as usize);
+        }
+        // High bit set = the varint continues.
+        at_lead = b & 0x80 == 0;
+    }
+}
+
+/// Drain positionally-modelled varint bytes from any range-coder source
+/// (mirror of [`code_varint_bytes`]).
+fn decode_varint_bytes<S: RangeSource>(
+    dec: &mut S,
+    raw_len: usize,
+    lead: &mut AdaptiveModel,
+    cont: &mut AdaptiveModel,
+) -> Result<Vec<u8>, CodecError> {
+    // Growth past the initial reservation is paced by symbols actually
+    // decoded (the range decoder errors at payload EOF), never by raw_len.
+    let mut bytes = Vec::with_capacity(raw_len.min(1 << 16));
+    let mut at_lead = true;
+    for _ in 0..raw_len {
+        let b = if at_lead { lead.decode(dec)? } else { cont.decode(dec)? } as u8;
+        at_lead = b & 0x80 == 0;
+        bytes.push(b);
+    }
+    Ok(bytes)
 }
 
 /// Invert [`compress_ints_rc`].
@@ -145,15 +179,48 @@ pub fn decompress_ints_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError
     let mut lead = AdaptiveModel::new(256);
     let mut cont = AdaptiveModel::new(256);
     let mut dec = RangeDecoder::new(payload);
-    // Growth past the initial reservation is paced by symbols actually
-    // decoded (the range decoder errors at payload EOF), never by raw_len.
-    let mut bytes = Vec::with_capacity(raw_len.min(1 << 16));
-    let mut at_lead = true;
-    for _ in 0..raw_len {
-        let b = if at_lead { lead.decode(&mut dec)? } else { cont.decode(&mut dec)? } as u8;
-        at_lead = b & 0x80 == 0;
-        bytes.push(b);
+    let bytes = decode_varint_bytes(&mut dec, raw_len, &mut lead, &mut cont)?;
+    let mut br = ByteReader::new(&bytes);
+    let vals = bytes_to_ints(&mut br, count)?;
+    if !br.is_empty() {
+        return Err(CodecError::CorruptStream("trailing bytes in rc int frame"));
     }
+    Ok(vals)
+}
+
+/// [`compress_ints_rc`] through the four-lane wide coder: identical frame
+/// layout and modelling, but the payload is a [`WideRangeEncoder`] lane
+/// frame. Only wide-profile (stream version 3) sections use this.
+pub fn compress_ints_rc_wide(out: &mut Vec<u8>, vals: &[i64]) {
+    compress_ints_rc_wide_with(out, vals, &mut IntseqScratch::default());
+}
+
+/// [`compress_ints_rc_wide`] with caller-owned [`IntseqScratch`] for the
+/// varint staging buffer and byte models; byte-identical output.
+pub fn compress_ints_rc_wide_with(out: &mut Vec<u8>, vals: &[i64], scratch: &mut IntseqScratch) {
+    let mut bytes = std::mem::take(&mut scratch.varint);
+    ints_to_bytes_into(&mut bytes, vals);
+    let mut enc = WideRangeEncoder::new();
+    let (lead, cont) = scratch.byte_models();
+    code_varint_bytes(&mut enc, &bytes, lead, cont);
+    let payload = enc.finish();
+    write_frame(out, vals.len(), bytes.len(), &payload);
+    scratch.varint = bytes;
+}
+
+/// Invert [`compress_ints_rc_wide`].
+pub fn decompress_ints_rc_wide(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let (count, raw_len, payload) = read_frame(r)?;
+    if count > raw_len {
+        return Err(CodecError::CorruptStream("rc int frame count exceeds raw length"));
+    }
+    if raw_len > rc_symbol_cap(payload.len()) {
+        return Err(CodecError::CorruptStream("rc int frame raw length exceeds payload capacity"));
+    }
+    let mut lead = AdaptiveModel::new(256);
+    let mut cont = AdaptiveModel::new(256);
+    let mut dec = WideRangeDecoder::new(payload)?;
+    let bytes = decode_varint_bytes(&mut dec, raw_len, &mut lead, &mut cont)?;
     let mut br = ByteReader::new(&bytes);
     let vals = bytes_to_ints(&mut br, count)?;
     if !br.is_empty() {
@@ -206,6 +273,19 @@ pub fn decompress_ints_delta_rc(r: &mut ByteReader<'_>) -> Result<Vec<i64>, Code
     Ok(vals)
 }
 
+/// Delta-encode then wide-range-code (wide-profile counterpart of
+/// [`compress_ints_delta_rc`]).
+pub fn compress_ints_delta_rc_wide(out: &mut Vec<u8>, vals: &[i64]) {
+    compress_ints_rc_wide(out, &delta_encode(vals));
+}
+
+/// Invert [`compress_ints_delta_rc_wide`].
+pub fn decompress_ints_delta_rc_wide(r: &mut ByteReader<'_>) -> Result<Vec<i64>, CodecError> {
+    let mut vals = decompress_ints_rc_wide(r)?;
+    delta_decode_in_place(&mut vals);
+    Ok(vals)
+}
+
 /// Compress a small-alphabet symbol stream (e.g. the reference-point choices
 /// `L_ref`, alphabet 4) with a dedicated adaptive model.
 pub fn compress_symbols_rc(out: &mut Vec<u8>, symbols: &[u8], alphabet: usize) {
@@ -243,6 +323,37 @@ pub fn decompress_symbols_rc(r: &mut ByteReader<'_>) -> Result<Vec<u8>, CodecErr
     }
     let mut model = AdaptiveModel::new(alphabet);
     let mut dec = RangeDecoder::new(payload);
+    let mut out = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        out.push(model.decode(&mut dec)? as u8);
+    }
+    Ok(out)
+}
+
+/// [`compress_symbols_rc`] through the four-lane wide coder (wide-profile
+/// sections only; identical frame layout).
+pub fn compress_symbols_rc_wide(out: &mut Vec<u8>, symbols: &[u8], alphabet: usize) {
+    debug_assert!(symbols.iter().all(|&s| (s as usize) < alphabet));
+    let mut model = AdaptiveModel::new(alphabet.max(1));
+    let mut enc = WideRangeEncoder::new();
+    for &s in symbols {
+        model.encode(&mut enc, s as usize);
+    }
+    let payload = enc.finish();
+    write_frame(out, symbols.len(), alphabet, &payload);
+}
+
+/// Invert [`compress_symbols_rc_wide`].
+pub fn decompress_symbols_rc_wide(r: &mut ByteReader<'_>) -> Result<Vec<u8>, CodecError> {
+    let (count, alphabet, payload) = read_frame(r)?;
+    if alphabet == 0 || alphabet > 256 {
+        return Err(CodecError::CorruptStream("bad symbol alphabet"));
+    }
+    if count > rc_symbol_cap(payload.len()) {
+        return Err(CodecError::CorruptStream("symbol frame count exceeds payload capacity"));
+    }
+    let mut model = AdaptiveModel::new(alphabet);
+    let mut dec = WideRangeDecoder::new(payload)?;
     let mut out = Vec::with_capacity(count.min(1 << 16));
     for _ in 0..count {
         out.push(model.decode(&mut dec)? as u8);
@@ -341,6 +452,43 @@ mod tests {
         }
         compress_symbols_rc_with(&mut reused, &syms, 4, &mut scratch);
         assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn wide_variants_roundtrip() {
+        let vals: Vec<i64> = (0..5000).map(|i| (i % 17) - 8).collect();
+        let syms: Vec<u8> = (0..3000).map(|i| (i % 4) as u8).collect();
+        let mut buf = Vec::new();
+        compress_ints_rc_wide(&mut buf, &vals);
+        compress_ints_delta_rc_wide(&mut buf, &vals);
+        compress_symbols_rc_wide(&mut buf, &syms, 4);
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(decompress_ints_rc_wide(&mut r).unwrap(), vals);
+        assert_eq!(decompress_ints_delta_rc_wide(&mut r).unwrap(), vals);
+        assert_eq!(decompress_symbols_rc_wide(&mut r).unwrap(), syms);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn wide_ratio_tracks_narrow() {
+        // Same models, same symbol order: the wide frame can only cost the
+        // three extra flush tails plus lane-length varints.
+        let vals: Vec<i64> = (0..20_000).map(|i| (i % 5) - 2).collect();
+        let mut narrow = Vec::new();
+        compress_ints_rc(&mut narrow, &vals);
+        let mut wide = Vec::new();
+        compress_ints_rc_wide(&mut wide, &vals);
+        assert!(wide.len() <= narrow.len() + 64, "wide {} narrow {}", wide.len(), narrow.len());
+    }
+
+    #[test]
+    fn wide_arbitrary_bytes_never_panic() {
+        for n in 0..64usize {
+            let bytes: Vec<u8> = (0..n as u32).map(|i| (i.wrapping_mul(193)) as u8).collect();
+            let _ = decompress_ints_rc_wide(&mut ByteReader::new(&bytes));
+            let _ = decompress_ints_delta_rc_wide(&mut ByteReader::new(&bytes));
+            let _ = decompress_symbols_rc_wide(&mut ByteReader::new(&bytes));
+        }
     }
 
     proptest! {

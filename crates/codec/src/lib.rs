@@ -14,6 +14,11 @@
 //!   arithmetic coder \[58\] the paper uses);
 //! * [`dual`] — interleaved two-lane range coding, which breaks the decoder's
 //!   serial interval-state dependency chain for dense symbol streams;
+//! * [`wide`] — the four-lane generalization of [`dual`] (the "wide" entropy
+//!   profile), trading three extra flush tails for four independent interval
+//!   chains the CPU can overlap;
+//! * [`simd`] — feature-gated `core::arch` helpers with mandatory scalar
+//!   fallbacks, used by the batch bitpack/delta kernels;
 //! * [`model`] — adaptive frequency models (order-0 and contextual) backed by
 //!   Fenwick trees;
 //! * [`huffman`] — canonical Huffman coding;
@@ -42,7 +47,9 @@ pub mod lz77;
 pub mod model;
 pub mod range;
 pub mod rle;
+pub mod simd;
 pub mod varint;
+pub mod wide;
 
 pub use bitio::{BitReader, BitWriter};
 pub use bitpack::{bitpack_decode, bitpack_encode, for_decode, for_encode};
@@ -56,3 +63,4 @@ pub use model::{AdaptiveModel, ContextModel};
 pub use range::{RangeDecoder, RangeEncoder};
 pub use rle::{rle_decode, rle_decode_limited, rle_encode};
 pub use varint::{read_uvarint, write_uvarint, zigzag_decode, zigzag_encode, ByteReader};
+pub use wide::{EntropyProfile, WideRangeDecoder, WideRangeEncoder};

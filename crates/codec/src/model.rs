@@ -135,25 +135,13 @@ fn fw_rescale(tree: &mut [u32]) -> u64 {
             }
         }
     }
-    // Halve two frequencies per iteration with u64 lane arithmetic:
-    // `(x >> 1) + (x & 1)` is `ceil(x / 2)` per 32-bit lane, and every
-    // frequency is >= 1 on entry so the result stays >= 1 (the invariant the
-    // old `.max(1)` guarded; a lane can only reach 0 from 0, which the
-    // all-ones init and additive updates rule out).
-    let mut total = 0u64;
-    let mut chunks = tree[1..].chunks_exact_mut(2);
-    for pair in &mut chunks {
-        let v = (pair[0] as u64) | ((pair[1] as u64) << 32);
-        let h = ((v >> 1) & 0x7FFF_FFFF_7FFF_FFFF) + (v & 0x0000_0001_0000_0001);
-        pair[0] = h as u32;
-        pair[1] = (h >> 32) as u32;
-        total += (h & 0xFFFF_FFFF) + (h >> 32);
-    }
-    for f in chunks.into_remainder() {
-        let h = (*f >> 1) + (*f & 1);
-        *f = h;
-        total += h as u64;
-    }
+    // Batch ceil-halve (`(x >> 1) + (x & 1)` per 32-bit lane) through the
+    // vectorized kernel — u64 paired lanes on the scalar path, eight lanes
+    // per AVX2 step when the `simd` feature detects support. Every frequency
+    // is >= 1 on entry so the result stays >= 1 (the invariant the old
+    // `.max(1)` guarded; a lane can only reach 0 from 0, which the all-ones
+    // init and additive updates rule out).
+    let total = crate::simd::halve_freqs(&mut tree[1..]);
     for i in 1..=n {
         let j = i + (i & i.wrapping_neg());
         if j <= n {

@@ -1,0 +1,246 @@
+//! Interleaved four-lane range coding — the "wide" entropy profile.
+//!
+//! [`crate::dual`] breaks the decoder's serial interval-state chain in two;
+//! this module widens the split to [`LANES`] (= 4) independent coder lanes.
+//! Symbols are dealt round-robin — symbol `i` lands on lane `i % LANES` — so
+//! while lane 0 is renormalizing, lanes 1–3 can issue their divides, which is
+//! enough independent work to keep a modern out-of-order core's divider and
+//! load ports busy (the layout interleaved rANS coders use, cf. RIDDLE /
+//! ryg_rans).
+//!
+//! As with the dual coder, the *model* is updated in stream order by the
+//! caller, so symbol probabilities — and compression ratio — are identical to
+//! the single-lane coder; only the interval state is replicated. The cost is
+//! three extra 8-byte flush tails plus the lane-length frame header.
+//!
+//! Framing: `uvarint len(lane 0) | uvarint len(lane 1) | uvarint len(lane 2)
+//! | lane 0 bytes | lane 1 bytes | lane 2 bytes | lane 3 bytes` — the last
+//! lane's length is implied by the frame end, exactly like the dual frame.
+//!
+//! Truncation behaviour mirrors the single-lane coder per lane: a starved
+//! lane reads phantom zero bytes, trips its interval check, and surfaces
+//! `CorruptStream`; no path panics or allocates beyond the input size.
+
+use crate::error::CodecError;
+use crate::range::{RangeDecoder, RangeEncoder};
+use crate::varint::{write_uvarint, ByteReader};
+use crate::{RangeSink, RangeSource};
+
+/// Number of interleaved lanes in the wide profile.
+pub const LANES: usize = 4;
+
+/// How many interleaved interval states an entropy-coded substream uses.
+///
+/// The profile never changes symbol probabilities — models are updated in
+/// stream order by the caller for every profile — so compression ratio is
+/// identical up to a constant per-stream overhead (flush tails + lane
+/// header). It does change the framing: both ends must agree, which is why
+/// the stream header records the profile as a format version.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EntropyProfile {
+    /// One interval state ([`crate::range`]); the version-1 stream format.
+    #[default]
+    Narrow,
+    /// Two interleaved lanes ([`crate::dual`]); stream version 2.
+    Dual,
+    /// Four interleaved lanes (this module); stream version 3.
+    Wide,
+}
+
+/// Four-lane range encoder: symbols round-robin the lanes from lane 0.
+#[derive(Debug, Default)]
+pub struct WideRangeEncoder {
+    lanes: [RangeEncoder; LANES],
+    turn: usize,
+}
+
+impl WideRangeEncoder {
+    /// A fresh encoder; the first symbol goes to lane 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Encode a symbol on the current lane and advance the turn.
+    #[inline]
+    pub fn encode(&mut self, cum: u64, freq: u64, total: u64) {
+        self.lanes[self.turn].encode(cum, freq, total);
+        self.turn = (self.turn + 1) % LANES;
+    }
+
+    /// Flush every lane and return the framed stream.
+    pub fn finish(self) -> Vec<u8> {
+        let bufs = self.lanes.map(RangeEncoder::finish);
+        let total: usize = bufs.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total + 3 * 5);
+        for lane in &bufs[..LANES - 1] {
+            write_uvarint(&mut out, lane.len() as u64);
+        }
+        for lane in &bufs {
+            out.extend_from_slice(lane);
+        }
+        out
+    }
+}
+
+impl RangeSink for WideRangeEncoder {
+    #[inline]
+    fn put(&mut self, cum: u64, freq: u64, total: u64) {
+        self.encode(cum, freq, total);
+    }
+}
+
+/// Four-lane range decoder over a [`WideRangeEncoder`] frame.
+#[derive(Debug)]
+pub struct WideRangeDecoder<'a> {
+    lanes: [RangeDecoder<'a>; LANES],
+    turn: usize,
+}
+
+impl<'a> WideRangeDecoder<'a> {
+    /// Parse the lane frame and start all four decoders.
+    pub fn new(buf: &'a [u8]) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(buf);
+        let mut lens = [0usize; LANES - 1];
+        for len in &mut lens {
+            *len = r.read_uvarint()? as usize;
+        }
+        if !lens
+            .iter()
+            .try_fold(0usize, |acc, &l| acc.checked_add(l))
+            .is_some_and(|sum| sum <= r.remaining())
+        {
+            return Err(CodecError::CorruptStream("wide-lane frame shorter than lane lengths"));
+        }
+        let mut slices = [[].as_slice(); LANES];
+        for (slot, &len) in slices.iter_mut().zip(lens.iter()) {
+            *slot = r.read_slice(len)?;
+        }
+        slices[LANES - 1] = r.read_slice(r.remaining())?;
+        Ok(WideRangeDecoder { lanes: slices.map(RangeDecoder::new), turn: 0 })
+    }
+
+    /// Slot of the next symbol on the current lane.
+    #[inline]
+    pub fn decode_freq(&mut self, total: u64) -> Result<u64, CodecError> {
+        self.lanes[self.turn].decode_freq(total)
+    }
+
+    /// Consume the symbol on the current lane and advance the turn.
+    #[inline]
+    pub fn decode(&mut self, cum: u64, freq: u64, total: u64) {
+        self.lanes[self.turn].decode(cum, freq, total);
+        self.turn = (self.turn + 1) % LANES;
+    }
+}
+
+impl RangeSource for WideRangeDecoder<'_> {
+    #[inline]
+    fn peek_freq(&mut self, total: u64) -> Result<u64, CodecError> {
+        self.decode_freq(total)
+    }
+
+    #[inline]
+    fn consume(&mut self, cum: u64, freq: u64, total: u64) {
+        self.decode(cum, freq, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AdaptiveModel;
+
+    #[test]
+    fn wide_roundtrip_adaptive_bytes() {
+        let data: Vec<u8> = (0..30_000u32).map(|i| (i.wrapping_mul(0x9E37) >> 9) as u8).collect();
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = WideRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let buf = enc.finish();
+        let mut model = AdaptiveModel::new(256);
+        let mut dec = WideRangeDecoder::new(&buf).unwrap();
+        for &b in &data {
+            assert_eq!(model.decode(&mut dec).unwrap(), b as usize);
+        }
+    }
+
+    #[test]
+    fn wide_roundtrip_lengths_not_multiple_of_lanes() {
+        // Uneven symbol counts leave the lanes at different depths; every
+        // residue class mod LANES must still round-trip.
+        for n in 0..9usize {
+            let data: Vec<u8> = (0..n as u32).map(|i| (i * 37 % 11) as u8).collect();
+            let mut model = AdaptiveModel::new(16);
+            let mut enc = WideRangeEncoder::new();
+            for &b in &data {
+                model.encode(&mut enc, b as usize);
+            }
+            let buf = enc.finish();
+            let mut model = AdaptiveModel::new(16);
+            let mut dec = WideRangeDecoder::new(&buf).unwrap();
+            for &b in &data {
+                assert_eq!(model.decode(&mut dec).unwrap(), b as usize, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn wide_empty_stream() {
+        let buf = WideRangeEncoder::new().finish();
+        // All four lanes flush their 8-byte tails even with no symbols.
+        assert_eq!(buf.len(), 3 + 32);
+        assert!(WideRangeDecoder::new(&buf).is_ok());
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let mut model = AdaptiveModel::new(16);
+        let mut enc = WideRangeEncoder::new();
+        for i in 0..400 {
+            model.encode(&mut enc, i % 16);
+        }
+        let buf = enc.finish();
+        // A frame whose declared lanes exceed the payload is corrupt.
+        assert!(WideRangeDecoder::new(&buf[..2]).is_err());
+        // Cutting the tail starves the last lane: decode must error, not loop.
+        let mut model = AdaptiveModel::new(16);
+        let mut dec = WideRangeDecoder::new(&buf[..buf.len() - 20]).unwrap();
+        let mut failed = false;
+        for _ in 0..400 {
+            if model.decode(&mut dec).is_err() {
+                failed = true;
+                break;
+            }
+        }
+        assert!(failed, "truncated lane must surface an error");
+    }
+
+    #[test]
+    fn declared_lane_lengths_cannot_overflow() {
+        // Three huge uvarint lane lengths whose sum wraps usize must be
+        // rejected by the checked sum, not wrap into a "valid" frame.
+        let mut buf = Vec::new();
+        for _ in 0..3 {
+            write_uvarint(&mut buf, u64::MAX / 2);
+        }
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(WideRangeDecoder::new(&buf).is_err());
+    }
+
+    #[test]
+    fn compression_matches_single_lane_closely() {
+        // Replicating the interval state costs three extra flush tails + the
+        // frame header, not ratio: the shared model sees the same sequence.
+        let data: Vec<u8> = (0..40_000).map(|i| u8::from(i % 19 == 0)).collect();
+        let single = crate::range::rc_compress_bytes(&data);
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = WideRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let wide = enc.finish();
+        assert!(wide.len() <= single.len() + 64, "wide {} vs single {}", wide.len(), single.len());
+    }
+}

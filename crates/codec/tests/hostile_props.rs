@@ -14,6 +14,7 @@ use dbgc_codec::{
 };
 use dbgc_codec::{intseq, lz77, range};
 use dbgc_codec::{AdaptiveModel, DualRangeDecoder, DualRangeEncoder};
+use dbgc_codec::{WideRangeDecoder, WideRangeEncoder};
 use proptest::prelude::*;
 
 fn arb_ints() -> impl Strategy<Value = Vec<i64>> {
@@ -207,6 +208,81 @@ proptest! {
         }
     }
 
+    // ---- wide (four-lane) range coder ------------------------------------
+    #[test]
+    fn wide_roundtrip_and_truncation(data in arb_bytes(500), cut_frac in 0u32..100) {
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = WideRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let comp = enc.finish();
+        let mut model = AdaptiveModel::new(256);
+        let mut dec = WideRangeDecoder::new(&comp).unwrap();
+        for &b in &data {
+            prop_assert_eq!(model.decode(&mut dec).unwrap(), b as usize);
+        }
+        // Same contract as the dual coder, with four 8-byte flush tails:
+        // a proper prefix is rejected at the frame, errors on a starved
+        // lane, or — only for cuts inside the 32 tail bytes — still decodes
+        // every symbol exactly.
+        let cut = (comp.len().saturating_sub(1)) * cut_frac as usize / 100;
+        if let Ok(mut dec) = WideRangeDecoder::new(&comp[..cut]) {
+            let mut model = AdaptiveModel::new(256);
+            let mut completed = true;
+            for &b in &data {
+                match model.decode(&mut dec) {
+                    Err(_) => {
+                        completed = false;
+                        break;
+                    }
+                    Ok(sym) => {
+                        prop_assert_eq!(sym, b as usize, "truncated stream decoded wrong symbol");
+                    }
+                }
+            }
+            prop_assert!(
+                !completed || cut + 32 >= comp.len(),
+                "early cut at {cut}/{} decoded fully",
+                comp.len(),
+            );
+        }
+    }
+
+    #[test]
+    fn wide_arbitrary_bytes_never_panic(bytes in arb_bytes(300), n in 0usize..512) {
+        if let Ok(mut dec) = WideRangeDecoder::new(&bytes) {
+            let mut model = AdaptiveModel::new(64);
+            for _ in 0..n {
+                if model.decode(&mut dec).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_bit_flips_never_panic(data in arb_bytes(200), flip in any::<u64>()) {
+        let mut model = AdaptiveModel::new(256);
+        let mut enc = WideRangeEncoder::new();
+        for &b in &data {
+            model.encode(&mut enc, b as usize);
+        }
+        let mut comp = enc.finish();
+        if !comp.is_empty() {
+            let idx = (flip as usize) % comp.len();
+            comp[idx] ^= 1 << ((flip >> 32) % 8) as u8;
+        }
+        if let Ok(mut dec) = WideRangeDecoder::new(&comp) {
+            let mut model = AdaptiveModel::new(256);
+            for _ in &data {
+                if model.decode(&mut dec).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
     // ---- intseq ----------------------------------------------------------
     #[test]
     fn intseq_roundtrip_all_variants(vals in arb_ints()) {
@@ -214,10 +290,14 @@ proptest! {
         intseq::compress_ints_rc(&mut buf, &vals);
         intseq::compress_ints_deflate(&mut buf, &vals);
         intseq::compress_ints_delta_rc(&mut buf, &vals);
+        intseq::compress_ints_rc_wide(&mut buf, &vals);
+        intseq::compress_ints_delta_rc_wide(&mut buf, &vals);
         let mut r = ByteReader::new(&buf);
         prop_assert_eq!(intseq::decompress_ints_rc(&mut r).unwrap(), vals.clone());
         prop_assert_eq!(intseq::decompress_ints_deflate(&mut r).unwrap(), vals.clone());
         prop_assert_eq!(intseq::decompress_ints_delta_rc(&mut r).unwrap(), vals.clone());
+        prop_assert_eq!(intseq::decompress_ints_rc_wide(&mut r).unwrap(), vals.clone());
+        prop_assert_eq!(intseq::decompress_ints_delta_rc_wide(&mut r).unwrap(), vals.clone());
         prop_assert!(r.is_empty());
     }
 
@@ -226,8 +306,10 @@ proptest! {
         let syms: Vec<u8> = syms.into_iter().map(|s| s % 16).collect();
         let mut buf = Vec::new();
         intseq::compress_symbols_rc(&mut buf, &syms, 16);
+        intseq::compress_symbols_rc_wide(&mut buf, &syms, 16);
         let mut r = ByteReader::new(&buf);
-        prop_assert_eq!(intseq::decompress_symbols_rc(&mut r).unwrap(), syms);
+        prop_assert_eq!(intseq::decompress_symbols_rc(&mut r).unwrap(), syms.clone());
+        prop_assert_eq!(intseq::decompress_symbols_rc_wide(&mut r).unwrap(), syms);
     }
 
     #[test]
@@ -236,6 +318,9 @@ proptest! {
         let _ = intseq::decompress_ints_deflate(&mut ByteReader::new(&bytes));
         let _ = intseq::decompress_ints_delta_rc(&mut ByteReader::new(&bytes));
         let _ = intseq::decompress_symbols_rc(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_ints_rc_wide(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_ints_delta_rc_wide(&mut ByteReader::new(&bytes));
+        let _ = intseq::decompress_symbols_rc_wide(&mut ByteReader::new(&bytes));
     }
 
     // ---- bitpack / FOR ---------------------------------------------------

@@ -1,5 +1,6 @@
 //! DBGC configuration.
 
+use dbgc_codec::EntropyProfile;
 use dbgc_geom::SensorMeta;
 
 /// Which clustering algorithm classifies dense vs. sparse points (§3.2/§4.3).
@@ -80,12 +81,14 @@ pub struct DbgcConfig {
     /// inline on the calling thread; `n > 1` = grow the shared pool to at
     /// least `n` threads. The bitstream is byte-identical for every setting.
     pub threads: usize,
-    /// Code the dense occupancy bytes through the interleaved two-lane range
-    /// coder (same probabilities, split interval state — see
-    /// `dbgc_codec::dual`). Changes the stream format: frames are written
-    /// with stream version 2 and only version-2-aware decoders accept them.
-    /// The default (false) keeps the version-1 format byte-identical.
-    pub dense_dual_lane: bool,
+    /// Entropy profile for the range-coded substreams: how many interleaved
+    /// interval states the coders use (same probabilities, split interval
+    /// state — see `dbgc_codec::dual` and `dbgc_codec::wide`). `Narrow` (the
+    /// default) keeps the version-1 format byte-identical; `Dual` writes
+    /// stream version 2 (two-lane dense occupancy); `Wide` writes stream
+    /// version 3 (four-lane occupancy *and* four-lane sparse/radial frames).
+    /// Only decoders aware of the respective version accept those streams.
+    pub entropy_profile: EntropyProfile,
     /// Emit a spatial directory (per-section AABBs, point counts and byte
     /// offsets) as a CRC-guarded trailer after the stream body, enabling
     /// archive queries with partial decode (see `dbgc-store`). Decoders
@@ -117,15 +120,22 @@ impl DbgcConfig {
             outlier_mode: OutlierMode::Quadtree,
             sensor: SensorMeta::velodyne_hdl64e(),
             threads: 0,
-            dense_dual_lane: false,
+            entropy_profile: EntropyProfile::Narrow,
             spatial_index: false,
         }
     }
 
+    /// Builder-style two-lane toggle: shorthand for
+    /// [`with_entropy_profile`](DbgcConfig::with_entropy_profile) with
+    /// `Dual` (or back to `Narrow`).
+    pub fn with_dense_dual_lane(self, on: bool) -> Self {
+        self.with_entropy_profile(if on { EntropyProfile::Dual } else { EntropyProfile::Narrow })
+    }
+
     /// Builder-style override of
-    /// [`dense_dual_lane`](DbgcConfig::dense_dual_lane).
-    pub fn with_dense_dual_lane(mut self, on: bool) -> Self {
-        self.dense_dual_lane = on;
+    /// [`entropy_profile`](DbgcConfig::entropy_profile).
+    pub fn with_entropy_profile(mut self, profile: EntropyProfile) -> Self {
+        self.entropy_profile = profile;
         self
     }
 
@@ -231,6 +241,20 @@ mod tests {
 
         let c = DbgcConfig { split: SplitStrategy::NearestFraction(1.5), ..DbgcConfig::default() };
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn entropy_profile_builders() {
+        let c = DbgcConfig::default();
+        assert_eq!(c.entropy_profile, EntropyProfile::Narrow);
+        assert_eq!(c.clone().with_dense_dual_lane(true).entropy_profile, EntropyProfile::Dual);
+        assert_eq!(
+            c.clone().with_dense_dual_lane(true).with_dense_dual_lane(false).entropy_profile,
+            EntropyProfile::Narrow
+        );
+        let c = c.with_entropy_profile(EntropyProfile::Wide);
+        assert_eq!(c.entropy_profile, EntropyProfile::Wide);
+        c.validate().unwrap();
     }
 
     #[test]

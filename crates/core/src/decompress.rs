@@ -258,6 +258,42 @@ mod tests {
     }
 
     #[test]
+    fn wide_stream_roundtrips_under_version_3() {
+        let cloud = ring_cloud(3000);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02)
+            .with_entropy_profile(crate::EntropyProfile::Wide);
+        let frame = Dbgc::new(cfg.clone()).compress(&cloud).unwrap();
+        assert_eq!(frame.bytes[4], 3, "wide frames carry stream version 3");
+        let (decoded, _) = decompress(&frame.bytes).unwrap();
+        crate::verify::verify_roundtrip(&cloud, &decoded, &frame, cfg.q_xyz).unwrap();
+        // The models see the same symbols, so the size gap is bounded by the
+        // per-rc-frame lane overhead (dense occupancy + sparse frames).
+        let v1 = Dbgc::with_error_bound(0.02).compress(&cloud).unwrap();
+        assert_eq!(v1.bytes[4], 1);
+        let rc_frames = 1 + 3 * 6; // occupancy + 6 rc frames per radial group
+        assert!(frame.bytes.len() <= v1.bytes.len() + rc_frames * 32);
+        assert!(inspect(&frame.bytes).is_ok());
+        // Wide decode reconstructs the identical cloud to narrow decode.
+        let (narrow_decoded, _) = decompress(&v1.bytes).unwrap();
+        assert_eq!(decoded.len(), narrow_decoded.len());
+    }
+
+    #[test]
+    fn wide_indexed_stream_partial_layout_agrees() {
+        // The wide profile composes with the spatial index: the trailer
+        // wraps a version-3 body and both decode paths agree.
+        let cloud = ring_cloud(2500);
+        let cfg = crate::DbgcConfig::with_error_bound(0.02)
+            .with_entropy_profile(crate::EntropyProfile::Wide)
+            .with_spatial_index(true);
+        let frame = Dbgc::new(cfg).compress(&cloud).unwrap();
+        let (decoded, _) = decompress(&frame.bytes).unwrap();
+        assert_eq!(decoded.len(), cloud.len());
+        let info = inspect(&frame.bytes).unwrap();
+        assert!(info.index_bytes > 0);
+    }
+
+    #[test]
     fn inspect_ablated_stream() {
         let cloud = ring_cloud(1000);
         let cfg = crate::DbgcConfig::with_error_bound(0.05).without_conversion();

@@ -19,14 +19,17 @@ use dbgc_geom::{Point3, PointCloud};
 use dbgc_octree::{OctreeCodec, OctreeDecodeResult};
 
 use crate::outlier::decode_outliers;
-use crate::pipeline::{FLAG_RADIAL, FLAG_SPHERICAL, MAGIC, VERSION, VERSION_DUAL};
+use dbgc_codec::EntropyProfile;
+
+use crate::pipeline::{FLAG_RADIAL, FLAG_SPHERICAL, MAGIC, VERSION, VERSION_DUAL, VERSION_WIDE};
 use crate::sparse::codec::{decode_group_with_limit, GroupCodecConfig};
 use crate::DbgcError;
 
 /// Parsed and validated stream header fields.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamHeader {
-    /// Stream format version (1, or 2 for dual-lane dense sections).
+    /// Stream format version (1; 2 for dual-lane dense sections; 3 for the
+    /// wide entropy profile: four-lane dense occupancy and sparse frames).
     pub version: u8,
     /// Per-axis Cartesian error bound the stream was encoded with.
     pub q_xyz: f64,
@@ -53,6 +56,20 @@ impl StreamHeader {
     pub fn dual_lane(&self) -> bool {
         self.version == VERSION_DUAL
     }
+
+    /// Whether the stream uses the wide (four-lane) entropy profile.
+    pub fn wide(&self) -> bool {
+        self.version == VERSION_WIDE
+    }
+
+    /// The entropy profile the stream version encodes.
+    pub fn profile(&self) -> EntropyProfile {
+        match self.version {
+            VERSION_DUAL => EntropyProfile::Dual,
+            VERSION_WIDE => EntropyProfile::Wide,
+            _ => EntropyProfile::Narrow,
+        }
+    }
 }
 
 /// Parse and validate the stream header of `body` (a stream with any index
@@ -65,7 +82,7 @@ pub fn parse_header(body: &[u8]) -> Result<StreamHeader, DbgcError> {
         return Err(DbgcError::BadHeader("wrong magic"));
     }
     let version = r.read_u8().map_err(|_| DbgcError::BadHeader("missing version"))?;
-    if version != VERSION && version != VERSION_DUAL {
+    if version != VERSION && version != VERSION_DUAL && version != VERSION_WIDE {
         return Err(DbgcError::BadHeader("unsupported version"));
     }
     let q_xyz = r.read_f64().map_err(DbgcError::from)?;
@@ -164,13 +181,14 @@ pub fn group_codec_cfg(h: &StreamHeader, r_max: f64) -> (GroupCodecConfig, Optio
         (
             GroupCodecConfig {
                 radial: h.radial,
+                wide: h.wide(),
                 th_phi: (2.0 * h.u_phi / sq.angle_step()).round() as i64,
                 th_r: (h.th_r / sq.r_step()).round() as i64,
             },
             Some(sq),
         )
     } else {
-        (GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 }, None)
+        (GroupCodecConfig { radial: false, wide: h.wide(), th_phi: 1, th_r: 1 }, None)
     }
 }
 
@@ -224,7 +242,7 @@ pub fn read_dense(
     let dense_len = r.read_uvarint().map_err(DbgcError::from)? as usize;
     let dense_bytes = r.read_slice(dense_len).map_err(DbgcError::from)?;
     Ok(OctreeCodec::baseline()
-        .with_dual_lane(h.dual_lane())
+        .with_profile(h.profile())
         .decode_with_limit(dense_bytes, max_points)?)
 }
 

@@ -62,6 +62,7 @@ pub mod stats;
 pub mod verify;
 
 pub use config::{ClusteringAlgorithm, DbgcConfig, OutlierMode, SplitStrategy};
+pub use dbgc_codec::EntropyProfile;
 #[cfg(feature = "metrics")]
 pub use decompress::decompress_with_metrics;
 pub use decompress::{decompress, inspect, DecompressStats, StreamInfo};

@@ -62,6 +62,11 @@ pub(crate) const VERSION: u8 = 1;
 /// Stream version for frames whose dense section uses the two-lane
 /// occupancy coder; everything else is identical to version 1.
 pub(crate) const VERSION_DUAL: u8 = 2;
+/// Stream version for the wide entropy profile: the dense occupancy bytes
+/// *and* every range-coded sparse/radial frame go through the four-lane
+/// interleaved coder (`dbgc_codec::wide`). Deflate frames and all framing
+/// outside the entropy payloads are identical to version 1.
+pub(crate) const VERSION_WIDE: u8 = 3;
 
 pub(crate) const FLAG_SPHERICAL: u8 = 0b01;
 pub(crate) const FLAG_RADIAL: u8 = 0b10;
@@ -226,9 +231,8 @@ impl Dbgc {
         #[cfg(feature = "metrics")]
         let stage = root.as_ref().map(|s| s.child("oct"));
         let t = Instant::now();
-        let dense_enc = OctreeCodec::baseline()
-            .with_dual_lane(cfg.dense_dual_lane)
-            .encode(&dense_pts, cfg.q_xyz);
+        let dense_enc =
+            OctreeCodec::baseline().with_profile(cfg.entropy_profile).encode(&dense_pts, cfg.q_xyz);
         timing.oct = t.elapsed();
         #[cfg(feature = "metrics")]
         drop(stage);
@@ -266,7 +270,11 @@ impl Dbgc {
         // ---- header ------------------------------------------------------
         let mut out = Vec::new();
         out.extend_from_slice(&MAGIC);
-        out.push(if cfg.dense_dual_lane { VERSION_DUAL } else { VERSION });
+        out.push(match cfg.entropy_profile {
+            dbgc_codec::EntropyProfile::Narrow => VERSION,
+            dbgc_codec::EntropyProfile::Dual => VERSION_DUAL,
+            dbgc_codec::EntropyProfile::Wide => VERSION_WIDE,
+        });
         write_f64(&mut out, cfg.q_xyz);
         write_f64(&mut out, cfg.sensor.u_theta());
         write_f64(&mut out, cfg.sensor.u_phi());
@@ -616,6 +624,7 @@ impl Dbgc {
             }
             GroupCodecConfig {
                 radial: cfg.radial_optimized,
+                wide: cfg.entropy_profile == dbgc_codec::EntropyProfile::Wide,
                 th_phi: (2.0 * cfg.sensor.u_phi() / sq.angle_step()).round() as i64,
                 th_r: (cfg.th_r / sq.r_step()).round() as i64,
             }
@@ -633,7 +642,12 @@ impl Dbgc {
                 }));
                 out.push(q);
             }
-            GroupCodecConfig { radial: false, th_phi: 1, th_r: 1 }
+            GroupCodecConfig {
+                radial: false,
+                wide: cfg.entropy_profile == dbgc_codec::EntropyProfile::Wide,
+                th_phi: 1,
+                th_r: 1,
+            }
         }
     }
 }

@@ -28,10 +28,41 @@ use super::radial::{decode_radial, encode_radial, encode_radial_into, RadialStre
 pub struct GroupCodecConfig {
     /// Use radial-distance-optimized delta encoding for channel 3.
     pub radial: bool,
+    /// Code the range-coded frames through the four-lane wide entropy
+    /// profile (`dbgc_codec::wide`) instead of the single-lane coder. Same
+    /// models and frame order, different entropy payload framing — both
+    /// ends must agree (the stream header's version carries this flag).
+    /// Deflate frames are unaffected.
+    pub wide: bool,
     /// `TH_φ` in quantized angle units (reference polyline set).
     pub th_phi: i64,
     /// `TH_r` in quantized radial units.
     pub th_r: i64,
+}
+
+/// `compress_ints_rc_with`-shaped entry point (narrow or wide).
+type RcCompressFn = fn(&mut Vec<u8>, &[i64], &mut intseq::IntseqScratch);
+/// `decompress_ints_rc`-shaped entry point (narrow or wide).
+type RcDecompressFn = fn(&mut ByteReader<'_>) -> Result<Vec<i64>, CodecError>;
+
+impl GroupCodecConfig {
+    /// The int-sequence range compressor for this profile.
+    fn rc_compress(&self) -> RcCompressFn {
+        if self.wide {
+            intseq::compress_ints_rc_wide_with
+        } else {
+            intseq::compress_ints_rc_with
+        }
+    }
+
+    /// The int-sequence range decompressor for this profile.
+    fn rc_decompress(&self) -> RcDecompressFn {
+        if self.wide {
+            intseq::decompress_ints_rc_wide
+        } else {
+            intseq::decompress_ints_rc
+        }
+    }
 }
 
 /// Reusable working memory for [`encode_group_to_buf`].
@@ -87,11 +118,12 @@ pub fn encode_group_to_buf(
     debug_assert!(lines.iter().all(|l| !l.is_empty()), "no empty polylines");
 
     let ScratchBuffers { seq, radial, intseq: iscr } = scratch;
+    let rc = cfg.rc_compress();
 
     // Step 5: lengths.
     seq.clear();
     seq.extend(lines.iter().map(|l| l.len() as i64));
-    intseq::compress_ints_rc_with(out, seq, iscr);
+    rc(out, seq, iscr);
 
     // Steps 2-4 (head/tail split) + step 6: azimuthal channel via Deflate
     // (repeated cross-line patterns).
@@ -104,22 +136,26 @@ pub fn encode_group_to_buf(
     // Step 7: polar channel via arithmetic coding.
     fill_heads(seq, lines, 1);
     dbgc_codec::delta_encode_in_place(seq);
-    intseq::compress_ints_rc_with(out, seq, iscr);
+    rc(out, seq, iscr);
     fill_tail_deltas(seq, lines, 1);
-    intseq::compress_ints_rc_with(out, seq, iscr);
+    rc(out, seq, iscr);
 
     // Step 8: radial channel (head/tail residuals in separate frames).
     if cfg.radial {
         encode_radial_into(lines, cfg.th_phi, cfg.th_r, radial);
-        intseq::compress_ints_rc_with(out, &radial.head_nabla, iscr);
-        intseq::compress_ints_rc_with(out, &radial.tail_nabla, iscr);
-        intseq::compress_symbols_rc_with(out, &radial.refs, 4, iscr);
+        rc(out, &radial.head_nabla, iscr);
+        rc(out, &radial.tail_nabla, iscr);
+        if cfg.wide {
+            intseq::compress_symbols_rc_wide(out, &radial.refs, 4);
+        } else {
+            intseq::compress_symbols_rc_with(out, &radial.refs, 4, iscr);
+        }
     } else {
         fill_heads(seq, lines, 2);
         dbgc_codec::delta_encode_in_place(seq);
-        intseq::compress_ints_rc_with(out, seq, iscr);
+        rc(out, seq, iscr);
         fill_tail_deltas(seq, lines, 2);
-        intseq::compress_ints_rc_with(out, seq, iscr);
+        rc(out, seq, iscr);
     }
 }
 
@@ -149,7 +185,8 @@ pub fn decode_group_with_limit(
     cfg: &GroupCodecConfig,
     max_points: usize,
 ) -> Result<Vec<Vec<[i64; 3]>>, CodecError> {
-    let lengths = intseq::decompress_ints_rc(r)?;
+    let rc = cfg.rc_decompress();
+    let lengths = rc(r)?;
     let n_lines = lengths.len();
     // Checked sum: a wrapped total could slip past the frame-count
     // cross-check below and overrun the tail slices while rebuilding lines.
@@ -167,8 +204,8 @@ pub fn decode_group_with_limit(
 
     let heads_c1 = dbgc_codec::delta_decode(&intseq::decompress_ints_deflate(r)?);
     let tails_c1 = intseq::decompress_ints_deflate(r)?;
-    let heads_c2 = dbgc_codec::delta_decode(&intseq::decompress_ints_rc(r)?);
-    let tails_c2 = intseq::decompress_ints_rc(r)?;
+    let heads_c2 = dbgc_codec::delta_decode(&rc(r)?);
+    let tails_c2 = rc(r)?;
     if heads_c1.len() != n_lines
         || heads_c2.len() != n_lines
         || tails_c1.len() != total_tail
@@ -194,14 +231,18 @@ pub fn decode_group_with_limit(
 
     if cfg.radial {
         let streams = super::radial::RadialStreams {
-            head_nabla: intseq::decompress_ints_rc(r)?,
-            tail_nabla: intseq::decompress_ints_rc(r)?,
-            refs: intseq::decompress_symbols_rc(r)?,
+            head_nabla: rc(r)?,
+            tail_nabla: rc(r)?,
+            refs: if cfg.wide {
+                intseq::decompress_symbols_rc_wide(r)?
+            } else {
+                intseq::decompress_symbols_rc(r)?
+            },
         };
         decode_radial(&mut lines, &streams, cfg.th_phi, cfg.th_r)?;
     } else {
-        let heads_c3 = dbgc_codec::delta_decode(&intseq::decompress_ints_rc(r)?);
-        let tails_c3 = intseq::decompress_ints_rc(r)?;
+        let heads_c3 = dbgc_codec::delta_decode(&rc(r)?);
+        let tails_c3 = rc(r)?;
         if heads_c3.len() != n_lines || tails_c3.len() != total_tail {
             return Err(CodecError::CorruptStream("channel-3 frame count mismatch"));
         }
@@ -249,29 +290,36 @@ pub fn measure_group(lines: &[Vec<[i64; 3]>], cfg: &GroupCodecConfig) -> GroupSt
         }
         v
     };
+    let rc_size = |vals: &[i64]| {
+        let mut b = Vec::new();
+        cfg.rc_compress()(&mut b, vals, &mut intseq::IntseqScratch::default());
+        b.len()
+    };
     let sz = |f: &dyn Fn(&mut Vec<u8>)| {
         let mut b = Vec::new();
         f(&mut b);
         b.len()
     };
     let mut sizes = GroupStreamSizes {
-        lengths: sz(&|b| {
-            intseq::compress_ints_rc(b, &lines.iter().map(|l| l.len() as i64).collect::<Vec<_>>())
-        }),
+        lengths: rc_size(&lines.iter().map(|l| l.len() as i64).collect::<Vec<_>>()),
         c1_heads: sz(&|b| intseq::compress_ints_deflate(b, &dbgc_codec::delta_encode(&heads(0)))),
         c1_tails: sz(&|b| intseq::compress_ints_deflate(b, &tail_deltas(0))),
-        c2_heads: sz(&|b| intseq::compress_ints_rc(b, &dbgc_codec::delta_encode(&heads(1)))),
-        c2_tails: sz(&|b| intseq::compress_ints_rc(b, &tail_deltas(1))),
+        c2_heads: rc_size(&dbgc_codec::delta_encode(&heads(1))),
+        c2_tails: rc_size(&tail_deltas(1)),
         ..Default::default()
     };
     if cfg.radial {
         let streams = encode_radial(lines, cfg.th_phi, cfg.th_r);
-        sizes.c3 = sz(&|b| intseq::compress_ints_rc(b, &streams.head_nabla))
-            + sz(&|b| intseq::compress_ints_rc(b, &streams.tail_nabla));
-        sizes.refs = sz(&|b| intseq::compress_symbols_rc(b, &streams.refs, 4));
+        sizes.c3 = rc_size(&streams.head_nabla) + rc_size(&streams.tail_nabla);
+        sizes.refs = sz(&|b| {
+            if cfg.wide {
+                intseq::compress_symbols_rc_wide(b, &streams.refs, 4)
+            } else {
+                intseq::compress_symbols_rc(b, &streams.refs, 4)
+            }
+        });
     } else {
-        sizes.c3 = sz(&|b| intseq::compress_ints_rc(b, &dbgc_codec::delta_encode(&heads(2))))
-            + sz(&|b| intseq::compress_ints_rc(b, &tail_deltas(2)));
+        sizes.c3 = rc_size(&dbgc_codec::delta_encode(&heads(2))) + rc_size(&tail_deltas(2));
     }
     sizes
 }
@@ -282,7 +330,11 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn cfg(radial: bool) -> GroupCodecConfig {
-        GroupCodecConfig { radial, th_phi: 4, th_r: 50 }
+        GroupCodecConfig { radial, wide: false, th_phi: 4, th_r: 50 }
+    }
+
+    fn wide_cfg(radial: bool) -> GroupCodecConfig {
+        GroupCodecConfig { wide: true, ..cfg(radial) }
     }
 
     fn roundtrip(lines: &[Vec<[i64; 3]>], c: &GroupCodecConfig) -> usize {
@@ -395,6 +447,52 @@ mod tests {
                 assert_eq!(fresh, reused, "scratch reuse changed the bytes");
             }
         }
+    }
+
+    #[test]
+    fn wide_profile_roundtrip_radial_and_plain() {
+        let lines = ring_lines(25, 40, 100);
+        roundtrip(&lines, &wide_cfg(true));
+        roundtrip(&lines, &wide_cfg(false));
+        roundtrip(&[], &wide_cfg(true));
+    }
+
+    #[test]
+    fn wide_profile_changes_framing_not_reconstruction() {
+        // Same lines through both profiles: different bytes (lane framing),
+        // same decoded polylines, and a size gap bounded by the per-frame
+        // lane overhead (three flush tails + lane header per rc frame).
+        let lines = ring_lines(30, 50, 200);
+        for radial in [true, false] {
+            let mut narrow = Vec::new();
+            encode_group(&mut narrow, &lines, &cfg(radial));
+            let mut wide = Vec::new();
+            encode_group(&mut wide, &lines, &wide_cfg(radial));
+            assert_ne!(narrow, wide, "profiles must frame differently");
+            let rc_frames = if radial { 6 } else { 5 };
+            assert!(
+                wide.len() <= narrow.len() + rc_frames * 32,
+                "wide {} vs narrow {}",
+                wide.len(),
+                narrow.len()
+            );
+            let mut r = ByteReader::new(&wide);
+            assert_eq!(decode_group(&mut r, &wide_cfg(radial)).unwrap(), lines);
+        }
+    }
+
+    #[test]
+    fn wide_profile_truncation_is_error() {
+        let lines = ring_lines(5, 10, 101);
+        let mut out = Vec::new();
+        encode_group(&mut out, &lines, &wide_cfg(true));
+        for cut in [0, 5, out.len() / 2, out.len() - 3] {
+            let mut r = ByteReader::new(&out[..cut]);
+            assert!(decode_group(&mut r, &wide_cfg(true)).is_err(), "cut {cut}");
+        }
+        // Cross-profile decode must reject or mis-frame, never panic.
+        let mut r = ByteReader::new(&out);
+        let _ = decode_group(&mut r, &cfg(true));
     }
 
     #[test]

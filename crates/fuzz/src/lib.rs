@@ -233,6 +233,13 @@ pub fn build_seed_inputs_sized(seed: u64, h_samples: u32) -> Vec<SeedInput> {
         .compress(&cloud)
         .expect("seed frame compresses")
         .bytes;
+    // A wide-profile (version 3) stream rides along as a second Dbgc seed,
+    // so mutations and regression inputs exercise the four-lane decode path
+    // (per-lane renormalization, lane-length framing) as deeply as v1.
+    let wide_bytes = dbgc::Dbgc::new(cfg.clone().with_entropy_profile(dbgc::EntropyProfile::Wide))
+        .compress(&cloud)
+        .expect("seed frame compresses")
+        .bytes;
     let dbgc_bytes = dbgc::Dbgc::new(cfg).compress(&cloud).expect("seed frame compresses").bytes;
 
     let xy: Vec<(f64, f64)> = points.iter().map(|p| (p.x, p.y)).collect();
@@ -247,6 +254,7 @@ pub fn build_seed_inputs_sized(seed: u64, h_samples: u32) -> Vec<SeedInput> {
 
     vec![
         SeedInput { target: Target::Dbgc, bytes: dbgc_bytes },
+        SeedInput { target: Target::Dbgc, bytes: wide_bytes },
         SeedInput {
             target: Target::OctreeBaseline,
             bytes: dbgc_octree::OctreeCodec::baseline().encode(&points, q).bytes,

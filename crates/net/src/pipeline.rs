@@ -525,6 +525,25 @@ mod tests {
     }
 
     #[test]
+    fn wide_profile_flows_through_the_pipeline() {
+        // Degrade variants clone the full config, so the entropy profile must
+        // survive the worker handoff: pipelined wide frames are byte-identical
+        // to direct wide compression and carry stream version 3.
+        let cfg = dbgc::DbgcConfig::with_error_bound(0.02)
+            .with_entropy_profile(dbgc::EntropyProfile::Wide);
+        let dbgc = Dbgc::new(cfg);
+        let c = cloud(7, 3000);
+        let direct = dbgc.compress(&c).unwrap();
+        assert_eq!(direct.bytes[4], 3, "wide frames carry stream version 3");
+        let mut pipe = PipelinedCompressor::new(dbgc, 2);
+        pipe.submit(c);
+        let piped = pipe.next_ordered().unwrap().unwrap();
+        assert_eq!(piped.bytes, direct.bytes);
+        let (restored, _) = dbgc::decompress(&piped.bytes).unwrap();
+        assert_eq!(restored.len(), 3000);
+    }
+
+    #[test]
     fn submit_shared_avoids_the_handoff_copy() {
         let dbgc = Dbgc::with_error_bound(0.02);
         let c = Arc::new(cloud(5, 3000));

@@ -15,8 +15,8 @@
 use dbgc_codec::intseq;
 use dbgc_codec::varint::{write_f64, write_uvarint, ByteReader};
 use dbgc_codec::{
-    AdaptiveModel, CodecError, ContextModel, DualRangeDecoder, DualRangeEncoder, RangeDecoder,
-    RangeEncoder, RangeSink, RangeSource,
+    AdaptiveModel, CodecError, ContextModel, DualRangeDecoder, DualRangeEncoder, EntropyProfile,
+    RangeDecoder, RangeEncoder, RangeSink, RangeSource, WideRangeDecoder, WideRangeEncoder,
 };
 use dbgc_geom::{BoundingCube, Point3};
 
@@ -62,27 +62,34 @@ pub struct OctreeDecodeResult {
 pub struct OctreeCodec {
     /// Occupancy-byte modelling strategy.
     pub context: OccupancyContext,
-    /// Code occupancy bytes through the interleaved two-lane range coder
-    /// (see [`dbgc_codec::dual`]): symbol probabilities are unchanged, but
-    /// the decoder's interval-state dependency chain is split across two
-    /// lanes. Changes the occupancy framing — both ends must agree.
-    pub dual_lane: bool,
+    /// How many interleaved interval states code the occupancy bytes (see
+    /// [`dbgc_codec::dual`] and [`dbgc_codec::wide`]): symbol probabilities
+    /// are unchanged, but the decoder's interval-state dependency chain is
+    /// split across the lanes. Changes the occupancy framing — both ends
+    /// must agree.
+    pub profile: EntropyProfile,
 }
 
 impl OctreeCodec {
     /// The baseline coder of Botsch et al. \[7\].
     pub fn baseline() -> Self {
-        OctreeCodec { context: OccupancyContext::None, dual_lane: false }
+        OctreeCodec { context: OccupancyContext::None, profile: EntropyProfile::Narrow }
     }
 
     /// The Octree_i variant \[21\].
     pub fn parent_context() -> Self {
-        OctreeCodec { context: OccupancyContext::ParentCode, dual_lane: false }
+        OctreeCodec { context: OccupancyContext::ParentCode, profile: EntropyProfile::Narrow }
     }
 
     /// The same codec with the two-lane occupancy path switched on or off.
-    pub fn with_dual_lane(mut self, dual_lane: bool) -> Self {
-        self.dual_lane = dual_lane;
+    /// Shorthand for [`OctreeCodec::with_profile`] with `Dual`/`Narrow`.
+    pub fn with_dual_lane(self, dual_lane: bool) -> Self {
+        self.with_profile(if dual_lane { EntropyProfile::Dual } else { EntropyProfile::Narrow })
+    }
+
+    /// The same codec with the given occupancy entropy profile.
+    pub fn with_profile(mut self, profile: EntropyProfile) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -110,14 +117,22 @@ impl OctreeCodec {
         write_uvarint(&mut out, tree.leaf_count() as u64);
 
         // Occupancy bytes, range-coded.
-        let occ = if self.dual_lane {
-            let mut enc = DualRangeEncoder::new();
-            self.encode_occupancy(tree, &mut enc);
-            enc.finish()
-        } else {
-            let mut enc = RangeEncoder::new();
-            self.encode_occupancy(tree, &mut enc);
-            enc.finish()
+        let occ = match self.profile {
+            EntropyProfile::Narrow => {
+                let mut enc = RangeEncoder::new();
+                self.encode_occupancy(tree, &mut enc);
+                enc.finish()
+            }
+            EntropyProfile::Dual => {
+                let mut enc = DualRangeEncoder::new();
+                self.encode_occupancy(tree, &mut enc);
+                enc.finish()
+            }
+            EntropyProfile::Wide => {
+                let mut enc = WideRangeEncoder::new();
+                self.encode_occupancy(tree, &mut enc);
+                enc.finish()
+            }
         };
         write_uvarint(&mut out, occ.len() as u64);
         out.extend_from_slice(&occ);
@@ -218,12 +233,19 @@ impl OctreeCodec {
         let occ_len = r.read_uvarint()? as usize;
         let occ = r.read_slice(occ_len)?;
 
-        let leaves = if self.dual_lane {
-            let mut dec = DualRangeDecoder::new(occ)?;
-            self.decode_occupancy(depth, leaf_count, &mut dec)?
-        } else {
-            let mut dec = RangeDecoder::new(occ);
-            self.decode_occupancy(depth, leaf_count, &mut dec)?
+        let leaves = match self.profile {
+            EntropyProfile::Narrow => {
+                let mut dec = RangeDecoder::new(occ);
+                self.decode_occupancy(depth, leaf_count, &mut dec)?
+            }
+            EntropyProfile::Dual => {
+                let mut dec = DualRangeDecoder::new(occ)?;
+                self.decode_occupancy(depth, leaf_count, &mut dec)?
+            }
+            EntropyProfile::Wide => {
+                let mut dec = WideRangeDecoder::new(occ)?;
+                self.decode_occupancy(depth, leaf_count, &mut dec)?
+            }
         };
         let leaves = leaves.ok_or(CodecError::CorruptStream("octree leaf budget exceeded"))?;
         if leaves.len() != leaf_count {
@@ -343,6 +365,44 @@ mod tests {
         let enc = OctreeCodec::baseline().with_dual_lane(true).encode(&pts, 0.02);
         // The plain decoder must reject or mis-frame it, never panic.
         let _ = OctreeCodec::baseline().decode(&enc.bytes);
+    }
+
+    #[test]
+    fn wide_profile_roundtrip_both_contexts() {
+        let pts = random_cloud(8000, 19, 30.0);
+        check_roundtrip(OctreeCodec::baseline().with_profile(EntropyProfile::Wide), &pts, 0.02);
+        check_roundtrip(
+            OctreeCodec::parent_context().with_profile(EntropyProfile::Wide),
+            &pts,
+            0.02,
+        );
+    }
+
+    #[test]
+    fn wide_profile_size_overhead_is_bounded() {
+        // Same models, same symbols: only the lane-length header and three
+        // extra flush tails separate the wide stream from the narrow one.
+        let pts = random_cloud(8000, 20, 30.0);
+        let single = OctreeCodec::baseline().encode(&pts, 0.02).bytes.len();
+        let wide = OctreeCodec::baseline()
+            .with_profile(EntropyProfile::Wide)
+            .encode(&pts, 0.02)
+            .bytes
+            .len();
+        assert!(wide <= single + 64, "wide {wide} vs single {single}");
+    }
+
+    #[test]
+    fn wide_profile_truncation_and_cross_profile_decode_never_panic() {
+        let pts = random_cloud(2000, 21, 20.0);
+        let wide = OctreeCodec::baseline().with_profile(EntropyProfile::Wide);
+        let enc = wide.encode(&pts, 0.02);
+        for cut in [0, 10, 40, enc.bytes.len() / 2, enc.bytes.len() - 1] {
+            assert!(wide.decode(&enc.bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+        // Mis-profiled decoders must reject or mis-frame, never panic.
+        let _ = OctreeCodec::baseline().decode(&enc.bytes);
+        let _ = OctreeCodec::baseline().with_dual_lane(true).decode(&enc.bytes);
     }
 
     #[test]

@@ -83,8 +83,16 @@ fn parse_manifest(text: &str) -> Vec<(String, GoldenEntry)> {
 }
 
 fn compress_preset(preset: ScenePreset, threads: usize) -> (dbgc::CompressedFrame, usize) {
+    compress_preset_with(preset, threads, dbgc::EntropyProfile::Narrow)
+}
+
+fn compress_preset_with(
+    preset: ScenePreset,
+    threads: usize,
+    profile: dbgc::EntropyProfile,
+) -> (dbgc::CompressedFrame, usize) {
     let (cloud, meta) = small_frame(preset, SEED);
-    let mut cfg = small_config(Q, meta);
+    let mut cfg = small_config(Q, meta).with_entropy_profile(profile);
     cfg.threads = threads;
     (dbgc::Dbgc::new(cfg).compress(&cloud).expect("compress"), cloud.len())
 }
@@ -152,6 +160,100 @@ fn golden_vectors_all_presets() {
             cloud_fnv(&decoded),
             entry.cloud_fnv,
             "{}: decoded coordinates drifted",
+            preset.name()
+        );
+    }
+}
+
+#[test]
+fn golden_vectors_wide_profile() {
+    // Version-3 (wide entropy profile) goldens live beside the v1 set as
+    // `{preset}-wide.dbgc` + `manifest_wide.txt`. Blessing the wide set never
+    // rewrites the v1 files, so v1 streams stay byte-identical by
+    // construction; and a wide stream must decode to the *same* coordinate
+    // bit pattern as the narrow golden — the profile changes transport, not
+    // reconstruction — so `cloud_fnv` is cross-checked against the v1
+    // manifest, not independently blessed.
+    let dir = golden_dir();
+    let narrow_manifest = std::fs::read_to_string(dir.join("manifest.txt"))
+        .expect("v1 golden manifest missing — bless golden_vectors_all_presets first");
+    let narrow = parse_manifest(&narrow_manifest);
+
+    if std::env::var_os("DBGC_BLESS").is_some() {
+        let mut manifest = String::from(
+            "# Golden wide-profile (version 3) DBGC streams: small_frame(preset, 7)\n\
+             # at q = 0.02, entropy_profile = wide. cloud_fnv must equal the v1\n\
+             # manifest entry. Regenerate with DBGC_BLESS=1 (golden_vectors.rs).\n",
+        );
+        for preset in ScenePreset::all() {
+            let (frame, points) = compress_preset_with(preset, 0, dbgc::EntropyProfile::Wide);
+            assert_eq!(frame.bytes[4], 3, "wide stream must carry version 3");
+            let (decoded, _) = dbgc::decompress(&frame.bytes).expect("own stream");
+            let _ = writeln!(
+                manifest,
+                "{} points={} bytes={} stream_fnv={:016x} cloud_fnv={:016x}",
+                preset.name(),
+                points,
+                frame.bytes.len(),
+                fnv1a(frame.bytes.iter().copied()),
+                cloud_fnv(&decoded),
+            );
+            std::fs::write(dir.join(format!("{}-wide.dbgc", preset.name())), &frame.bytes)
+                .expect("write wide golden stream");
+        }
+        std::fs::write(dir.join("manifest_wide.txt"), manifest).expect("write wide manifest");
+        eprintln!(
+            "blessed {} wide golden vectors into {}",
+            ScenePreset::all().len(),
+            dir.display()
+        );
+        return;
+    }
+
+    let manifest_text = std::fs::read_to_string(dir.join("manifest_wide.txt"))
+        .expect("wide golden manifest missing — run with DBGC_BLESS=1 to create it");
+    let manifest = parse_manifest(&manifest_text);
+    assert_eq!(manifest.len(), ScenePreset::all().len(), "wide manifest covers every preset");
+
+    for preset in ScenePreset::all() {
+        let entry = &manifest
+            .iter()
+            .find(|(name, _)| name == preset.name())
+            .unwrap_or_else(|| panic!("{} missing from wide manifest", preset.name()))
+            .1;
+        let narrow_entry = &narrow
+            .iter()
+            .find(|(name, _)| name == preset.name())
+            .unwrap_or_else(|| panic!("{} missing from v1 manifest", preset.name()))
+            .1;
+        assert_eq!(
+            entry.cloud_fnv,
+            narrow_entry.cloud_fnv,
+            "{}: wide decode must reconstruct the identical cloud",
+            preset.name()
+        );
+
+        let golden = std::fs::read(dir.join(format!("{}-wide.dbgc", preset.name())))
+            .expect("wide golden stream file");
+        assert_eq!(golden.len(), entry.bytes, "{}: wide stream size", preset.name());
+        assert_eq!(golden[4], 3, "{}: wide golden must carry version 3", preset.name());
+        assert_eq!(
+            fnv1a(golden.iter().copied()),
+            entry.stream_fnv,
+            "{}: committed wide stream corrupted",
+            preset.name()
+        );
+
+        let (frame, points) = compress_preset_with(preset, 0, dbgc::EntropyProfile::Wide);
+        assert_eq!(points, entry.points, "{}: simulator drifted", preset.name());
+        assert_eq!(frame.bytes, golden, "{}: wide compressed bytes changed", preset.name());
+
+        let (decoded, _) = dbgc::decompress(&golden).expect("wide golden stream decodes");
+        assert_eq!(decoded.len(), entry.points, "{}: decoded point count", preset.name());
+        assert_eq!(
+            cloud_fnv(&decoded),
+            entry.cloud_fnv,
+            "{}: wide decoded coordinates drifted",
             preset.name()
         );
     }
